@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+// BenchmarkAblationHierarchy compares the Figure 1 hierarchical wiring
+// (per-site secretaries aggregating availability) against a flat session
+// where the coordinator talks to every member over the WAN directly. The
+// secretary layer trades local aggregation hops for fewer WAN round
+// trips per member.
+func BenchmarkAblationHierarchy(b *testing.B) {
+	for _, mode := range []string{"hierarchical", "flat"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+					Sites: 4, MembersPerSite: 4, Hierarchical: mode == "hierarchical",
+					Slots: 64, BusyProb: 0.5, CommonSlot: 40, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := w.Scheduler.Schedule(0, 64, 64); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st := w.Net.Stats()
+				b.ReportMetric(float64(st.MaxVirtual.Milliseconds()), "vlat-ms")
+				b.ReportMetric(float64(st.Sent), "datagrams")
+				w.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindow sweeps the negotiation window: querying the
+// whole horizon at once minimizes rounds but ships larger availability
+// maps; narrow windows take more rounds. The common slot sits late in the
+// horizon so windowed searches must iterate.
+func BenchmarkAblationWindow(b *testing.B) {
+	for _, window := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+					Sites: 6, MembersPerSite: 1, Hierarchical: false,
+					Slots: 64, BusyProb: 1.0, CommonSlot: 60, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := w.Scheduler.Schedule(0, 64, window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(res.Rounds), "rounds")
+				b.ReportMetric(float64(w.Net.MaxVirtual().Milliseconds()), "vlat-ms")
+				w.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRTO sweeps the reliable layer's retransmission timeout
+// under 10% loss: too-small RTOs waste bandwidth on spurious retransmits,
+// too-large RTOs stall the window on every loss.
+func BenchmarkAblationRTO(b *testing.B) {
+	const msgs = 500
+	for _, rto := range []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		b.Run(fmt.Sprintf("rto=%s", rto), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net := netsim.New(netsim.WithSeed(int64(i + 1)))
+				net.SetLink("a", "b", netsim.LinkParams{Loss: 0.10})
+				epA, _ := net.Host("a").Bind(1)
+				epB, _ := net.Host("b").Bind(1)
+				cfg := transport.Config{RTO: rto, MaxRetries: 200, Window: 32}
+				ra := transport.NewReliable(transport.NewSimConn(epA), cfg)
+				rb := transport.NewReliable(transport.NewSimConn(epB), cfg)
+				payload := make([]byte, 128)
+				b.StartTimer()
+				done := make(chan error, 1)
+				go func() {
+					for k := 0; k < msgs; k++ {
+						if _, _, err := rb.Recv(); err != nil {
+							done <- err
+							return
+						}
+					}
+					done <- nil
+				}()
+				for k := 0; k < msgs; k++ {
+					if err := ra.Send(rb.LocalAddr(), payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				st := ra.Stats()
+				b.ReportMetric(float64(st.Retransmits)/float64(msgs), "retx/msg")
+				ra.Close()
+				rb.Close()
+				net.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

@@ -1,0 +1,501 @@
+// Package repro holds the top-level benchmark harness: one benchmark per
+// experiment in DESIGN.md (F1-F3 reproduce the paper's figures, T1 the
+// traditional-vs-session comparison, E1-E7 characterize each mechanism the
+// paper specifies). cmd/wwbench prints the corresponding tables.
+package repro
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/lclock"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+	"repro/internal/scenario"
+	"repro/internal/session"
+	"repro/internal/snapshot"
+	"repro/internal/state"
+	"repro/internal/syncprim"
+	"repro/internal/tokens"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// fastRTO keeps retransmission timers out of fault-free benchmarks.
+const fastRTO = 30 * time.Millisecond
+
+func benchDapplet(b *testing.B, net *netsim.Network, host, name string) *core.Dapplet {
+	b.Helper()
+	ep, err := net.Host(host).BindAny()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.NewDapplet(name, "bench", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: fastRTO, Window: 256, RecvBuf: 4096}))
+	b.Cleanup(d.Stop)
+	return d
+}
+
+// BenchmarkFig3FanOut measures one outbox bound to N inboxes (Figure 3):
+// a Send copies the message along every channel.
+func BenchmarkFig3FanOut(b *testing.B) {
+	for _, fan := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("fan=%d", fan), func(b *testing.B) {
+			net := netsim.New(netsim.WithSeed(1))
+			defer net.Close()
+			src := benchDapplet(b, net, "src", "src")
+			out := src.Outbox("out")
+			sinks := make([]*core.Inbox, fan)
+			for i := 0; i < fan; i++ {
+				d := benchDapplet(b, net, fmt.Sprintf("dst%d", i), fmt.Sprintf("dst%d", i))
+				sinks[i] = d.Inbox("in")
+				out.Add(sinks[i].Ref())
+			}
+			msg := &wire.Text{S: "payload-payload-payload-payload"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := out.Send(msg); err != nil {
+					b.Fatal(err)
+				}
+				for _, in := range sinks {
+					if _, err := in.Receive(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(fan), "copies/send")
+		})
+	}
+}
+
+// BenchmarkFig3FanIn measures N outboxes bound to one inbox (Figure 3).
+func BenchmarkFig3FanIn(b *testing.B) {
+	for _, fan := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("fan=%d", fan), func(b *testing.B) {
+			net := netsim.New(netsim.WithSeed(1))
+			defer net.Close()
+			dst := benchDapplet(b, net, "dst", "dst")
+			in := dst.Inbox("in")
+			outs := make([]*core.Outbox, fan)
+			for i := 0; i < fan; i++ {
+				d := benchDapplet(b, net, fmt.Sprintf("src%d", i), fmt.Sprintf("src%d", i))
+				outs[i] = d.Outbox("out")
+				outs[i].Add(in.Ref())
+			}
+			msg := &wire.Text{S: "payload"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, out := range outs {
+					if err := out.Send(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for k := 0; k < fan; k++ {
+					if _, err := in.Receive(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2SessionSetup measures initiator-driven session setup and
+// teardown (Figure 2) as the participant count grows.
+func BenchmarkFig2SessionSetup(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := netsim.New(netsim.WithSeed(1))
+			defer net.Close()
+			dir := benchDirectory(b, net, n)
+			iniD := benchDapplet(b, net, "hq", "director")
+			ini := session.NewInitiator(iniD, dir)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := session.Spec{ID: fmt.Sprintf("s%d", i)}
+				for j := 0; j < n; j++ {
+					spec.Participants = append(spec.Participants,
+						session.Participant{Name: fmt.Sprintf("p%d", j), Role: "member"})
+				}
+				h, err := ini.Initiate(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.Terminate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchDirectory(b *testing.B, net *netsim.Network, n int) *directory.Directory {
+	b.Helper()
+	dir := directory.New()
+	for j := 0; j < n; j++ {
+		name := fmt.Sprintf("p%d", j)
+		d := benchDapplet(b, net, fmt.Sprintf("h%d", j), name)
+		session.Attach(d, session.Policy{})
+		dir.Register(directory.Entry{Name: name, Type: "bench", Addr: d.Addr()})
+	}
+	return dir
+}
+
+// BenchmarkFig1CalendarThreeSites runs the full Figure 1 scenario per
+// iteration: 9 calendar + 3 secretary dapplets across three WAN sites.
+func BenchmarkFig1CalendarThreeSites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+			Sites: 3, MembersPerSite: 3, Hierarchical: true,
+			Slots: 112, BusyProb: 0.6, CommonSlot: 77, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := w.Scheduler.Schedule(0, 112, 28); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		v := w.Net.MaxVirtual()
+		b.ReportMetric(float64(v.Milliseconds()), "vlat-ms")
+		w.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkT1TraditionalVsSession compares the paper's two negotiation
+// styles over identical calendars.
+func BenchmarkT1TraditionalVsSession(b *testing.B) {
+	for _, members := range []int{4, 12, 24} {
+		for _, mode := range []string{"session", "traditional"} {
+			b.Run(fmt.Sprintf("%s/members=%d", mode, members), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+						Sites: members, MembersPerSite: 1, Hierarchical: false,
+						Slots: 64, BusyProb: 0.4, CommonSlot: 50, Seed: int64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if mode == "session" {
+						_, err = w.Scheduler.Schedule(0, 64, 64)
+					} else {
+						_, err = w.Traditional.Schedule(0, 64, 64)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(w.Net.MaxVirtual().Milliseconds()), "vlat-ms")
+					w.Close()
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE1ReliableLayer measures the ordered-delivery layer's
+// throughput and retransmission overhead across loss rates.
+func BenchmarkE1ReliableLayer(b *testing.B) {
+	for _, loss := range []float64{0, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("loss=%.2f", loss), func(b *testing.B) {
+			net := netsim.New(netsim.WithSeed(3))
+			defer net.Close()
+			net.SetLink("a", "b", netsim.LinkParams{Loss: loss})
+			epA, _ := net.Host("a").Bind(1)
+			epB, _ := net.Host("b").Bind(1)
+			cfg := transport.Config{RTO: 5 * time.Millisecond, MaxRetries: 100, Window: 64}
+			ra := transport.NewReliable(transport.NewSimConn(epA), cfg)
+			rb := transport.NewReliable(transport.NewSimConn(epB), cfg)
+			defer ra.Close()
+			defer rb.Close()
+			payload := make([]byte, 256)
+			b.SetBytes(256)
+			b.ResetTimer()
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := rb.Recv(); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			for i := 0; i < b.N; i++ {
+				if err := ra.Send(rb.LocalAddr(), payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			st := ra.Stats()
+			if b.N > 0 {
+				b.ReportMetric(float64(st.Retransmits)/float64(b.N), "retx/msg")
+			}
+		})
+	}
+}
+
+// BenchmarkE2Tokens measures token grant/release round trips.
+func BenchmarkE2Tokens(b *testing.B) {
+	net := netsim.New(netsim.WithSeed(4))
+	defer net.Close()
+	hub := benchDapplet(b, net, "hub", "hub")
+	alloc := tokens.Serve(hub, tokens.Bag{"r": 4})
+	mgr := tokens.NewManager(benchDapplet(b, net, "c", "client"), alloc.Ref())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mgr.Request(tokens.Bag{"r": 1}); err != nil {
+			b.Fatal(err)
+		}
+		if err := mgr.Release(tokens.Bag{"r": 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2DeadlockDetect measures the latency from closing a wait
+// cycle to the deadlock exception.
+func BenchmarkE2DeadlockDetect(b *testing.B) {
+	net := netsim.New(netsim.WithSeed(5))
+	defer net.Close()
+	hub := benchDapplet(b, net, "hub", "hub")
+	alloc := tokens.Serve(hub, tokens.Bag{"f1": 1, "f2": 1})
+	ma := tokens.NewManager(benchDapplet(b, net, "a", "a"), alloc.Ref())
+	mb := tokens.NewManager(benchDapplet(b, net, "b", "b"), alloc.Ref())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ma.Request(tokens.Bag{"f1": 1}); err != nil {
+			b.Fatal(err)
+		}
+		if err := mb.Request(tokens.Bag{"f2": 1}); err != nil {
+			b.Fatal(err)
+		}
+		errA := make(chan error, 1)
+		go func() { errA <- ma.Request(tokens.Bag{"f2": 1}) }()
+		errB := mb.Request(tokens.Bag{"f1": 1})
+		errA2 := <-errA
+		if !errors.Is(errA2, tokens.ErrDeadlock) && !errors.Is(errB, tokens.ErrDeadlock) {
+			b.Fatalf("no deadlock raised: %v / %v", errA2, errB)
+		}
+		b.StopTimer()
+		_ = ma.ReleaseAll()
+		_ = mb.ReleaseAll()
+		// Wait for the releases to settle so the next round starts clean.
+		for alloc.Free().Count() != 2 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkE3Clocks measures logical clock operations: the per-message
+// stamping cost the layer adds.
+func BenchmarkE3Clocks(b *testing.B) {
+	b.Run("tick", func(b *testing.B) {
+		c := lclock.New("p")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Tick()
+		}
+	})
+	b.Run("send-recv-pair", func(b *testing.B) {
+		s, r := lclock.New("s"), lclock.New("r")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.ObserveRecv(s.StampSend())
+		}
+	})
+}
+
+// BenchmarkE4Snapshot measures both checkpointing algorithms over a
+// 4-node ring with live traffic.
+func BenchmarkE4Snapshot(b *testing.B) {
+	build := func(b *testing.B) (*netsim.Network, *snapshot.Coordinator) {
+		net := netsim.New(netsim.WithSeed(6))
+		members := make([]snapshot.Member, 0, 4)
+		services := make([]*snapshot.Service, 0, 4)
+		for i := 0; i < 4; i++ {
+			d := benchDapplet(b, net, fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i))
+			services = append(services, snapshot.Attach(d, func() any { return i }))
+			members = append(members, snapshot.Member{Name: d.Name(), Addr: d.Addr()})
+		}
+		for i, svc := range services {
+			peers := make([]snapshot.Member, 0, 3)
+			for j, m := range members {
+				if j != i {
+					peers = append(peers, m)
+				}
+			}
+			svc.SetPeers(peers)
+		}
+		coordD := benchDapplet(b, net, "coord", "coord")
+		coord := snapshot.NewCoordinator(coordD, members)
+		coord.SetSettle(time.Millisecond)
+		return net, coord
+	}
+	b.Run("marker", func(b *testing.B) {
+		net, coord := build(b)
+		defer net.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := coord.SnapshotMarker()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g.CheckConsistent(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clock", func(b *testing.B) {
+		net, coord := build(b)
+		defer net.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g, err := coord.SnapshotClock(1000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := g.CheckConsistent(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE5RPC measures synchronous and asynchronous RPC over inboxes.
+func BenchmarkE5RPC(b *testing.B) {
+	net := netsim.New(netsim.WithSeed(7))
+	defer net.Close()
+	server := benchDapplet(b, net, "s", "server")
+	client := benchDapplet(b, net, "c", "client")
+	var n int
+	ref := rpc.Serve(server, "counter", rpc.Object{
+		"add": func(raw json.RawMessage) (any, error) { n++; return n, nil },
+	})
+	cli := rpc.NewClient(client)
+	b.Run("sync", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cli.Call(ref, "add", nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("async", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := cli.Cast(ref, "add", nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6SyncPrim measures the distributed barrier as parties grow,
+// plus the local constructs.
+func BenchmarkE6SyncPrim(b *testing.B) {
+	for _, parties := range []int{2, 8} {
+		b.Run(fmt.Sprintf("dist-barrier/parties=%d", parties), func(b *testing.B) {
+			net := netsim.New(netsim.WithSeed(8))
+			defer net.Close()
+			svc := syncprim.ServeBarriers(benchDapplet(b, net, "hub", "coord"))
+			clients := make([]*syncprim.Client, parties)
+			for i := range clients {
+				clients[i] = syncprim.NewClient(benchDapplet(b, net, fmt.Sprintf("h%d", i), fmt.Sprintf("p%d", i)))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				errs := make(chan error, parties)
+				for _, c := range clients {
+					go func(c *syncprim.Client) {
+						_, err := c.BarrierAwait(svc.Ref(), "bench", parties)
+						errs <- err
+					}(c)
+				}
+				for k := 0; k < parties; k++ {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+	b.Run("local-barrier/parties=4", func(b *testing.B) {
+		bar := syncprim.NewBarrier(4)
+		b.ResetTimer()
+		done := make(chan struct{})
+		for w := 0; w < 3; w++ {
+			go func() {
+				for {
+					select {
+					case <-done:
+						return
+					default:
+						bar.Await()
+					}
+				}
+			}()
+		}
+		for i := 0; i < b.N; i++ {
+			bar.Await()
+		}
+		close(done)
+		// Release stragglers.
+		for w := 0; w < 3; w++ {
+			go bar.Await()
+		}
+	})
+	b.Run("local-semaphore", func(b *testing.B) {
+		s := syncprim.NewSemaphore(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Acquire(1); err != nil {
+				b.Fatal(err)
+			}
+			s.Release(1)
+		}
+	})
+}
+
+// BenchmarkE7Interference measures §2.2 session scheduling on a dapplet's
+// state: disjoint sessions proceed concurrently, interfering sessions
+// serialize.
+func BenchmarkE7Interference(b *testing.B) {
+	run := func(b *testing.B, overlap bool) {
+		st := state.NewStore()
+		defer st.Close()
+		const workers = 8
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				varName := fmt.Sprintf("v%p-%d", pb, i%workers)
+				if overlap {
+					varName = "shared"
+				}
+				id := fmt.Sprintf("s%p-%d", pb, i)
+				acc := state.AccessSet{Write: []string{varName}}
+				if err := st.Acquire(id, acc); err != nil {
+					b.Error(err)
+					return
+				}
+				st.Release(id)
+			}
+		})
+	}
+	b.Run("disjoint", func(b *testing.B) { run(b, false) })
+	b.Run("overlapping", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+	"repro/internal/session"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+const benchRTO = 30 * time.Millisecond
+
+func newDapplet(net *netsim.Network, host, name string) *core.Dapplet {
+	ep, err := net.Host(host).BindAny()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return core.NewDapplet(name, "bench", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: benchRTO, Window: 256, RecvBuf: 4096}))
+}
+
+// runF1 reproduces Figure 1: the full three-site committee scenario, for
+// both schedulers over identical calendars.
+func runF1() {
+	row("scheduler", "slot", "rounds", "proposals", "calls", "datagrams", "vlat")
+	for _, mode := range []string{"session", "traditional"} {
+		w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+			Sites: 3, MembersPerSite: 3, Hierarchical: mode == "session",
+			Slots: 112, BusyProb: 0.65, CommonSlot: 90, Seed: 1996,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := w.Net.Stats()
+		var res interface {
+			String() string
+		}
+		_ = res
+		var slot, rounds, props, calls int
+		if mode == "session" {
+			r, err := w.Scheduler.Schedule(0, 112, 28)
+			if err != nil {
+				log.Fatal(err)
+			}
+			slot, rounds, props, calls = r.Slot, r.Rounds, r.Proposals, r.Calls
+		} else {
+			r, err := w.Traditional.Schedule(0, 112, 28)
+			if err != nil {
+				log.Fatal(err)
+			}
+			slot, rounds, props, calls = r.Slot, r.Rounds, r.Proposals, r.Calls
+		}
+		after := w.Net.Stats()
+		row(mode, slot, rounds, props, calls, after.Sent-before.Sent,
+			after.MaxVirtual.Round(time.Millisecond))
+		w.Close()
+	}
+}
+
+// runF2 measures session setup and teardown latency as the participant
+// count grows, under WAN delays.
+func runF2() {
+	row("participants", "setup-vlat", "teardown-vlat", "datagrams")
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		net := netsim.New(netsim.WithSeed(2), netsim.WithDefaultDelay(netsim.WAN()))
+		dir := directory.New()
+		var dapplets []*core.Dapplet
+		for j := 0; j < n; j++ {
+			name := fmt.Sprintf("p%d", j)
+			d := newDapplet(net, fmt.Sprintf("h%d", j), name)
+			session.Attach(d, session.Policy{})
+			dir.Register(directory.Entry{Name: name, Type: "bench", Addr: d.Addr()})
+			dapplets = append(dapplets, d)
+		}
+		iniD := newDapplet(net, "hq", "director")
+		ini := session.NewInitiator(iniD, dir)
+		spec := session.Spec{ID: "f2"}
+		for j := 0; j < n; j++ {
+			spec.Participants = append(spec.Participants,
+				session.Participant{Name: fmt.Sprintf("p%d", j), Role: "member"})
+		}
+		h, err := ini.Initiate(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		setupV := net.MaxVirtual()
+		mid := net.Stats()
+		if err := h.Terminate(); err != nil {
+			log.Fatal(err)
+		}
+		teardownV := net.MaxVirtual() - setupV
+		after := net.Stats()
+		row(n, setupV.Round(time.Millisecond), teardownV.Round(time.Millisecond), after.Sent)
+		_ = mid
+		for _, d := range dapplets {
+			d.Stop()
+		}
+		iniD.Stop()
+		net.Close()
+	}
+}
+
+// runF3 measures Figure 3's binding patterns: multicast fan-out from one
+// outbox and fan-in to one inbox.
+func runF3() {
+	const msgs = 2000
+	row("pattern", "fan", "msgs/s(wall)", "deliveries")
+	for _, fan := range []int{1, 4, 16, 64} {
+		net := netsim.New(netsim.WithSeed(3))
+		src := newDapplet(net, "src", "src")
+		out := src.Outbox("out")
+		var sinks []*core.Inbox
+		var all []*core.Dapplet
+		for i := 0; i < fan; i++ {
+			d := newDapplet(net, fmt.Sprintf("d%d", i), fmt.Sprintf("d%d", i))
+			all = append(all, d)
+			in := d.Inbox("in")
+			sinks = append(sinks, in)
+			out.Add(in.Ref())
+		}
+		msg := &wire.Text{S: "fan-out payload"}
+		start := time.Now()
+		for k := 0; k < msgs; k++ {
+			if err := out.Send(msg); err != nil {
+				log.Fatal(err)
+			}
+			for _, in := range sinks {
+				if _, err := in.Receive(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		dur := time.Since(start)
+		row("fan-out", fan, int(float64(msgs)/dur.Seconds()), msgs*fan)
+		src.Stop()
+		for _, d := range all {
+			d.Stop()
+		}
+		net.Close()
+	}
+	for _, fan := range []int{1, 4, 16} {
+		net := netsim.New(netsim.WithSeed(3))
+		dst := newDapplet(net, "dst", "dst")
+		in := dst.Inbox("in")
+		var outs []*core.Outbox
+		var all []*core.Dapplet
+		for i := 0; i < fan; i++ {
+			d := newDapplet(net, fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i))
+			all = append(all, d)
+			o := d.Outbox("out")
+			o.Add(in.Ref())
+			outs = append(outs, o)
+		}
+		msg := &wire.Text{S: "fan-in payload"}
+		start := time.Now()
+		for k := 0; k < msgs; k++ {
+			for _, o := range outs {
+				if err := o.Send(msg); err != nil {
+					log.Fatal(err)
+				}
+			}
+			for j := 0; j < fan; j++ {
+				if _, err := in.Receive(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		dur := time.Since(start)
+		row("fan-in", fan, int(float64(msgs*fan)/dur.Seconds()), msgs*fan)
+		dst.Stop()
+		for _, d := range all {
+			d.Stop()
+		}
+		net.Close()
+	}
+}
+
+// runT1 sweeps committee size for both negotiation styles.
+func runT1() {
+	row("members", "scheduler", "slot", "calls", "datagrams", "vlat")
+	for _, members := range []int{3, 6, 12, 24, 48} {
+		for _, mode := range []string{"session", "traditional"} {
+			w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+				Sites: members, MembersPerSite: 1, Hierarchical: false,
+				Slots: 64, BusyProb: 0.4, CommonSlot: 50, Seed: 77,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			before := w.Net.Stats()
+			var slot, calls int
+			if mode == "session" {
+				r, err := w.Scheduler.Schedule(0, 64, 64)
+				if err != nil {
+					log.Fatal(err)
+				}
+				slot, calls = r.Slot, r.Calls
+			} else {
+				r, err := w.Traditional.Schedule(0, 64, 64)
+				if err != nil {
+					log.Fatal(err)
+				}
+				slot, calls = r.Slot, r.Calls
+			}
+			after := w.Net.Stats()
+			row(members, mode, slot, calls, after.Sent-before.Sent,
+				after.MaxVirtual.Round(time.Millisecond))
+			w.Close()
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command wwbench regenerates every experiment table in EXPERIMENTS.md:
+// the paper's three figures as runnable scenarios (F1-F3), the
+// traditional-vs-session comparison its introduction argues for (T1), and
+// a characterization experiment per mechanism the paper specifies
+// (E1-E7). Run all experiments or select one with -exp.
+//
+// Latencies labelled "vlat" are critical-path virtual latencies under the
+// configured WAN/LAN delay models (see internal/netsim); wall-clock
+// columns measure the simulation itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func()
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: f1,f2,f3,t1,e1,...,e7 or all")
+	flag.Parse()
+
+	experiments := []experiment{
+		{"f1", "Figure 1: three-site calendar session (9 members, 3 secretaries)", runF1},
+		{"f2", "Figure 2: initiator-driven session setup vs participants", runF2},
+		{"f3", "Figure 3: outbox fan-out / fan-in throughput", runF3},
+		{"t1", "Traditional sequential negotiation vs session scheduler", runT1},
+		{"e1", "Ordered-delivery layer under loss", runE1},
+		{"e2", "Token managers: grants and deadlock detection", runE2},
+		{"e3", "Clocks: snapshot-criterion violations, stamping cost", runE3},
+		{"e4", "Checkpointing: marker vs clock snapshots", runE4},
+		{"e5", "RPC over inboxes: sync vs async", runE5},
+		{"e6", "Distributed synchronization constructs", runE6},
+		{"e7", "Session interference control", runE7},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(e.id), e.desc)
+		start := time.Now()
+		e.run()
+		fmt.Printf("(%s wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// row prints one formatted table row.
+func row(cols ...any) {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%v", c)
+	}
+	fmt.Println("  " + strings.Join(parts, "\t"))
+}

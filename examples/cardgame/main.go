@@ -1,0 +1,40 @@
+// Command cardgame runs the paper's ring-session example (§3.1): player
+// dapplets linked to predecessor and successor in a ring, a dealer that
+// deals hands and injects the turn token, and a win announcement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	w, err := scenario.BuildCardGame(scenario.CardOptions{
+		Players:  5,
+		HandSize: 6,
+		Ranks:    4,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.Close()
+
+	fmt.Printf("ring session %q with %d players, %d cards dealt\n",
+		w.Handle.ID(), len(w.Players), w.TotalCards())
+
+	res, err := w.Dealer.Run(w.Refs[0], 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Draw {
+		fmt.Printf("draw after %d hops\n", res.Hops)
+	} else {
+		fmt.Printf("%s wins with four of rank %d after %d hops\n",
+			res.Winner, res.Rank, res.Hops)
+	}
+	fmt.Printf("cards still in play: %d of %d (conservation)\n",
+		w.CardsHeld(), w.TotalCards())
+}

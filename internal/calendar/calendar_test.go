@@ -1,0 +1,245 @@
+package calendar_test
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/calendar"
+	"repro/internal/scenario"
+)
+
+func TestSlotSetBasics(t *testing.T) {
+	s := calendar.NewSlotSet(130)
+	if s.Free(0) || s.Free(129) {
+		t.Fatal("fresh set has free slots")
+	}
+	s.SetFree(0)
+	s.SetFree(64)
+	s.SetFree(129)
+	for _, i := range []int{0, 64, 129} {
+		if !s.Free(i) {
+			t.Fatalf("slot %d not free", i)
+		}
+	}
+	s.SetBusy(64)
+	if s.Free(64) {
+		t.Fatal("SetBusy ignored")
+	}
+	if s.Free(1000) {
+		t.Fatal("out-of-range slot free")
+	}
+}
+
+func TestSlotSetFirstAndCount(t *testing.T) {
+	s := calendar.NewSlotSet(200)
+	s.SetFree(70)
+	s.SetFree(130)
+	if got := s.First(0, 200); got != 70 {
+		t.Fatalf("First = %d", got)
+	}
+	if got := s.First(71, 200); got != 130 {
+		t.Fatalf("First after 70 = %d", got)
+	}
+	if got := s.First(71, 130); got != -1 {
+		t.Fatalf("First in empty range = %d", got)
+	}
+	if got := s.CountRange(0, 200); got != 2 {
+		t.Fatalf("CountRange = %d", got)
+	}
+	if got := s.CountRange(0, 70); got != 0 {
+		t.Fatalf("CountRange excl = %d", got)
+	}
+	if got := s.CountRange(70, 71); got != 1 {
+		t.Fatalf("CountRange single = %d", got)
+	}
+}
+
+func TestSlotSetAndSlice(t *testing.T) {
+	a := calendar.NewAllFree(100)
+	b := calendar.NewSlotSet(100)
+	b.SetFree(10)
+	b.SetFree(50)
+	a.And(b)
+	if a.CountRange(0, 100) != 2 || !a.Free(10) || !a.Free(50) {
+		t.Fatalf("And wrong: %d free", a.CountRange(0, 100))
+	}
+	c := calendar.NewAllFree(100).Slice(20, 30)
+	if c.CountRange(0, 100) != 10 || c.Free(19) || !c.Free(20) || !c.Free(29) || c.Free(30) {
+		t.Fatal("Slice bounds wrong")
+	}
+}
+
+func TestSlotSetIntersectionProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 256
+		a, b := calendar.NewSlotSet(n), calendar.NewSlotSet(n)
+		for _, x := range xs {
+			a.SetFree(int(x) % n)
+		}
+		for _, y := range ys {
+			b.SetFree(int(y) % n)
+		}
+		got := a.Clone().And(b)
+		for i := 0; i < n; i++ {
+			if got.Free(i) != (a.Free(i) && b.Free(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildWorld(t *testing.T, opts scenario.CalendarOptions) *scenario.CalendarWorld {
+	t.Helper()
+	w, err := scenario.BuildCalendar(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestFlatSessionScheduling(t *testing.T) {
+	w := buildWorld(t, scenario.CalendarOptions{
+		Sites: 2, MembersPerSite: 2, Hierarchical: false,
+		Slots: 64, BusyProb: 0.5, CommonSlot: 40, Seed: 5,
+	})
+	res, err := w.Scheduler.Schedule(0, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member must now have the slot booked.
+	for name, m := range w.Members {
+		if !m.Busy(res.Slot) {
+			t.Fatalf("%s did not book slot %d", name, res.Slot)
+		}
+	}
+	if res.Slot > 40 {
+		t.Fatalf("scheduler missed an earlier common slot: picked %d", res.Slot)
+	}
+}
+
+func TestHierarchicalFigure1Scheduling(t *testing.T) {
+	// Figure 1: three sites (Caltech, Rice, Tennessee), three members
+	// each, one secretary per site.
+	w := buildWorld(t, scenario.CalendarOptions{
+		Sites: 3, MembersPerSite: 3, Hierarchical: true,
+		Slots: 112, BusyProb: 0.6, CommonSlot: 77, Seed: 11,
+	})
+	res, err := w.Scheduler.Schedule(0, 112, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range w.Members {
+		if !m.Busy(res.Slot) {
+			t.Fatalf("%s did not book slot %d", name, res.Slot)
+		}
+	}
+	if len(w.Members) != 9 {
+		t.Fatalf("world has %d members", len(w.Members))
+	}
+}
+
+func TestSchedulersAgreeOnEarliestSlot(t *testing.T) {
+	// The session scheduler and the traditional baseline must pick the
+	// same (earliest) slot given identical calendars.
+	w := buildWorld(t, scenario.CalendarOptions{
+		Sites: 2, MembersPerSite: 3, Hierarchical: false,
+		Slots: 96, BusyProb: 0.55, CommonSlot: 60, Seed: 21,
+	})
+	sres, err := w.Scheduler.Schedule(0, 96, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild an identical world for the baseline (the first run booked
+	// the slot, mutating calendars).
+	w2 := buildWorld(t, scenario.CalendarOptions{
+		Sites: 2, MembersPerSite: 3, Hierarchical: false,
+		Slots: 96, BusyProb: 0.55, CommonSlot: 60, Seed: 21,
+	})
+	tres, err := w2.Traditional.Schedule(0, 96, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Slot != tres.Slot {
+		t.Fatalf("session picked %d, traditional picked %d", sres.Slot, tres.Slot)
+	}
+	if tres.Calls < sres.Calls {
+		t.Fatalf("traditional used fewer coordinator calls (%d) than session (%d)",
+			tres.Calls, sres.Calls)
+	}
+}
+
+func TestNoCommonSlotFails(t *testing.T) {
+	// Two members with perfectly complementary calendars: no solution.
+	w := buildWorld(t, scenario.CalendarOptions{
+		Sites: 1, MembersPerSite: 2, Hierarchical: false,
+		Slots: 16, BusyProb: 0, CommonSlot: -1, Seed: 1,
+	})
+	// Manually book complementary halves via the traditional protocol's
+	// member API (the behaviours are exposed by the scenario).
+	names := w.MemberNames
+	m0, m1 := w.Members[names[0]], w.Members[names[1]]
+	_ = m0
+	_ = m1
+	// Book via scheduling: easier to construct directly — rebuild world
+	// with busy probability 1.0 (everything busy except nothing common).
+	w2 := buildWorld(t, scenario.CalendarOptions{
+		Sites: 1, MembersPerSite: 2, Hierarchical: false,
+		Slots: 16, BusyProb: 1.0, CommonSlot: -1, Seed: 2,
+	})
+	if _, err := w2.Scheduler.Schedule(0, 16, 8); !errors.Is(err, calendar.ErrNoSlot) {
+		t.Fatalf("err = %v, want ErrNoSlot", err)
+	}
+	if _, err := w2.Traditional.Schedule(0, 16, 8); !errors.Is(err, calendar.ErrNoSlot) {
+		t.Fatalf("traditional err = %v, want ErrNoSlot", err)
+	}
+}
+
+func TestRepeatedSchedulingFillsCalendar(t *testing.T) {
+	// Scheduling twice books two different slots: persistent state
+	// carries across scheduling sessions (§2.2).
+	w := buildWorld(t, scenario.CalendarOptions{
+		Sites: 1, MembersPerSite: 3, Hierarchical: false,
+		Slots: 32, BusyProb: 0, CommonSlot: -1, Seed: 3,
+	})
+	r1, err := w.Scheduler.Schedule(0, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w.Scheduler.Schedule(0, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Slot == r2.Slot {
+		t.Fatalf("second meeting double-booked slot %d", r1.Slot)
+	}
+	for name, m := range w.Members {
+		if !m.Busy(r1.Slot) || !m.Busy(r2.Slot) {
+			t.Fatalf("%s missing a booking", name)
+		}
+	}
+}
+
+func TestWindowedNegotiationUsesMultipleRounds(t *testing.T) {
+	// With the only common slot late in the horizon, a windowed search
+	// must take several rounds; both schedulers still find it.
+	w := buildWorld(t, scenario.CalendarOptions{
+		Sites: 1, MembersPerSite: 4, Hierarchical: false,
+		Slots: 64, BusyProb: 1.0, CommonSlot: 60, Seed: 9,
+	})
+	res, err := w.Scheduler.Schedule(0, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slot != 60 {
+		t.Fatalf("picked %d, want 60", res.Slot)
+	}
+	if res.Rounds < 7 {
+		t.Fatalf("rounds = %d, want >= 8 windows examined", res.Rounds)
+	}
+}

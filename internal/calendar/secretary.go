@@ -1,0 +1,75 @@
+package calendar
+
+import (
+	"repro/internal/core"
+)
+
+// SecretaryBehavior is the secretary dapplet of Figure 1: it relays
+// scheduling requests from the head (the director's coordinator) down to
+// its site's calendar dapplets, aggregates their replies (intersecting
+// availability, AND-ing confirmations), and answers upward. Aggregation at
+// each site keeps upward traffic independent of the site's size.
+type SecretaryBehavior struct {
+	slots int
+}
+
+// NewSecretary creates a secretary over the same slot horizon as its
+// members.
+func NewSecretary(slots int) *SecretaryBehavior {
+	return &SecretaryBehavior{slots: slots}
+}
+
+// Start implements core.Behavior: it runs the relay loop on a dapplet
+// thread.
+func (s *SecretaryBehavior) Start(d *core.Dapplet) error {
+	fromHead := d.Inbox(SecFromHead)
+	fromMembers := d.Inbox(SecFromMembers)
+	d.Spawn(func() {
+		for {
+			env, err := fromHead.ReceiveEnvelope()
+			if err != nil {
+				return
+			}
+			req, ok := env.Body.(*schedReq)
+			if !ok {
+				continue
+			}
+			s.serveOne(d, req, fromMembers)
+		}
+	})
+	return nil
+}
+
+// serveOne forwards one request to the members and aggregates their
+// replies into a single upward reply.
+func (s *SecretaryBehavior) serveOne(d *core.Dapplet, req *schedReq, fromMembers *core.Inbox) {
+	members := len(d.Outbox(SecDown).Destinations())
+	if members > 0 {
+		if err := d.Outbox(SecDown).Send(req); err != nil {
+			return
+		}
+	}
+	agg := &schedRep{ID: req.ID, From: d.Name(), RKind: req.RKind, OK: true}
+	if req.RKind == kindAvail {
+		// Intersection identity: the full queried range free.
+		agg.Free = NewAllFree(s.slots).Slice(req.Lo, req.Hi)
+	}
+	for got := 0; got < members; {
+		env, err := fromMembers.ReceiveEnvelope()
+		if err != nil {
+			return
+		}
+		rep, ok := env.Body.(*schedRep)
+		if !ok || rep.ID != req.ID {
+			continue // stale reply from an earlier, abandoned round
+		}
+		got++
+		switch req.RKind {
+		case kindAvail:
+			agg.Free.And(rep.Free)
+		default:
+			agg.OK = agg.OK && rep.OK
+		}
+	}
+	_ = d.Outbox(SecUp).Send(agg)
+}

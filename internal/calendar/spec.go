@@ -1,0 +1,73 @@
+package calendar
+
+import (
+	"repro/internal/core"
+	"repro/internal/session"
+	"repro/internal/state"
+)
+
+// Site groups a secretary dapplet with its site's calendar dapplets, as in
+// Figure 1 (Caltech, Rice, Tennessee).
+type Site struct {
+	Secretary string
+	Members   []string
+}
+
+// memberAccess is the state a scheduling session touches at each member.
+func memberAccess() state.AccessSet {
+	return state.AccessSet{Read: []string{BusyVar}, Write: []string{BusyVar}}
+}
+
+// HierarchySpec wires the Figure 1 session: the director's coordinator
+// dapplet is linked to each site's secretary, and each secretary to its
+// site's calendar dapplets.
+func HierarchySpec(id, coordinator string, sites []Site) session.Spec {
+	spec := session.Spec{ID: id, Task: "arrange a committee meeting"}
+	spec.Participants = append(spec.Participants,
+		session.Participant{Name: coordinator, Role: "coordinator"})
+	for _, site := range sites {
+		spec.Participants = append(spec.Participants,
+			session.Participant{Name: site.Secretary, Role: "secretary"})
+		spec.Links = append(spec.Links,
+			session.Link{From: coordinator, Outbox: HeadDown, To: site.Secretary, Inbox: SecFromHead},
+			session.Link{From: site.Secretary, Outbox: SecUp, To: coordinator, Inbox: HeadFromSecs},
+		)
+		for _, m := range site.Members {
+			spec.Participants = append(spec.Participants,
+				session.Participant{Name: m, Role: "member", Access: memberAccess()})
+			spec.Links = append(spec.Links,
+				session.Link{From: site.Secretary, Outbox: SecDown, To: m, Inbox: MemberInbox},
+				session.Link{From: m, Outbox: MemberUp, To: site.Secretary, Inbox: SecFromMembers},
+			)
+		}
+	}
+	return spec
+}
+
+// FlatSpec wires a session with the coordinator linked directly to every
+// calendar dapplet (no secretaries).
+func FlatSpec(id, coordinator string, members []string) session.Spec {
+	spec := session.Spec{ID: id, Task: "arrange a committee meeting"}
+	spec.Participants = append(spec.Participants,
+		session.Participant{Name: coordinator, Role: "coordinator"})
+	for _, m := range members {
+		spec.Participants = append(spec.Participants,
+			session.Participant{Name: m, Role: "member", Access: memberAccess()})
+		spec.Links = append(spec.Links,
+			session.Link{From: coordinator, Outbox: HeadDown, To: m, Inbox: MemberInbox},
+			session.Link{From: m, Outbox: MemberUp, To: coordinator, Inbox: HeadFromSecs},
+		)
+	}
+	return spec
+}
+
+// CoordinatorBehavior is the behaviour of the director's coordinator
+// dapplet: it only prepares the reply inbox; scheduling is driven through
+// HeadScheduler by the director.
+type CoordinatorBehavior struct{}
+
+// Start implements core.Behavior.
+func (CoordinatorBehavior) Start(d *core.Dapplet) error {
+	d.Inbox(HeadFromSecs)
+	return nil
+}

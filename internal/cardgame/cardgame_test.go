@@ -1,0 +1,106 @@
+package cardgame_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cardgame"
+	"repro/internal/scenario"
+)
+
+func build(t *testing.T, opts scenario.CardOptions) *scenario.CardWorld {
+	t.Helper()
+	w, err := scenario.BuildCardGame(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestDealDistributesHands(t *testing.T) {
+	w := build(t, scenario.CardOptions{Players: 4, HandSize: 5, Seed: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for w.CardsHeld() != w.TotalCards() {
+		if time.Now().After(deadline) {
+			t.Fatalf("hands incomplete: %d of %d", w.CardsHeld(), w.TotalCards())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, p := range w.Players {
+		if len(p.Hand()) != 5 {
+			t.Fatalf("player %d hand = %v", i, p.Hand())
+		}
+	}
+}
+
+func TestGameTerminatesWithWinnerOrDraw(t *testing.T) {
+	w := build(t, scenario.CardOptions{Players: 4, HandSize: 6, Ranks: 3, Seed: 2})
+	done := make(chan cardgame.Result, 1)
+	go func() {
+		res, err := w.Dealer.Run(w.Refs[0], 200)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if !res.Draw && res.Winner == "" {
+			t.Fatalf("result = %+v", res)
+		}
+		if res.Draw && res.Hops < 200 {
+			t.Fatalf("draw before hop limit: %+v", res)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("game never terminated")
+	}
+}
+
+func TestRiggedGameHasDeterministicWinner(t *testing.T) {
+	// Player 1 is dealt three aces (rank 0); player 0 is dealt the
+	// fourth and must pass it on its first turn (lowest card first),
+	// making player 1 the winner after a single hop.
+	w := build(t, scenario.CardOptions{Players: 3, HandSize: 1, Ranks: 9, Seed: 3})
+	hands := [][]int{{0}, {0, 0, 0, 5, 6}, {7, 8}}
+	if err := w.Dealer.Deal(w.Refs, hands); err != nil {
+		t.Fatal(err)
+	}
+	// The second deal replaces hands; wait for delivery.
+	time.Sleep(50 * time.Millisecond)
+	res, err := w.Dealer.Run(w.Refs[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Draw || res.Winner != "player-1" || res.Rank != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestCardConservationDuringPlay(t *testing.T) {
+	w := build(t, scenario.CardOptions{Players: 5, HandSize: 4, Ranks: 12, Seed: 4})
+	deadline := time.Now().Add(5 * time.Second)
+	for w.CardsHeld() != w.TotalCards() {
+		if time.Now().After(deadline) {
+			t.Fatal("deal incomplete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	total := w.TotalCards()
+	res, err := w.Dealer.Run(w.Refs[0], 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the game stops (winner or draw), all cards are in hands
+	// (the turn token carries at most one card, delivered before any
+	// announcement reaches the dealer on a FIFO-per-pair network; allow
+	// settling).
+	deadline = time.Now().Add(5 * time.Second)
+	for w.CardsHeld() != total {
+		if time.Now().After(deadline) {
+			t.Fatalf("cards not conserved: %d of %d (result %+v)", w.CardsHeld(), total, res)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

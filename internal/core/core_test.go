@@ -1,0 +1,487 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// testWorld is a network plus a convenient dapplet factory.
+type testWorld struct {
+	t   *testing.T
+	net *netsim.Network
+}
+
+func newWorld(t *testing.T, opts ...netsim.Option) *testWorld {
+	t.Helper()
+	n := netsim.New(opts...)
+	t.Cleanup(n.Close)
+	return &testWorld{t: t, net: n}
+}
+
+func (w *testWorld) dapplet(host, name string) *Dapplet {
+	w.t.Helper()
+	ep, err := w.net.Host(host).BindAny()
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	d := NewDapplet(name, "test", transport.NewSimConn(ep),
+		WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	w.t.Cleanup(d.Stop)
+	return d
+}
+
+func recvText(t *testing.T, in *Inbox) string {
+	t.Helper()
+	m, err := in.ReceiveTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatalf("receive on %s: %v", in.Name(), err)
+	}
+	return m.(*wire.Text).S
+}
+
+func TestPointToPointChannel(t *testing.T) {
+	w := newWorld(t)
+	d1 := w.dapplet("caltech", "d1")
+	d3 := w.dapplet("rice", "d3")
+	in := d3.Inbox("main")
+	out := d1.Outbox("out")
+	out.Add(in.Ref())
+	if err := out.Send(&wire.Text{S: "hello"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvText(t, in); got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFigure3Topology(t *testing.T) {
+	// Figure 3: dapplet 1's outbox is bound to dapplet 3's inbox;
+	// dapplet 2's outbox is bound to the inboxes of dapplets 3, 4 and 5.
+	w := newWorld(t)
+	d1 := w.dapplet("h1", "d1")
+	d2 := w.dapplet("h2", "d2")
+	d3 := w.dapplet("h3", "d3")
+	d4 := w.dapplet("h4", "d4")
+	d5 := w.dapplet("h5", "d5")
+
+	in3, in4, in5 := d3.Inbox("in"), d4.Inbox("in"), d5.Inbox("in")
+	out1, out2 := d1.Outbox("out"), d2.Outbox("out")
+	out1.Add(in3.Ref())
+	out2.Add(in3.Ref())
+	out2.Add(in4.Ref())
+	out2.Add(in5.Ref())
+
+	if err := out1.Send(&wire.Text{S: "from1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := out2.Send(&wire.Text{S: "from2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Dapplet 3's inbox is bound to both outboxes: it receives both.
+	got := map[string]bool{recvText(t, in3): true, recvText(t, in3): true}
+	if !got["from1"] || !got["from2"] {
+		t.Fatalf("d3 received %v", got)
+	}
+	// Dapplets 4 and 5 see only d2's multicast.
+	if recvText(t, in4) != "from2" || recvText(t, in5) != "from2" {
+		t.Fatal("fan-out copies missing")
+	}
+	if !in4.IsEmpty() || !in5.IsEmpty() {
+		t.Fatal("unexpected extra messages")
+	}
+}
+
+func TestChannelFIFO(t *testing.T) {
+	w := newWorld(t, netsim.WithSeed(4))
+	// Reordering at the datagram layer must not break channel FIFO.
+	w.net.SetLink("a", "b", netsim.LinkParams{Reorder: 0.4, Dup: 0.1})
+	src := w.dapplet("a", "src")
+	dst := w.dapplet("b", "dst")
+	in := dst.Inbox("in")
+	out := src.Outbox("out")
+	out.Add(in.Ref())
+	const total = 100
+	for i := 0; i < total; i++ {
+		if err := out.Send(&wire.Text{S: fmt.Sprintf("%03d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if got, want := recvText(t, in), fmt.Sprintf("%03d", i); got != want {
+			t.Fatalf("position %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+func TestOutboxAddIdempotentDeleteStrict(t *testing.T) {
+	w := newWorld(t)
+	d1 := w.dapplet("h", "d1")
+	d2 := w.dapplet("h", "d2")
+	in := d2.Inbox("in")
+	out := d1.Outbox("out")
+	out.Add(in.Ref())
+	out.Add(in.Ref()) // "appends ... if it is not already on the list"
+	if n := len(out.Destinations()); n != 1 {
+		t.Fatalf("destinations = %d, want 1", n)
+	}
+	if err := out.Send(&wire.Text{S: "once"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvText(t, in); got != "once" {
+		t.Fatal("message lost")
+	}
+	if _, err := in.ReceiveTimeout(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatal("duplicate binding delivered twice")
+	}
+	if err := out.Delete(in.Ref()); err != nil {
+		t.Fatal(err)
+	}
+	// Second delete: "otherwise throws an exception".
+	if err := out.Delete(in.Ref()); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("err = %v, want ErrNotBound", err)
+	}
+}
+
+func TestSendAfterDeleteDoesNotDeliver(t *testing.T) {
+	w := newWorld(t)
+	d1 := w.dapplet("h", "s1")
+	d2 := w.dapplet("h", "s2")
+	in := d2.Inbox("in")
+	out := d1.Outbox("out")
+	out.Add(in.Ref())
+	if err := out.Delete(in.Ref()); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Send(&wire.Text{S: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.ReceiveTimeout(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatal("message delivered on deleted channel")
+	}
+}
+
+func TestNamedInboxes(t *testing.T) {
+	// §3.2: "a professor dapplet may have inboxes called students and
+	// grades"; an outbox binds to the student inbox by name.
+	w := newWorld(t)
+	prof := w.dapplet("caltech", "professor")
+	stud := w.dapplet("rice", "student")
+	students := prof.Inbox("students")
+	grades := prof.Inbox("grades")
+	out := stud.Outbox("homework")
+	out.Add(wire.InboxRef{Dapplet: prof.Addr(), Inbox: "students"})
+	if err := out.Send(&wire.Text{S: "essay"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvText(t, students); got != "essay" {
+		t.Fatalf("students got %q", got)
+	}
+	if !grades.IsEmpty() {
+		t.Fatal("grades inbox received student mail")
+	}
+}
+
+func TestAnonymousInboxNamesUnique(t *testing.T) {
+	w := newWorld(t)
+	d := w.dapplet("h", "d")
+	a, b := d.NewInbox(), d.NewInbox()
+	if a.Name() == b.Name() {
+		t.Fatalf("duplicate anonymous names %q", a.Name())
+	}
+	if _, ok := d.LookupInbox(a.Name()); !ok {
+		t.Fatal("anonymous inbox not addressable")
+	}
+}
+
+func TestSendToRequiresBinding(t *testing.T) {
+	w := newWorld(t)
+	d1 := w.dapplet("h", "x1")
+	d2 := w.dapplet("h", "x2")
+	in := d2.Inbox("in")
+	out := d1.Outbox("out")
+	if err := out.SendTo(in.Ref(), &wire.Text{S: "n"}); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("unbound SendTo err = %v", err)
+	}
+	out.Add(in.Ref())
+	if err := out.SendTo(in.Ref(), &wire.Text{S: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvText(t, in); got != "y" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInboxAwaitAndTryReceive(t *testing.T) {
+	w := newWorld(t)
+	d1 := w.dapplet("h", "a1")
+	d2 := w.dapplet("h", "a2")
+	in := d2.Inbox("in")
+	if !in.IsEmpty() || in.Len() != 0 {
+		t.Fatal("fresh inbox not empty")
+	}
+	if _, ok := in.TryReceive(); ok {
+		t.Fatal("TryReceive on empty inbox returned a message")
+	}
+	out := d1.Outbox("out")
+	out.Add(in.Ref())
+	done := make(chan error, 1)
+	go func() { done <- in.AwaitNonEmpty() }()
+	if err := out.Send(&wire.Text{S: "wake"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitNonEmpty never woke")
+	}
+	if m, ok := in.TryReceive(); !ok || m.(*wire.Text).S != "wake" {
+		t.Fatalf("TryReceive = %v %v", m, ok)
+	}
+}
+
+func TestEnvelopeMetadata(t *testing.T) {
+	w := newWorld(t)
+	src := w.dapplet("caltech", "env-src")
+	dst := w.dapplet("rice", "env-dst")
+	in := dst.Inbox("in")
+	out := src.Outbox("updates")
+	out.SetSession("cal-1")
+	out.Add(in.Ref())
+	if err := out.Send(&wire.Text{S: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := in.ReceiveEnvelopeTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.FromDapplet != src.Addr() || env.FromOutbox != "updates" || env.Session != "cal-1" {
+		t.Fatalf("envelope header = %+v", env)
+	}
+	if env.Lamport == 0 {
+		t.Fatal("message not clock-stamped")
+	}
+}
+
+func TestClockSnapshotCriterionAcrossDapplets(t *testing.T) {
+	w := newWorld(t)
+	a := w.dapplet("h1", "clk-a")
+	b := w.dapplet("h2", "clk-b")
+	in := b.Inbox("in")
+	out := a.Outbox("out")
+	out.Add(in.Ref())
+	// Drive a's clock ahead.
+	for i := 0; i < 100; i++ {
+		a.Clock().Tick()
+	}
+	if err := out.Send(&wire.Text{S: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := in.ReceiveEnvelopeTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Clock().Now() <= env.Lamport {
+		t.Fatalf("receiver clock %d does not exceed send stamp %d", b.Clock().Now(), env.Lamport)
+	}
+}
+
+func TestHandlerInbox(t *testing.T) {
+	w := newWorld(t)
+	svc := w.dapplet("h", "svc")
+	cli := w.dapplet("h", "cli")
+	got := make(chan string, 1)
+	svc.Handle("@control", func(env *wire.Envelope) {
+		got <- env.Body.(*wire.Text).S
+	})
+	out := cli.Outbox("out")
+	out.Add(wire.InboxRef{Dapplet: svc.Addr(), Inbox: "@control"})
+	if err := out.Send(&wire.Text{S: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "ping" {
+			t.Fatalf("handler got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never invoked")
+	}
+}
+
+func TestDeadLetters(t *testing.T) {
+	w := newWorld(t)
+	d1 := w.dapplet("h", "dl1")
+	d2 := w.dapplet("h", "dl2")
+	out := d1.Outbox("out")
+	out.Add(wire.InboxRef{Dapplet: d2.Addr(), Inbox: "no-such-inbox"})
+	if err := out.Send(&wire.Text{S: "lost"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for d2.DeadLetters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead letter never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStopUnblocksReceive(t *testing.T) {
+	w := newWorld(t)
+	d := w.dapplet("h", "stopper")
+	in := d.Inbox("in")
+	done := make(chan error, 1)
+	go func() { _, err := in.Receive(); done <- err }()
+	time.Sleep(10 * time.Millisecond)
+	d.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Fatalf("err = %v, want ErrStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receive not unblocked by Stop")
+	}
+}
+
+func TestSendDirect(t *testing.T) {
+	w := newWorld(t)
+	a := w.dapplet("h", "sd-a")
+	b := w.dapplet("h", "sd-b")
+	in := b.Inbox("ctl")
+	if err := a.SendDirect(in.Ref(), "sess-9", &wire.Text{S: "direct"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := in.ReceiveEnvelopeTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Body.(*wire.Text).S != "direct" || env.Session != "sess-9" {
+		t.Fatalf("env = %+v", env)
+	}
+}
+
+func TestOutboxClear(t *testing.T) {
+	w := newWorld(t)
+	a := w.dapplet("h", "cl-a")
+	b := w.dapplet("h", "cl-b")
+	out := a.Outbox("o")
+	out.Add(b.Inbox("in").Ref())
+	out.Clear()
+	if len(out.Destinations()) != 0 {
+		t.Fatal("Clear left bindings")
+	}
+}
+
+func TestRuntimeInstallLaunch(t *testing.T) {
+	n := netsim.New()
+	defer n.Close()
+	reg := NewRegistry()
+	started := make(chan string, 4)
+	reg.Register("calendar", func() Behavior {
+		return BehaviorFunc(func(d *Dapplet) error {
+			d.Inbox("requests")
+			started <- d.Name()
+			return nil
+		})
+	})
+	rt := NewRuntime(n, reg)
+	defer rt.StopAll()
+
+	// Launch before install must fail.
+	if _, err := rt.Launch("caltech", "calendar", "mani-cal"); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("err = %v, want ErrNotInstalled", err)
+	}
+	if err := rt.Install("caltech", "calendar"); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Installed("caltech", "calendar") {
+		t.Fatal("Installed lies")
+	}
+	d, err := rt.Launch("caltech", "calendar", "mani-cal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if <-started != "mani-cal" {
+		t.Fatal("behaviour not started")
+	}
+	if d.Addr().Host != "caltech" {
+		t.Fatalf("dapplet on host %q", d.Addr().Host)
+	}
+	if _, ok := d.LookupInbox("requests"); !ok {
+		t.Fatal("behaviour-created inbox missing")
+	}
+	// Duplicate instance names rejected.
+	if _, err := rt.Launch("caltech", "calendar", "mani-cal"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	// Unknown type cannot even install.
+	if err := rt.Install("caltech", "nonesuch"); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+	if got, ok := rt.Dapplet("mani-cal"); !ok || got != d {
+		t.Fatal("runtime lookup failed")
+	}
+	if ds := rt.Dapplets(); len(ds) != 1 {
+		t.Fatalf("Dapplets = %d entries", len(ds))
+	}
+}
+
+func TestRuntimeStartErrorStopsDapplet(t *testing.T) {
+	n := netsim.New()
+	defer n.Close()
+	reg := NewRegistry()
+	reg.Register("bad", func() Behavior {
+		return BehaviorFunc(func(d *Dapplet) error { return errors.New("boom") })
+	})
+	rt := NewRuntime(n, reg)
+	defer rt.StopAll()
+	if err := rt.Install("h", "bad"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Launch("h", "bad", "b1"); err == nil {
+		t.Fatal("start error swallowed")
+	}
+	if _, ok := rt.Dapplet("b1"); ok {
+		t.Fatal("failed dapplet left registered")
+	}
+}
+
+func TestRegistryTypes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("z", func() Behavior { return BehaviorFunc(func(*Dapplet) error { return nil }) })
+	reg.Register("a", func() Behavior { return BehaviorFunc(func(*Dapplet) error { return nil }) })
+	got := reg.Types()
+	if len(got) != 2 || got[0] != "a" || got[1] != "z" {
+		t.Fatalf("Types = %v", got)
+	}
+}
+
+func TestSendFailureSurfacesOnPartition(t *testing.T) {
+	w := newWorld(t)
+	w.net.Partition([]string{"west"}, []string{"east"})
+	a := w.dapplet("west", "pf-a")
+	b := w.dapplet("east", "pf-b")
+	out := a.Outbox("o")
+	out.Add(wire.InboxRef{Dapplet: b.Addr(), Inbox: "in"})
+	if err := out.Send(&wire.Text{S: "doomed"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-a.Failures():
+		if f.To != b.Addr() {
+			t.Fatalf("failure to %v", f.To)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no failure surfaced")
+	}
+}

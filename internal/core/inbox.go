@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Inbox is a message queue with a global address (§3.2). A dapplet removes
+// messages from the head; the distributed layer appends messages arriving
+// on the inbox's incoming channels. The inbox method set follows the paper:
+// IsEmpty, AwaitNonEmpty, and Receive (which suspends until non-empty and
+// removes the head). Timed and non-blocking variants are provided as
+// conveniences, as is access to the full envelope (sender, session and
+// logical timestamp).
+type Inbox struct {
+	d    *Dapplet
+	name string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*wire.Envelope
+	closed bool
+}
+
+func newInbox(d *Dapplet, name string) *Inbox {
+	in := &Inbox{d: d, name: name}
+	in.cond = sync.NewCond(&in.mu)
+	return in
+}
+
+// Name returns the inbox's name within its dapplet.
+func (in *Inbox) Name() string { return in.name }
+
+// Ref returns the inbox's global address: the dapplet's address plus the
+// inbox name. Refs can be communicated between dapplets and bound into
+// outboxes.
+func (in *Inbox) Ref() wire.InboxRef {
+	return wire.InboxRef{Dapplet: in.d.Addr(), Inbox: in.name}
+}
+
+// push appends an envelope; it is called by the dapplet's demultiplexer.
+func (in *Inbox) push(env *wire.Envelope) {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.q = append(in.q, env)
+	in.mu.Unlock()
+	in.cond.Broadcast()
+}
+
+func (in *Inbox) close() {
+	in.mu.Lock()
+	in.closed = true
+	in.mu.Unlock()
+	in.cond.Broadcast()
+}
+
+// IsEmpty reports whether the inbox has no queued messages.
+func (in *Inbox) IsEmpty() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.q) == 0
+}
+
+// Len returns the number of queued messages.
+func (in *Inbox) Len() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.q)
+}
+
+// AwaitNonEmpty suspends execution until the inbox is non-empty. It
+// returns ErrStopped if the inbox closes while waiting.
+func (in *Inbox) AwaitNonEmpty() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for len(in.q) == 0 {
+		if in.closed {
+			return ErrStopped
+		}
+		in.cond.Wait()
+	}
+	return nil
+}
+
+// Receive suspends execution until the inbox is non-empty, then removes
+// and returns the message at the head.
+func (in *Inbox) Receive() (wire.Msg, error) {
+	env, err := in.ReceiveEnvelope()
+	if err != nil {
+		return nil, err
+	}
+	return env.Body, nil
+}
+
+// ReceiveEnvelope is Receive but returns the full envelope, exposing the
+// sender's address and outbox, the session tag and the logical timestamp.
+func (in *Inbox) ReceiveEnvelope() (*wire.Envelope, error) {
+	return in.receiveDeadline(time.Time{})
+}
+
+// ReceiveTimeout is Receive with a deadline; it returns ErrTimeout on
+// expiry.
+func (in *Inbox) ReceiveTimeout(d time.Duration) (wire.Msg, error) {
+	env, err := in.ReceiveEnvelopeTimeout(d)
+	if err != nil {
+		return nil, err
+	}
+	return env.Body, nil
+}
+
+// ReceiveEnvelopeTimeout is ReceiveEnvelope with a deadline.
+func (in *Inbox) ReceiveEnvelopeTimeout(d time.Duration) (*wire.Envelope, error) {
+	return in.receiveDeadline(time.Now().Add(d))
+}
+
+// TryReceive removes and returns the head message without blocking,
+// reporting whether one was available.
+func (in *Inbox) TryReceive() (wire.Msg, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.q) == 0 {
+		return nil, false
+	}
+	env := in.q[0]
+	in.q = in.q[1:]
+	return env.Body, true
+}
+
+func (in *Inbox) receiveDeadline(deadline time.Time) (*wire.Envelope, error) {
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		timer = time.AfterFunc(time.Until(deadline), func() { in.cond.Broadcast() })
+		defer timer.Stop()
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for len(in.q) == 0 {
+		if in.closed {
+			return nil, ErrStopped
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
+		in.cond.Wait()
+	}
+	env := in.q[0]
+	in.q = in.q[1:]
+	return env, nil
+}

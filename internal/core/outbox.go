@@ -1,0 +1,150 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Outbox is a message source bound to a set of destination inboxes (§3.2).
+// Send transmits a copy of the message along the directed FIFO channel to
+// every bound inbox. The method set follows the paper exactly:
+//
+//   - Add appends an inbox address to the binding list if not present.
+//   - Delete removes an address, returning an error (the paper's
+//     exception) if it is not in the list.
+//   - Send sends a copy of the message along each channel.
+//   - Destinations returns the binding list.
+type Outbox struct {
+	d    *Dapplet
+	name string
+
+	mu      sync.Mutex
+	dests   []wire.InboxRef
+	session string // session tag applied to outgoing envelopes
+	sent    uint64
+}
+
+func newOutbox(d *Dapplet, name string) *Outbox {
+	return &Outbox{d: d, name: name}
+}
+
+// Name returns the outbox's name within its dapplet.
+func (o *Outbox) Name() string { return o.name }
+
+// Add appends the inbox address to the binding list if it is not already
+// on the list; a FIFO channel to that inbox comes into existence.
+func (o *Outbox) Add(ref wire.InboxRef) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, d := range o.dests {
+		if d == ref {
+			return
+		}
+	}
+	o.dests = append(o.dests, ref)
+}
+
+// Delete removes the inbox address from the binding list, or returns
+// ErrNotBound if it is not in the list.
+func (o *Outbox) Delete(ref wire.InboxRef) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for i, d := range o.dests {
+		if d == ref {
+			o.dests = append(o.dests[:i], o.dests[i+1:]...)
+			return nil
+		}
+	}
+	return ErrNotBound
+}
+
+// Clear removes every binding (used when a session unlinks).
+func (o *Outbox) Clear() {
+	o.mu.Lock()
+	o.dests = nil
+	o.mu.Unlock()
+}
+
+// Destinations returns a copy of the binding list.
+func (o *Outbox) Destinations() []wire.InboxRef {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]wire.InboxRef(nil), o.dests...)
+}
+
+// SetSession tags future sends with a session id; sessions call this when
+// they bind the outbox.
+func (o *Outbox) SetSession(id string) {
+	o.mu.Lock()
+	o.session = id
+	o.mu.Unlock()
+}
+
+// Sent returns the number of Send calls completed.
+func (o *Outbox) Sent() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sent
+}
+
+// Send transmits a copy of msg along every channel connected to the
+// outbox. The message is stamped with the dapplet's logical clock (§4.2).
+// Send blocks only on flow control (a peer's full send window), never on
+// the receiving application; failure to deliver within the retry budget is
+// reported asynchronously on the dapplet's Failures channel.
+func (o *Outbox) Send(msg wire.Msg) error {
+	o.mu.Lock()
+	dests := append([]wire.InboxRef(nil), o.dests...)
+	session := o.session
+	o.sent++
+	o.mu.Unlock()
+
+	var errs []error
+	for _, ref := range dests {
+		env := &wire.Envelope{
+			To:          ref,
+			FromDapplet: o.d.Addr(),
+			FromOutbox:  o.name,
+			Session:     session,
+			Lamport:     o.d.clock.StampSend(),
+			Body:        msg,
+		}
+		if err := o.d.sendEnvelope(env); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// SendTo transmits msg along the single channel to ref, which must be in
+// the binding list; it is a convenience for point-to-point replies over a
+// multicast outbox.
+func (o *Outbox) SendTo(ref wire.InboxRef, msg wire.Msg) error {
+	o.mu.Lock()
+	bound := false
+	for _, d := range o.dests {
+		if d == ref {
+			bound = true
+			break
+		}
+	}
+	session := o.session
+	if bound {
+		o.sent++
+	}
+	o.mu.Unlock()
+	if !bound {
+		return ErrNotBound
+	}
+	env := &wire.Envelope{
+		To:          ref,
+		FromDapplet: o.d.Addr(),
+		FromOutbox:  o.name,
+		Session:     session,
+		Lamport:     o.d.clock.StampSend(),
+		Body:        msg,
+	}
+	return o.d.sendEnvelope(env)
+}

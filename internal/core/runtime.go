@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// Behavior is the code of a dapplet type — the part that would have been a
+// downloaded Java class in the paper. Start is called once on the
+// dapplet's own thread context after the dapplet's communication machinery
+// is running; implementations register inbox handlers and spawn threads.
+type Behavior interface {
+	Start(d *Dapplet) error
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(d *Dapplet) error
+
+// Start implements Behavior.
+func (f BehaviorFunc) Start(d *Dapplet) error { return f(d) }
+
+// Factory constructs a fresh Behavior instance per launched dapplet.
+type Factory func() Behavior
+
+// Registry maps dapplet type names to behaviour factories. It simulates
+// the paper's code distribution: because Go cannot load code dynamically,
+// all behaviours are compiled in and "installing" a type on a host grants
+// that host permission to launch it.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Factory
+}
+
+// NewRegistry returns an empty behaviour registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]Factory)} }
+
+// Register adds a behaviour factory under a type name, replacing any
+// previous registration.
+func (r *Registry) Register(typ string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[typ] = f
+}
+
+// Has reports whether a type name is registered.
+func (r *Registry) Has(typ string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.m[typ]
+	return ok
+}
+
+// New instantiates the behaviour for a type.
+func (r *Registry) New(typ string) (Behavior, error) {
+	r.mu.RLock()
+	f, ok := r.m[typ]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, typ)
+	}
+	return f(), nil
+}
+
+// Types returns the registered type names, sorted.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for t := range r.m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runtime launches dapplets onto simulated hosts. It tracks which dapplet
+// types are installed where, owns the launched dapplets, and stops them
+// together.
+type Runtime struct {
+	net *netsim.Network
+	reg *Registry
+
+	mu        sync.Mutex
+	installed map[string]map[string]bool // host -> type -> installed
+	dapplets  map[string]*Dapplet        // instance name -> dapplet
+	relCfg    transport.Config
+}
+
+// NewRuntime creates a runtime over the given simulated network and
+// behaviour registry.
+func NewRuntime(net *netsim.Network, reg *Registry) *Runtime {
+	return &Runtime{
+		net:       net,
+		reg:       reg,
+		installed: make(map[string]map[string]bool),
+		dapplets:  make(map[string]*Dapplet),
+	}
+}
+
+// SetTransportConfig sets the reliable-layer configuration for dapplets
+// launched after the call.
+func (rt *Runtime) SetTransportConfig(c transport.Config) {
+	rt.mu.Lock()
+	rt.relCfg = c
+	rt.mu.Unlock()
+}
+
+// Network returns the underlying simulated network.
+func (rt *Runtime) Network() *netsim.Network { return rt.net }
+
+// Registry returns the behaviour registry.
+func (rt *Runtime) Registry() *Registry { return rt.reg }
+
+// Install records that the program for a dapplet type is available on a
+// host ("prior to the session, each committee member has installed a
+// calendar dapplet", §3.1). Installing an unregistered type fails.
+func (rt *Runtime) Install(host, typ string) error {
+	if !rt.reg.Has(typ) {
+		return fmt.Errorf("%w: %q", ErrUnknownType, typ)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.installed[host] == nil {
+		rt.installed[host] = make(map[string]bool)
+	}
+	rt.installed[host][typ] = true
+	return nil
+}
+
+// Installed reports whether a type is installed on a host.
+func (rt *Runtime) Installed(host, typ string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.installed[host][typ]
+}
+
+// Launch starts a dapplet of an installed type on a host, binding an
+// ephemeral port, and runs its behaviour. The instance name must be
+// unique within the runtime.
+func (rt *Runtime) Launch(host, typ, name string, opts ...DappletOption) (*Dapplet, error) {
+	rt.mu.Lock()
+	if !rt.installed[host][typ] {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: type %q on host %q", ErrNotInstalled, typ, host)
+	}
+	if _, dup := rt.dapplets[name]; dup {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("core: dapplet name %q already in use", name)
+	}
+	relCfg := rt.relCfg
+	rt.mu.Unlock()
+
+	b, err := rt.reg.New(typ)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := rt.net.Host(host).BindAny()
+	if err != nil {
+		return nil, fmt.Errorf("core: bind on %q: %w", host, err)
+	}
+	allOpts := append([]DappletOption{WithTransportConfig(relCfg)}, opts...)
+	d := NewDapplet(name, typ, transport.NewSimConn(ep), allOpts...)
+	if err := b.Start(d); err != nil {
+		d.Stop()
+		return nil, fmt.Errorf("core: start %q: %w", name, err)
+	}
+	rt.mu.Lock()
+	rt.dapplets[name] = d
+	rt.mu.Unlock()
+	return d, nil
+}
+
+// Dapplet looks up a launched dapplet by instance name.
+func (rt *Runtime) Dapplet(name string) (*Dapplet, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	d, ok := rt.dapplets[name]
+	return d, ok
+}
+
+// Dapplets returns all launched dapplets, sorted by name.
+func (rt *Runtime) Dapplets() []*Dapplet {
+	rt.mu.Lock()
+	names := make([]string, 0, len(rt.dapplets))
+	for n := range rt.dapplets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Dapplet, 0, len(names))
+	for _, n := range names {
+		out = append(out, rt.dapplets[n])
+	}
+	rt.mu.Unlock()
+	return out
+}
+
+// StopAll stops every launched dapplet and forgets them.
+func (rt *Runtime) StopAll() {
+	rt.mu.Lock()
+	ds := make([]*Dapplet, 0, len(rt.dapplets))
+	for _, d := range rt.dapplets {
+		ds = append(ds, d)
+	}
+	rt.dapplets = make(map[string]*Dapplet)
+	rt.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, d := range ds {
+		wg.Add(1)
+		go func(d *Dapplet) {
+			defer wg.Done()
+			d.Stop()
+		}(d)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,97 @@
+// Package directory implements the address directory an initiator uses to
+// set up a session (§3.1, Fig. 2): "the center director invokes an
+// initiator dapplet and passes it a directory of addresses (e.g. Internet
+// IP addresses and ports) of component dapplets that are to be linked
+// together into a session." The paper does not address how the directory
+// is maintained; we provide a simple in-memory registry.
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Entry describes one registered dapplet.
+type Entry struct {
+	// Name is the dapplet's instance name, unique in the directory.
+	Name string
+	// Type is the dapplet's behaviour type ("calendar", "secretary").
+	Type string
+	// Addr is the dapplet's global address.
+	Addr netsim.Addr
+}
+
+// Directory is a thread-safe name -> address registry.
+type Directory struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// New returns an empty directory.
+func New() *Directory { return &Directory{entries: make(map[string]Entry)} }
+
+// Register adds or replaces an entry.
+func (d *Directory) Register(e Entry) {
+	d.mu.Lock()
+	d.entries[e.Name] = e
+	d.mu.Unlock()
+}
+
+// Remove deletes an entry by name.
+func (d *Directory) Remove(name string) {
+	d.mu.Lock()
+	delete(d.entries, name)
+	d.mu.Unlock()
+}
+
+// Lookup finds an entry by name.
+func (d *Directory) Lookup(name string) (Entry, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[name]
+	return e, ok
+}
+
+// MustLookup is Lookup but returns an error naming the missing dapplet.
+func (d *Directory) MustLookup(name string) (Entry, error) {
+	if e, ok := d.Lookup(name); ok {
+		return e, nil
+	}
+	return Entry{}, fmt.Errorf("directory: no dapplet named %q", name)
+}
+
+// Names returns all registered names, sorted.
+func (d *Directory) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.entries))
+	for n := range d.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByType returns all entries of the given behaviour type, sorted by name.
+func (d *Directory) ByType(typ string) []Entry {
+	d.mu.RLock()
+	var out []Entry
+	for _, e := range d.entries {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of entries.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}

@@ -1,0 +1,86 @@
+package directory
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func entry(name, typ string, port uint16) Entry {
+	return Entry{Name: name, Type: typ, Addr: netsim.Addr{Host: "h", Port: port}}
+}
+
+func TestRegisterLookupRemove(t *testing.T) {
+	d := New()
+	d.Register(entry("mani-cal", "calendar", 1))
+	e, ok := d.Lookup("mani-cal")
+	if !ok || e.Type != "calendar" || e.Addr.Port != 1 {
+		t.Fatalf("lookup = %+v %v", e, ok)
+	}
+	d.Remove("mani-cal")
+	if _, ok := d.Lookup("mani-cal"); ok {
+		t.Fatal("removed entry still present")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	d := New()
+	d.Register(entry("x", "a", 1))
+	d.Register(entry("x", "b", 2))
+	e, _ := d.Lookup("x")
+	if e.Type != "b" || e.Addr.Port != 2 {
+		t.Fatalf("replace failed: %+v", e)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestMustLookup(t *testing.T) {
+	d := New()
+	if _, err := d.MustLookup("ghost"); err == nil {
+		t.Fatal("missing name did not error")
+	}
+	d.Register(entry("real", "t", 3))
+	if _, err := d.MustLookup("real"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamesSortedAndByType(t *testing.T) {
+	d := New()
+	d.Register(entry("zoe-cal", "calendar", 1))
+	d.Register(entry("abe-cal", "calendar", 2))
+	d.Register(entry("sec", "secretary", 3))
+	names := d.Names()
+	if len(names) != 3 || names[0] != "abe-cal" || names[2] != "zoe-cal" {
+		t.Fatalf("Names = %v", names)
+	}
+	cals := d.ByType("calendar")
+	if len(cals) != 2 || cals[0].Name != "abe-cal" {
+		t.Fatalf("ByType = %v", cals)
+	}
+	if len(d.ByType("nope")) != 0 {
+		t.Fatal("phantom type entries")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			d.Register(entry(name, "t", uint16(i)))
+			d.Lookup(name)
+			d.Names()
+		}(i)
+	}
+	wg.Wait()
+	if d.Len() != 16 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}

@@ -1,0 +1,165 @@
+package lclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTickMonotonic(t *testing.T) {
+	c := New("p1")
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		now := c.Tick()
+		if now <= prev {
+			t.Fatalf("tick not monotonic: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestSnapshotCriterion(t *testing.T) {
+	// Every message sent at sender time T must be received when the
+	// receiver's clock exceeds T.
+	a, b := New("a"), New("b")
+	for i := 0; i < 1000; i++ {
+		ts := a.StampSend()
+		after := b.ObserveRecv(ts)
+		if after <= ts {
+			t.Fatalf("criterion violated: recv clock %d <= send stamp %d", after, ts)
+		}
+	}
+}
+
+func TestObserveRecvDoesNotRewind(t *testing.T) {
+	c := New("x")
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	before := c.Now()
+	after := c.ObserveRecv(3) // stale stamp
+	if after < before {
+		t.Fatalf("clock rewound from %d to %d", before, after)
+	}
+}
+
+func TestConcurrentTickersNoLostUpdates(t *testing.T) {
+	c := New("x")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*per {
+		t.Fatalf("clock = %d, want %d", got, workers*per)
+	}
+}
+
+func TestStampTotalOrder(t *testing.T) {
+	// Less is a strict total order: antisymmetric, transitive on samples,
+	// and ties break by id.
+	f := func(t1, t2 uint64, id1, id2 string) bool {
+		a, b := Stamp{t1, id1}, Stamp{t2, id2}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !(Stamp{5, "a"}).Less(Stamp{5, "b"}) {
+		t.Fatal("tie not broken by lower id")
+	}
+	if !(Stamp{4, "z"}).Less(Stamp{5, "a"}) {
+		t.Fatal("earlier time must win regardless of id")
+	}
+}
+
+func TestStampString(t *testing.T) {
+	if s := (Stamp{7, "p2"}).String(); s != "7@p2" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestVectorCompare(t *testing.T) {
+	v1 := Vector{"a": 1, "b": 2}
+	v2 := Vector{"a": 2, "b": 2}
+	if v1.Compare(v2) != Before || v2.Compare(v1) != After {
+		t.Fatal("before/after broken")
+	}
+	v3 := Vector{"a": 2, "b": 1}
+	if v1.Compare(v3) != Concurrent || v3.Compare(v1) != Concurrent {
+		t.Fatal("concurrency not detected")
+	}
+	if v1.Compare(v1.Copy()) != Equal {
+		t.Fatal("equal not detected")
+	}
+	// Missing components count as zero.
+	v4 := Vector{"a": 1}
+	v5 := Vector{"a": 1, "c": 1}
+	if v4.Compare(v5) != Before {
+		t.Fatalf("missing-component compare = %v", v4.Compare(v5))
+	}
+}
+
+func TestVectorMergeTick(t *testing.T) {
+	v := Vector{}
+	v.Tick("a").Tick("a").Tick("b")
+	if v["a"] != 2 || v["b"] != 1 {
+		t.Fatalf("v = %v", v)
+	}
+	o := Vector{"a": 1, "c": 5}
+	v.Merge(o)
+	if v["a"] != 2 || v["c"] != 5 {
+		t.Fatalf("merge wrong: %v", v)
+	}
+}
+
+func TestVectorCopyIsIndependent(t *testing.T) {
+	v := Vector{"a": 1}
+	c := v.Copy()
+	c.Tick("a")
+	if v["a"] != 1 {
+		t.Fatal("copy aliased original")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{Equal: "equal", Before: "before", After: "after", Concurrent: "concurrent"} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", o, o.String())
+		}
+	}
+}
+
+func TestCausalChainProperty(t *testing.T) {
+	// Across any chain of sends, Lamport stamps strictly increase.
+	f := func(hops uint8) bool {
+		n := int(hops%16) + 2
+		clocks := make([]*Clock, n)
+		for i := range clocks {
+			clocks[i] = New(string(rune('a' + i)))
+		}
+		prev := uint64(0)
+		for i := 0; i < n-1; i++ {
+			ts := clocks[i].StampSend()
+			if ts <= prev && i > 0 {
+				return false
+			}
+			clocks[i+1].ObserveRecv(ts)
+			prev = ts
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

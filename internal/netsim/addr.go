@@ -1,0 +1,58 @@
+// Package netsim provides a deterministic simulation of a world-wide
+// datagram network: named hosts, point-to-point links with configurable
+// delay distributions, probabilistic loss, duplication and reordering,
+// and network partitions.
+//
+// The simulator models the environment the paper's communication layer is
+// designed against (§2.2 "Coping with a Varied Network Environment" and
+// §3.2 "uses UDP"): datagrams may be dropped, duplicated, reordered, and
+// delayed arbitrarily, and delays on one channel are independent of delays
+// on other channels.
+//
+// In addition to (optionally scaled) real-time delivery, every endpoint
+// carries a virtual clock: a datagram is stamped with the sender's virtual
+// time plus a sampled link delay, and a receiver's clock advances to the
+// maximum of its own clock and the datagram's arrival stamp. The maximum
+// virtual clock across endpoints therefore measures the critical-path
+// latency of a distributed protocol with WAN-scale delays, while the
+// simulation itself runs in microseconds of real time.
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is the global address of a communication endpoint: a host name
+// (standing in for an IP address) and a port. The paper associates each
+// dapplet with "an Internet address i.e. IP address and port id" (§3.1).
+type Addr struct {
+	Host string
+	Port uint16
+}
+
+// String renders the address in the conventional "host:port" form.
+func (a Addr) String() string {
+	return a.Host + ":" + strconv.Itoa(int(a.Port))
+}
+
+// IsZero reports whether a is the zero address.
+func (a Addr) IsZero() bool { return a.Host == "" && a.Port == 0 }
+
+// ParseAddr parses "host:port" into an Addr.
+func ParseAddr(s string) (Addr, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return Addr{}, fmt.Errorf("netsim: address %q missing port", s)
+	}
+	host := s[:i]
+	if host == "" {
+		return Addr{}, fmt.Errorf("netsim: address %q missing host", s)
+	}
+	p, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return Addr{}, fmt.Errorf("netsim: address %q has bad port: %v", s, err)
+	}
+	return Addr{Host: host, Port: uint16(p)}, nil
+}

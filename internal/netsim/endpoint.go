@@ -1,0 +1,200 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrTimeout is returned by RecvTimeout when the deadline passes.
+var ErrTimeout = errors.New("netsim: receive timeout")
+
+// Datagram is one unreliable message in flight. VSent and VArrive are
+// virtual timestamps (see the package comment).
+type Datagram struct {
+	From, To Addr
+	Payload  []byte
+	VSent    time.Duration
+	VArrive  time.Duration
+}
+
+// Host is a named machine on the network; dapplets bind ports on it.
+type Host struct {
+	net      *Network
+	name     string
+	ports    map[uint16]*Endpoint
+	nextPort uint16
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Network returns the network this host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
+// Bind creates an endpoint on the given port. It fails with ErrPortInUse
+// if the port is taken and ErrClosed if the network is shut down.
+func (h *Host) Bind(port uint16) (*Endpoint, error) {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	if h.net.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := h.ports[port]; ok {
+		return nil, ErrPortInUse
+	}
+	e := &Endpoint{
+		net:    h.net,
+		host:   h,
+		addr:   Addr{Host: h.name, Port: port},
+		queue:  make(chan Datagram, h.net.cfg.queueCap),
+		closed: make(chan struct{}),
+	}
+	h.ports[port] = e
+	return e, nil
+}
+
+// BindAny binds the next free ephemeral port.
+func (h *Host) BindAny() (*Endpoint, error) {
+	h.net.mu.Lock()
+	var port uint16
+	for {
+		port = h.nextPort
+		h.nextPort++
+		if h.nextPort == 0 {
+			h.nextPort = 40000
+		}
+		if _, ok := h.ports[port]; !ok {
+			break
+		}
+	}
+	h.net.mu.Unlock()
+	return h.Bind(port)
+}
+
+func (h *Host) closeAll() {
+	h.net.mu.Lock()
+	eps := make([]*Endpoint, 0, len(h.ports))
+	for _, e := range h.ports {
+		eps = append(eps, e)
+	}
+	h.net.mu.Unlock()
+	for _, e := range eps {
+		e.Close()
+	}
+}
+
+// Endpoint is a bound, unreliable datagram socket on a simulated host.
+// It is safe for concurrent use.
+type Endpoint struct {
+	net   *Network
+	host  *Host
+	addr  Addr
+	queue chan Datagram
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	vmu  sync.Mutex
+	vnow time.Duration
+}
+
+// Addr returns the endpoint's global address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Send transmits payload to the destination address. Delivery is
+// unreliable: the datagram may be dropped, duplicated, reordered or
+// arbitrarily delayed according to the link's parameters. Send never
+// blocks on the receiver.
+func (e *Endpoint) Send(to Addr, payload []byte) error {
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	return e.net.route(e, to, payload)
+}
+
+// Recv blocks until a datagram arrives or the endpoint is closed, and
+// advances the endpoint's virtual clock to the datagram's arrival stamp.
+func (e *Endpoint) Recv() (Datagram, error) {
+	select {
+	case dg := <-e.queue:
+		e.observe(dg.VArrive)
+		return dg, nil
+	case <-e.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case dg := <-e.queue:
+			e.observe(dg.VArrive)
+			return dg, nil
+		default:
+			return Datagram{}, ErrClosed
+		}
+	}
+}
+
+// RecvTimeout is Recv with a real-time deadline.
+func (e *Endpoint) RecvTimeout(d time.Duration) (Datagram, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case dg := <-e.queue:
+		e.observe(dg.VArrive)
+		return dg, nil
+	case <-e.closed:
+		select {
+		case dg := <-e.queue:
+			e.observe(dg.VArrive)
+			return dg, nil
+		default:
+			return Datagram{}, ErrClosed
+		}
+	case <-t.C:
+		return Datagram{}, ErrTimeout
+	}
+}
+
+// VNow returns the endpoint's current virtual time.
+func (e *Endpoint) VNow() time.Duration {
+	e.vmu.Lock()
+	defer e.vmu.Unlock()
+	return e.vnow
+}
+
+// ChargeCompute advances the endpoint's virtual clock by d, modelling
+// local processing time.
+func (e *Endpoint) ChargeCompute(d time.Duration) {
+	e.vmu.Lock()
+	e.vnow += d
+	e.vmu.Unlock()
+}
+
+func (e *Endpoint) observe(v time.Duration) {
+	e.vmu.Lock()
+	if v > e.vnow {
+		e.vnow = v
+	}
+	e.vmu.Unlock()
+}
+
+// Close releases the endpoint's port and unblocks any pending Recv.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.net.mu.Lock()
+		delete(e.host.ports, e.addr.Port)
+		e.net.mu.Unlock()
+		close(e.closed)
+	})
+	return nil
+}
+
+// Closed reports whether the endpoint has been closed.
+func (e *Endpoint) Closed() bool {
+	select {
+	case <-e.closed:
+		return true
+	default:
+		return false
+	}
+}

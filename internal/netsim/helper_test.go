@@ -1,0 +1,6 @@
+package netsim
+
+import "math/rand"
+
+// newTestRand returns a deterministic RNG for table tests.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(12345)) }

@@ -1,0 +1,374 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Defaults used when a link or the network has no explicit configuration.
+const (
+	DefaultQueueCap = 1024
+)
+
+// ErrClosed is returned by operations on a closed network or endpoint.
+var ErrClosed = errors.New("netsim: closed")
+
+// ErrPortInUse is returned by Bind when the port is already bound.
+var ErrPortInUse = errors.New("netsim: port in use")
+
+// ErrNoRoute is returned by Send when the destination host does not exist.
+var ErrNoRoute = errors.New("netsim: no route to host")
+
+type config struct {
+	seed         int64
+	defaultDelay DelayModel
+	timeScale    float64 // real delay = virtual delay * timeScale
+	queueCap     int
+}
+
+// Option configures a Network at construction time.
+type Option func(*config)
+
+// WithSeed fixes the simulator's random seed for reproducible runs.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithDefaultDelay sets the delay model for links with no explicit model.
+func WithDefaultDelay(m DelayModel) Option { return func(c *config) { c.defaultDelay = m } }
+
+// WithTimeScale sets the ratio of real delivery delay to virtual link delay.
+// The default 0 delivers datagrams immediately (virtual time still advances
+// by the full modelled delay); 1.0 delivers in real time.
+func WithTimeScale(s float64) Option { return func(c *config) { c.timeScale = s } }
+
+// WithQueueCap sets the per-endpoint receive queue capacity; datagrams
+// arriving at a full queue are dropped, like a full UDP socket buffer.
+func WithQueueCap(n int) Option { return func(c *config) { c.queueCap = n } }
+
+type linkKey struct{ a, b string }
+
+func mkLinkKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// LinkParams describes the behaviour of the (bidirectional) link between a
+// pair of hosts. A zero LinkParams means "use network defaults, no faults".
+type LinkParams struct {
+	Delay   DelayModel // nil means the network default
+	Loss    float64    // probability a datagram is silently dropped
+	Dup     float64    // probability a datagram is delivered twice
+	Reorder float64    // probability a datagram is delivered after its successor
+}
+
+// Stats is a snapshot of network-wide counters.
+type Stats struct {
+	Sent        uint64 // datagrams submitted to Send
+	Delivered   uint64 // datagrams handed to a receive queue
+	LostLink    uint64 // dropped by link loss
+	LostQueue   uint64 // dropped at a full receive queue
+	LostCut     uint64 // dropped by a partition
+	Duplicated  uint64 // extra copies delivered
+	Reordered   uint64 // datagrams deferred behind a successor
+	BytesSent   uint64
+	MaxVirtual  time.Duration // max endpoint virtual clock
+	MeanVirtual time.Duration // mean endpoint virtual clock
+}
+
+// Network is a simulated world-wide datagram network. All methods are safe
+// for concurrent use.
+type Network struct {
+	cfg config
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	hosts    map[string]*Host
+	links    map[linkKey]LinkParams
+	groups   map[string]int // partition group per host; empty map = fully connected
+	stats    Stats
+	pending  map[linkKey]*Datagram // reorder slots
+	timers   map[*time.Timer]struct{}
+	closed   bool
+	deliverW sync.WaitGroup
+}
+
+// New creates an empty network.
+func New(opts ...Option) *Network {
+	cfg := config{
+		seed:         1,
+		defaultDelay: LAN(),
+		timeScale:    0,
+		queueCap:     DefaultQueueCap,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Network{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.seed)),
+		hosts:   make(map[string]*Host),
+		links:   make(map[linkKey]LinkParams),
+		groups:  make(map[string]int),
+		pending: make(map[linkKey]*Datagram),
+		timers:  make(map[*time.Timer]struct{}),
+	}
+}
+
+// Host returns the named host, creating it on first use.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[name]; ok {
+		return h
+	}
+	h := &Host{net: n, name: name, ports: make(map[uint16]*Endpoint), nextPort: 40000}
+	n.hosts[name] = h
+	return h
+}
+
+// Hosts returns the names of all hosts, in no particular order.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		out = append(out, name)
+	}
+	return out
+}
+
+// SetLink configures the bidirectional link between hosts a and b.
+func (n *Network) SetLink(a, b string, p LinkParams) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[mkLinkKey(a, b)] = p
+}
+
+// SetLinkDelay configures only the delay model of the a<->b link, keeping
+// any existing fault parameters.
+func (n *Network) SetLinkDelay(a, b string, m DelayModel) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := mkLinkKey(a, b)
+	p := n.links[k]
+	p.Delay = m
+	n.links[k] = p
+}
+
+// SetLoss configures only the loss probability of the a<->b link.
+func (n *Network) SetLoss(a, b string, loss float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := mkLinkKey(a, b)
+	p := n.links[k]
+	p.Loss = loss
+	n.links[k] = p
+}
+
+// Partition splits the network into the given host groups; datagrams
+// between different groups are dropped. Hosts not named in any group form
+// an implicit extra group. Heal removes the partition.
+func (n *Network) Partition(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = make(map[string]int)
+	for i, g := range groups {
+		for _, h := range g {
+			n.groups[h] = i + 1
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = make(map[string]int)
+}
+
+// Stats returns a snapshot of the network counters, including virtual-time
+// aggregates across all endpoints.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	s := n.stats
+	var sum time.Duration
+	var cnt int
+	var max time.Duration
+	for _, h := range n.hosts {
+		for _, e := range h.ports {
+			v := e.VNow()
+			if v > max {
+				max = v
+			}
+			sum += v
+			cnt++
+		}
+	}
+	n.mu.Unlock()
+	s.MaxVirtual = max
+	if cnt > 0 {
+		s.MeanVirtual = sum / time.Duration(cnt)
+	}
+	return s
+}
+
+// MaxVirtual returns the maximum endpoint virtual clock: the critical-path
+// completion time of everything simulated so far.
+func (n *Network) MaxVirtual() time.Duration { return n.Stats().MaxVirtual }
+
+// Close shuts the network down, closing every endpoint. In-flight timed
+// deliveries are cancelled.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	for t := range n.timers {
+		t.Stop()
+	}
+	n.timers = make(map[*time.Timer]struct{})
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.mu.Unlock()
+	for _, h := range hosts {
+		h.closeAll()
+	}
+}
+
+// linkFor returns the parameters for the a<->b link, applying defaults.
+func (n *Network) linkFor(a, b string) LinkParams {
+	p := n.links[mkLinkKey(a, b)]
+	if p.Delay == nil {
+		p.Delay = n.cfg.defaultDelay
+	}
+	return p
+}
+
+// route performs loss/partition/duplication/reorder decisions and schedules
+// delivery of one datagram. Caller must not hold n.mu.
+func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dstHost, ok := n.hosts[to.Host]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoRoute, to.Host)
+	}
+	n.stats.Sent++
+	n.stats.BytesSent += uint64(len(payload))
+
+	// Partition check: distinct explicit groups never communicate; an
+	// explicit group is also cut off from the implicit group 0.
+	if len(n.groups) > 0 {
+		ga, gb := n.groups[from.addr.Host], n.groups[to.Host]
+		if ga != gb {
+			n.stats.LostCut++
+			n.mu.Unlock()
+			return nil
+		}
+	}
+
+	lp := n.linkFor(from.addr.Host, to.Host)
+	if lp.Loss > 0 && n.rng.Float64() < lp.Loss {
+		n.stats.LostLink++
+		n.mu.Unlock()
+		return nil
+	}
+
+	dst := dstHost.ports[to.Port]
+	if dst == nil {
+		// No listener: silently dropped, like UDP to a closed port.
+		n.stats.LostQueue++
+		n.mu.Unlock()
+		return nil
+	}
+
+	vdelay := lp.Delay.Sample(n.rng)
+	dg := &Datagram{
+		From:    from.addr,
+		To:      to,
+		Payload: append([]byte(nil), payload...),
+		VSent:   from.VNow(),
+	}
+	dg.VArrive = dg.VSent + vdelay
+
+	copies := 1
+	if lp.Dup > 0 && n.rng.Float64() < lp.Dup {
+		copies = 2
+		n.stats.Duplicated++
+	}
+
+	// Reordering: with probability Reorder, stash this datagram and deliver
+	// it only after the next datagram on the same link (or at flush).
+	key := mkLinkKey(from.addr.Host, to.Host)
+	var deliverNow []*Datagram
+	if prev := n.pending[key]; prev != nil {
+		delete(n.pending, key)
+		deliverNow = append(deliverNow, prev)
+	}
+	if lp.Reorder > 0 && n.rng.Float64() < lp.Reorder && len(deliverNow) == 0 {
+		n.stats.Reordered++
+		n.pending[key] = dg
+		n.mu.Unlock()
+		return nil
+	}
+	realDelay := time.Duration(float64(vdelay) * n.cfg.timeScale)
+	n.mu.Unlock()
+
+	for i := 0; i < copies; i++ {
+		n.scheduleDelivery(dst, dg, realDelay)
+	}
+	for _, p := range deliverNow {
+		n.scheduleDelivery(dst, p, realDelay)
+	}
+	return nil
+}
+
+// scheduleDelivery delivers dg to dst after realDelay (immediately when 0).
+func (n *Network) scheduleDelivery(dst *Endpoint, dg *Datagram, realDelay time.Duration) {
+	if realDelay <= 0 {
+		n.deliver(dst, dg)
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	var t *time.Timer
+	t = time.AfterFunc(realDelay, func() {
+		n.mu.Lock()
+		delete(n.timers, t)
+		closed := n.closed
+		n.mu.Unlock()
+		if !closed {
+			n.deliver(dst, dg)
+		}
+	})
+	n.timers[t] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Network) deliver(dst *Endpoint, dg *Datagram) {
+	select {
+	case dst.queue <- *dg:
+		n.mu.Lock()
+		n.stats.Delivered++
+		n.mu.Unlock()
+	default:
+		n.mu.Lock()
+		n.stats.LostQueue++
+		n.mu.Unlock()
+	}
+}

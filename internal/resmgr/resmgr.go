@@ -1,0 +1,251 @@
+// Package resmgr implements the paper's complementary service-provision
+// model (§4): "we can have a resource manager process executing on each
+// machine that provides a rich collection of services to dapplets
+// executing on that machine." The paper focuses on in-dapplet service
+// objects; this package builds the per-machine alternative as an
+// extension.
+//
+// A Manager is a dapplet running on every host. It offers, over RPC:
+//
+//   - a local service registry: dapplets on the machine publish named
+//     services (inbox refs) and peers look them up;
+//   - liveness: dapplets ping the manager, which reports which locals are
+//     alive;
+//   - remote launch: a manager can be asked to launch an installed dapplet
+//     type on its machine (the paper's "programs ... are installed on the
+//     appropriate machines" plus remote activation).
+package resmgr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+// ManagerType is the behaviour type name for resource managers.
+const ManagerType = "resmgr"
+
+// ObjectName is the RPC object every manager serves.
+const ObjectName = "resmgr"
+
+// ErrNoService is returned when a lookup misses.
+var ErrNoService = errors.New("resmgr: no such service")
+
+// Service is one published local service.
+type Service struct {
+	Name  string        `json:"n"`
+	Owner string        `json:"o"` // publishing dapplet's name
+	Inbox wire.InboxRef `json:"i"`
+}
+
+// publishArgs registers a service.
+type publishArgs struct {
+	Service Service `json:"s"`
+}
+
+// lookupArgs finds a service by name.
+type lookupArgs struct {
+	Name string `json:"n"`
+}
+
+// pingArgs records a dapplet heartbeat.
+type pingArgs struct {
+	Dapplet string `json:"d"`
+}
+
+// launchArgs asks the manager to start an installed dapplet type.
+type launchArgs struct {
+	Type string `json:"t"`
+	Name string `json:"n"`
+}
+
+// launchReply reports the new dapplet's address.
+type launchReply struct {
+	Addr wire.InboxRef `json:"a"` // dapplet addr with empty inbox
+}
+
+// Manager is the per-machine resource manager.
+type Manager struct {
+	rt   *core.Runtime
+	host string
+
+	mu       sync.Mutex
+	services map[string]Service
+	lastPing map[string]time.Time
+	d        *core.Dapplet
+}
+
+// Install registers the resmgr behaviour type on a runtime's registry and
+// installs it on the host, then launches the manager dapplet there. One
+// manager per host.
+func Install(rt *core.Runtime, host string) (*Manager, error) {
+	m := &Manager{
+		rt:       rt,
+		host:     host,
+		services: make(map[string]Service),
+		lastPing: make(map[string]time.Time),
+	}
+	rt.Registry().Register(ManagerType, func() core.Behavior { return m })
+	if err := rt.Install(host, ManagerType); err != nil {
+		return nil, err
+	}
+	if _, err := rt.Launch(host, ManagerType, "resmgr@"+host); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Start implements core.Behavior: it serves the manager's RPC object.
+func (m *Manager) Start(d *core.Dapplet) error {
+	m.d = d
+	rpc.Serve(d, ObjectName, rpc.Object{
+		"publish": m.rpcPublish,
+		"lookup":  m.rpcLookup,
+		"list":    m.rpcList,
+		"ping":    m.rpcPing,
+		"alive":   m.rpcAlive,
+		"launch":  m.rpcLaunch,
+	})
+	return nil
+}
+
+// Ref returns the manager's RPC reference.
+func (m *Manager) Ref() rpc.Ref {
+	return rpc.Ref{Inbox: wire.InboxRef{Dapplet: m.d.Addr(), Inbox: "@obj:" + ObjectName}}
+}
+
+// Host returns the managed machine's name.
+func (m *Manager) Host() string { return m.host }
+
+func (m *Manager) rpcPublish(raw json.RawMessage) (any, error) {
+	args, err := rpc.Args[publishArgs](raw)
+	if err != nil {
+		return nil, err
+	}
+	if args.Service.Name == "" {
+		return nil, errors.New("resmgr: empty service name")
+	}
+	m.mu.Lock()
+	m.services[args.Service.Name] = args.Service
+	m.mu.Unlock()
+	return true, nil
+}
+
+func (m *Manager) rpcLookup(raw json.RawMessage) (any, error) {
+	args, err := rpc.Args[lookupArgs](raw)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	s, ok := m.services[args.Name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on host %q", ErrNoService, args.Name, m.host)
+	}
+	return s, nil
+}
+
+func (m *Manager) rpcList(json.RawMessage) (any, error) {
+	m.mu.Lock()
+	out := make([]Service, 0, len(m.services))
+	for _, s := range m.services {
+		out = append(out, s)
+	}
+	m.mu.Unlock()
+	return out, nil
+}
+
+func (m *Manager) rpcPing(raw json.RawMessage) (any, error) {
+	args, err := rpc.Args[pingArgs](raw)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.lastPing[args.Dapplet] = time.Now()
+	m.mu.Unlock()
+	return true, nil
+}
+
+func (m *Manager) rpcAlive(json.RawMessage) (any, error) {
+	m.mu.Lock()
+	out := make([]string, 0, len(m.lastPing))
+	for d, at := range m.lastPing {
+		if time.Since(at) < 5*time.Second {
+			out = append(out, d)
+		}
+	}
+	m.mu.Unlock()
+	return out, nil
+}
+
+func (m *Manager) rpcLaunch(raw json.RawMessage) (any, error) {
+	args, err := rpc.Args[launchArgs](raw)
+	if err != nil {
+		return nil, err
+	}
+	d, err := m.rt.Launch(m.host, args.Type, args.Name)
+	if err != nil {
+		return nil, err
+	}
+	return launchReply{Addr: wire.InboxRef{Dapplet: d.Addr()}}, nil
+}
+
+// Client gives dapplets typed access to a resource manager.
+type Client struct {
+	cli *rpc.Client
+	ref rpc.Ref
+	d   *core.Dapplet
+}
+
+// NewClient attaches a resmgr client to a dapplet, talking to the given
+// manager.
+func NewClient(d *core.Dapplet, ref rpc.Ref) *Client {
+	return &Client{cli: rpc.NewClient(d), ref: ref, d: d}
+}
+
+// Publish registers a named service (an inbox on this dapplet).
+func (c *Client) Publish(name string, inbox wire.InboxRef) error {
+	return c.cli.Call(c.ref, "publish", publishArgs{
+		Service: Service{Name: name, Owner: c.d.Name(), Inbox: inbox},
+	}, nil)
+}
+
+// Lookup finds a service by name.
+func (c *Client) Lookup(name string) (Service, error) {
+	var s Service
+	err := c.cli.Call(c.ref, "lookup", lookupArgs{Name: name}, &s)
+	return s, err
+}
+
+// List returns every published service on the machine.
+func (c *Client) List() ([]Service, error) {
+	var out []Service
+	err := c.cli.Call(c.ref, "list", nil, &out)
+	return out, err
+}
+
+// Ping records a heartbeat for this dapplet.
+func (c *Client) Ping() error {
+	return c.cli.Call(c.ref, "ping", pingArgs{Dapplet: c.d.Name()}, nil)
+}
+
+// Alive returns the dapplets that have pinged recently.
+func (c *Client) Alive() ([]string, error) {
+	var out []string
+	err := c.cli.Call(c.ref, "alive", nil, &out)
+	return out, err
+}
+
+// Launch asks the manager to start an installed dapplet type on its
+// machine, returning the new dapplet's address.
+func (c *Client) Launch(typ, name string) (wire.InboxRef, error) {
+	var rep launchReply
+	err := c.cli.Call(c.ref, "launch", launchArgs{Type: typ, Name: name}, &rep)
+	return rep.Addr, err
+}

@@ -1,0 +1,179 @@
+package resmgr_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/resmgr"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func world(t *testing.T) (*netsim.Network, *core.Runtime) {
+	t.Helper()
+	net := netsim.New(netsim.WithSeed(1))
+	t.Cleanup(net.Close)
+	reg := core.NewRegistry()
+	reg.Register("worker", func() core.Behavior {
+		return core.BehaviorFunc(func(d *core.Dapplet) error {
+			d.Inbox("work")
+			return nil
+		})
+	})
+	rt := core.NewRuntime(net, reg)
+	rt.SetTransportConfig(transport.Config{RTO: 20 * time.Millisecond})
+	t.Cleanup(rt.StopAll)
+	return net, rt
+}
+
+func launchClient(t *testing.T, rt *core.Runtime, host, name string, mgr *resmgr.Manager) (*core.Dapplet, *resmgr.Client) {
+	t.Helper()
+	if err := rt.Install(host, "worker"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.Launch(host, "worker", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, resmgr.NewClient(d, mgr.Ref())
+}
+
+func TestPublishLookup(t *testing.T) {
+	_, rt := world(t)
+	mgr, err := resmgr.Install(rt, "machine1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, cli := launchClient(t, rt, "machine1", "w1", mgr)
+	svcInbox := d.Inbox("work").Ref()
+	if err := cli.Publish("printing", svcInbox); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Lookup("printing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Inbox != svcInbox || got.Owner != "w1" {
+		t.Fatalf("lookup = %+v", got)
+	}
+	// Lookup from a different dapplet (even on another machine).
+	_, cli2 := launchClient(t, rt, "machine1", "w2", mgr)
+	if _, err := cli2.Lookup("printing"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli2.Lookup("nonexistent"); err == nil {
+		t.Fatal("missing service found")
+	}
+	list, err := cli2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Name != "printing" {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestHeartbeats(t *testing.T) {
+	_, rt := world(t)
+	mgr, err := resmgr.Install(rt, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c1 := launchClient(t, rt, "m", "alpha", mgr)
+	_, c2 := launchClient(t, rt, "m", "beta", mgr)
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	alive, err := c1.Alive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alive) != 2 {
+		t.Fatalf("alive = %v", alive)
+	}
+}
+
+func TestRemoteLaunch(t *testing.T) {
+	net, rt := world(t)
+	mgr, err := resmgr.Install(rt, "far-machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Install("far-machine", "worker"); err != nil {
+		t.Fatal(err)
+	}
+	// A client on a different machine asks the far manager to activate a
+	// worker there.
+	ep, err := net.Host("near").BindAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDapplet("requester", "t", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	t.Cleanup(d.Stop)
+	cli := resmgr.NewClient(d, mgr.Ref())
+	addr, err := cli.Launch("worker", "remote-worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr.Dapplet.Host != "far-machine" {
+		t.Fatalf("launched on %v", addr.Dapplet)
+	}
+	if _, ok := rt.Dapplet("remote-worker"); !ok {
+		t.Fatal("runtime does not know the launched dapplet")
+	}
+	// The launched dapplet is reachable.
+	if err := d.SendDirect(wire.InboxRef{Dapplet: addr.Dapplet, Inbox: "work"}, "", &wire.Text{S: "job"}); err != nil {
+		t.Fatal(err)
+	}
+	rw, _ := rt.Dapplet("remote-worker")
+	if _, err := rw.Inbox("work").ReceiveTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchUninstalledTypeFails(t *testing.T) {
+	net, rt := world(t)
+	mgr, err := resmgr.Install(rt, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := net.Host("x").BindAny()
+	d := core.NewDapplet("req", "t", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	t.Cleanup(d.Stop)
+	cli := resmgr.NewClient(d, mgr.Ref())
+	_, err = cli.Launch("no-such-type", "z")
+	var remote *rpc.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+}
+
+func TestManagersPerMachineAreIndependent(t *testing.T) {
+	_, rt := world(t)
+	m1, err := resmgr.Install(rt, "m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := resmgr.Install(rt, "m2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, c1 := launchClient(t, rt, "m1", "w1", m1)
+	if err := c1.Publish("svc", d.Inbox("work").Ref()); err != nil {
+		t.Fatal(err)
+	}
+	// m2 does not see m1's registrations.
+	c2 := resmgr.NewClient(d, m2.Ref())
+	if _, err := c2.Lookup("svc"); err == nil {
+		t.Fatal("service leaked across machines")
+	}
+}

@@ -1,0 +1,252 @@
+// Package rpc implements the paper's global pointers and remote procedure
+// calls over inboxes (§3.2 "Communication Layer Features"):
+//
+//	"Associate an inbox b with an object p. Messages in b are directions
+//	to invoke appropriate methods on p. Associate a thread with b and p:
+//	the thread receives a message from b and then invokes the method
+//	specified in the message on p. Thus the address of the inbox serves
+//	as a global pointer to an object associated with the inbox, and
+//	messages serve the role of asynchronous RPCs. Synchronous RPCs are
+//	implemented as pairwise asynchronous RPCs."
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Errors returned by the RPC layer.
+var (
+	// ErrClosed is returned when the client's dapplet has stopped.
+	ErrClosed = errors.New("rpc: closed")
+	// ErrTimeout is returned by CallTimeout on expiry.
+	ErrTimeout = errors.New("rpc: call timeout")
+	// ErrNoMethod is returned (remotely) for unknown method names.
+	ErrNoMethod = errors.New("rpc: no such method")
+)
+
+// RemoteError carries an error raised by the remote object's method.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg) }
+
+// Ref is a global pointer: the global address of the inbox associated
+// with an object.
+type Ref struct {
+	Inbox wire.InboxRef `json:"in"`
+}
+
+// IsZero reports whether the reference is unset.
+func (r Ref) IsZero() bool { return r.Inbox.IsZero() }
+
+// callMsg is an invocation direction placed in an object's inbox. A zero
+// ReplyTo makes it an asynchronous RPC (a plain message); otherwise the
+// server replies, and the pair of asynchronous messages forms one
+// synchronous RPC.
+type callMsg struct {
+	ID      uint64          `json:"id"`
+	Method  string          `json:"m"`
+	Args    json.RawMessage `json:"a,omitempty"`
+	ReplyTo wire.InboxRef   `json:"re,omitempty"`
+}
+
+func (*callMsg) Kind() string { return "rpc.call" }
+
+// replyMsg answers a synchronous call.
+type replyMsg struct {
+	ID     uint64          `json:"id"`
+	Result json.RawMessage `json:"r,omitempty"`
+	Err    string          `json:"e,omitempty"`
+	NoMeth bool            `json:"nm,omitempty"`
+}
+
+func (*replyMsg) Kind() string { return "rpc.reply" }
+
+func init() {
+	wire.Register(&callMsg{})
+	wire.Register(&replyMsg{})
+}
+
+// Method is one invocable operation on a served object. Args arrive as
+// JSON; the result must be JSON-serializable.
+type Method func(args json.RawMessage) (any, error)
+
+// Object is a set of named methods.
+type Object map[string]Method
+
+// Serve associates an object with an inbox named "@obj:<name>" on the
+// dapplet and a thread that invokes the directed methods, returning the
+// object's global pointer.
+func Serve(d *core.Dapplet, name string, obj Object) Ref {
+	inboxName := "@obj:" + name
+	d.Handle(inboxName, func(env *wire.Envelope) {
+		call, ok := env.Body.(*callMsg)
+		if !ok {
+			return
+		}
+		m, found := obj[call.Method]
+		var (
+			result any
+			err    error
+		)
+		if found {
+			result, err = m(call.Args)
+		}
+		if call.ReplyTo.IsZero() {
+			return // asynchronous invocation: no reply expected
+		}
+		rep := &replyMsg{ID: call.ID, NoMeth: !found}
+		if err != nil {
+			rep.Err = err.Error()
+		} else if found && result != nil {
+			data, jerr := json.Marshal(result)
+			if jerr != nil {
+				rep.Err = fmt.Sprintf("marshal result: %v", jerr)
+			} else {
+				rep.Result = data
+			}
+		}
+		_ = d.SendDirect(call.ReplyTo, env.Session, rep)
+	})
+	return Ref{Inbox: wire.InboxRef{Dapplet: d.Addr(), Inbox: inboxName}}
+}
+
+// Client issues calls from a dapplet to remote objects.
+type Client struct {
+	d *core.Dapplet
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiting map[uint64]chan *replyMsg
+}
+
+// NewClient attaches an RPC client to the dapplet.
+func NewClient(d *core.Dapplet) *Client {
+	c := &Client{d: d, waiting: make(map[uint64]chan *replyMsg)}
+	d.Handle("@rpc-reply", func(env *wire.Envelope) {
+		rep, ok := env.Body.(*replyMsg)
+		if !ok {
+			return
+		}
+		c.mu.Lock()
+		ch := c.waiting[rep.ID]
+		delete(c.waiting, rep.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	})
+	return c
+}
+
+// Cast is an asynchronous RPC: a message directing the remote object to
+// invoke a method, with no reply.
+func (c *Client) Cast(ref Ref, method string, args any) error {
+	data, err := marshalArgs(args)
+	if err != nil {
+		return err
+	}
+	return c.d.SendDirect(ref.Inbox, "", &callMsg{Method: method, Args: data})
+}
+
+// Call is a synchronous RPC implemented as pairwise asynchronous RPCs: it
+// sends the invocation and suspends until the reply message arrives,
+// decoding the result into out (which may be nil).
+func (c *Client) Call(ref Ref, method string, args any, out any) error {
+	return c.call(ref, method, args, out, 0)
+}
+
+// CallTimeout is Call with a deadline.
+func (c *Client) CallTimeout(ref Ref, method string, args any, out any, d time.Duration) error {
+	return c.call(ref, method, args, out, d)
+}
+
+func (c *Client) call(ref Ref, method string, args any, out any, timeout time.Duration) error {
+	data, err := marshalArgs(args)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *replyMsg, 1)
+	c.waiting[id] = ch
+	c.mu.Unlock()
+	cleanup := func() {
+		c.mu.Lock()
+		delete(c.waiting, id)
+		c.mu.Unlock()
+	}
+
+	call := &callMsg{
+		ID:      id,
+		Method:  method,
+		Args:    data,
+		ReplyTo: wire.InboxRef{Dapplet: c.d.Addr(), Inbox: "@rpc-reply"},
+	}
+	if err := c.d.SendDirect(ref.Inbox, "", call); err != nil {
+		cleanup()
+		return err
+	}
+
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timerC = t.C
+	}
+	select {
+	case rep := <-ch:
+		if rep.NoMeth {
+			return fmt.Errorf("%w: %q", ErrNoMethod, method)
+		}
+		if rep.Err != "" {
+			return &RemoteError{Method: method, Msg: rep.Err}
+		}
+		if out != nil && rep.Result != nil {
+			if err := json.Unmarshal(rep.Result, out); err != nil {
+				return fmt.Errorf("rpc: decode result of %s: %w", method, err)
+			}
+		}
+		return nil
+	case <-timerC:
+		cleanup()
+		return fmt.Errorf("%w: %s", ErrTimeout, method)
+	case <-c.d.Stopped():
+		cleanup()
+		return ErrClosed
+	}
+}
+
+func marshalArgs(args any) (json.RawMessage, error) {
+	if args == nil {
+		return nil, nil
+	}
+	data, err := json.Marshal(args)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: marshal args: %w", err)
+	}
+	return data, nil
+}
+
+// Args decodes JSON arguments into a typed value inside a Method body.
+func Args[T any](raw json.RawMessage) (T, error) {
+	var v T
+	if len(raw) == 0 {
+		return v, nil
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("rpc: decode args: %w", err)
+	}
+	return v, nil
+}

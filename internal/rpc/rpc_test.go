@@ -1,0 +1,258 @@
+package rpc_test
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+)
+
+type rworld struct {
+	t   *testing.T
+	net *netsim.Network
+}
+
+func newRWorld(t *testing.T, opts ...netsim.Option) *rworld {
+	t.Helper()
+	n := netsim.New(opts...)
+	t.Cleanup(n.Close)
+	return &rworld{t: t, net: n}
+}
+
+func (w *rworld) dapplet(host, name string) *core.Dapplet {
+	w.t.Helper()
+	ep, err := w.net.Host(host).BindAny()
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	d := core.NewDapplet(name, "t", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	w.t.Cleanup(d.Stop)
+	return d
+}
+
+// counter is a tiny served object.
+func counterObject() (rpc.Object, *sync.Mutex, *int) {
+	var mu sync.Mutex
+	n := 0
+	obj := rpc.Object{
+		"add": func(raw json.RawMessage) (any, error) {
+			delta, err := rpc.Args[int](raw)
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			n += delta
+			return n, nil
+		},
+		"get": func(raw json.RawMessage) (any, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return n, nil
+		},
+		"fail": func(raw json.RawMessage) (any, error) {
+			return nil, errors.New("intentional failure")
+		},
+	}
+	return obj, &mu, &n
+}
+
+func TestSyncCall(t *testing.T) {
+	w := newRWorld(t)
+	server := w.dapplet("caltech", "server")
+	clientD := w.dapplet("rice", "client")
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+	cli := rpc.NewClient(clientD)
+
+	var result int
+	if err := cli.Call(ref, "add", 5, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result != 5 {
+		t.Fatalf("result = %d", result)
+	}
+	if err := cli.Call(ref, "add", 3, &result); err != nil {
+		t.Fatal(err)
+	}
+	if result != 8 {
+		t.Fatalf("result = %d", result)
+	}
+	// Nil out is allowed.
+	if err := cli.Call(ref, "add", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncCast(t *testing.T) {
+	w := newRWorld(t)
+	server := w.dapplet("h1", "server")
+	clientD := w.dapplet("h2", "client")
+	obj, mu, n := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+	cli := rpc.NewClient(clientD)
+
+	for i := 0; i < 10; i++ {
+		if err := cli.Cast(ref, "add", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		v := *n
+		mu.Unlock()
+		if v == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("casts not applied: n=%d", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	w := newRWorld(t)
+	server := w.dapplet("h1", "server")
+	cli := rpc.NewClient(w.dapplet("h2", "client"))
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+	err := cli.Call(ref, "fail", nil, nil)
+	var remote *rpc.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if remote.Msg != "intentional failure" || remote.Method != "fail" {
+		t.Fatalf("remote = %+v", remote)
+	}
+}
+
+func TestNoSuchMethod(t *testing.T) {
+	w := newRWorld(t)
+	server := w.dapplet("h1", "server")
+	cli := rpc.NewClient(w.dapplet("h2", "client"))
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+	if err := cli.Call(ref, "bogus", nil, nil); !errors.Is(err, rpc.ErrNoMethod) {
+		t.Fatalf("err = %v, want ErrNoMethod", err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	w := newRWorld(t)
+	w.net.Partition([]string{"h1"}, []string{"h2"})
+	server := w.dapplet("h1", "server")
+	cli := rpc.NewClient(w.dapplet("h2", "client"))
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+	err := cli.CallTimeout(ref, "get", nil, nil, 100*time.Millisecond)
+	if !errors.Is(err, rpc.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestGlobalPointerIsTransferable(t *testing.T) {
+	// A ref can be passed to another dapplet and used there: it is a
+	// global pointer, not a local handle.
+	w := newRWorld(t)
+	server := w.dapplet("h1", "server")
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref2 rpc.Ref
+	if err := json.Unmarshal(data, &ref2); err != nil {
+		t.Fatal(err)
+	}
+	cli := rpc.NewClient(w.dapplet("h3", "other-client"))
+	var out int
+	if err := cli.Call(ref2, "add", 7, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != 7 {
+		t.Fatalf("out = %d", out)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	w := newRWorld(t)
+	server := w.dapplet("h1", "server")
+	clientD := w.dapplet("h2", "client")
+	echo := rpc.Object{
+		"echo": func(raw json.RawMessage) (any, error) {
+			v, err := rpc.Args[int](raw)
+			return v, err
+		},
+	}
+	ref := rpc.Serve(server, "echo", echo)
+	cli := rpc.NewClient(clientD)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out int
+			if err := cli.Call(ref, "echo", i, &out); err != nil {
+				t.Error(err)
+				return
+			}
+			if out != i {
+				t.Errorf("echo(%d) = %d", i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestClientClosedDuringCall(t *testing.T) {
+	w := newRWorld(t)
+	w.net.Partition([]string{"h1"}, []string{"h2"})
+	server := w.dapplet("h1", "server")
+	clientD := w.dapplet("h2", "client")
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+	cli := rpc.NewClient(clientD)
+	done := make(chan error, 1)
+	go func() { done <- cli.Call(ref, "get", nil, nil) }()
+	time.Sleep(50 * time.Millisecond)
+	clientD.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, rpc.ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never unblocked")
+	}
+}
+
+func TestServedObjectsAreIndependent(t *testing.T) {
+	w := newRWorld(t)
+	server := w.dapplet("h1", "server")
+	cli := rpc.NewClient(w.dapplet("h2", "client"))
+	objA, _, _ := counterObject()
+	objB, _, _ := counterObject()
+	refA := rpc.Serve(server, "a", objA)
+	refB := rpc.Serve(server, "b", objB)
+	var a, b int
+	if err := cli.Call(refA, "add", 10, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Call(refB, "get", nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != 10 || b != 0 {
+		t.Fatalf("a=%d b=%d; objects share state", a, b)
+	}
+}

@@ -1,0 +1,213 @@
+// Package scenario assembles complete, ready-to-run worlds for the
+// paper's example applications: simulated networks, installed dapplets,
+// directories and live sessions. Tests, benchmarks and the demo binaries
+// all build on it, so experiments measure identical configurations.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// CalendarOptions configures a calendar-application world.
+type CalendarOptions struct {
+	// Sites is the number of sites; each has one secretary (hierarchical
+	// mode) and MembersPerSite calendar dapplets.
+	Sites          int
+	MembersPerSite int
+	// Hierarchical selects the Figure 1 wiring (secretaries); otherwise
+	// the coordinator links to every member directly.
+	Hierarchical bool
+	// Slots is the scheduling horizon (e.g. 14 days x 8 hours = 112).
+	Slots int
+	// BusyProb is each member's independent probability that a slot is
+	// already booked.
+	BusyProb float64
+	// CommonSlot, when >= 0, is forced free in every calendar so a
+	// solution exists there.
+	CommonSlot int
+	// Seed drives both the network and the calendar generation.
+	Seed int64
+	// InterSite and IntraSite are the link delay models (defaults: WAN
+	// and LAN).
+	InterSite netsim.DelayModel
+	IntraSite netsim.DelayModel
+	// RTO is the reliable layer's retransmission timeout.
+	RTO time.Duration
+}
+
+func (o *CalendarOptions) defaults() {
+	if o.Sites <= 0 {
+		o.Sites = 3
+	}
+	if o.MembersPerSite <= 0 {
+		o.MembersPerSite = 3
+	}
+	if o.Slots <= 0 {
+		o.Slots = 112
+	}
+	if o.InterSite == nil {
+		o.InterSite = netsim.WAN()
+	}
+	if o.IntraSite == nil {
+		o.IntraSite = netsim.LAN()
+	}
+	if o.RTO <= 0 {
+		o.RTO = 50 * time.Millisecond
+	}
+}
+
+// CalendarWorld is an assembled calendar application.
+type CalendarWorld struct {
+	Net         *netsim.Network
+	RT          *core.Runtime
+	Dir         *directory.Directory
+	Coordinator *core.Dapplet
+	Scheduler   *calendar.HeadScheduler
+	Traditional *calendar.Traditional
+	Handle      *session.Handle
+	Members     map[string]*calendar.MemberBehavior
+	MemberNames []string
+	Sites       []calendar.Site
+	Opts        CalendarOptions
+}
+
+// Close tears the world down.
+func (w *CalendarWorld) Close() {
+	w.RT.StopAll()
+	w.Net.Close()
+}
+
+// siteHosts follows Figure 1's geography: members and their secretary
+// share a site (LAN); sites are far apart (WAN).
+func siteName(i int) string { return fmt.Sprintf("site%d", i) }
+
+// BuildCalendar constructs the world: network, installed dapplets,
+// directory, and (for the session scheduler) a committed session.
+func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
+	opts.defaults()
+	net := netsim.New(netsim.WithSeed(opts.Seed), netsim.WithDefaultDelay(opts.IntraSite))
+
+	// Inter-site links get the WAN model; the coordinator lives at site 0.
+	for i := 0; i < opts.Sites; i++ {
+		for j := i + 1; j < opts.Sites; j++ {
+			net.SetLinkDelay(siteName(i), siteName(j), opts.InterSite)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	w := &CalendarWorld{
+		Net:     net,
+		Dir:     directory.New(),
+		Members: make(map[string]*calendar.MemberBehavior),
+		Opts:    opts,
+	}
+
+	// Behaviour registry with per-instance busy calendars handed out in
+	// launch order (Go has no dynamic code loading; see DESIGN.md).
+	var mu sync.Mutex
+	var queue []*calendar.MemberBehavior
+	reg := core.NewRegistry()
+	reg.Register("calendar", func() core.Behavior {
+		mu.Lock()
+		defer mu.Unlock()
+		b := queue[0]
+		queue = queue[1:]
+		return b
+	})
+	reg.Register("secretary", func() core.Behavior { return calendar.NewSecretary(opts.Slots) })
+	reg.Register("coordinator", func() core.Behavior { return calendar.CoordinatorBehavior{} })
+	w.RT = core.NewRuntime(net, reg)
+	w.RT.SetTransportConfig(transport.Config{RTO: opts.RTO})
+
+	launch := func(host, typ, name string) (*core.Dapplet, error) {
+		if err := w.RT.Install(host, typ); err != nil {
+			return nil, err
+		}
+		d, err := w.RT.Launch(host, typ, name)
+		if err != nil {
+			return nil, err
+		}
+		w.Dir.Register(directory.Entry{Name: name, Type: typ, Addr: d.Addr()})
+		return d, nil
+	}
+
+	for i := 0; i < opts.Sites; i++ {
+		site := calendar.Site{Secretary: fmt.Sprintf("secretary-%d", i)}
+		host := siteName(i)
+		for j := 0; j < opts.MembersPerSite; j++ {
+			name := fmt.Sprintf("member-%d-%d", i, j)
+			var busy []int
+			for s := 0; s < opts.Slots; s++ {
+				if s != opts.CommonSlot && rng.Float64() < opts.BusyProb {
+					busy = append(busy, s)
+				}
+			}
+			mb := calendar.NewMember(opts.Slots, busy)
+			mu.Lock()
+			queue = append(queue, mb)
+			mu.Unlock()
+			if _, err := launch(host, "calendar", name); err != nil {
+				return nil, err
+			}
+			w.Members[name] = mb
+			w.MemberNames = append(w.MemberNames, name)
+			site.Members = append(site.Members, name)
+		}
+		if opts.Hierarchical {
+			if _, err := launch(host, "secretary", site.Secretary); err != nil {
+				return nil, err
+			}
+		}
+		w.Sites = append(w.Sites, site)
+	}
+
+	coord, err := launch(siteName(0), "coordinator", "coordinator")
+	if err != nil {
+		return nil, err
+	}
+	w.Coordinator = coord
+	w.Scheduler = calendar.NewHeadScheduler(coord, opts.Slots)
+
+	// The session service on every participant.
+	for _, d := range w.RT.Dapplets() {
+		session.Attach(d, session.Policy{})
+	}
+
+	// Initiate the scheduling session from the coordinator (the
+	// director's initiator dapplet, Figure 2).
+	ini := session.NewInitiator(coord, w.Dir)
+	var spec session.Spec
+	if opts.Hierarchical {
+		spec = calendar.HierarchySpec("calendar-session", "coordinator", w.Sites)
+	} else {
+		spec = calendar.FlatSpec("calendar-session", "coordinator", w.MemberNames)
+	}
+	h, err := ini.Initiate(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: session setup: %w", err)
+	}
+	w.Handle = h
+
+	// The traditional director drives the same member dapplets directly.
+	refs := make([]wire.InboxRef, 0, len(w.MemberNames))
+	for _, name := range w.MemberNames {
+		e, err := w.Dir.MustLookup(name)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, wire.InboxRef{Dapplet: e.Addr, Inbox: calendar.MemberInbox})
+	}
+	w.Traditional = calendar.NewTraditional(coord, refs, opts.Slots)
+	return w, nil
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cardgame"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// CardOptions configures a card-game world.
+type CardOptions struct {
+	// Players is the ring size.
+	Players int
+	// HandSize is the number of cards dealt to each player.
+	HandSize int
+	// Ranks is the number of distinct card ranks in the deck.
+	Ranks int
+	Seed  int64
+	Delay netsim.DelayModel
+	RTO   time.Duration
+}
+
+// CardWorld is an assembled ring-session card game.
+type CardWorld struct {
+	Net     *netsim.Network
+	RT      *core.Runtime
+	Dir     *directory.Directory
+	Players []*cardgame.Player
+	Refs    []wire.InboxRef // each player's pred inbox
+	Dealer  *cardgame.Dealer
+	Hands   [][]int
+	Handle  *session.Handle
+}
+
+// Close tears the world down.
+func (w *CardWorld) Close() {
+	w.RT.StopAll()
+	w.Net.Close()
+}
+
+// BuildCardGame constructs the ring session of §3.1 with dealt hands.
+func BuildCardGame(opts CardOptions) (*CardWorld, error) {
+	if opts.Players < 2 {
+		opts.Players = 4
+	}
+	if opts.HandSize <= 0 {
+		opts.HandSize = 5
+	}
+	if opts.Ranks <= 0 {
+		opts.Ranks = 6
+	}
+	if opts.Delay == nil {
+		opts.Delay = netsim.LAN()
+	}
+	if opts.RTO <= 0 {
+		opts.RTO = 50 * time.Millisecond
+	}
+	net := netsim.New(netsim.WithSeed(opts.Seed), netsim.WithDefaultDelay(opts.Delay))
+	w := &CardWorld{Net: net, Dir: directory.New()}
+
+	var queue []*cardgame.Player
+	reg := core.NewRegistry()
+	reg.Register("player", func() core.Behavior {
+		p := queue[0]
+		queue = queue[1:]
+		return p
+	})
+	reg.Register("dealer", core.Factory(func() core.Behavior {
+		return core.BehaviorFunc(func(d *core.Dapplet) error {
+			d.Inbox(cardgame.TableInbox)
+			return nil
+		})
+	}))
+	w.RT = core.NewRuntime(net, reg)
+	w.RT.SetTransportConfig(transport.Config{RTO: opts.RTO})
+
+	names := make([]string, opts.Players)
+	for i := 0; i < opts.Players; i++ {
+		p := cardgame.NewPlayer()
+		queue = append(queue, p)
+		host := fmt.Sprintf("parlor%d", i)
+		names[i] = fmt.Sprintf("player-%d", i)
+		if err := w.RT.Install(host, "player"); err != nil {
+			return nil, err
+		}
+		d, err := w.RT.Launch(host, "player", names[i])
+		if err != nil {
+			return nil, err
+		}
+		w.Dir.Register(directory.Entry{Name: names[i], Type: "player", Addr: d.Addr()})
+		w.Players = append(w.Players, p)
+		w.Refs = append(w.Refs, wire.InboxRef{Dapplet: d.Addr(), Inbox: cardgame.PredInbox})
+		session.Attach(d, session.Policy{})
+	}
+	if err := w.RT.Install("casino", "dealer"); err != nil {
+		return nil, err
+	}
+	dealerD, err := w.RT.Launch("casino", "dealer", "dealer")
+	if err != nil {
+		return nil, err
+	}
+	w.Dir.Register(directory.Entry{Name: "dealer", Type: "dealer", Addr: dealerD.Addr()})
+	session.Attach(dealerD, session.Policy{})
+	w.Dealer = cardgame.NewDealer(dealerD)
+
+	// Ring links plus announcement links to the dealer.
+	spec := session.Spec{ID: "card-game", Task: "distributed card game"}
+	spec.Participants = append(spec.Participants, session.Participant{Name: "dealer", Role: "dealer"})
+	for i, n := range names {
+		spec.Participants = append(spec.Participants, session.Participant{Name: n, Role: "player"})
+		spec.Links = append(spec.Links,
+			session.Link{From: n, Outbox: cardgame.SuccOutbox, To: names[(i+1)%opts.Players], Inbox: cardgame.PredInbox},
+			session.Link{From: n, Outbox: cardgame.AnnounceOutbox, To: "dealer", Inbox: cardgame.TableInbox},
+		)
+	}
+	ini := session.NewInitiator(dealerD, w.Dir)
+	h, err := ini.Initiate(spec)
+	if err != nil {
+		return nil, err
+	}
+	w.Handle = h
+
+	// Deal deterministic hands.
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	w.Hands = make([][]int, opts.Players)
+	for i := range w.Hands {
+		hand := make([]int, opts.HandSize)
+		for j := range hand {
+			hand[j] = rng.Intn(opts.Ranks)
+		}
+		w.Hands[i] = hand
+	}
+	if err := w.Dealer.Deal(w.Refs, w.Hands); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// TotalCards returns the number of cards dealt.
+func (w *CardWorld) TotalCards() int {
+	n := 0
+	for _, h := range w.Hands {
+		n += len(h)
+	}
+	return n
+}
+
+// CardsHeld sums the cards currently in players' hands.
+func (w *CardWorld) CardsHeld() int {
+	n := 0
+	for _, p := range w.Players {
+		n += len(p.Hand())
+	}
+	return n
+}

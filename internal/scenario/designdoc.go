@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/designdoc"
+	"repro/internal/directory"
+	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/state"
+	"repro/internal/tokens"
+	"repro/internal/transport"
+)
+
+// DesignOptions configures a collaborative-design world.
+type DesignOptions struct {
+	// Designers is the team size; each designer runs on its own host.
+	Designers int
+	// Parts are the document part names; every designer is interested in
+	// every part unless Interests is set.
+	Parts []string
+	// Interests optionally restricts designer i to Interests[i].
+	Interests [][]string
+	// UseTokens guards edits with per-part write tokens.
+	UseTokens bool
+	Seed      int64
+	Delay     netsim.DelayModel
+	RTO       time.Duration
+}
+
+// DesignWorld is an assembled collaborative-design session.
+type DesignWorld struct {
+	Net       *netsim.Network
+	RT        *core.Runtime
+	Dir       *directory.Directory
+	Designers []*designdoc.Designer
+	Dapplets  []*core.Dapplet
+	Alloc     *tokens.Allocator
+	Handle    *session.Handle
+}
+
+// Close tears the world down.
+func (w *DesignWorld) Close() {
+	w.RT.StopAll()
+	w.Net.Close()
+}
+
+// BuildDesign constructs the design-team session: a full mesh of update
+// channels plus (optionally) a token allocator with one write token per
+// part.
+func BuildDesign(opts DesignOptions) (*DesignWorld, error) {
+	if opts.Designers <= 0 {
+		opts.Designers = 3
+	}
+	if len(opts.Parts) == 0 {
+		opts.Parts = []string{"frame", "engine", "ui"}
+	}
+	if opts.Delay == nil {
+		opts.Delay = netsim.LAN()
+	}
+	if opts.RTO <= 0 {
+		opts.RTO = 50 * time.Millisecond
+	}
+	net := netsim.New(netsim.WithSeed(opts.Seed), netsim.WithDefaultDelay(opts.Delay))
+	w := &DesignWorld{Net: net, Dir: directory.New()}
+
+	var queue []*designdoc.Designer
+	reg := core.NewRegistry()
+	reg.Register("designer", func() core.Behavior {
+		b := queue[0]
+		queue = queue[1:]
+		return b
+	})
+	w.RT = core.NewRuntime(net, reg)
+	w.RT.SetTransportConfig(transport.Config{RTO: opts.RTO})
+
+	for i := 0; i < opts.Designers; i++ {
+		interests := opts.Parts
+		if opts.Interests != nil {
+			interests = opts.Interests[i]
+		}
+		ds := designdoc.NewDesigner(interests)
+		queue = append(queue, ds)
+		host := fmt.Sprintf("studio%d", i)
+		name := fmt.Sprintf("designer-%d", i)
+		if err := w.RT.Install(host, "designer"); err != nil {
+			return nil, err
+		}
+		d, err := w.RT.Launch(host, "designer", name)
+		if err != nil {
+			return nil, err
+		}
+		w.Dir.Register(directory.Entry{Name: name, Type: "designer", Addr: d.Addr()})
+		w.Designers = append(w.Designers, ds)
+		w.Dapplets = append(w.Dapplets, d)
+		session.Attach(d, session.Policy{})
+	}
+
+	// Token allocator for part write locks lives on designer 0's dapplet.
+	if opts.UseTokens {
+		pop := tokens.Bag{}
+		for _, p := range opts.Parts {
+			pop[designdoc.TokenColor(p)] = 1
+		}
+		w.Alloc = tokens.Serve(w.Dapplets[0], pop)
+		for _, ds := range w.Designers {
+			ds.UseTokens(w.Alloc.Ref())
+		}
+	}
+
+	// Session: full mesh of update channels ("the collection of dapplets
+	// forms a network — a session — that lasts as long as the design").
+	spec := session.Spec{ID: "design-session", Task: "collaborative design"}
+	for i := range w.Dapplets {
+		spec.Participants = append(spec.Participants, session.Participant{
+			Name: fmt.Sprintf("designer-%d", i),
+			Role: "designer",
+			Access: state.AccessSet{
+				Read:  []string{designdoc.PartsVar},
+				Write: []string{designdoc.PartsVar},
+			},
+		})
+	}
+	for i := range w.Dapplets {
+		for j := range w.Dapplets {
+			if i == j {
+				continue
+			}
+			spec.Links = append(spec.Links, session.Link{
+				From:   fmt.Sprintf("designer-%d", i),
+				Outbox: designdoc.UpdatesOutbox,
+				To:     fmt.Sprintf("designer-%d", j),
+				Inbox:  designdoc.UpdatesInbox,
+			})
+		}
+	}
+	ini := session.NewInitiator(w.Dapplets[0], w.Dir)
+	h, err := ini.Initiate(spec)
+	if err != nil {
+		return nil, err
+	}
+	w.Handle = h
+	return w, nil
+}

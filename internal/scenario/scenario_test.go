@@ -1,0 +1,92 @@
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func TestBuildCalendarDefaults(t *testing.T) {
+	w, err := scenario.BuildCalendar(scenario.CalendarOptions{Seed: 1, CommonSlot: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(w.MemberNames) != 9 { // 3 sites x 3 members by default
+		t.Fatalf("members = %d", len(w.MemberNames))
+	}
+	if w.Handle == nil || w.Scheduler == nil || w.Traditional == nil {
+		t.Fatal("world incomplete")
+	}
+	// The session is live on every member.
+	for _, name := range w.MemberNames {
+		d, ok := w.RT.Dapplet(name)
+		if !ok {
+			t.Fatalf("dapplet %s missing", name)
+		}
+		if got := d.Store().LiveSessions(); len(got) != 1 {
+			t.Fatalf("%s live sessions = %v", name, got)
+		}
+	}
+}
+
+func TestBuildCalendarDeterministicPerSeed(t *testing.T) {
+	build := func() []bool {
+		w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+			Sites: 1, MembersPerSite: 1, Hierarchical: false,
+			Slots: 32, BusyProb: 0.5, CommonSlot: -1, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		m := w.Members[w.MemberNames[0]]
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = m.Busy(i)
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded calendars differ at slot %d", i)
+		}
+	}
+}
+
+func TestBuildDesignWorld(t *testing.T) {
+	w, err := scenario.BuildDesign(scenario.DesignOptions{Designers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if len(w.Designers) != 2 || w.Handle == nil {
+		t.Fatal("design world incomplete")
+	}
+	if _, err := w.Designers[0].Edit("frame", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Designers[1].WaitVersion("frame", 1, 5*time.Second) {
+		t.Fatal("mesh links not wired")
+	}
+}
+
+func TestBuildCardGameWorld(t *testing.T) {
+	w, err := scenario.BuildCardGame(scenario.CardOptions{Players: 3, HandSize: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.TotalCards() != 6 {
+		t.Fatalf("dealt %d cards", w.TotalCards())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for w.CardsHeld() != 6 {
+		if time.Now().After(deadline) {
+			t.Fatal("deal incomplete")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

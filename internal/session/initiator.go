@@ -1,0 +1,528 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/wire"
+)
+
+// DefaultTimeout bounds each phase of session setup and teardown.
+const DefaultTimeout = 10 * time.Second
+
+// ErrTimeout is returned when participants do not respond in time.
+var ErrTimeout = errors.New("session: timed out waiting for participants")
+
+// Rejection records one participant's refusal to join.
+type Rejection struct {
+	Name   string
+	Reason string
+}
+
+// RejectedError reports that a session could not be established because
+// one or more participants refused; the paper postpones what the initiator
+// does next, so we surface the rejections to the caller.
+type RejectedError struct {
+	SessionID  string
+	Rejections []Rejection
+}
+
+// Error implements the error interface.
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("session %s rejected by %d participant(s): %v", e.SessionID, len(e.Rejections), e.Rejections)
+}
+
+var sessionSeq atomic.Uint64
+
+// Initiator links dapplets into sessions using an address directory
+// (§3.1, Fig. 2). It is itself hosted on a dapplet (the initiator
+// dapplet), whose address participants see on control messages.
+type Initiator struct {
+	d       *core.Dapplet
+	dir     *directory.Directory
+	timeout time.Duration
+}
+
+// NewInitiator creates an initiator on the given dapplet with the given
+// address directory.
+func NewInitiator(d *core.Dapplet, dir *directory.Directory) *Initiator {
+	return &Initiator{d: d, dir: dir, timeout: DefaultTimeout}
+}
+
+// SetTimeout changes the per-phase timeout.
+func (ini *Initiator) SetTimeout(d time.Duration) { ini.timeout = d }
+
+// resolved is a link with the destination inbox resolved to an address.
+type resolved struct {
+	fromName string
+	binding  Binding
+	toName   string
+}
+
+// resolveSpec fills participant addresses from the directory and converts
+// links into per-participant bindings.
+func (ini *Initiator) resolveSpec(spec *Spec) (map[string]*Participant, []resolved, error) {
+	parts := make(map[string]*Participant, len(spec.Participants))
+	for i := range spec.Participants {
+		p := &spec.Participants[i]
+		if p.Addr.IsZero() {
+			e, err := ini.dir.MustLookup(p.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			p.Addr = e.Addr
+		}
+		if _, dup := parts[p.Name]; dup {
+			return nil, nil, fmt.Errorf("session: duplicate participant %q", p.Name)
+		}
+		parts[p.Name] = p
+	}
+	links := make([]resolved, 0, len(spec.Links))
+	for _, l := range spec.Links {
+		from, ok := parts[l.From]
+		if !ok {
+			return nil, nil, fmt.Errorf("session: link from unknown participant %q", l.From)
+		}
+		to, ok := parts[l.To]
+		if !ok {
+			return nil, nil, fmt.Errorf("session: link to unknown participant %q", l.To)
+		}
+		_ = from
+		links = append(links, resolved{
+			fromName: l.From,
+			toName:   l.To,
+			binding: Binding{
+				Outbox: l.Outbox,
+				To:     wire.InboxRef{Dapplet: to.Addr, Inbox: l.Inbox},
+			},
+		})
+	}
+	return parts, links, nil
+}
+
+// collectReplies reads envelopes from in until pred says every participant
+// has answered, or the deadline passes.
+func collectReplies(in *core.Inbox, deadline time.Time, want int, accept func(wire.Msg) bool) error {
+	got := 0
+	for got < want {
+		env, err := in.ReceiveEnvelopeTimeout(time.Until(deadline))
+		if err != nil {
+			if errors.Is(err, core.ErrTimeout) {
+				return fmt.Errorf("%w (%d of %d replies)", ErrTimeout, got, want)
+			}
+			return err
+		}
+		if accept(env.Body) {
+			got++
+		}
+	}
+	return nil
+}
+
+// Initiate sets up the session described by spec: it invites every
+// participant, and if all accept, commits the channel bindings. On any
+// rejection the session is aborted everywhere and a *RejectedError is
+// returned. On success it returns a Handle for growing, shrinking and
+// terminating the session.
+func (ini *Initiator) Initiate(spec Spec) (*Handle, error) {
+	if spec.ID == "" {
+		spec.ID = fmt.Sprintf("sess-%s-%d", ini.d.Name(), sessionSeq.Add(1))
+	}
+	parts, links, err := ini.resolveSpec(&spec)
+	if err != nil {
+		return nil, err
+	}
+
+	roster := make([]Participant, len(spec.Participants))
+	copy(roster, spec.Participants)
+
+	// Group bindings and required inboxes per participant.
+	bindingsOf := make(map[string][]Binding)
+	inboxesOf := make(map[string][]string)
+	for _, l := range links {
+		bindingsOf[l.fromName] = append(bindingsOf[l.fromName], l.binding)
+		inboxesOf[l.toName] = append(inboxesOf[l.toName], l.binding.To.Inbox)
+	}
+
+	replyIn := ini.d.NewInbox()
+	defer ini.d.RemoveInbox(replyIn.Name())
+	deadline := time.Now().Add(ini.timeout)
+
+	// Phase 1: invite.
+	for _, p := range spec.Participants {
+		inv := &inviteMsg{
+			SessionID: spec.ID,
+			Task:      spec.Task,
+			Role:      p.Role,
+			Access:    p.Access,
+			Bindings:  bindingsOf[p.Name],
+			Inboxes:   inboxesOf[p.Name],
+			Roster:    roster,
+			ReplyTo:   replyIn.Ref(),
+		}
+		if err := ini.d.SendDirect(controlRef(p), spec.ID, inv); err != nil {
+			return nil, fmt.Errorf("session: invite %s: %w", p.Name, err)
+		}
+	}
+
+	// Phase 1 responses.
+	var rejections []Rejection
+	accepted := make(map[string]bool)
+	err = collectReplies(replyIn, deadline, len(spec.Participants), func(m wire.Msg) bool {
+		switch r := m.(type) {
+		case *acceptMsg:
+			if r.SessionID != spec.ID || accepted[r.Name] {
+				return false
+			}
+			accepted[r.Name] = true
+			return true
+		case *rejectMsg:
+			if r.SessionID != spec.ID {
+				return false
+			}
+			rejections = append(rejections, Rejection{Name: r.Name, Reason: r.Reason})
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		ini.abort(parts, spec.ID, "initiator timeout")
+		return nil, err
+	}
+	if len(rejections) > 0 {
+		ini.abort(parts, spec.ID, "peer rejected")
+		return nil, &RejectedError{SessionID: spec.ID, Rejections: rejections}
+	}
+
+	// Phase 2: commit.
+	for _, p := range spec.Participants {
+		c := &commitMsg{SessionID: spec.ID, ReplyTo: replyIn.Ref()}
+		if err := ini.d.SendDirect(controlRef(p), spec.ID, c); err != nil {
+			return nil, fmt.Errorf("session: commit %s: %w", p.Name, err)
+		}
+	}
+	acked := make(map[string]bool)
+	err = collectReplies(replyIn, deadline, len(spec.Participants), func(m wire.Msg) bool {
+		a, ok := m.(*commitAckMsg)
+		if !ok || a.SessionID != spec.ID || acked[a.Name] {
+			return false
+		}
+		acked[a.Name] = true
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	h := &Handle{
+		ini:          ini,
+		id:           spec.ID,
+		task:         spec.Task,
+		participants: parts,
+		links:        links,
+	}
+	return h, nil
+}
+
+func (ini *Initiator) abort(parts map[string]*Participant, sid, reason string) {
+	for _, p := range parts {
+		_ = ini.d.SendDirect(controlRef(*p), sid, &abortMsg{SessionID: sid, Reason: reason})
+	}
+}
+
+func controlRef(p Participant) wire.InboxRef {
+	return wire.InboxRef{Dapplet: p.Addr, Inbox: ControlInbox}
+}
+
+// Handle is the initiator's live view of an established session.
+type Handle struct {
+	ini  *Initiator
+	id   string
+	task string
+
+	mu           sync.Mutex
+	participants map[string]*Participant
+	links        []resolved
+	terminated   bool
+}
+
+// ID returns the session id.
+func (h *Handle) ID() string { return h.id }
+
+// Participants returns the current roster, sorted by name.
+func (h *Handle) Participants() []Participant {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rosterLocked()
+}
+
+func (h *Handle) rosterLocked() []Participant {
+	out := make([]Participant, 0, len(h.participants))
+	for _, p := range h.participants {
+		out = append(out, *p)
+	}
+	sortParticipants(out)
+	return out
+}
+
+func sortParticipants(ps []Participant) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Name < ps[j-1].Name; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Terminate ends the session: every participant unlinks its bindings and
+// releases its state access, and the initiator waits for acknowledgements.
+func (h *Handle) Terminate() error {
+	h.mu.Lock()
+	if h.terminated {
+		h.mu.Unlock()
+		return nil
+	}
+	h.terminated = true
+	roster := h.rosterLocked()
+	h.mu.Unlock()
+
+	replyIn := h.ini.d.NewInbox()
+	defer h.ini.d.RemoveInbox(replyIn.Name())
+	deadline := time.Now().Add(h.ini.timeout)
+	for _, p := range roster {
+		t := &terminateMsg{SessionID: h.id, ReplyTo: replyIn.Ref()}
+		if err := h.ini.d.SendDirect(controlRef(p), h.id, t); err != nil {
+			return err
+		}
+	}
+	acked := make(map[string]bool)
+	return collectReplies(replyIn, deadline, len(roster), func(m wire.Msg) bool {
+		a, ok := m.(*terminateAckMsg)
+		if !ok || a.SessionID != h.id || acked[a.Name] {
+			return false
+		}
+		acked[a.Name] = true
+		return true
+	})
+}
+
+// Grow adds a participant to the live session with the given new links
+// (which may mention existing participants on either side). The new
+// participant goes through the same invite/commit handshake; existing
+// participants affected by new links are relinked. (§1: sessions "may
+// grow and shrink as required".)
+func (h *Handle) Grow(p Participant, newLinks []Link) error {
+	h.mu.Lock()
+	if h.terminated {
+		h.mu.Unlock()
+		return errors.New("session: terminated")
+	}
+	if _, dup := h.participants[p.Name]; dup {
+		h.mu.Unlock()
+		return fmt.Errorf("session: participant %q already present", p.Name)
+	}
+	h.mu.Unlock()
+
+	if p.Addr.IsZero() {
+		e, err := h.ini.dir.MustLookup(p.Name)
+		if err != nil {
+			return err
+		}
+		p.Addr = e.Addr
+	}
+
+	h.mu.Lock()
+	known := func(name string) (*Participant, bool) {
+		if name == p.Name {
+			return &p, true
+		}
+		q, ok := h.participants[name]
+		return q, ok
+	}
+	var resolvedNew []resolved
+	for _, l := range newLinks {
+		if _, ok := known(l.From); !ok {
+			h.mu.Unlock()
+			return fmt.Errorf("session: link from unknown participant %q", l.From)
+		}
+		to, ok := known(l.To)
+		if !ok {
+			h.mu.Unlock()
+			return fmt.Errorf("session: link to unknown participant %q", l.To)
+		}
+		resolvedNew = append(resolvedNew, resolved{
+			fromName: l.From,
+			toName:   l.To,
+			binding:  Binding{Outbox: l.Outbox, To: wire.InboxRef{Dapplet: to.Addr, Inbox: l.Inbox}},
+		})
+	}
+	newRoster := append(h.rosterLocked(), p)
+	sortParticipants(newRoster)
+	existing := h.rosterLocked()
+	h.mu.Unlock()
+
+	// Bindings and inboxes for the newcomer.
+	var pBindings []Binding
+	var pInboxes []string
+	addsFor := make(map[string][]Binding)
+	for _, l := range resolvedNew {
+		if l.fromName == p.Name {
+			pBindings = append(pBindings, l.binding)
+		} else {
+			addsFor[l.fromName] = append(addsFor[l.fromName], l.binding)
+		}
+		if l.toName == p.Name {
+			pInboxes = append(pInboxes, l.binding.To.Inbox)
+		}
+	}
+
+	replyIn := h.ini.d.NewInbox()
+	defer h.ini.d.RemoveInbox(replyIn.Name())
+	deadline := time.Now().Add(h.ini.timeout)
+
+	// Invite and commit the newcomer.
+	inv := &inviteMsg{
+		SessionID: h.id,
+		Task:      h.task,
+		Role:      p.Role,
+		Access:    p.Access,
+		Bindings:  pBindings,
+		Inboxes:   pInboxes,
+		Roster:    newRoster,
+		ReplyTo:   replyIn.Ref(),
+	}
+	if err := h.ini.d.SendDirect(controlRef(p), h.id, inv); err != nil {
+		return err
+	}
+	var rejected *Rejection
+	err := collectReplies(replyIn, deadline, 1, func(m wire.Msg) bool {
+		switch r := m.(type) {
+		case *acceptMsg:
+			return r.SessionID == h.id && r.Name == p.Name
+		case *rejectMsg:
+			if r.SessionID == h.id && r.Name == p.Name {
+				rejected = &Rejection{Name: r.Name, Reason: r.Reason}
+				return true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if rejected != nil {
+		return &RejectedError{SessionID: h.id, Rejections: []Rejection{*rejected}}
+	}
+	if err := h.ini.d.SendDirect(controlRef(p), h.id, &commitMsg{SessionID: h.id, ReplyTo: replyIn.Ref()}); err != nil {
+		return err
+	}
+	if err := collectReplies(replyIn, deadline, 1, func(m wire.Msg) bool {
+		a, ok := m.(*commitAckMsg)
+		return ok && a.SessionID == h.id && a.Name == p.Name
+	}); err != nil {
+		return err
+	}
+
+	// Relink existing participants: new bindings plus the fresh roster.
+	for _, q := range existing {
+		rl := &relinkMsg{
+			SessionID: h.id,
+			Add:       addsFor[q.Name],
+			Roster:    newRoster,
+			ReplyTo:   replyIn.Ref(),
+		}
+		if err := h.ini.d.SendDirect(controlRef(q), h.id, rl); err != nil {
+			return err
+		}
+	}
+	acked := make(map[string]bool)
+	if err := collectReplies(replyIn, deadline, len(existing), func(m wire.Msg) bool {
+		a, ok := m.(*relinkAckMsg)
+		if !ok || a.SessionID != h.id || acked[a.Name] {
+			return false
+		}
+		acked[a.Name] = true
+		return true
+	}); err != nil {
+		return err
+	}
+
+	h.mu.Lock()
+	h.participants[p.Name] = &p
+	h.links = append(h.links, resolvedNew...)
+	h.mu.Unlock()
+	return nil
+}
+
+// Shrink removes a participant: the victim unlinks everything and releases
+// its state access, and every remaining participant with a channel to the
+// victim's inboxes drops that binding.
+func (h *Handle) Shrink(name string) error {
+	h.mu.Lock()
+	if h.terminated {
+		h.mu.Unlock()
+		return errors.New("session: terminated")
+	}
+	victim, ok := h.participants[name]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("session: no participant %q", name)
+	}
+	removesFor := make(map[string][]Binding)
+	var kept []resolved
+	for _, l := range h.links {
+		if l.fromName == name || l.toName == name {
+			if l.fromName != name {
+				removesFor[l.fromName] = append(removesFor[l.fromName], l.binding)
+			}
+			continue
+		}
+		kept = append(kept, l)
+	}
+	delete(h.participants, name)
+	h.links = kept
+	newRoster := h.rosterLocked()
+	remaining := newRoster
+	h.mu.Unlock()
+
+	replyIn := h.ini.d.NewInbox()
+	defer h.ini.d.RemoveInbox(replyIn.Name())
+	deadline := time.Now().Add(h.ini.timeout)
+
+	// The victim fully unlinks (terminate semantics for it alone).
+	t := &terminateMsg{SessionID: h.id, ReplyTo: replyIn.Ref()}
+	if err := h.ini.d.SendDirect(controlRef(*victim), h.id, t); err != nil {
+		return err
+	}
+	if err := collectReplies(replyIn, deadline, 1, func(m wire.Msg) bool {
+		a, ok := m.(*terminateAckMsg)
+		return ok && a.SessionID == h.id && a.Name == name
+	}); err != nil {
+		return err
+	}
+
+	for _, q := range remaining {
+		rl := &relinkMsg{
+			SessionID: h.id,
+			Remove:    removesFor[q.Name],
+			Roster:    newRoster,
+			ReplyTo:   replyIn.Ref(),
+		}
+		if err := h.ini.d.SendDirect(controlRef(q), h.id, rl); err != nil {
+			return err
+		}
+	}
+	acked := make(map[string]bool)
+	return collectReplies(replyIn, deadline, len(remaining), func(m wire.Msg) bool {
+		a, ok := m.(*relinkAckMsg)
+		if !ok || a.SessionID != h.id || acked[a.Name] {
+			return false
+		}
+		acked[a.Name] = true
+		return true
+	})
+}

@@ -1,0 +1,180 @@
+// Package session implements the paper's sessions: "a temporary network
+// of dapplets that carries out a task" (§1). An initiator dapplet uses an
+// address directory to send link-up requests to component dapplets; a
+// dapplet "may accept the request and link itself up, or it may reject the
+// request because the requesting dapplet was not on its access control
+// list or because it is already participating in a session and another
+// concurrent session would cause interference" (§3.1). Sessions "need not
+// be static: after initiation they may grow and shrink" (§1), and when a
+// session terminates, "component dapplets unlink themselves from each
+// other".
+//
+// Setup is two-phase: Invite -> Accept/Reject, then Commit (bind channels)
+// or Abort. Termination and membership changes are acknowledged so the
+// initiator can observe completion.
+package session
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/state"
+	"repro/internal/wire"
+)
+
+// ControlInbox is the well-known inbox name the session service listens
+// on; every session-capable dapplet has one.
+const ControlInbox = "@session"
+
+// Participant describes one member of a session.
+type Participant struct {
+	// Name is the dapplet's directory name.
+	Name string `json:"n"`
+	// Addr is the dapplet's global address (resolved from the directory
+	// by the initiator when zero).
+	Addr netsim.Addr `json:"a"`
+	// Role is the application role ("calendar", "secretary",
+	// "coordinator"); the behaviour interprets it.
+	Role string `json:"r"`
+	// Access declares the state variables the session reads and writes
+	// at this participant (§2.2); the participant's store enforces it.
+	Access state.AccessSet `json:"acc"`
+}
+
+// Binding instructs a participant to bind one of its outboxes to a remote
+// inbox, creating a directed FIFO channel.
+type Binding struct {
+	Outbox string        `json:"o"`
+	To     wire.InboxRef `json:"to"`
+}
+
+// Link is one directed channel in a session wiring spec, expressed with
+// directory names; the initiator resolves it into a Binding.
+type Link struct {
+	From   string `json:"f"`  // participant name owning the outbox
+	Outbox string `json:"fo"` // outbox name at From
+	To     string `json:"t"`  // participant name owning the inbox
+	Inbox  string `json:"ti"` // inbox name at To
+}
+
+// Spec is a complete session description handed to an initiator.
+type Spec struct {
+	// ID is the session identifier; Initiate generates one if empty.
+	ID string
+	// Task is a human-readable description of what the session does.
+	Task string
+	// Participants lists the members.
+	Participants []Participant
+	// Links wires the members' outboxes to inboxes.
+	Links []Link
+}
+
+// inviteMsg asks a dapplet to join a session.
+type inviteMsg struct {
+	SessionID string          `json:"sid"`
+	Task      string          `json:"task,omitempty"`
+	Role      string          `json:"role"`
+	Access    state.AccessSet `json:"acc"`
+	// Bindings are the outbox bindings this participant must create at
+	// commit time.
+	Bindings []Binding `json:"b,omitempty"`
+	// Inboxes are inbox names this participant must ensure exist.
+	Inboxes []string `json:"in,omitempty"`
+	// Roster is the full participant list (names, addresses and roles),
+	// so behaviours can find their peers.
+	Roster []Participant `json:"roster"`
+	// ReplyTo is the initiator's response inbox.
+	ReplyTo wire.InboxRef `json:"re"`
+}
+
+func (*inviteMsg) Kind() string { return "session.invite" }
+
+// acceptMsg is a participant's positive response to an invitation.
+type acceptMsg struct {
+	SessionID string `json:"sid"`
+	Name      string `json:"n"`
+}
+
+func (*acceptMsg) Kind() string { return "session.accept" }
+
+// rejectMsg is a participant's refusal, with the reason.
+type rejectMsg struct {
+	SessionID string `json:"sid"`
+	Name      string `json:"n"`
+	Reason    string `json:"why"`
+}
+
+func (*rejectMsg) Kind() string { return "session.reject" }
+
+// commitMsg tells an accepted participant to apply its bindings.
+type commitMsg struct {
+	SessionID string        `json:"sid"`
+	ReplyTo   wire.InboxRef `json:"re"`
+}
+
+func (*commitMsg) Kind() string { return "session.commit" }
+
+// commitAckMsg confirms a participant is linked.
+type commitAckMsg struct {
+	SessionID string `json:"sid"`
+	Name      string `json:"n"`
+}
+
+func (*commitAckMsg) Kind() string { return "session.commit-ack" }
+
+// abortMsg cancels a pending session at an accepted participant.
+type abortMsg struct {
+	SessionID string `json:"sid"`
+	Reason    string `json:"why"`
+}
+
+func (*abortMsg) Kind() string { return "session.abort" }
+
+// terminateMsg ends a session: the participant unlinks its bindings and
+// releases its state access.
+type terminateMsg struct {
+	SessionID string        `json:"sid"`
+	ReplyTo   wire.InboxRef `json:"re"`
+}
+
+func (*terminateMsg) Kind() string { return "session.terminate" }
+
+// terminateAckMsg confirms a participant has unlinked.
+type terminateAckMsg struct {
+	SessionID string `json:"sid"`
+	Name      string `json:"n"`
+}
+
+func (*terminateAckMsg) Kind() string { return "session.terminate-ack" }
+
+// relinkMsg grows or shrinks a live session at a participant: Add
+// bindings are applied, Remove bindings are deleted, and the roster is
+// replaced.
+type relinkMsg struct {
+	SessionID string        `json:"sid"`
+	Add       []Binding     `json:"add,omitempty"`
+	Remove    []Binding     `json:"rm,omitempty"`
+	Roster    []Participant `json:"roster,omitempty"`
+	ReplyTo   wire.InboxRef `json:"re"`
+}
+
+func (*relinkMsg) Kind() string { return "session.relink" }
+
+// relinkAckMsg confirms a membership change was applied.
+type relinkAckMsg struct {
+	SessionID string `json:"sid"`
+	Name      string `json:"n"`
+}
+
+func (*relinkAckMsg) Kind() string { return "session.relink-ack" }
+
+func init() {
+	wire.Register(&inviteMsg{})
+	wire.Register(&acceptMsg{})
+	wire.Register(&rejectMsg{})
+	wire.Register(&commitMsg{})
+	wire.Register(&commitAckMsg{})
+	wire.Register(&abortMsg{})
+	wire.Register(&terminateMsg{})
+	wire.Register(&terminateAckMsg{})
+	wire.Register(&relinkMsg{})
+	wire.Register(&relinkAckMsg{})
+}

@@ -1,0 +1,296 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/state"
+	"repro/internal/wire"
+)
+
+// Invitation is the application-visible view of an incoming session
+// request, handed to the ACL policy callback.
+type Invitation struct {
+	SessionID string
+	Task      string
+	Role      string
+	Access    state.AccessSet
+	Roster    []Participant
+}
+
+// Membership is a dapplet's live participation in one session.
+type Membership struct {
+	ID     string
+	Task   string
+	Role   string
+	Roster []Participant
+
+	mu       sync.Mutex
+	bindings []Binding
+}
+
+// Bindings returns the outbox bindings this participant currently holds
+// for the session.
+func (m *Membership) Bindings() []Binding {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Binding(nil), m.bindings...)
+}
+
+// Peer finds a roster entry by role, returning the first match.
+func (m *Membership) Peer(role string) (Participant, bool) {
+	for _, p := range m.Roster {
+		if p.Role == role {
+			return p, true
+		}
+	}
+	return Participant{}, false
+}
+
+// Peers returns all roster entries with the given role.
+func (m *Membership) Peers(role string) []Participant {
+	var out []Participant
+	for _, p := range m.Roster {
+		if p.Role == role {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Policy configures how a dapplet responds to session requests.
+type Policy struct {
+	// ACL, when non-nil, decides whether an inviter may link this dapplet
+	// into a session; returning false rejects the invitation ("because
+	// the requesting dapplet was not on its access control list", §3.1).
+	ACL func(from netsim.Addr, inv Invitation) bool
+	// OnJoin, when non-nil, runs after the dapplet commits to a session.
+	OnJoin func(m *Membership)
+	// OnLeave, when non-nil, runs after the dapplet unlinks from a
+	// session (terminate or shrink).
+	OnLeave func(sessionID string)
+}
+
+// Service is the per-dapplet session participant: it listens on the
+// dapplet's "@session" inbox and manages invitations, channel bindings,
+// interference control and unlinking.
+type Service struct {
+	d      *core.Dapplet
+	policy Policy
+
+	mu      sync.Mutex
+	pending map[string]*inviteMsg
+	members map[string]*Membership
+}
+
+// Attach equips a dapplet with the session service.
+func Attach(d *core.Dapplet, policy Policy) *Service {
+	s := &Service{
+		d:       d,
+		policy:  policy,
+		pending: make(map[string]*inviteMsg),
+		members: make(map[string]*Membership),
+	}
+	d.Handle(ControlInbox, s.handle)
+	return s
+}
+
+// Dapplet returns the service's dapplet.
+func (s *Service) Dapplet() *core.Dapplet { return s.d }
+
+// Sessions returns the ids of sessions this dapplet is linked into.
+func (s *Service) Sessions() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.members))
+	for id := range s.members {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Membership returns the live membership for a session id.
+func (s *Service) Membership(id string) (*Membership, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.members[id]
+	return m, ok
+}
+
+func (s *Service) reply(to wire.InboxRef, sid string, msg wire.Msg) {
+	// Control replies are point-to-point; delivery failures surface on
+	// the dapplet's Failures channel.
+	_ = s.d.SendDirect(to, sid, msg)
+}
+
+func (s *Service) handle(env *wire.Envelope) {
+	switch m := env.Body.(type) {
+	case *inviteMsg:
+		s.onInvite(env.FromDapplet, m)
+	case *commitMsg:
+		s.onCommit(m)
+	case *abortMsg:
+		s.onAbort(m)
+	case *terminateMsg:
+		s.onTerminate(m)
+	case *relinkMsg:
+		s.onRelink(m)
+	}
+}
+
+func (s *Service) onInvite(from netsim.Addr, inv *inviteMsg) {
+	s.mu.Lock()
+	_, already := s.pending[inv.SessionID]
+	_, member := s.members[inv.SessionID]
+	s.mu.Unlock()
+	if already || member {
+		// Idempotent re-accept: the initiator may retry.
+		s.reply(inv.ReplyTo, inv.SessionID, &acceptMsg{SessionID: inv.SessionID, Name: s.d.Name()})
+		return
+	}
+
+	if s.policy.ACL != nil {
+		ok := s.policy.ACL(from, Invitation{
+			SessionID: inv.SessionID,
+			Task:      inv.Task,
+			Role:      inv.Role,
+			Access:    inv.Access,
+			Roster:    inv.Roster,
+		})
+		if !ok {
+			s.reply(inv.ReplyTo, inv.SessionID, &rejectMsg{
+				SessionID: inv.SessionID, Name: s.d.Name(),
+				Reason: "access denied: requester not on access control list",
+			})
+			return
+		}
+	}
+
+	// Interference control (§2.2): reject if a live session modifies
+	// variables this one accesses or vice versa.
+	if err := s.d.Store().TryAcquire(inv.SessionID, inv.Access); err != nil {
+		reason := "interference with a concurrent session"
+		if !errors.Is(err, state.ErrConflict) {
+			reason = err.Error()
+		} else {
+			reason = fmt.Sprintf("interference: %v", err)
+		}
+		s.reply(inv.ReplyTo, inv.SessionID, &rejectMsg{
+			SessionID: inv.SessionID, Name: s.d.Name(), Reason: reason,
+		})
+		return
+	}
+
+	s.mu.Lock()
+	s.pending[inv.SessionID] = inv
+	s.mu.Unlock()
+	s.reply(inv.ReplyTo, inv.SessionID, &acceptMsg{SessionID: inv.SessionID, Name: s.d.Name()})
+}
+
+func (s *Service) onCommit(m *commitMsg) {
+	s.mu.Lock()
+	if _, member := s.members[m.SessionID]; member {
+		s.mu.Unlock()
+		s.reply(m.ReplyTo, m.SessionID, &commitAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
+		return
+	}
+	inv, ok := s.pending[m.SessionID]
+	delete(s.pending, m.SessionID)
+	s.mu.Unlock()
+	if !ok {
+		// Commit for an unknown session: ignore (abort raced ahead).
+		return
+	}
+	for _, name := range inv.Inboxes {
+		s.d.Inbox(name)
+	}
+	for _, b := range inv.Bindings {
+		ob := s.d.Outbox(b.Outbox)
+		ob.SetSession(m.SessionID)
+		ob.Add(b.To)
+	}
+	mem := &Membership{
+		ID:       m.SessionID,
+		Task:     inv.Task,
+		Role:     inv.Role,
+		Roster:   inv.Roster,
+		bindings: append([]Binding(nil), inv.Bindings...),
+	}
+	s.mu.Lock()
+	s.members[m.SessionID] = mem
+	s.mu.Unlock()
+	s.reply(m.ReplyTo, m.SessionID, &commitAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
+	if s.policy.OnJoin != nil {
+		s.policy.OnJoin(mem)
+	}
+}
+
+func (s *Service) onAbort(m *abortMsg) {
+	s.mu.Lock()
+	_, ok := s.pending[m.SessionID]
+	delete(s.pending, m.SessionID)
+	s.mu.Unlock()
+	if ok {
+		s.d.Store().Release(m.SessionID)
+	}
+}
+
+func (s *Service) onTerminate(m *terminateMsg) {
+	s.mu.Lock()
+	mem, ok := s.members[m.SessionID]
+	delete(s.members, m.SessionID)
+	delete(s.pending, m.SessionID)
+	s.mu.Unlock()
+	if ok {
+		mem.mu.Lock()
+		for _, b := range mem.bindings {
+			ob := s.d.Outbox(b.Outbox)
+			_ = ob.Delete(b.To)
+			ob.SetSession("")
+		}
+		mem.bindings = nil
+		mem.mu.Unlock()
+	}
+	s.d.Store().Release(m.SessionID)
+	s.reply(m.ReplyTo, m.SessionID, &terminateAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
+	if ok && s.policy.OnLeave != nil {
+		s.policy.OnLeave(m.SessionID)
+	}
+}
+
+func (s *Service) onRelink(m *relinkMsg) {
+	s.mu.Lock()
+	mem, ok := s.members[m.SessionID]
+	s.mu.Unlock()
+	if !ok {
+		// Not a member: ack anyway so the initiator is not stuck.
+		s.reply(m.ReplyTo, m.SessionID, &relinkAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
+		return
+	}
+	mem.mu.Lock()
+	for _, b := range m.Remove {
+		_ = s.d.Outbox(b.Outbox).Delete(b.To)
+		for i, have := range mem.bindings {
+			if have == b {
+				mem.bindings = append(mem.bindings[:i], mem.bindings[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, b := range m.Add {
+		ob := s.d.Outbox(b.Outbox)
+		ob.SetSession(m.SessionID)
+		ob.Add(b.To)
+		mem.bindings = append(mem.bindings, b)
+	}
+	if m.Roster != nil {
+		mem.Roster = m.Roster
+	}
+	mem.mu.Unlock()
+	s.reply(m.ReplyTo, m.SessionID, &relinkAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
+}

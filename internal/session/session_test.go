@@ -1,0 +1,479 @@
+package session_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/netsim"
+	"repro/internal/session"
+	"repro/internal/state"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// sworld bundles a network, directory and session-capable dapplets.
+type sworld struct {
+	t        *testing.T
+	net      *netsim.Network
+	dir      *directory.Directory
+	services map[string]*session.Service
+}
+
+func newSWorld(t *testing.T, opts ...netsim.Option) *sworld {
+	t.Helper()
+	n := netsim.New(opts...)
+	t.Cleanup(n.Close)
+	return &sworld{t: t, net: n, dir: directory.New(), services: make(map[string]*session.Service)}
+}
+
+func (w *sworld) add(host, name, typ string, policy session.Policy) *core.Dapplet {
+	w.t.Helper()
+	ep, err := w.net.Host(host).BindAny()
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	d := core.NewDapplet(name, typ, transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	w.t.Cleanup(d.Stop)
+	w.services[name] = session.Attach(d, policy)
+	w.dir.Register(directory.Entry{Name: name, Type: typ, Addr: d.Addr()})
+	return d
+}
+
+func (w *sworld) initiator(host, name string) *session.Initiator {
+	w.t.Helper()
+	ep, err := w.net.Host(host).BindAny()
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	d := core.NewDapplet(name, "initiator", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	w.t.Cleanup(d.Stop)
+	ini := session.NewInitiator(d, w.dir)
+	ini.SetTimeout(5 * time.Second)
+	return ini
+}
+
+func starSpec(id string, members []string, hub string) session.Spec {
+	spec := session.Spec{ID: id, Task: "test star"}
+	spec.Participants = append(spec.Participants, session.Participant{Name: hub, Role: "hub"})
+	for _, m := range members {
+		spec.Participants = append(spec.Participants, session.Participant{Name: m, Role: "member"})
+		spec.Links = append(spec.Links,
+			session.Link{From: m, Outbox: "up", To: hub, Inbox: "requests"},
+			session.Link{From: hub, Outbox: "down", To: m, Inbox: "replies"},
+		)
+	}
+	return spec
+}
+
+func TestStarSessionSetupAndMessageFlow(t *testing.T) {
+	w := newSWorld(t)
+	hub := w.add("caltech", "secretary", "secretary", session.Policy{})
+	m1 := w.add("rice", "herb", "calendar", session.Policy{})
+	m2 := w.add("tennessee", "jack", "calendar", session.Policy{})
+	ini := w.initiator("caltech", "director")
+
+	h, err := ini.Initiate(starSpec("s1", []string{"herb", "jack"}, "secretary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != "s1" {
+		t.Fatalf("id = %q", h.ID())
+	}
+	if got := len(h.Participants()); got != 3 {
+		t.Fatalf("participants = %d", got)
+	}
+
+	// Members are linked: member outbox "up" reaches the hub's "requests".
+	if err := m1.Outbox("up").Send(&wire.Text{S: "from-herb"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := hub.Inbox("requests").ReceiveTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.(*wire.Text).S != "from-herb" {
+		t.Fatalf("hub got %v", msg)
+	}
+
+	// Hub multicast reaches both members.
+	if err := hub.Outbox("down").Send(&wire.Text{S: "proposal"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*core.Dapplet{m1, m2} {
+		got, err := m.Inbox("replies").ReceiveTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if got.(*wire.Text).S != "proposal" {
+			t.Fatalf("%s got %v", m.Name(), got)
+		}
+	}
+
+	// Memberships are visible, with roster and roles.
+	mem, ok := w.services["herb"].Membership("s1")
+	if !ok {
+		t.Fatal("herb has no membership")
+	}
+	if mem.Role != "member" || len(mem.Roster) != 3 {
+		t.Fatalf("membership = %+v", mem)
+	}
+	if hubP, ok := mem.Peer("hub"); !ok || hubP.Name != "secretary" {
+		t.Fatalf("peer lookup = %+v %v", hubP, ok)
+	}
+	if peers := mem.Peers("member"); len(peers) != 2 {
+		t.Fatalf("members in roster = %d", len(peers))
+	}
+
+	// Session tags ride on application messages.
+	if err := m2.Outbox("up").Send(&wire.Text{S: "tagged"}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := hub.Inbox("requests").ReceiveEnvelopeTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Session != "s1" {
+		t.Fatalf("session tag = %q", env.Session)
+	}
+}
+
+func TestACLRejection(t *testing.T) {
+	w := newSWorld(t)
+	w.add("h1", "open", "t", session.Policy{})
+	w.add("h2", "closed", "t", session.Policy{
+		ACL: func(from netsim.Addr, inv session.Invitation) bool { return false },
+	})
+	ini := w.initiator("h1", "director")
+	spec := session.Spec{
+		ID: "acl-test",
+		Participants: []session.Participant{
+			{Name: "open", Role: "a"},
+			{Name: "closed", Role: "b"},
+		},
+	}
+	_, err := ini.Initiate(spec)
+	var rej *session.RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want RejectedError", err)
+	}
+	if len(rej.Rejections) != 1 || rej.Rejections[0].Name != "closed" {
+		t.Fatalf("rejections = %+v", rej.Rejections)
+	}
+	// The accepted participant must have been aborted: its state access
+	// is released eventually.
+	open, _ := w.services["open"].Dapplet(), 0
+	deadline := time.Now().Add(5 * time.Second)
+	for len(open.Store().LiveSessions()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("abort never released store: %v", open.Store().LiveSessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And no membership exists anywhere.
+	if got := w.services["open"].Sessions(); len(got) != 0 {
+		t.Fatalf("open joined %v despite abort", got)
+	}
+}
+
+func TestInterferenceRejection(t *testing.T) {
+	w := newSWorld(t)
+	w.add("h", "shared", "t", session.Policy{})
+	w.add("h", "other", "t", session.Policy{})
+	ini := w.initiator("h", "director")
+
+	acc := state.AccessSet{Read: []string{"mon"}, Write: []string{"mon"}}
+	s1 := session.Spec{ID: "first", Participants: []session.Participant{{Name: "shared", Role: "x", Access: acc}}}
+	if _, err := ini.Initiate(s1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second session writing the same variable must be rejected.
+	s2 := session.Spec{ID: "second", Participants: []session.Participant{
+		{Name: "shared", Role: "x", Access: state.AccessSet{Write: []string{"mon"}}},
+	}}
+	_, err := ini.Initiate(s2)
+	var rej *session.RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want RejectedError", err)
+	}
+
+	// A session over disjoint state proceeds concurrently.
+	s3 := session.Spec{ID: "third", Participants: []session.Participant{
+		{Name: "shared", Role: "x", Access: state.AccessSet{Write: []string{"doc"}}},
+		{Name: "other", Role: "y"},
+	}}
+	if _, err := ini.Initiate(s3); err != nil {
+		t.Fatalf("disjoint session rejected: %v", err)
+	}
+	if got := w.services["shared"].Sessions(); len(got) != 2 {
+		t.Fatalf("shared sessions = %v", got)
+	}
+}
+
+func TestTerminateUnlinksAndReleases(t *testing.T) {
+	w := newSWorld(t)
+	hub := w.add("h1", "hub", "t", session.Policy{})
+	var left []string
+	leftC := make(chan string, 4)
+	w.add("h2", "leaf", "t", session.Policy{
+		OnLeave: func(id string) { leftC <- id },
+	})
+	ini := w.initiator("h1", "director")
+	spec := session.Spec{
+		ID: "term-test",
+		Participants: []session.Participant{
+			{Name: "hub", Role: "hub", Access: state.AccessSet{Write: []string{"v"}}},
+			{Name: "leaf", Role: "leaf"},
+		},
+		Links: []session.Link{{From: "hub", Outbox: "out", To: "leaf", Inbox: "in"}},
+	}
+	h, err := ini.Initiate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(hub.Outbox("out").Destinations()); n != 1 {
+		t.Fatalf("hub bindings = %d", n)
+	}
+	if err := h.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	// "When a session terminates, component dapplets unlink themselves."
+	if n := len(hub.Outbox("out").Destinations()); n != 0 {
+		t.Fatalf("bindings survived terminate: %d", n)
+	}
+	if got := hub.Store().LiveSessions(); len(got) != 0 {
+		t.Fatalf("state access survived terminate: %v", got)
+	}
+	select {
+	case id := <-leftC:
+		left = append(left, id)
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnLeave never fired")
+	}
+	if left[0] != "term-test" {
+		t.Fatalf("OnLeave id = %q", left[0])
+	}
+	// Terminate is idempotent.
+	if err := h.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnJoinCallback(t *testing.T) {
+	w := newSWorld(t)
+	joined := make(chan *session.Membership, 1)
+	w.add("h", "j1", "t", session.Policy{
+		OnJoin: func(m *session.Membership) { joined <- m },
+	})
+	ini := w.initiator("h", "director")
+	if _, err := ini.Initiate(session.Spec{
+		ID:           "join-test",
+		Task:         "watch joins",
+		Participants: []session.Participant{{Name: "j1", Role: "solo"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-joined:
+		if m.ID != "join-test" || m.Task != "watch joins" || m.Role != "solo" {
+			t.Fatalf("membership = %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnJoin never fired")
+	}
+}
+
+func TestInitiateTimeoutWhenParticipantSilent(t *testing.T) {
+	w := newSWorld(t)
+	// A dapplet with no session service attached: invites dead-letter.
+	ep, err := w.net.Host("h").BindAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mute := core.NewDapplet("mute", "t", transport.NewSimConn(ep))
+	t.Cleanup(mute.Stop)
+	w.dir.Register(directory.Entry{Name: "mute", Type: "t", Addr: mute.Addr()})
+
+	ini := w.initiator("h", "director")
+	ini.SetTimeout(200 * time.Millisecond)
+	_, err = ini.Initiate(session.Spec{
+		Participants: []session.Participant{{Name: "mute", Role: "x"}},
+	})
+	if !errors.Is(err, session.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestInitiateUnknownParticipant(t *testing.T) {
+	w := newSWorld(t)
+	ini := w.initiator("h", "director")
+	_, err := ini.Initiate(session.Spec{
+		Participants: []session.Participant{{Name: "ghost", Role: "x"}},
+	})
+	if err == nil {
+		t.Fatal("unknown participant accepted")
+	}
+}
+
+func TestInitiateBadLinks(t *testing.T) {
+	w := newSWorld(t)
+	w.add("h", "real", "t", session.Policy{})
+	ini := w.initiator("h", "director")
+	_, err := ini.Initiate(session.Spec{
+		Participants: []session.Participant{{Name: "real", Role: "x"}},
+		Links:        []session.Link{{From: "real", Outbox: "o", To: "phantom", Inbox: "i"}},
+	})
+	if err == nil {
+		t.Fatal("link to unknown participant accepted")
+	}
+	_, err = ini.Initiate(session.Spec{
+		Participants: []session.Participant{
+			{Name: "real", Role: "x"}, {Name: "real", Role: "y"},
+		},
+	})
+	if err == nil {
+		t.Fatal("duplicate participant accepted")
+	}
+}
+
+func TestGrowAddsParticipantAndLinks(t *testing.T) {
+	w := newSWorld(t)
+	hub := w.add("h1", "hub", "t", session.Policy{})
+	w.add("h2", "m1", "t", session.Policy{})
+	m2 := w.add("h3", "m2", "t", session.Policy{})
+	ini := w.initiator("h1", "director")
+
+	h, err := ini.Initiate(starSpec("grow-test", []string{"m1"}, "hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow: m2 joins with links in both directions.
+	err = h.Grow(session.Participant{Name: "m2", Role: "member"}, []session.Link{
+		{From: "m2", Outbox: "up", To: "hub", Inbox: "requests"},
+		{From: "hub", Outbox: "down", To: "m2", Inbox: "replies"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Participants()); got != 3 {
+		t.Fatalf("participants after grow = %d", got)
+	}
+
+	// New member can reach the hub.
+	if err := m2.Outbox("up").Send(&wire.Text{S: "new-blood"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hub.Inbox("requests").ReceiveTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*wire.Text).S != "new-blood" {
+		t.Fatalf("hub got %v", got)
+	}
+	// Hub multicast now reaches m2 as well.
+	if n := len(hub.Outbox("down").Destinations()); n != 2 {
+		t.Fatalf("hub down bindings = %d, want 2", n)
+	}
+	// Existing members' rosters were updated.
+	mem, _ := w.services["m1"].Membership("grow-test")
+	if len(mem.Roster) != 3 {
+		t.Fatalf("m1 roster = %d entries", len(mem.Roster))
+	}
+	// Duplicate grow rejected.
+	if err := h.Grow(session.Participant{Name: "m2", Role: "member"}, nil); err == nil {
+		t.Fatal("duplicate grow accepted")
+	}
+}
+
+func TestShrinkRemovesParticipant(t *testing.T) {
+	w := newSWorld(t)
+	hub := w.add("h1", "hub", "t", session.Policy{})
+	m1 := w.add("h2", "m1", "t", session.Policy{})
+	w.add("h3", "m2", "t", session.Policy{})
+	ini := w.initiator("h1", "director")
+	h, err := ini.Initiate(starSpec("shrink-test", []string{"m1", "m2"}, "hub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Shrink("m1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Participants()); got != 2 {
+		t.Fatalf("participants after shrink = %d", got)
+	}
+	// Hub no longer multicasts to m1.
+	if n := len(hub.Outbox("down").Destinations()); n != 1 {
+		t.Fatalf("hub down bindings = %d, want 1", n)
+	}
+	// m1 fully unlinked and released.
+	if n := len(m1.Outbox("up").Destinations()); n != 0 {
+		t.Fatalf("victim bindings = %d, want 0", n)
+	}
+	if got := w.services["m1"].Sessions(); len(got) != 0 {
+		t.Fatalf("victim still member of %v", got)
+	}
+	// Shrinking a non-member fails.
+	if err := h.Shrink("m1"); err == nil {
+		t.Fatal("double shrink accepted")
+	}
+}
+
+func TestRingTopologySession(t *testing.T) {
+	// §3.1: "in a distributed card game session, a player dapplet may be
+	// linked to its predecessor and successor player dapplets".
+	w := newSWorld(t)
+	names := []string{"p0", "p1", "p2", "p3"}
+	players := make([]*core.Dapplet, len(names))
+	for i, n := range names {
+		players[i] = w.add("host"+n, n, "player", session.Policy{})
+	}
+	spec := session.Spec{ID: "ring", Task: "card game"}
+	for i, n := range names {
+		spec.Participants = append(spec.Participants, session.Participant{Name: n, Role: "player"})
+		next := names[(i+1)%len(names)]
+		spec.Links = append(spec.Links, session.Link{From: n, Outbox: "succ", To: next, Inbox: "pred"})
+	}
+	ini := w.initiator("hub", "dealer")
+	if _, err := ini.Initiate(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Pass a token all the way around the ring.
+	if err := players[0].Outbox("succ").Send(&wire.Text{S: "token"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= len(players); i++ {
+		p := players[i%len(players)]
+		got, err := p.Inbox("pred").ReceiveTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("hop %d: %v", i, err)
+		}
+		if got.(*wire.Text).S != "token" {
+			t.Fatalf("hop %d got %v", i, got)
+		}
+		if i < len(players) {
+			if err := p.Outbox("succ").Send(got.(*wire.Text)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSessionOverWANWithLoss(t *testing.T) {
+	w := newSWorld(t, netsim.WithSeed(21))
+	w.net.SetLink("caltech", "rice", netsim.LinkParams{Loss: 0.2})
+	w.add("caltech", "hub", "t", session.Policy{})
+	w.add("rice", "remote", "t", session.Policy{})
+	ini := w.initiator("caltech", "director")
+	h, err := ini.Initiate(starSpec("lossy", []string{"remote"}, "hub"))
+	if err != nil {
+		t.Fatalf("session setup under 20%% loss failed: %v", err)
+	}
+	if err := h.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+}

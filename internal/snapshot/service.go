@@ -1,0 +1,370 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// StateFunc captures a dapplet's local state; the result must be
+// JSON-serializable.
+type StateFunc func() any
+
+// markerSnap is the per-snapshot state of a marker (Chandy–Lamport) run.
+type markerSnap struct {
+	replyTo   wire.InboxRef
+	recorded  bool
+	state     json.RawMessage
+	sentAt    map[string]uint64
+	recvAt    map[string]uint64
+	recording map[string]bool
+	channels  map[string][]json.RawMessage
+	awaiting  int
+}
+
+// clockSnap is the per-snapshot state of a clock-based checkpoint.
+type clockSnap struct {
+	t         uint64
+	replyTo   wire.InboxRef
+	recorded  bool
+	state     json.RawMessage
+	sentAt    map[string]uint64
+	recvAt    map[string]uint64
+	channels  map[string][]json.RawMessage
+	flushed   map[string]bool
+	awaiting  int
+	flushSent bool
+	reported  bool
+}
+
+// Service makes a dapplet snapshot-capable: it watches every application
+// message the dapplet sends and receives, keeps per-peer counters, and
+// participates in marker and clock-based snapshot protocols on the
+// dapplet's "@snap" traffic. Control messages are processed synchronously
+// in the dapplet's demultiplexer so they stay FIFO-ordered with
+// application messages on each channel.
+type Service struct {
+	d       *core.Dapplet
+	stateFn StateFunc
+
+	mu      sync.Mutex
+	peers   []Member
+	byAddr  map[netsim.Addr]string
+	sent    map[string]uint64
+	recv    map[string]uint64
+	markers map[string]*markerSnap
+	clocks  map[string]*clockSnap
+}
+
+// Attach equips the dapplet with the snapshot service. stateFn is invoked
+// at the instant the local state is recorded.
+func Attach(d *core.Dapplet, stateFn StateFunc) *Service {
+	s := &Service{
+		d:       d,
+		stateFn: stateFn,
+		byAddr:  make(map[netsim.Addr]string),
+		sent:    make(map[string]uint64),
+		recv:    make(map[string]uint64),
+		markers: make(map[string]*markerSnap),
+		clocks:  make(map[string]*clockSnap),
+	}
+	// Drain the control inbox; actual processing happens in onRecv so it
+	// is ordered with application traffic.
+	d.Handle(ControlInbox, func(*wire.Envelope) {})
+	d.OnRecv(s.onRecv)
+	d.OnSend(s.onSend)
+	return s
+}
+
+// SetPeers declares the other participants whose channels this dapplet
+// must track (typically the session roster minus itself).
+func (s *Service) SetPeers(peers []Member) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = append([]Member(nil), peers...)
+	s.byAddr = make(map[netsim.Addr]string, len(peers))
+	for _, p := range peers {
+		s.byAddr[p.Addr] = p.Name
+	}
+}
+
+func (s *Service) onSend(env *wire.Envelope) {
+	if !isAppEnvelope(env) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peer, ok := s.byAddr[env.To.Dapplet]
+	if !ok {
+		return
+	}
+	// A send stamped at or after T is a post-checkpoint event: the local
+	// state must be recorded before it is counted (§4.2).
+	for _, cs := range s.clocks {
+		if !cs.recorded && env.Lamport >= cs.t {
+			s.recordClockLocked(cs)
+		}
+	}
+	s.sent[peer]++
+}
+
+func (s *Service) onRecv(env *wire.Envelope) {
+	if env.To.Inbox == ControlInbox {
+		s.onControl(env)
+		return
+	}
+	if !isAppEnvelope(env) {
+		return
+	}
+	s.mu.Lock()
+	peer, ok := s.byAddr[env.FromDapplet]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	body, _ := wire.Marshal(env.Body)
+
+	// Marker snapshots: channel recording between record point and the
+	// channel's marker arrival.
+	for _, ms := range s.markers {
+		if ms.recorded && ms.recording[peer] {
+			ms.channels[peer] = append(ms.channels[peer], body)
+		}
+	}
+	// Clock checkpoints: trigger on the first post-T message, and capture
+	// pre-T messages that arrive after the record point.
+	for _, cs := range s.clocks {
+		if !cs.recorded && env.Lamport >= cs.t {
+			s.recordClockLocked(cs)
+		}
+		if cs.recorded && env.Lamport < cs.t {
+			cs.channels[peer] = append(cs.channels[peer], body)
+		}
+	}
+	s.recv[peer]++
+	s.mu.Unlock()
+}
+
+func (s *Service) onControl(env *wire.Envelope) {
+	switch m := env.Body.(type) {
+	case *startMsg:
+		s.startMarker(m.SnapID, m.ReplyTo, "")
+	case *markerMsg:
+		s.onMarker(m)
+	case *takeMsg:
+		s.onTake(m)
+	case *collectMsg:
+		s.onCollect(m)
+	case *flushMsg:
+		s.onFlush(m)
+	}
+}
+
+// --- marker protocol ---
+
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// startMarker records local state and emits markers; fromPeer names the
+// channel whose marker triggered it ("" when initiating).
+func (s *Service) startMarker(id string, replyTo wire.InboxRef, fromPeer string) {
+	s.mu.Lock()
+	ms := s.markers[id]
+	if ms == nil {
+		ms = &markerSnap{
+			replyTo:   replyTo,
+			recording: make(map[string]bool),
+			channels:  make(map[string][]json.RawMessage),
+		}
+		s.markers[id] = ms
+	}
+	if ms.recorded {
+		s.mu.Unlock()
+		return
+	}
+	ms.recorded = true
+	ms.state, _ = json.Marshal(s.stateFn())
+	ms.sentAt = copyCounts(s.sent)
+	ms.recvAt = copyCounts(s.recv)
+	var targets []Member
+	for _, p := range s.peers {
+		if p.Name == fromPeer {
+			continue // the triggering channel's state is empty by rule
+		}
+		ms.recording[p.Name] = true
+		ms.awaiting++
+	}
+	targets = append(targets, s.peers...)
+	done := ms.awaiting == 0
+	s.mu.Unlock()
+
+	// Relay markers on all outgoing channels.
+	for _, p := range targets {
+		_ = s.d.SendDirect(wire.InboxRef{Dapplet: p.Addr, Inbox: ControlInbox}, id,
+			&markerMsg{SnapID: id, From: s.d.Name(), ReplyTo: replyTo})
+	}
+	if done {
+		s.reportMarker(id)
+	}
+}
+
+func (s *Service) onMarker(m *markerMsg) {
+	s.mu.Lock()
+	ms := s.markers[m.SnapID]
+	firstContact := ms == nil || !ms.recorded
+	s.mu.Unlock()
+
+	if firstContact {
+		// First marker: record state; the arrival channel is empty.
+		s.startMarker(m.SnapID, m.ReplyTo, m.From)
+		return
+	}
+	s.mu.Lock()
+	done := false
+	if ms.recording[m.From] {
+		ms.recording[m.From] = false
+		ms.awaiting--
+		done = ms.awaiting == 0
+	}
+	s.mu.Unlock()
+	if done {
+		s.reportMarker(m.SnapID)
+	}
+}
+
+func (s *Service) reportMarker(id string) {
+	s.mu.Lock()
+	ms := s.markers[id]
+	if ms == nil {
+		s.mu.Unlock()
+		return
+	}
+	rep := &reportMsg{
+		SnapID:   id,
+		Name:     s.d.Name(),
+		State:    ms.state,
+		SentAt:   ms.sentAt,
+		RecvAt:   ms.recvAt,
+		Channels: ms.channels,
+	}
+	replyTo := ms.replyTo
+	delete(s.markers, id)
+	s.mu.Unlock()
+	_ = s.d.SendDirect(replyTo, id, rep)
+}
+
+// --- clock-checkpoint protocol ---
+
+func (s *Service) recordClockLocked(cs *clockSnap) {
+	cs.recorded = true
+	cs.state, _ = json.Marshal(s.stateFn())
+	cs.sentAt = copyCounts(s.sent)
+	cs.recvAt = copyCounts(s.recv)
+}
+
+// armClockLocked creates (or returns) the checkpoint state for a snapshot
+// id, recording immediately if the clock has already passed T.
+func (s *Service) armClockLocked(id string, t uint64, replyTo wire.InboxRef) *clockSnap {
+	if cs, ok := s.clocks[id]; ok {
+		return cs
+	}
+	cs := &clockSnap{
+		t:        t,
+		replyTo:  replyTo,
+		channels: make(map[string][]json.RawMessage),
+		flushed:  make(map[string]bool),
+		awaiting: len(s.peers),
+	}
+	s.clocks[id] = cs
+	if s.d.Clock().Now() >= t {
+		s.recordClockLocked(cs)
+	}
+	return cs
+}
+
+func (s *Service) onTake(m *takeMsg) {
+	s.mu.Lock()
+	s.armClockLocked(m.SnapID, m.T, m.ReplyTo)
+	s.mu.Unlock()
+}
+
+func (s *Service) onCollect(m *collectMsg) {
+	s.mu.Lock()
+	cs := s.clocks[m.SnapID]
+	if cs == nil {
+		s.mu.Unlock()
+		return
+	}
+	if !cs.recorded {
+		// The collect message's stamp exceeds T, so the clock has passed
+		// T by now; record immediately.
+		s.recordClockLocked(cs)
+	}
+	var targets []Member
+	if !cs.flushSent {
+		cs.flushSent = true
+		targets = append(targets, s.peers...)
+	}
+	t, replyTo := cs.t, cs.replyTo
+	rep, repTo := s.maybeReportClockLocked(m.SnapID, cs)
+	s.mu.Unlock()
+
+	for _, p := range targets {
+		_ = s.d.SendDirect(wire.InboxRef{Dapplet: p.Addr, Inbox: ControlInbox}, m.SnapID,
+			&flushMsg{SnapID: m.SnapID, T: t, From: s.d.Name(), ReplyTo: replyTo})
+	}
+	if rep != nil {
+		_ = s.d.SendDirect(repTo, m.SnapID, rep)
+	}
+}
+
+func (s *Service) onFlush(m *flushMsg) {
+	s.mu.Lock()
+	cs := s.armClockLocked(m.SnapID, m.T, m.ReplyTo)
+	if !cs.recorded {
+		// The flush stamp exceeds T, so the clock has passed T.
+		s.recordClockLocked(cs)
+	}
+	if !cs.flushed[m.From] {
+		cs.flushed[m.From] = true
+		cs.awaiting--
+	}
+	rep, repTo := s.maybeReportClockLocked(m.SnapID, cs)
+	s.mu.Unlock()
+	if rep != nil {
+		_ = s.d.SendDirect(repTo, m.SnapID, rep)
+	}
+}
+
+// maybeReportClockLocked builds the report once the local record exists
+// and every peer channel has been flushed. The snapshot state is retained
+// until the member has also sent its own flushes, so a late collect can
+// still trigger them.
+func (s *Service) maybeReportClockLocked(id string, cs *clockSnap) (*reportMsg, wire.InboxRef) {
+	if cs.reported && cs.flushSent {
+		delete(s.clocks, id)
+	}
+	if !cs.recorded || cs.awaiting > 0 || cs.reported {
+		return nil, wire.InboxRef{}
+	}
+	cs.reported = true
+	if cs.flushSent {
+		delete(s.clocks, id)
+	}
+	return &reportMsg{
+		SnapID:   id,
+		Name:     s.d.Name(),
+		State:    cs.state,
+		SentAt:   cs.sentAt,
+		RecvAt:   cs.recvAt,
+		Channels: cs.channels,
+	}, cs.replyTo
+}

@@ -1,0 +1,277 @@
+package snapshot_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/snapshot"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ringNode is a reactive dapplet behaviour: it holds up to `keep` tokens
+// and forwards the rest around a ring. Its state mutation happens in the
+// dapplet's demultiplexer (OnRecv), the style the snapshot service orders
+// correctly with respect to recording.
+type ringNode struct {
+	mu   sync.Mutex
+	held int
+}
+
+func (n *ringNode) state() any {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.held
+}
+
+// ringWorld builds n dapplets in a ring with snapshot services attached.
+type ringWorld struct {
+	dapplets []*core.Dapplet
+	nodes    []*ringNode
+	services []*snapshot.Service
+	members  []snapshot.Member
+}
+
+func buildRing(t *testing.T, net *netsim.Network, n, keep int) *ringWorld {
+	t.Helper()
+	w := &ringWorld{}
+	for i := 0; i < n; i++ {
+		ep, err := net.Host(fmt.Sprintf("host%d", i)).BindAny()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := core.NewDapplet(fmt.Sprintf("node%d", i), "ring", transport.NewSimConn(ep),
+			core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+		t.Cleanup(d.Stop)
+		node := &ringNode{}
+		// Snapshot service first: its observers must run before the
+		// application's state mutation.
+		svc := snapshot.Attach(d, node.state)
+		w.dapplets = append(w.dapplets, d)
+		w.nodes = append(w.nodes, node)
+		w.services = append(w.services, svc)
+		w.members = append(w.members, snapshot.Member{Name: d.Name(), Addr: d.Addr()})
+	}
+	for i, d := range w.dapplets {
+		next := w.dapplets[(i+1)%n]
+		out := d.Outbox("succ")
+		out.Add(wire.InboxRef{Dapplet: next.Addr(), Inbox: "ring"})
+		d.Handle("ring", func(*wire.Envelope) {}) // drain the queue
+		node := w.nodes[i]
+		d.OnRecv(func(env *wire.Envelope) {
+			if env.To.Inbox != "ring" {
+				return
+			}
+			if _, ok := env.Body.(*wire.Text); !ok {
+				return
+			}
+			node.mu.Lock()
+			node.held++
+			forward := node.held > keep
+			if forward {
+				node.held--
+			}
+			node.mu.Unlock()
+			if forward {
+				_ = out.Send(&wire.Text{S: "tok"})
+			}
+		})
+	}
+	for i := range w.dapplets {
+		peers := make([]snapshot.Member, 0, n-1)
+		for j, m := range w.members {
+			if j != i {
+				peers = append(peers, m)
+			}
+		}
+		w.services[i].SetPeers(peers)
+	}
+	return w
+}
+
+// inject starts `tokens` tokens circulating from node 0.
+func (w *ringWorld) inject(t *testing.T, tokens int) {
+	t.Helper()
+	for i := 0; i < tokens; i++ {
+		if err := w.dapplets[0].Outbox("succ").Send(&wire.Text{S: "tok"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// tokensIn counts tokens in recorded states plus channel states.
+func tokensIn(t *testing.T, g *snapshot.Global) int {
+	t.Helper()
+	total := 0
+	for name, raw := range g.States {
+		var held int
+		if err := json.Unmarshal(raw, &held); err != nil {
+			t.Fatalf("state of %s: %v", name, err)
+		}
+		total += held
+	}
+	total += g.InFlight()
+	return total
+}
+
+func coordinatorOn(t *testing.T, net *netsim.Network, members []snapshot.Member) *snapshot.Coordinator {
+	t.Helper()
+	ep, err := net.Host("coord").BindAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDapplet("coordinator", "coord", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	t.Cleanup(d.Stop)
+	c := snapshot.NewCoordinator(d, members)
+	c.SetTimeout(10 * time.Second)
+	c.SetSettle(150 * time.Millisecond)
+	return c
+}
+
+func TestMarkerSnapshotConservesTokens(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(17))
+	defer net.Close()
+	const nodes, tokens, keep = 4, 6, 1
+	w := buildRing(t, net, nodes, keep)
+	coord := coordinatorOn(t, net, w.members)
+	w.inject(t, tokens)
+	time.Sleep(50 * time.Millisecond) // let circulation reach steady state
+
+	g, err := coord.SnapshotMarker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tokensIn(t, g); got != tokens {
+		t.Fatalf("snapshot sees %d tokens, want %d (states=%v, in-flight=%d)",
+			got, tokens, g.States, g.InFlight())
+	}
+	if len(g.States) != nodes {
+		t.Fatalf("states from %d nodes", len(g.States))
+	}
+}
+
+func TestClockSnapshotConservesTokens(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(23))
+	defer net.Close()
+	const nodes, tokens, keep = 5, 8, 1
+	w := buildRing(t, net, nodes, keep)
+	coord := coordinatorOn(t, net, w.members)
+	w.inject(t, tokens)
+	time.Sleep(50 * time.Millisecond)
+
+	g, err := coord.SnapshotClock(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tokensIn(t, g); got != tokens {
+		t.Fatalf("checkpoint sees %d tokens, want %d", got, tokens)
+	}
+}
+
+func TestRepeatedSnapshotsOnLiveSystem(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(31))
+	defer net.Close()
+	const nodes, tokens = 3, 4
+	w := buildRing(t, net, nodes, 1)
+	coord := coordinatorOn(t, net, w.members)
+	w.inject(t, tokens)
+	for i := 0; i < 3; i++ {
+		g, err := coord.SnapshotMarker()
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if err := g.CheckConsistent(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		if got := tokensIn(t, g); got != tokens {
+			t.Fatalf("snapshot %d sees %d tokens", i, got)
+		}
+	}
+}
+
+func TestSnapshotQuiescentSystem(t *testing.T) {
+	// A ring with no traffic: all channels empty, zero counters, states
+	// intact.
+	net := netsim.New()
+	defer net.Close()
+	w := buildRing(t, net, 3, 0)
+	coord := coordinatorOn(t, net, w.members)
+	g, err := coord.SnapshotMarker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("in-flight = %d on quiescent ring", g.InFlight())
+	}
+	if got := tokensIn(t, g); got != 0 {
+		t.Fatalf("tokens = %d", got)
+	}
+}
+
+func TestClockSnapshotQuiescent(t *testing.T) {
+	net := netsim.New()
+	defer net.Close()
+	w := buildRing(t, net, 3, 0)
+	coord := coordinatorOn(t, net, w.members)
+	coordFast := coord
+	coordFast.SetSettle(20 * time.Millisecond)
+	g, err := coordFast.SnapshotClock(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckConsistentDetectsViolations(t *testing.T) {
+	g := &snapshot.Global{
+		Sent: map[snapshot.ChannelKey]uint64{{From: "a", To: "b"}: 5},
+		Recv: map[snapshot.ChannelKey]uint64{{From: "a", To: "b"}: 3},
+		Channels: map[snapshot.ChannelKey][]json.RawMessage{
+			{From: "a", To: "b"}: {json.RawMessage(`1`), json.RawMessage(`2`)},
+		},
+	}
+	if err := g.CheckConsistent(); err != nil {
+		t.Fatalf("consistent cut flagged: %v", err)
+	}
+	// Lose one in-flight message: 5 != 3 + 1.
+	g.Channels[snapshot.ChannelKey{From: "a", To: "b"}] = g.Channels[snapshot.ChannelKey{From: "a", To: "b"}][:1]
+	if err := g.CheckConsistent(); err == nil {
+		t.Fatal("inconsistency not detected")
+	}
+}
+
+func TestChannelKeyString(t *testing.T) {
+	k := snapshot.ChannelKey{From: "p", To: "q"}
+	if k.String() != "p->q" {
+		t.Fatalf("String = %q", k.String())
+	}
+}
+
+func TestEmptyMembership(t *testing.T) {
+	net := netsim.New()
+	defer net.Close()
+	coord := coordinatorOn(t, net, nil)
+	if _, err := coord.SnapshotMarker(); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	if _, err := coord.SnapshotClock(10); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+}

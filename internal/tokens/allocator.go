@@ -1,0 +1,277 @@
+package tokens
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// AllocStats counts allocator events.
+type AllocStats struct {
+	Requests  uint64
+	Grants    uint64
+	Denies    uint64
+	Deadlocks uint64 // requests denied due to deadlock
+	Releases  uint64
+}
+
+// pendReq is a queued request ordered by logical timestamp.
+type pendReq struct {
+	req  *reqMsg
+	want Bag // explicit want with AllOf colours resolved
+}
+
+// Allocator is the hub of a network of token managers: it owns the fixed
+// token population of a session and serves request/release/total traffic
+// on the dapplet's AllocInbox.
+type Allocator struct {
+	d *core.Dapplet
+
+	mu      sync.Mutex
+	total   Bag
+	free    Bag
+	holds   map[string]Bag
+	serials map[Color]uint64
+	pending []*pendReq
+	stats   AllocStats
+}
+
+// Serve starts a token allocator on the dapplet with the given initial
+// token population. "The dapplet that constructs the network of token
+// managers ensures that the initial number of tokens is set appropriately"
+// (§4.1).
+func Serve(d *core.Dapplet, initial Bag) *Allocator {
+	a := &Allocator{
+		d:       d,
+		total:   initial.Copy().Normalize(),
+		free:    initial.Copy().Normalize(),
+		holds:   make(map[string]Bag),
+		serials: make(map[Color]uint64),
+	}
+	d.Handle(AllocInbox, a.handle)
+	return a
+}
+
+// Ref returns the allocator's control inbox reference, which managers
+// connect to.
+func (a *Allocator) Ref() wire.InboxRef {
+	return wire.InboxRef{Dapplet: a.d.Addr(), Inbox: AllocInbox}
+}
+
+// Total returns the fixed token population.
+func (a *Allocator) Total() Bag {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total.Copy()
+}
+
+// Free returns the tokens currently held by the manager network itself.
+func (a *Allocator) Free() Bag {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.free.Copy()
+}
+
+// Holds returns a copy of every dapplet's holdings.
+func (a *Allocator) Holds() map[string]Bag {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]Bag, len(a.holds))
+	for c, b := range a.holds {
+		out[c] = b.Copy()
+	}
+	return out
+}
+
+// Stats returns a snapshot of allocator counters.
+func (a *Allocator) Stats() AllocStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ConservationHolds verifies the token invariant: "the total number of
+// tokens of each colour in the system remains unchanged."
+func (a *Allocator) ConservationHolds() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sum := a.free.Copy()
+	for _, h := range a.holds {
+		sum.Add(h)
+	}
+	if len(sum) != len(a.total) {
+		return false
+	}
+	for c, n := range a.total {
+		if sum[c] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Allocator) handle(env *wire.Envelope) {
+	switch m := env.Body.(type) {
+	case *reqMsg:
+		a.onRequest(m)
+	case *relMsg:
+		a.onRelease(m)
+	case *totalReqMsg:
+		a.mu.Lock()
+		tot := a.total.Copy()
+		a.mu.Unlock()
+		_ = a.d.SendDirect(m.ReplyTo, "", &totalRepMsg{ReqID: m.ReqID, Total: tot})
+	}
+}
+
+func (a *Allocator) onRequest(m *reqMsg) {
+	a.mu.Lock()
+	a.stats.Requests++
+
+	// Resolve the effective want, expanding AllOf colours to the total
+	// population of that colour.
+	want := m.Want.Copy().Normalize()
+	for _, c := range m.AllOf {
+		want[c] = a.total[c]
+	}
+	// Requests for colours that do not exist can never be satisfied.
+	for c := range want {
+		if _, ok := a.total[c]; !ok {
+			a.stats.Denies++
+			a.mu.Unlock()
+			_ = a.d.SendDirect(m.ReplyTo, "", &denyMsg{
+				ReqID: m.ReqID, Reason: "unknown color " + string(c), BadColor: true,
+			})
+			return
+		}
+	}
+
+	a.pending = append(a.pending, &pendReq{req: m, want: want})
+	// Conflicts are resolved in favour of the earlier timestamp, ties by
+	// lower id (§4.2): keep the queue sorted accordingly.
+	sort.SliceStable(a.pending, func(i, j int) bool {
+		return a.pending[i].req.Stamp.Less(a.pending[j].req.Stamp)
+	})
+	grants, denies := a.scanLocked()
+	a.mu.Unlock()
+	a.dispatch(grants, denies)
+}
+
+func (a *Allocator) onRelease(m *relMsg) {
+	a.mu.Lock()
+	give := m.Give.Copy().Normalize()
+	h := a.holds[m.Client]
+	if h == nil || !h.Sub(give) {
+		// The manager already raised ErrNotHeld locally; ignore the
+		// inconsistent release to preserve conservation.
+		a.mu.Unlock()
+		return
+	}
+	if h.IsEmpty() {
+		delete(a.holds, m.Client)
+	}
+	a.free.Add(give)
+	a.stats.Releases++
+	grants, denies := a.scanLocked()
+	a.mu.Unlock()
+	a.dispatch(grants, denies)
+}
+
+type reply struct {
+	to  wire.InboxRef
+	msg wire.Msg
+}
+
+func (a *Allocator) dispatch(grants, denies []reply) {
+	for _, r := range grants {
+		_ = a.d.SendDirect(r.to, "", r.msg)
+	}
+	for _, r := range denies {
+		_ = a.d.SendDirect(r.to, "", r.msg)
+	}
+}
+
+// scanLocked grants every satisfiable pending request in timestamp order,
+// then runs deadlock detection on the remainder. It returns the replies
+// to send after the lock is released.
+func (a *Allocator) scanLocked() (grants, denies []reply) {
+	progress := true
+	for progress {
+		progress = false
+		for i, p := range a.pending {
+			if !a.free.Contains(p.want) {
+				continue
+			}
+			a.free.Sub(p.want)
+			h := a.holds[p.req.Client]
+			if h == nil {
+				h = make(Bag)
+				a.holds[p.req.Client] = h
+			}
+			h.Add(p.want)
+			a.stats.Grants++
+			serials := make(map[Color]uint64, len(p.want))
+			for c := range p.want {
+				a.serials[c]++
+				serials[c] = a.serials[c]
+			}
+			grants = append(grants, reply{
+				to:  p.req.ReplyTo,
+				msg: &grantMsg{ReqID: p.req.ReqID, Granted: p.want.Copy(), Serials: serials},
+			})
+			a.pending = append(a.pending[:i], a.pending[i+1:]...)
+			progress = true
+			break
+		}
+	}
+	if len(a.pending) == 0 {
+		return grants, denies
+	}
+
+	// Deadlock detection by graph reduction: work starts with the free
+	// tokens plus the holdings of every dapplet that is not blocked
+	// (those release all resources within finite time, §4.2). Any blocked
+	// request that still cannot complete at the fixpoint is deadlocked.
+	work := a.free.Copy()
+	blockedBy := make(map[string]*pendReq, len(a.pending))
+	for _, p := range a.pending {
+		blockedBy[p.req.Client] = p
+	}
+	for client, h := range a.holds {
+		if _, blocked := blockedBy[client]; !blocked {
+			work.Add(h)
+		}
+	}
+	finished := true
+	for finished {
+		finished = false
+		for client, p := range blockedBy {
+			if work.Contains(p.want) {
+				work.Add(a.holds[client])
+				delete(blockedBy, client)
+				finished = true
+			}
+		}
+	}
+	if len(blockedBy) == 0 {
+		return grants, denies
+	}
+	// Raise the exception to every request in the deadlocked set.
+	var kept []*pendReq
+	for _, p := range a.pending {
+		if _, dead := blockedBy[p.req.Client]; !dead {
+			kept = append(kept, p)
+			continue
+		}
+		a.stats.Denies++
+		a.stats.Deadlocks++
+		denies = append(denies, reply{
+			to:  p.req.ReplyTo,
+			msg: &denyMsg{ReqID: p.req.ReqID, Reason: "deadlock among token holders", Deadlock: true},
+		})
+	}
+	a.pending = kept
+	return grants, denies
+}

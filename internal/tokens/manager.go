@@ -1,0 +1,196 @@
+package tokens
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Manager is the per-dapplet token manager: it tracks holdsTokens — "the
+// number of tokens of each color that the dapplet holds" (§4.1) — and
+// talks to the session's allocator. A dapplet has at most one request
+// outstanding at a time per Manager (Request suspends, as in the paper).
+type Manager struct {
+	d     *core.Dapplet
+	alloc wire.InboxRef
+
+	mu      sync.Mutex
+	holds   Bag
+	nextID  uint64
+	waiting map[uint64]chan *wire.Envelope
+}
+
+// NewManager attaches a token manager to the dapplet, connected to the
+// given allocator control inbox.
+func NewManager(d *core.Dapplet, alloc wire.InboxRef) *Manager {
+	m := &Manager{
+		d:       d,
+		alloc:   alloc,
+		holds:   make(Bag),
+		waiting: make(map[uint64]chan *wire.Envelope),
+	}
+	d.Handle(clientInbox, m.handle)
+	return m
+}
+
+func (m *Manager) handle(env *wire.Envelope) {
+	var id uint64
+	switch b := env.Body.(type) {
+	case *grantMsg:
+		id = b.ReqID
+	case *denyMsg:
+		id = b.ReqID
+	case *totalRepMsg:
+		id = b.ReqID
+	default:
+		return
+	}
+	m.mu.Lock()
+	ch := m.waiting[id]
+	delete(m.waiting, id)
+	m.mu.Unlock()
+	if ch != nil {
+		ch <- env
+	}
+}
+
+func (m *Manager) replyRef() wire.InboxRef {
+	return wire.InboxRef{Dapplet: m.d.Addr(), Inbox: clientInbox}
+}
+
+// call sends a request-style message and waits for its reply envelope.
+func (m *Manager) call(build func(id uint64, re wire.InboxRef) wire.Msg) (*wire.Envelope, error) {
+	m.mu.Lock()
+	m.nextID++
+	id := m.nextID
+	ch := make(chan *wire.Envelope, 1)
+	m.waiting[id] = ch
+	m.mu.Unlock()
+
+	if err := m.d.SendDirect(m.alloc, "", build(id, m.replyRef())); err != nil {
+		m.mu.Lock()
+		delete(m.waiting, id)
+		m.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case env := <-ch:
+		return env, nil
+	case <-m.d.Stopped():
+		return nil, ErrClosed
+	}
+}
+
+// Grant describes a satisfied request: the tokens received and, for each
+// colour, the cumulative grant serial — a total order over acquisitions
+// usable as a sequencer.
+type Grant struct {
+	Tokens  Bag
+	Serials map[Color]uint64
+}
+
+// Request suspends until the requested tokens (a specified number for
+// each colour) are available, then adds them to holdsTokens. If the token
+// managers detect a deadlock, ErrDeadlock is raised.
+func (m *Manager) Request(want Bag) error {
+	_, err := m.request(want.Copy().Normalize(), nil)
+	return err
+}
+
+// RequestGrant is Request but returns the grant's serial numbers.
+func (m *Manager) RequestGrant(want Bag) (Grant, error) {
+	return m.request(want.Copy().Normalize(), nil)
+}
+
+// RequestAll suspends until every token of the given colour is held by
+// this dapplet, returning how many were acquired.
+func (m *Manager) RequestAll(c Color) (int, error) {
+	g, err := m.request(nil, []Color{c})
+	if err != nil {
+		return 0, err
+	}
+	return g.Tokens[c], nil
+}
+
+func (m *Manager) request(want Bag, allOf []Color) (Grant, error) {
+	env, err := m.call(func(id uint64, re wire.InboxRef) wire.Msg {
+		return &reqMsg{
+			ReqID:   id,
+			Client:  m.d.Name(),
+			Stamp:   m.d.Clock().StampTick(),
+			Want:    want,
+			AllOf:   allOf,
+			ReplyTo: re,
+		}
+	})
+	if err != nil {
+		return Grant{}, err
+	}
+	switch b := env.Body.(type) {
+	case *grantMsg:
+		m.mu.Lock()
+		m.holds.Add(b.Granted)
+		m.mu.Unlock()
+		return Grant{Tokens: b.Granted, Serials: b.Serials}, nil
+	case *denyMsg:
+		if b.Deadlock {
+			return Grant{}, fmt.Errorf("%w: %s", ErrDeadlock, b.Reason)
+		}
+		if b.BadColor {
+			return Grant{}, fmt.Errorf("%w: %s", ErrUnknownColor, b.Reason)
+		}
+		return Grant{}, fmt.Errorf("tokens: request denied: %s", b.Reason)
+	default:
+		return Grant{}, fmt.Errorf("tokens: unexpected reply %T", env.Body)
+	}
+}
+
+// Release returns the specified tokens to the token managers, decrementing
+// holdsTokens. If the tokens are not all held, ErrNotHeld is raised and
+// nothing is released.
+func (m *Manager) Release(give Bag) error {
+	give = give.Copy().Normalize()
+	m.mu.Lock()
+	if !m.holds.Sub(give) {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: have %v, releasing %v", ErrNotHeld, m.holds.Copy(), give)
+	}
+	m.mu.Unlock()
+	return m.d.SendDirect(m.alloc, "", &relMsg{Client: m.d.Name(), Give: give})
+}
+
+// ReleaseAll returns every held token.
+func (m *Manager) ReleaseAll() error {
+	m.mu.Lock()
+	give := m.holds.Copy()
+	m.mu.Unlock()
+	if give.IsEmpty() {
+		return nil
+	}
+	return m.Release(give)
+}
+
+// Holds returns a copy of holdsTokens.
+func (m *Manager) Holds() Bag {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.holds.Copy()
+}
+
+// TotalTokens returns the total number of tokens of all colours in the
+// system.
+func (m *Manager) TotalTokens() (Bag, error) {
+	env, err := m.call(func(id uint64, re wire.InboxRef) wire.Msg {
+		return &totalReqMsg{ReqID: id, ReplyTo: re}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := env.Body.(*totalRepMsg)
+	if !ok {
+		return nil, fmt.Errorf("tokens: unexpected reply %T", env.Body)
+	}
+	return rep.Total, nil
+}

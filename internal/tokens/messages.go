@@ -1,0 +1,75 @@
+package tokens
+
+import (
+	"repro/internal/lclock"
+	"repro/internal/wire"
+)
+
+// reqMsg asks the allocator for tokens. Want lists explicit counts;
+// AllOf lists colours for which the dapplet wants every token in the
+// system ("the request can ask for all tokens of a given color").
+type reqMsg struct {
+	ReqID   uint64        `json:"id"`
+	Client  string        `json:"c"`
+	Stamp   lclock.Stamp  `json:"ts"`
+	Want    Bag           `json:"w,omitempty"`
+	AllOf   []Color       `json:"all,omitempty"`
+	ReplyTo wire.InboxRef `json:"re"`
+}
+
+func (*reqMsg) Kind() string { return "tokens.request" }
+
+// grantMsg satisfies a request; Granted resolves AllOf colours to counts.
+// Serials carries, for each granted colour, the cumulative number of
+// grants of that colour — a total order over acquisitions that clients can
+// use as a sequencer (e.g. document version numbers).
+type grantMsg struct {
+	ReqID   uint64           `json:"id"`
+	Granted Bag              `json:"g"`
+	Serials map[Color]uint64 `json:"s,omitempty"`
+}
+
+func (*grantMsg) Kind() string { return "tokens.grant" }
+
+// denyMsg fails a request, e.g. on deadlock or an unknown colour.
+type denyMsg struct {
+	ReqID    uint64 `json:"id"`
+	Reason   string `json:"why"`
+	Deadlock bool   `json:"dl,omitempty"`
+	BadColor bool   `json:"bc,omitempty"`
+}
+
+func (*denyMsg) Kind() string { return "tokens.deny" }
+
+// relMsg returns tokens to the allocator.
+type relMsg struct {
+	Client string `json:"c"`
+	Give   Bag    `json:"g"`
+}
+
+func (*relMsg) Kind() string { return "tokens.release" }
+
+// totalReqMsg queries the fixed token totals.
+type totalReqMsg struct {
+	ReqID   uint64        `json:"id"`
+	ReplyTo wire.InboxRef `json:"re"`
+}
+
+func (*totalReqMsg) Kind() string { return "tokens.total-req" }
+
+// totalRepMsg answers a totals query.
+type totalRepMsg struct {
+	ReqID uint64 `json:"id"`
+	Total Bag    `json:"t"`
+}
+
+func (*totalRepMsg) Kind() string { return "tokens.total-rep" }
+
+func init() {
+	wire.Register(&reqMsg{})
+	wire.Register(&grantMsg{})
+	wire.Register(&denyMsg{})
+	wire.Register(&relMsg{})
+	wire.Register(&totalReqMsg{})
+	wire.Register(&totalRepMsg{})
+}

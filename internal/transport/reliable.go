@@ -1,0 +1,404 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Packet types on the wire.
+const (
+	pktData = 1
+	pktAck  = 2
+)
+
+// headerLen is: magic(2) + type(1) + seq(8).
+const headerLen = 11
+
+var magic = [2]byte{'w', 'w'}
+
+// ErrTooManyRetries reports that a message exhausted its retransmissions;
+// this is the paper's "if a message is not delivered within a specified
+// time an exception is raised" (§3.2).
+var ErrTooManyRetries = errors.New("transport: message not acknowledged after max retries")
+
+// Config tunes the reliable layer. Zero values select defaults.
+type Config struct {
+	// RTO is the initial retransmission timeout (default 50ms). It backs
+	// off exponentially per retry, capped at 8*RTO.
+	RTO time.Duration
+	// MaxRetries is the number of retransmissions before a send is
+	// declared failed (default 10).
+	MaxRetries int
+	// Window is the maximum number of unacknowledged messages per peer;
+	// Send blocks when the window is full (default 64).
+	Window int
+	// RecvBuf is the capacity of the ordered-delivery queue (default 1024).
+	RecvBuf int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTO <= 0 {
+		c.RTO = 50 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.RecvBuf <= 0 {
+		c.RecvBuf = 1024
+	}
+	return c
+}
+
+// SendFailure describes a message that could not be delivered.
+type SendFailure struct {
+	To      netsim.Addr
+	Seq     uint64
+	Payload []byte
+	Err     error
+}
+
+// Stats counts reliable-layer events.
+type Stats struct {
+	DataSent    uint64 // first transmissions
+	Retransmits uint64
+	AcksSent    uint64
+	AcksRecv    uint64
+	DupsDropped uint64 // duplicate data packets discarded
+	Delivered   uint64 // messages handed to Recv in order
+	Failures    uint64
+}
+
+// outPkt is an in-flight message awaiting acknowledgement.
+type outPkt struct {
+	seq      uint64
+	frame    []byte
+	lastSent time.Time
+	retries  int
+}
+
+// peerState holds the per-peer sequencing state in both directions.
+type peerState struct {
+	// Sender side.
+	nextSeq uint64
+	unacked map[uint64]*outPkt
+	spaceC  chan struct{} // signalled when window space frees up
+
+	// Receiver side.
+	expected uint64
+	ooo      map[uint64][]byte
+}
+
+func newPeerState() *peerState {
+	return &peerState{
+		nextSeq:  1,
+		unacked:  make(map[uint64]*outPkt),
+		spaceC:   make(chan struct{}, 1),
+		expected: 1,
+		ooo:      make(map[uint64][]byte),
+	}
+}
+
+// inMsg is one ordered delivery.
+type inMsg struct {
+	payload []byte
+	from    netsim.Addr
+}
+
+// Reliable implements per-peer FIFO, exactly-once message delivery over an
+// unreliable PacketConn, using sequence numbers, selective acknowledgements
+// and bounded exponential-backoff retransmission. Messages between a pair
+// of endpoints are delivered in the order sent (§3.2: "Messages sent along
+// a channel are delivered in the order sent").
+type Reliable struct {
+	pc  PacketConn
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[netsim.Addr]*peerState
+	stats Stats
+
+	incoming chan inMsg
+	failures chan SendFailure
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewReliable layers reliable ordered delivery over pc and starts its
+// receive and retransmission goroutines.
+func NewReliable(pc PacketConn, cfg Config) *Reliable {
+	r := &Reliable{
+		pc:       pc,
+		cfg:      cfg.withDefaults(),
+		peers:    make(map[netsim.Addr]*peerState),
+		incoming: make(chan inMsg, cfg.withDefaults().RecvBuf),
+		failures: make(chan SendFailure, 64),
+		closed:   make(chan struct{}),
+	}
+	r.wg.Add(2)
+	go r.recvLoop()
+	go r.retransmitLoop()
+	return r
+}
+
+// LocalAddr returns the underlying socket address.
+func (r *Reliable) LocalAddr() netsim.Addr { return r.pc.LocalAddr() }
+
+// Failures exposes asynchronous delivery failures (the paper's send
+// exceptions). The channel is buffered; unread failures beyond the buffer
+// are dropped.
+func (r *Reliable) Failures() <-chan SendFailure { return r.failures }
+
+// Stats returns a snapshot of the layer's counters.
+func (r *Reliable) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Reliable) peer(a netsim.Addr) *peerState {
+	if p, ok := r.peers[a]; ok {
+		return p
+	}
+	p := newPeerState()
+	r.peers[a] = p
+	return p
+}
+
+func encodeFrame(typ byte, seq uint64, payload []byte) []byte {
+	f := make([]byte, headerLen+len(payload))
+	f[0], f[1] = magic[0], magic[1]
+	f[2] = typ
+	binary.BigEndian.PutUint64(f[3:11], seq)
+	copy(f[headerLen:], payload)
+	return f
+}
+
+func decodeFrame(f []byte) (typ byte, seq uint64, payload []byte, err error) {
+	if len(f) < headerLen || f[0] != magic[0] || f[1] != magic[1] {
+		return 0, 0, nil, fmt.Errorf("transport: malformed frame (%d bytes)", len(f))
+	}
+	return f[2], binary.BigEndian.Uint64(f[3:11]), f[headerLen:], nil
+}
+
+// Send transmits payload to the peer with FIFO, exactly-once semantics.
+// It blocks while the peer's send window is full and returns ErrClosed if
+// the layer shuts down first. Delivery failure after retries is reported
+// asynchronously on Failures.
+func (r *Reliable) Send(to netsim.Addr, payload []byte) error {
+	for {
+		r.mu.Lock()
+		select {
+		case <-r.closed:
+			r.mu.Unlock()
+			return ErrClosed
+		default:
+		}
+		p := r.peer(to)
+		if len(p.unacked) < r.cfg.Window {
+			seq := p.nextSeq
+			p.nextSeq++
+			frame := encodeFrame(pktData, seq, payload)
+			p.unacked[seq] = &outPkt{seq: seq, frame: frame, lastSent: time.Now()}
+			r.stats.DataSent++
+			r.mu.Unlock()
+			return r.pc.WriteTo(to, frame)
+		}
+		spaceC := p.spaceC
+		r.mu.Unlock()
+		select {
+		case <-spaceC:
+		case <-r.closed:
+			return ErrClosed
+		case <-time.After(r.cfg.RTO):
+			// Re-check: space may have been signalled before we subscribed.
+		}
+	}
+}
+
+// Recv blocks until the next in-order message from any peer arrives.
+func (r *Reliable) Recv() ([]byte, netsim.Addr, error) {
+	select {
+	case m := <-r.incoming:
+		return m.payload, m.from, nil
+	case <-r.closed:
+		select {
+		case m := <-r.incoming:
+			return m.payload, m.from, nil
+		default:
+			return nil, netsim.Addr{}, ErrClosed
+		}
+	}
+}
+
+// RecvTimeout is Recv with a real-time deadline; it returns netsim.ErrTimeout
+// on expiry.
+func (r *Reliable) RecvTimeout(d time.Duration) ([]byte, netsim.Addr, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-r.incoming:
+		return m.payload, m.from, nil
+	case <-r.closed:
+		return nil, netsim.Addr{}, ErrClosed
+	case <-t.C:
+		return nil, netsim.Addr{}, netsim.ErrTimeout
+	}
+}
+
+// Close shuts the layer and the underlying socket down.
+func (r *Reliable) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.pc.Close()
+	})
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Reliable) recvLoop() {
+	defer r.wg.Done()
+	for {
+		frame, from, err := r.pc.ReadFrom()
+		if err != nil {
+			return
+		}
+		typ, seq, payload, err := decodeFrame(frame)
+		if err != nil {
+			continue // ignore garbage, like a real UDP service
+		}
+		switch typ {
+		case pktAck:
+			r.handleAck(from, seq)
+		case pktData:
+			r.handleData(from, seq, payload)
+		}
+	}
+}
+
+func (r *Reliable) handleAck(from netsim.Addr, seq uint64) {
+	r.mu.Lock()
+	p := r.peer(from)
+	r.stats.AcksRecv++
+	if _, ok := p.unacked[seq]; ok {
+		delete(p.unacked, seq)
+		select {
+		case p.spaceC <- struct{}{}:
+		default:
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *Reliable) handleData(from netsim.Addr, seq uint64, payload []byte) {
+	// Always acknowledge: the ack for an earlier copy may have been lost.
+	ack := encodeFrame(pktAck, seq, nil)
+	_ = r.pc.WriteTo(from, ack)
+
+	r.mu.Lock()
+	r.stats.AcksSent++
+	p := r.peer(from)
+	if seq < p.expected {
+		r.stats.DupsDropped++
+		r.mu.Unlock()
+		return
+	}
+	if _, dup := p.ooo[seq]; dup {
+		r.stats.DupsDropped++
+		r.mu.Unlock()
+		return
+	}
+	p.ooo[seq] = append([]byte(nil), payload...)
+	var ready []inMsg
+	for {
+		pl, ok := p.ooo[p.expected]
+		if !ok {
+			break
+		}
+		delete(p.ooo, p.expected)
+		p.expected++
+		ready = append(ready, inMsg{payload: pl, from: from})
+		r.stats.Delivered++
+	}
+	r.mu.Unlock()
+
+	for _, m := range ready {
+		select {
+		case r.incoming <- m:
+		case <-r.closed:
+			return
+		}
+	}
+}
+
+func (r *Reliable) retransmitLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.RTO / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var resend []struct {
+			to    netsim.Addr
+			frame []byte
+		}
+		var failed []SendFailure
+		r.mu.Lock()
+		for addr, p := range r.peers {
+			for seq, pkt := range p.unacked {
+				rto := r.cfg.RTO << uint(pkt.retries)
+				if maxRTO := 8 * r.cfg.RTO; rto > maxRTO {
+					rto = maxRTO
+				}
+				if now.Sub(pkt.lastSent) < rto {
+					continue
+				}
+				if pkt.retries >= r.cfg.MaxRetries {
+					delete(p.unacked, seq)
+					r.stats.Failures++
+					failed = append(failed, SendFailure{
+						To:      addr,
+						Seq:     seq,
+						Payload: pkt.frame[headerLen:],
+						Err:     ErrTooManyRetries,
+					})
+					select {
+					case p.spaceC <- struct{}{}:
+					default:
+					}
+					continue
+				}
+				pkt.retries++
+				pkt.lastSent = now
+				r.stats.Retransmits++
+				resend = append(resend, struct {
+					to    netsim.Addr
+					frame []byte
+				}{addr, pkt.frame})
+			}
+		}
+		r.mu.Unlock()
+		for _, rs := range resend {
+			_ = r.pc.WriteTo(rs.to, rs.frame)
+		}
+		for _, f := range failed {
+			select {
+			case r.failures <- f:
+			default: // drop if nobody is listening
+			}
+		}
+	}
+}

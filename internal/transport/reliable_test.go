@@ -1,0 +1,376 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// pairOn creates two reliable endpoints on the given hosts of a fresh
+// network, returning the network for fault injection.
+func pairOn(t *testing.T, hostA, hostB string, cfg Config, opts ...netsim.Option) (*netsim.Network, *Reliable, *Reliable) {
+	t.Helper()
+	n := netsim.New(opts...)
+	t.Cleanup(n.Close)
+	ea, err := n.Host(hostA).Bind(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := n.Host(hostB).Bind(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewReliable(NewSimConn(ea), cfg)
+	rb := NewReliable(NewSimConn(eb), cfg)
+	t.Cleanup(func() { ra.Close(); rb.Close() })
+	return n, ra, rb
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(typ byte, seq uint64, payload []byte) bool {
+		if typ != pktData && typ != pktAck {
+			typ = pktData
+		}
+		gt, gs, gp, err := decodeFrame(encodeFrame(typ, seq, payload))
+		return err == nil && gt == typ && gs == seq && bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{nil, {}, {1, 2, 3}, []byte("not a frame at all"), make([]byte, headerLen-1)}
+	for _, b := range bad {
+		if _, _, _, err := decodeFrame(b); err == nil {
+			t.Errorf("decodeFrame(%v) accepted garbage", b)
+		}
+	}
+}
+
+func TestReliableBasicRoundTrip(t *testing.T) {
+	_, ra, rb := pairOn(t, "a", "b", Config{})
+	if err := ra.Send(rb.LocalAddr(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, from, err := rb.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" || from != ra.LocalAddr() {
+		t.Fatalf("got %q from %v", got, from)
+	}
+}
+
+func TestOrderedDeliveryUnderReorderAndDup(t *testing.T) {
+	cfg := Config{RTO: 20 * time.Millisecond, Window: 8}
+	n, ra, rb := pairOn(t, "a", "b", cfg, netsim.WithSeed(77))
+	n.SetLink("a", "b", netsim.LinkParams{Reorder: 0.4, Dup: 0.2})
+	const total = 200
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := ra.Send(rb.LocalAddr(), []byte(fmt.Sprintf("m%04d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		got, _, err := rb.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("m%04d", i); string(got) != want {
+			t.Fatalf("out of order: got %q want %q", got, want)
+		}
+	}
+	if st := rb.Stats(); st.DupsDropped == 0 {
+		t.Log("note: no duplicates observed (acceptable, probabilistic)")
+	}
+}
+
+func TestOrderedDeliveryUnderLoss(t *testing.T) {
+	cfg := Config{RTO: 15 * time.Millisecond, MaxRetries: 30, Window: 16}
+	n, ra, rb := pairOn(t, "a", "b", cfg, netsim.WithSeed(5))
+	n.SetLink("a", "b", netsim.LinkParams{Loss: 0.3})
+	const total = 100
+	go func() {
+		for i := 0; i < total; i++ {
+			if err := ra.Send(rb.LocalAddr(), []byte(fmt.Sprintf("%03d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < total; i++ {
+		got, _, err := rb.RecvTimeout(10 * time.Second)
+		if err != nil {
+			t.Fatalf("message %d: %v (stats=%+v)", i, err, ra.Stats())
+		}
+		if want := fmt.Sprintf("%03d", i); string(got) != want {
+			t.Fatalf("out of order at %d: %q", i, got)
+		}
+	}
+	if st := ra.Stats(); st.Retransmits == 0 {
+		t.Fatal("expected retransmissions at 30% loss")
+	}
+}
+
+func TestExactlyOnceUnderHeavyDup(t *testing.T) {
+	cfg := Config{RTO: 20 * time.Millisecond}
+	n, ra, rb := pairOn(t, "a", "b", cfg, netsim.WithSeed(13))
+	n.SetLink("a", "b", netsim.LinkParams{Dup: 1.0})
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := ra.Send(rb.LocalAddr(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		got, _, err := rb.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("position %d got %d", i, got[0])
+		}
+	}
+	// No extra deliveries.
+	if _, _, err := rb.RecvTimeout(100 * time.Millisecond); err != netsim.ErrTimeout {
+		t.Fatalf("extra delivery slipped through: %v", err)
+	}
+	if st := rb.Stats(); st.DupsDropped == 0 {
+		t.Fatal("expected duplicate drops with Dup=1.0")
+	}
+}
+
+func TestSendFailureReportedAcrossPartition(t *testing.T) {
+	cfg := Config{RTO: 10 * time.Millisecond, MaxRetries: 3}
+	n, ra, rb := pairOn(t, "a", "b", cfg)
+	n.Partition([]string{"a"}, []string{"b"})
+	if err := ra.Send(rb.LocalAddr(), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-ra.Failures():
+		if string(f.Payload) != "doomed" || f.To != rb.LocalAddr() {
+			t.Fatalf("failure = %+v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SendFailure reported")
+	}
+	if st := ra.Stats(); st.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestWindowBlocksThenRecovers(t *testing.T) {
+	cfg := Config{RTO: 15 * time.Millisecond, MaxRetries: 100, Window: 4}
+	n, ra, rb := pairOn(t, "a", "b", cfg)
+	n.Partition([]string{"a"}, []string{"b"}) // acks cannot come back
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			if err := ra.Send(rb.LocalAddr(), []byte{byte(i)}); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("sender did not block on full window")
+	case <-time.After(100 * time.Millisecond):
+	}
+	n.Heal()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender did not recover after heal")
+	}
+	for i := 0; i < 8; i++ {
+		got, _, err := rb.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("order broken at %d: %d", i, got[0])
+		}
+	}
+}
+
+func TestBidirectionalIndependentStreams(t *testing.T) {
+	_, ra, rb := pairOn(t, "a", "b", Config{})
+	const total = 50
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := ra.Send(rb.LocalAddr(), []byte{1, byte(i)}); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := rb.Send(ra.LocalAddr(), []byte{2, byte(i)}); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	for i := 0; i < total; i++ {
+		got, _, err := rb.RecvTimeout(2 * time.Second)
+		if err != nil || got[0] != 1 || got[1] != byte(i) {
+			t.Fatalf("b recv %d: %v %v", i, got, err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		got, _, err := ra.RecvTimeout(2 * time.Second)
+		if err != nil || got[0] != 2 || got[1] != byte(i) {
+			t.Fatalf("a recv %d: %v %v", i, got, err)
+		}
+	}
+}
+
+func TestManyPeersFIFOPerPeer(t *testing.T) {
+	n := netsim.New(netsim.WithSeed(3))
+	defer n.Close()
+	sinkEp, _ := n.Host("sink").Bind(1)
+	sink := NewReliable(NewSimConn(sinkEp), Config{})
+	defer sink.Close()
+	const peers, per = 5, 40
+	for p := 0; p < peers; p++ {
+		ep, err := n.Host(fmt.Sprintf("src%d", p)).Bind(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewReliable(NewSimConn(ep), Config{})
+		defer r.Close()
+		go func(r *Reliable, p int) {
+			for i := 0; i < per; i++ {
+				if err := r.Send(sink.LocalAddr(), []byte{byte(p), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r, p)
+	}
+	next := make([]int, peers)
+	for k := 0; k < peers*per; k++ {
+		got, _, err := sink.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", k, err)
+		}
+		p, i := int(got[0]), int(got[1])
+		if i != next[p] {
+			t.Fatalf("peer %d: got seq %d want %d", p, i, next[p])
+		}
+		next[p]++
+	}
+}
+
+func TestCloseUnblocksSendAndRecv(t *testing.T) {
+	cfg := Config{RTO: 20 * time.Millisecond, Window: 1, MaxRetries: 1000}
+	n, ra, rb := pairOn(t, "a", "b", cfg)
+	n.Partition([]string{"a"}, []string{"b"})
+	if err := ra.Send(rb.LocalAddr(), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	sendErr := make(chan error, 1)
+	go func() { sendErr <- ra.Send(rb.LocalAddr(), []byte("2")) }()
+	recvErr := make(chan error, 1)
+	go func() { _, _, err := rb.Recv(); recvErr <- err }()
+	time.Sleep(30 * time.Millisecond)
+	ra.Close()
+	rb.Close()
+	select {
+	case err := <-sendErr:
+		if err != ErrClosed {
+			t.Fatalf("send err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send did not unblock")
+	}
+	select {
+	case err := <-recvErr:
+		if err != ErrClosed {
+			t.Fatalf("recv err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	_, ra, rb := pairOn(t, "a", "b", Config{})
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := ra.Send(rb.LocalAddr(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if _, _, err := rb.RecvTimeout(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, sb := ra.Stats(), rb.Stats()
+	if sa.DataSent != total {
+		t.Fatalf("DataSent = %d", sa.DataSent)
+	}
+	if sb.Delivered != total {
+		t.Fatalf("Delivered = %d", sb.Delivered)
+	}
+	if sb.AcksSent != total {
+		t.Fatalf("AcksSent = %d", sb.AcksSent)
+	}
+}
+
+func TestUDPLoopbackRoundTrip(t *testing.T) {
+	pa, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP available: %v", err)
+	}
+	pb, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := NewReliable(pa, Config{})
+	rb := NewReliable(pb, Config{})
+	defer ra.Close()
+	defer rb.Close()
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := ra.Send(rb.LocalAddr(), []byte(fmt.Sprintf("udp%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		got, _, err := rb.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("udp%02d", i); string(got) != want {
+			t.Fatalf("got %q want %q", got, want)
+		}
+	}
+}
+
+func TestUDPOversizeRejected(t *testing.T) {
+	pa, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback UDP available: %v", err)
+	}
+	defer pa.Close()
+	if err := pa.WriteTo(pa.LocalAddr(), make([]byte, MaxDatagram+1)); err == nil {
+		t.Fatal("oversize datagram accepted")
+	}
+}

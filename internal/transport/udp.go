@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// MaxDatagram is the largest datagram the UDP transport will send.
+const MaxDatagram = 60000
+
+// udpConn adapts a real *net.UDPConn to PacketConn. Host names in
+// netsim.Addr are IP literals (or resolvable names) for this transport.
+type udpConn struct {
+	conn  *net.UDPConn
+	local netsim.Addr
+
+	mu    sync.Mutex
+	cache map[netsim.Addr]*net.UDPAddr
+}
+
+// ListenUDP binds a real UDP socket on the given address, e.g.
+// "127.0.0.1:0" to pick an ephemeral loopback port.
+func ListenUDP(addr string) (PacketConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	la := conn.LocalAddr().(*net.UDPAddr)
+	return &udpConn{
+		conn:  conn,
+		local: netsim.Addr{Host: la.IP.String(), Port: uint16(la.Port)},
+		cache: make(map[netsim.Addr]*net.UDPAddr),
+	}, nil
+}
+
+func (c *udpConn) LocalAddr() netsim.Addr { return c.local }
+
+func (c *udpConn) resolve(to netsim.Addr) (*net.UDPAddr, error) {
+	c.mu.Lock()
+	ua, ok := c.cache[to]
+	c.mu.Unlock()
+	if ok {
+		return ua, nil
+	}
+	ua, err := net.ResolveUDPAddr("udp", to.String())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.cache[to] = ua
+	c.mu.Unlock()
+	return ua, nil
+}
+
+func (c *udpConn) WriteTo(to netsim.Addr, p []byte) error {
+	if len(p) > MaxDatagram {
+		return fmt.Errorf("transport: datagram of %d bytes exceeds max %d", len(p), MaxDatagram)
+	}
+	ua, err := c.resolve(to)
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.WriteToUDP(p, ua)
+	if err != nil && errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+func (c *udpConn) ReadFrom() ([]byte, netsim.Addr, error) {
+	buf := make([]byte, MaxDatagram+1)
+	n, ua, err := c.conn.ReadFromUDP(buf)
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, netsim.Addr{}, ErrClosed
+		}
+		return nil, netsim.Addr{}, err
+	}
+	from := netsim.Addr{Host: ua.IP.String(), Port: uint16(ua.Port)}
+	return buf[:n], from, nil
+}
+
+func (c *udpConn) Close() error { return c.conn.Close() }

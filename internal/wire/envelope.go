@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/netsim"
+)
+
+// InboxRef is the global address of an inbox: the dapplet's address (IP
+// address and port) plus the inbox's name within the dapplet. The paper
+// allows an inbox to be addressed "by a pair: its unique dapplet address
+// ... and a string in place of its local id" (§3.2); we use the string
+// form uniformly (auto-generated names stand in for bare local ids).
+type InboxRef struct {
+	Dapplet netsim.Addr `json:"d"`
+	Inbox   string      `json:"i"`
+}
+
+// String renders the reference as "host:port/inbox".
+func (r InboxRef) String() string { return r.Dapplet.String() + "/" + r.Inbox }
+
+// IsZero reports whether r is the zero reference.
+func (r InboxRef) IsZero() bool { return r.Dapplet.IsZero() && r.Inbox == "" }
+
+// Envelope is the header the distributed-computing layer wraps around an
+// application message travelling from an outbox to an inbox.
+type Envelope struct {
+	// To identifies the destination inbox.
+	To InboxRef `json:"to"`
+	// FromDapplet is the sending dapplet's global address.
+	FromDapplet netsim.Addr `json:"fd"`
+	// FromOutbox is the name of the sending outbox.
+	FromOutbox string `json:"fo"`
+	// Session, when non-empty, tags the session on whose behalf the
+	// message travels.
+	Session string `json:"s,omitempty"`
+	// Lamport is the sender's logical timestamp (§4.2 "Clocks"); the
+	// receiving layer advances its clock past this value, establishing
+	// the global snapshot criterion.
+	Lamport uint64 `json:"lt"`
+	// Body is the application message.
+	Body Msg `json:"-"`
+}
+
+// envFrame is the wire form of an Envelope with the body inlined as a
+// registered message frame.
+type envFrame struct {
+	To          InboxRef        `json:"to"`
+	FromDapplet netsim.Addr     `json:"fd"`
+	FromOutbox  string          `json:"fo"`
+	Session     string          `json:"s,omitempty"`
+	Lamport     uint64          `json:"lt"`
+	Body        json.RawMessage `json:"b"`
+}
+
+// MarshalEnvelope converts an envelope (header + registered body) to its
+// string form.
+func MarshalEnvelope(e *Envelope) ([]byte, error) {
+	body, err := Marshal(e.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: envelope body: %w", err)
+	}
+	return json.Marshal(envFrame{
+		To:          e.To,
+		FromDapplet: e.FromDapplet,
+		FromOutbox:  e.FromOutbox,
+		Session:     e.Session,
+		Lamport:     e.Lamport,
+		Body:        body,
+	})
+}
+
+// UnmarshalEnvelope reconstructs an envelope and its typed body.
+func UnmarshalEnvelope(data []byte) (*Envelope, error) {
+	var f envFrame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("wire: bad envelope: %w", err)
+	}
+	body, err := Unmarshal(f.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &Envelope{
+		To:          f.To,
+		FromDapplet: f.FromDapplet,
+		FromOutbox:  f.FromOutbox,
+		Session:     f.Session,
+		Lamport:     f.Lamport,
+		Body:        body,
+	}, nil
+}

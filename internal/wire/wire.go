@@ -1,0 +1,128 @@
+// Package wire implements the paper's message model (§3.2 "Messages"):
+// "Objects that are sent from one process to another are subclasses of a
+// message class. An object that is sent by a process is converted into a
+// string, sent across the network, and then reconstructed back into its
+// original type by the receiving process."
+//
+// In Go, message types implement the Msg interface and are registered by
+// kind; Marshal converts a message to a JSON string and Unmarshal
+// reconstructs a value of the original registered type.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// Msg is the interface all transmissible messages implement. Kind must
+// return a stable, unique type name; it plays the role of the Java class
+// name in the paper's serialization scheme.
+type Msg interface {
+	Kind() string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]reflect.Type)
+)
+
+// Register records a message prototype so values of its type can be
+// reconstructed at the receiver. The prototype is typically a zero value:
+//
+//	wire.Register(&MeetingRequest{})
+//
+// Register panics if the kind is already taken by a different type, which
+// indicates a programming error at init time.
+func Register(proto Msg) {
+	kind := proto.Kind()
+	t := reflect.TypeOf(proto)
+	if t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := registry[kind]; ok {
+		if prev != t {
+			panic(fmt.Sprintf("wire: kind %q registered twice with different types (%v, %v)", kind, prev, t))
+		}
+		return
+	}
+	registry[kind] = t
+}
+
+// Registered reports whether a kind has been registered.
+func Registered(kind string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[kind]
+	return ok
+}
+
+// frame is the on-the-wire string form of a message.
+type frame struct {
+	K string          `json:"k"`
+	B json.RawMessage `json:"b"`
+}
+
+// Marshal converts a registered message into its string (JSON) form.
+func Marshal(m Msg) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("wire: marshal nil message")
+	}
+	if !Registered(m.Kind()) {
+		return nil, fmt.Errorf("wire: kind %q not registered", m.Kind())
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal %q body: %w", m.Kind(), err)
+	}
+	return json.Marshal(frame{K: m.Kind(), B: body})
+}
+
+// Unmarshal reconstructs a message of its original registered type from
+// its string form.
+func Unmarshal(data []byte) (Msg, error) {
+	var f frame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("wire: bad frame: %w", err)
+	}
+	regMu.RLock()
+	t, ok := registry[f.K]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message kind %q", f.K)
+	}
+	v := reflect.New(t).Interface()
+	if err := json.Unmarshal(f.B, v); err != nil {
+		return nil, fmt.Errorf("wire: decode %q body: %w", f.K, err)
+	}
+	m, ok := v.(Msg)
+	if !ok {
+		return nil, fmt.Errorf("wire: registered type %v does not implement Msg as pointer", t)
+	}
+	return m, nil
+}
+
+// Text is a ready-made plain-text message, convenient for examples, tests
+// and simple applications.
+type Text struct {
+	S string `json:"s"`
+}
+
+// Kind implements Msg.
+func (*Text) Kind() string { return "wire.text" }
+
+// Bytes is a ready-made opaque binary payload message.
+type Bytes struct {
+	B []byte `json:"b"`
+}
+
+// Kind implements Msg.
+func (*Bytes) Kind() string { return "wire.bytes" }
+
+func init() {
+	Register(&Text{})
+	Register(&Bytes{})
+}

@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+)
+
+type testMsg struct {
+	N int      `json:"n"`
+	S string   `json:"s"`
+	L []string `json:"l"`
+}
+
+func (*testMsg) Kind() string { return "wire_test.msg" }
+
+type otherMsg struct{ X int }
+
+func (*otherMsg) Kind() string { return "wire_test.other" }
+
+func init() {
+	Register(&testMsg{})
+	Register(&otherMsg{})
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	in := &testMsg{N: 42, S: "hello", L: []string{"a", "b"}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(*testMsg)
+	if !ok {
+		t.Fatalf("reconstructed type %T", out)
+	}
+	if got.N != in.N || got.S != in.S || len(got.L) != 2 {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestMarshalIsString(t *testing.T) {
+	// The paper requires conversion to a string; our wire form must be
+	// valid UTF-8 JSON text.
+	data, err := Marshal(&testMsg{S: "日本語 unicode", N: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("{")) {
+		t.Fatalf("wire form not a JSON string: %q", data)
+	}
+}
+
+func TestUnmarshalUnknownKind(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"k":"never.registered","b":{}}`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	} else if !strings.Contains(err.Error(), "never.registered") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	for _, s := range []string{"", "{", "[]", `{"k":123}`} {
+		if _, err := Unmarshal([]byte(s)); err == nil {
+			t.Errorf("garbage %q accepted", s)
+		}
+	}
+}
+
+func TestMarshalUnregistered(t *testing.T) {
+	type rogue struct{ Msg }
+	if _, err := Marshal(&Text{}); err != nil {
+		t.Fatalf("builtin Text should marshal: %v", err)
+	}
+	_ = rogue{}
+	if _, err := Marshal(nil); err == nil {
+		t.Fatal("nil message accepted")
+	}
+}
+
+func TestDuplicateRegistrationSameTypeOK(t *testing.T) {
+	Register(&testMsg{}) // same type again: no panic
+}
+
+func TestDuplicateRegistrationDifferentTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting registration did not panic")
+		}
+	}()
+	type clash struct{ Y int }
+	Register(clashMsg{})
+	_ = clash{}
+}
+
+type clashMsg struct{ Y int }
+
+func (clashMsg) Kind() string { return "wire_test.msg" } // collides with testMsg
+
+func TestTextAndBytesBuiltins(t *testing.T) {
+	d1, err := Marshal(&Text{S: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Unmarshal(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.(*Text).S != "hi" {
+		t.Fatalf("text = %+v", m1)
+	}
+	d2, err := Marshal(&Bytes{B: []byte{0, 1, 255}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Unmarshal(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m2.(*Bytes).B, []byte{0, 1, 255}) {
+		t.Fatalf("bytes = %+v", m2)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env := &Envelope{
+		To:          InboxRef{Dapplet: netsim.Addr{Host: "caltech", Port: 99}, Inbox: "students"},
+		FromDapplet: netsim.Addr{Host: "rice", Port: 12},
+		FromOutbox:  "out",
+		Session:     "calendar-1",
+		Lamport:     777,
+		Body:        &Text{S: "meeting?"},
+	}
+	data, err := MarshalEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.To != env.To || got.FromDapplet != env.FromDapplet ||
+		got.FromOutbox != env.FromOutbox || got.Session != env.Session ||
+		got.Lamport != env.Lamport {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Body.(*Text).S != "meeting?" {
+		t.Fatalf("body = %+v", got.Body)
+	}
+}
+
+func TestEnvelopeBodyMustBeRegistered(t *testing.T) {
+	type unregistered struct{ Msg }
+	env := &Envelope{Body: nil}
+	if _, err := MarshalEnvelope(env); err == nil {
+		t.Fatal("nil body accepted")
+	}
+	_ = unregistered{}
+}
+
+func TestEnvelopePropertyRoundTrip(t *testing.T) {
+	f := func(host string, port uint16, inbox, session string, lt uint64, text string) bool {
+		if strings.ContainsRune(host, ':') {
+			return true
+		}
+		env := &Envelope{
+			To:      InboxRef{Dapplet: netsim.Addr{Host: host, Port: port}, Inbox: inbox},
+			Lamport: lt,
+			Session: session,
+			Body:    &Text{S: text},
+		}
+		data, err := MarshalEnvelope(env)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return false
+		}
+		return got.To == env.To && got.Lamport == lt && got.Session == session &&
+			got.Body.(*Text).S == text
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInboxRefString(t *testing.T) {
+	r := InboxRef{Dapplet: netsim.Addr{Host: "h", Port: 1}, Inbox: "grades"}
+	if r.String() != "h:1/grades" {
+		t.Fatalf("String = %q", r.String())
+	}
+	if r.IsZero() {
+		t.Fatal("non-zero ref reported zero")
+	}
+	if !(InboxRef{}).IsZero() {
+		t.Fatal("zero ref not reported zero")
+	}
+}

@@ -1,0 +1,282 @@
+// Package wwds is the public facade of the world-wide distributed system:
+// a single import that exposes the dapplet runtime, inbox/outbox
+// communication, sessions, and the service layer (tokens, clocks,
+// snapshots, RPC, synchronization) described in Chandy et al., "A
+// World-Wide Distributed System Using Java and the Internet" (HPDC 1996).
+//
+// Quick start (see examples/quickstart for a complete program):
+//
+//	net := wwds.NewNetwork(wwds.WithSeed(1))
+//	ep, _ := net.Host("caltech").BindAny()
+//	d := wwds.NewDapplet("mani", "demo", wwds.NewSimConn(ep))
+//	in := d.Inbox("mail")
+//	...
+package wwds
+
+import (
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/lclock"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+	"repro/internal/session"
+	"repro/internal/snapshot"
+	"repro/internal/state"
+	"repro/internal/syncprim"
+	"repro/internal/tokens"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// --- network simulation ---
+
+// Network is the simulated world-wide datagram network.
+type Network = netsim.Network
+
+// Host is a machine on the simulated network.
+type Host = netsim.Host
+
+// Addr is a global endpoint address (host and port).
+type Addr = netsim.Addr
+
+// DelayModel samples per-datagram link delays.
+type DelayModel = netsim.DelayModel
+
+// LinkParams configures a link's delay and fault injection.
+type LinkParams = netsim.LinkParams
+
+// NetOption configures a Network.
+type NetOption = netsim.Option
+
+// NewNetwork creates a simulated network.
+func NewNetwork(opts ...NetOption) *Network { return netsim.New(opts...) }
+
+// Re-exported network options and delay profiles.
+var (
+	WithSeed         = netsim.WithSeed
+	WithDefaultDelay = netsim.WithDefaultDelay
+	WithTimeScale    = netsim.WithTimeScale
+	Constant         = netsim.Constant
+	Uniform          = netsim.Uniform
+	LAN              = netsim.LAN
+	Campus           = netsim.Campus
+	WAN              = netsim.WAN
+	Intercontinental = netsim.Intercontinental
+)
+
+// --- transport ---
+
+// PacketConn is an unreliable datagram socket (simulated or real UDP).
+type PacketConn = transport.PacketConn
+
+// TransportConfig tunes the reliable ordered-delivery layer.
+type TransportConfig = transport.Config
+
+// NewSimConn adapts a simulated endpoint to a PacketConn.
+var NewSimConn = transport.NewSimConn
+
+// ListenUDP binds a real UDP socket (e.g. "127.0.0.1:0").
+var ListenUDP = transport.ListenUDP
+
+// --- messages ---
+
+// Msg is the interface all transmissible messages implement.
+type Msg = wire.Msg
+
+// Text is a ready-made plain-text message.
+type Text = wire.Text
+
+// InboxRef is the global address of an inbox.
+type InboxRef = wire.InboxRef
+
+// Envelope is the delivery metadata around a received message.
+type Envelope = wire.Envelope
+
+// RegisterMessage records a message prototype for wire reconstruction.
+func RegisterMessage(proto Msg) { wire.Register(proto) }
+
+// --- dapplets ---
+
+// Dapplet is a process in a collaborative distributed application.
+type Dapplet = core.Dapplet
+
+// Inbox is a globally addressable message queue.
+type Inbox = core.Inbox
+
+// Outbox is a message source bound to a set of inboxes.
+type Outbox = core.Outbox
+
+// Behavior is the pluggable code of a dapplet type.
+type Behavior = core.Behavior
+
+// BehaviorFunc adapts a function to Behavior.
+type BehaviorFunc = core.BehaviorFunc
+
+// Registry maps dapplet type names to behaviour factories.
+type Registry = core.Registry
+
+// Runtime launches dapplets onto simulated hosts.
+type Runtime = core.Runtime
+
+// NewDapplet creates a dapplet on a datagram socket.
+var NewDapplet = core.NewDapplet
+
+// NewRegistry creates an empty behaviour registry.
+var NewRegistry = core.NewRegistry
+
+// NewRuntime creates a runtime over a network and registry.
+var NewRuntime = core.NewRuntime
+
+// WithTransportConfig tunes a dapplet's reliable layer.
+var WithTransportConfig = core.WithTransportConfig
+
+// WithStore supplies a persistent state store to a dapplet.
+var WithStore = core.WithStore
+
+// --- directory and sessions ---
+
+// Directory is the name -> address registry initiators use.
+type Directory = directory.Directory
+
+// DirEntry is one directory registration.
+type DirEntry = directory.Entry
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory { return directory.New() }
+
+// Session types: specs, participants, links, the initiator and the
+// per-dapplet service.
+type (
+	// SessionSpec describes a session to initiate.
+	SessionSpec = session.Spec
+	// Participant is one session member.
+	Participant = session.Participant
+	// Link is one directed channel in a session spec.
+	Link = session.Link
+	// SessionPolicy configures ACLs and join/leave callbacks.
+	SessionPolicy = session.Policy
+	// SessionService is the per-dapplet session participant.
+	SessionService = session.Service
+	// SessionHandle is the initiator's view of a live session.
+	SessionHandle = session.Handle
+	// Initiator links dapplets into sessions.
+	Initiator = session.Initiator
+	// Membership is a dapplet's live participation in a session.
+	Membership = session.Membership
+)
+
+// AttachSessions equips a dapplet with the session service.
+var AttachSessions = session.Attach
+
+// NewInitiator creates a session initiator.
+var NewInitiator = session.NewInitiator
+
+// --- persistent state ---
+
+// Store is a persistent variable store with session access control.
+type Store = state.Store
+
+// AccessSet declares the variables a session reads and writes.
+type AccessSet = state.AccessSet
+
+// NewStore creates an in-memory store.
+var NewStore = state.NewStore
+
+// OpenStore creates a file-backed store.
+var OpenStore = state.Open
+
+// --- services ---
+
+// Token service: conserved coloured tokens with deadlock detection.
+type (
+	// TokenColor is a resource type.
+	TokenColor = tokens.Color
+	// TokenBag is a multiset of tokens by colour.
+	TokenBag = tokens.Bag
+	// TokenAllocator owns a session's token population.
+	TokenAllocator = tokens.Allocator
+	// TokenManager is the per-dapplet token manager.
+	TokenManager = tokens.Manager
+	// RWLock is the reader/writer protocol over tokens.
+	RWLock = tokens.RWLock
+)
+
+// ServeTokens starts a token allocator on a dapplet.
+var ServeTokens = tokens.Serve
+
+// NewTokenManager attaches a token manager to a dapplet.
+var NewTokenManager = tokens.NewManager
+
+// NewRWLock builds a reader/writer lock over a colour.
+var NewRWLock = tokens.NewRWLock
+
+// Logical clocks.
+type (
+	// Clock is a Lamport clock satisfying the global snapshot criterion.
+	Clock = lclock.Clock
+	// Stamp is a totally ordered logical timestamp.
+	Stamp = lclock.Stamp
+)
+
+// Snapshots and checkpoints.
+type (
+	// SnapshotService makes a dapplet snapshot-capable.
+	SnapshotService = snapshot.Service
+	// SnapshotCoordinator assembles global snapshots.
+	SnapshotCoordinator = snapshot.Coordinator
+	// SnapshotMember identifies a snapshot participant.
+	SnapshotMember = snapshot.Member
+	// GlobalSnapshot is an assembled snapshot with a consistency check.
+	GlobalSnapshot = snapshot.Global
+)
+
+// AttachSnapshots equips a dapplet with the snapshot service.
+var AttachSnapshots = snapshot.Attach
+
+// NewSnapshotCoordinator creates a snapshot coordinator.
+var NewSnapshotCoordinator = snapshot.NewCoordinator
+
+// RPC over inboxes: global pointers, async and sync calls.
+type (
+	// RPCRef is a global pointer to a served object.
+	RPCRef = rpc.Ref
+	// RPCObject is a set of named methods.
+	RPCObject = rpc.Object
+	// RPCClient issues calls to remote objects.
+	RPCClient = rpc.Client
+)
+
+// ServeObject associates an object with an inbox and a thread.
+var ServeObject = rpc.Serve
+
+// NewRPCClient attaches an RPC client to a dapplet.
+var NewRPCClient = rpc.NewClient
+
+// Synchronization constructs.
+type (
+	// Barrier is an intra-dapplet cyclic barrier.
+	Barrier = syncprim.Barrier
+	// Semaphore is an intra-dapplet FIFO counting semaphore.
+	Semaphore = syncprim.Semaphore
+	// BarrierService coordinates distributed barriers.
+	BarrierService = syncprim.BarrierService
+	// SyncClient issues distributed synchronization operations.
+	SyncClient = syncprim.Client
+	// DistSemaphore is a token-backed distributed semaphore.
+	DistSemaphore = syncprim.DistSemaphore
+)
+
+// NewBarrier creates an intra-dapplet barrier.
+var NewBarrier = syncprim.NewBarrier
+
+// NewSemaphore creates an intra-dapplet semaphore.
+var NewSemaphore = syncprim.NewSemaphore
+
+// ServeBarriers starts a distributed barrier coordinator.
+var ServeBarriers = syncprim.ServeBarriers
+
+// NewSyncClient attaches a distributed synchronization client.
+var NewSyncClient = syncprim.NewClient
+
+// NewDistSemaphore wraps a token manager as a semaphore.
+var NewDistSemaphore = syncprim.NewDistSemaphore
