@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,6 +29,50 @@ import (
 
 // fastRTO keeps retransmission timers out of fault-free benchmarks.
 const fastRTO = 30 * time.Millisecond
+
+// BenchmarkNetsimParallelSend measures raw datagram throughput of the
+// sharded delivery engine under concurrent senders on disjoint host
+// pairs (experiment E0 in DESIGN.md). Run with -cpu 1,4,8 to observe
+// scaling; compare against WithShards(1) (the single-lock-equivalent
+// configuration) via BenchmarkNetsimParallelSendShards in
+// internal/netsim.
+func BenchmarkNetsimParallelSend(b *testing.B) {
+	const pairs = 64
+	net := netsim.New(netsim.WithSeed(1))
+	defer net.Close()
+	srcs := make([]*netsim.Endpoint, pairs)
+	dsts := make([]*netsim.Endpoint, pairs)
+	for i := 0; i < pairs; i++ {
+		var err error
+		if srcs[i], err = net.Host(fmt.Sprintf("src%d", i)).Bind(1); err != nil {
+			b.Fatal(err)
+		}
+		if dsts[i], err = net.Host(fmt.Sprintf("dst%d", i)).Bind(1); err != nil {
+			b.Fatal(err)
+		}
+		go func(e *netsim.Endpoint) {
+			for {
+				if _, err := e.Recv(); err != nil {
+					return
+				}
+			}
+		}(dsts[i])
+	}
+	payload := []byte("payload-payload-payload-payload")
+	b.SetBytes(int64(len(payload)))
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)-1) % pairs
+		src, to := srcs[i], dsts[i].Addr()
+		for pb.Next() {
+			if err := src.Send(to, payload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
 
 func benchDapplet(b *testing.B, net *netsim.Network, host, name string) *core.Dapplet {
 	b.Helper()

@@ -1,21 +1,3 @@
-// Package netsim provides a deterministic simulation of a world-wide
-// datagram network: named hosts, point-to-point links with configurable
-// delay distributions, probabilistic loss, duplication and reordering,
-// and network partitions.
-//
-// The simulator models the environment the paper's communication layer is
-// designed against (§2.2 "Coping with a Varied Network Environment" and
-// §3.2 "uses UDP"): datagrams may be dropped, duplicated, reordered, and
-// delayed arbitrarily, and delays on one channel are independent of delays
-// on other channels.
-//
-// In addition to (optionally scaled) real-time delivery, every endpoint
-// carries a virtual clock: a datagram is stamped with the sender's virtual
-// time plus a sampled link delay, and a receiver's clock advances to the
-// maximum of its own clock and the datagram's arrival stamp. The maximum
-// virtual clock across endpoints therefore measures the critical-path
-// latency of a distributed protocol with WAN-scale delays, while the
-// simulation itself runs in microseconds of real time.
 package netsim
 
 import (

@@ -7,7 +7,7 @@ import (
 
 // A DelayModel samples per-datagram one-way link delays. Implementations
 // must be safe for use from a single goroutine at a time; the Network
-// serializes sampling internally.
+// serializes sampling per delivery shard internally.
 type DelayModel interface {
 	// Sample returns the (virtual) one-way delay for one datagram.
 	Sample(r *rand.Rand) time.Duration

@@ -1,0 +1,44 @@
+// Package netsim provides a deterministic simulation of a world-wide
+// datagram network: named hosts, point-to-point links with configurable
+// delay distributions, probabilistic loss, duplication and reordering,
+// and network partitions.
+//
+// The simulator models the environment the paper's communication layer is
+// designed against (§2.2 "Coping with a Varied Network Environment" and
+// §3.2 "uses UDP"): datagrams may be dropped, duplicated, reordered, and
+// delayed arbitrarily, and delays on one channel are independent of delays
+// on other channels.
+//
+// In addition to (optionally scaled) real-time delivery, every endpoint
+// carries a virtual clock: a datagram is stamped with the sender's virtual
+// time plus a sampled link delay, and a receiver's clock advances to the
+// maximum of its own clock and the datagram's arrival stamp. The maximum
+// virtual clock across endpoints therefore measures the critical-path
+// latency of a distributed protocol with WAN-scale delays, while the
+// simulation itself runs in microseconds of real time.
+//
+// # Sharded delivery
+//
+// The delivery engine is sharded so concurrent senders scale with cores:
+// hosts are partitioned across WithShards(n) shards (default GOMAXPROCS)
+// by hashing the host name, and every routing decision for a datagram —
+// partition check, loss, delay sampling, duplication, reordering, timer
+// queueing — happens on the destination host's shard, under that shard's
+// lock and with that shard's random stream. Sends to hosts on different
+// shards share only atomic statistics counters. Time-scaled deliveries
+// wait in a per-shard binary heap drained by one goroutine per shard
+// rather than in a per-datagram runtime timer.
+//
+// # Determinism contract
+//
+// Shard i's random stream is seeded with baseSeed ^ hash(i), so the set
+// of streams is a pure function of WithSeed and WithShards. Within one
+// shard, fault and delay draws are consumed in the order sends reach the
+// shard's lock; runs are therefore reproducible whenever that order is
+// reproducible. A single-goroutine workload is deterministic for any
+// shard count, and WithShards(1) makes the whole network draw one stream,
+// reproducing a run exactly — the same discipline deterministic replay
+// in stateless model checking relies on. Concurrent senders contending on
+// one shard interleave at the lock, which is the same nondeterminism the
+// single-lock design had.
+package netsim

@@ -3,6 +3,7 @@ package netsim
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,8 +20,11 @@ type Datagram struct {
 }
 
 // Host is a named machine on the network; dapplets bind ports on it.
+// A host is owned by exactly one delivery shard; its port table is
+// guarded by that shard's lock.
 type Host struct {
 	net      *Network
+	shard    *shard
 	name     string
 	ports    map[uint16]*Endpoint
 	nextPort uint16
@@ -35,9 +39,9 @@ func (h *Host) Network() *Network { return h.net }
 // Bind creates an endpoint on the given port. It fails with ErrPortInUse
 // if the port is taken and ErrClosed if the network is shut down.
 func (h *Host) Bind(port uint16) (*Endpoint, error) {
-	h.net.mu.Lock()
-	defer h.net.mu.Unlock()
-	if h.net.closed {
+	h.shard.mu.Lock()
+	defer h.shard.mu.Unlock()
+	if h.net.closed.Load() {
 		return nil, ErrClosed
 	}
 	if _, ok := h.ports[port]; ok {
@@ -56,7 +60,7 @@ func (h *Host) Bind(port uint16) (*Endpoint, error) {
 
 // BindAny binds the next free ephemeral port.
 func (h *Host) BindAny() (*Endpoint, error) {
-	h.net.mu.Lock()
+	h.shard.mu.Lock()
 	var port uint16
 	for {
 		port = h.nextPort
@@ -68,17 +72,17 @@ func (h *Host) BindAny() (*Endpoint, error) {
 			break
 		}
 	}
-	h.net.mu.Unlock()
+	h.shard.mu.Unlock()
 	return h.Bind(port)
 }
 
 func (h *Host) closeAll() {
-	h.net.mu.Lock()
+	h.shard.mu.Lock()
 	eps := make([]*Endpoint, 0, len(h.ports))
 	for _, e := range h.ports {
 		eps = append(eps, e)
 	}
-	h.net.mu.Unlock()
+	h.shard.mu.Unlock()
 	for _, e := range eps {
 		e.Close()
 	}
@@ -95,8 +99,12 @@ type Endpoint struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 
-	vmu  sync.Mutex
-	vnow time.Duration
+	// rcache remembers the last resolved destination so repeat sends to
+	// the same peer skip the host/link/port map lookups. A shard version
+	// bump (link change, endpoint close) invalidates it.
+	rcache atomic.Pointer[routeEntry]
+
+	vnow atomic.Int64 // virtual clock, as time.Duration
 }
 
 // Addr returns the endpoint's global address.
@@ -157,33 +165,33 @@ func (e *Endpoint) RecvTimeout(d time.Duration) (Datagram, error) {
 
 // VNow returns the endpoint's current virtual time.
 func (e *Endpoint) VNow() time.Duration {
-	e.vmu.Lock()
-	defer e.vmu.Unlock()
-	return e.vnow
+	return time.Duration(e.vnow.Load())
 }
 
 // ChargeCompute advances the endpoint's virtual clock by d, modelling
 // local processing time.
 func (e *Endpoint) ChargeCompute(d time.Duration) {
-	e.vmu.Lock()
-	e.vnow += d
-	e.vmu.Unlock()
+	e.vnow.Add(int64(d))
 }
 
+// observe advances the clock to v if v is ahead (max-merge, lock-free).
 func (e *Endpoint) observe(v time.Duration) {
-	e.vmu.Lock()
-	if v > e.vnow {
-		e.vnow = v
+	for {
+		cur := e.vnow.Load()
+		if int64(v) <= cur || e.vnow.CompareAndSwap(cur, int64(v)) {
+			return
+		}
 	}
-	e.vmu.Unlock()
 }
 
 // Close releases the endpoint's port and unblocks any pending Recv.
 func (e *Endpoint) Close() error {
 	e.closeOnce.Do(func() {
-		e.net.mu.Lock()
+		e.host.shard.mu.Lock()
 		delete(e.host.ports, e.addr.Port)
-		e.net.mu.Unlock()
+		// Invalidate route caches pointing at this endpoint.
+		e.host.shard.version++
+		e.host.shard.mu.Unlock()
 		close(e.closed)
 	})
 	return nil

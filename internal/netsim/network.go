@@ -3,8 +3,9 @@ package netsim
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,12 +28,15 @@ type config struct {
 	defaultDelay DelayModel
 	timeScale    float64 // real delay = virtual delay * timeScale
 	queueCap     int
+	shards       int // 0 means GOMAXPROCS
 }
 
 // Option configures a Network at construction time.
 type Option func(*config)
 
-// WithSeed fixes the simulator's random seed for reproducible runs.
+// WithSeed fixes the simulator's random seed for reproducible runs. Each
+// shard derives its own stream as seed ^ hash(shard index), so a run is
+// reproducible per seed for any fixed shard count (see WithShards).
 func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 
 // WithDefaultDelay sets the delay model for links with no explicit model.
@@ -46,6 +50,14 @@ func WithTimeScale(s float64) Option { return func(c *config) { c.timeScale = s 
 // WithQueueCap sets the per-endpoint receive queue capacity; datagrams
 // arriving at a full queue are dropped, like a full UDP socket buffer.
 func WithQueueCap(n int) Option { return func(c *config) { c.queueCap = n } }
+
+// WithShards sets the number of delivery shards hosts are partitioned
+// across. Each shard has its own lock, its own seeded random stream and
+// its own timer queue, so sends to hosts on different shards never
+// contend. The default (0) uses GOMAXPROCS. WithShards(1) serializes all
+// routing decisions on one stream, making a single-threaded run fully
+// deterministic per seed.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 type linkKey struct{ a, b string }
 
@@ -65,7 +77,12 @@ type LinkParams struct {
 	Reorder float64    // probability a datagram is delivered after its successor
 }
 
-// Stats is a snapshot of network-wide counters.
+// Stats is a snapshot of network-wide counters. The counters are summed
+// from per-shard state without a global lock, so while the network is
+// carrying traffic the fields may be mutually inconsistent (e.g.
+// Delivered can momentarily exceed what the captured Sent implies); the
+// balance Sent + Duplicated = Delivered + Lost* + reorder slots held is
+// exact once the network is quiescent.
 type Stats struct {
 	Sent        uint64 // datagrams submitted to Send
 	Delivered   uint64 // datagrams handed to a receive queue
@@ -81,19 +98,20 @@ type Stats struct {
 
 // Network is a simulated world-wide datagram network. All methods are safe
 // for concurrent use.
+//
+// Internally the network is sharded: every host is owned by exactly one
+// shard (chosen by hashing the host name), and all routing state for
+// datagrams delivered INTO that host — link parameters, partition view,
+// reorder slots, the random stream and the timer queue — lives on the
+// owning shard under its own lock. Send on disjoint destination hosts
+// therefore never contends.
 type Network struct {
-	cfg config
+	cfg    config
+	shards []*shard
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	hosts    map[string]*Host
-	links    map[linkKey]LinkParams
-	groups   map[string]int // partition group per host; empty map = fully connected
-	stats    Stats
-	pending  map[linkKey]*Datagram // reorder slots
-	timers   map[*time.Timer]struct{}
-	closed   bool
-	deliverW sync.WaitGroup
+	closed    atomic.Bool
+	closeOnce sync.Once
+	done      chan struct{} // closed on Close; stops shard timer goroutines
 }
 
 // New creates an empty network.
@@ -107,99 +125,150 @@ func New(opts ...Option) *Network {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Network{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.seed)),
-		hosts:   make(map[string]*Host),
-		links:   make(map[linkKey]LinkParams),
-		groups:  make(map[string]int),
-		pending: make(map[linkKey]*Datagram),
-		timers:  make(map[*time.Timer]struct{}),
+	if cfg.shards <= 0 {
+		cfg.shards = runtime.GOMAXPROCS(0)
 	}
+	n := &Network{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.shards),
+		done:   make(chan struct{}),
+	}
+	for i := range n.shards {
+		n.shards[i] = newShard(cfg.seed, i)
+	}
+	return n
+}
+
+// Shards returns the number of delivery shards.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// shardFor returns the shard owning the named host.
+func (n *Network) shardFor(host string) *shard {
+	if len(n.shards) == 1 {
+		return n.shards[0]
+	}
+	return n.shards[hashString(host)%uint64(len(n.shards))]
 }
 
 // Host returns the named host, creating it on first use.
 func (n *Network) Host(name string) *Host {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if h, ok := n.hosts[name]; ok {
+	s := n.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.hosts[name]; ok {
 		return h
 	}
-	h := &Host{net: n, name: name, ports: make(map[uint16]*Endpoint), nextPort: 40000}
-	n.hosts[name] = h
+	h := &Host{net: n, shard: s, name: name, ports: make(map[uint16]*Endpoint), nextPort: 40000}
+	s.hosts[name] = h
 	return h
 }
 
 // Hosts returns the names of all hosts, in no particular order.
 func (n *Network) Hosts() []string {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]string, 0, len(n.hosts))
-	for name := range n.hosts {
-		out = append(out, name)
+	var out []string
+	for _, s := range n.shards {
+		s.mu.Lock()
+		for name := range s.hosts {
+			out = append(out, name)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
+// updateLink applies f to the a<->b link parameters. The authoritative
+// copy for each delivery direction lives on the destination host's shard,
+// so the update is applied on both endpoints' shards.
+func (n *Network) updateLink(a, b string, f func(*LinkParams)) {
+	k := mkLinkKey(a, b)
+	sa, sb := n.shardFor(a), n.shardFor(b)
+	for _, s := range []*shard{sa, sb} {
+		s.mu.Lock()
+		p := s.links[k]
+		f(&p)
+		s.links[k] = p
+		s.version++
+		s.mu.Unlock()
+		if sa == sb {
+			break
+		}
+	}
+}
+
 // SetLink configures the bidirectional link between hosts a and b.
 func (n *Network) SetLink(a, b string, p LinkParams) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.links[mkLinkKey(a, b)] = p
+	n.updateLink(a, b, func(dst *LinkParams) { *dst = p })
 }
 
 // SetLinkDelay configures only the delay model of the a<->b link, keeping
 // any existing fault parameters.
 func (n *Network) SetLinkDelay(a, b string, m DelayModel) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	k := mkLinkKey(a, b)
-	p := n.links[k]
-	p.Delay = m
-	n.links[k] = p
+	n.updateLink(a, b, func(p *LinkParams) { p.Delay = m })
 }
 
 // SetLoss configures only the loss probability of the a<->b link.
 func (n *Network) SetLoss(a, b string, loss float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	k := mkLinkKey(a, b)
-	p := n.links[k]
-	p.Loss = loss
-	n.links[k] = p
+	n.updateLink(a, b, func(p *LinkParams) { p.Loss = loss })
 }
 
 // Partition splits the network into the given host groups; datagrams
 // between different groups are dropped. Hosts not named in any group form
 // an implicit extra group. Heal removes the partition.
 func (n *Network) Partition(groups ...[]string) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.groups = make(map[string]int)
+	m := make(map[string]int)
 	for i, g := range groups {
 		for _, h := range g {
-			n.groups[h] = i + 1
+			m[h] = i + 1
 		}
 	}
+	n.setGroups(m)
 }
 
 // Heal removes any partition.
-func (n *Network) Heal() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.groups = make(map[string]int)
+func (n *Network) Heal() { n.setGroups(map[string]int{}) }
+
+// setGroups installs a copy of the partition map on every shard. Routing
+// reads only the destination shard's copy, so a send racing with
+// Partition may see either the old or the new view — the same guarantee
+// the single-lock design gave concurrent senders.
+func (n *Network) setGroups(m map[string]int) {
+	for _, s := range n.shards {
+		cp := make(map[string]int, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		s.mu.Lock()
+		s.groups = cp
+		s.mu.Unlock()
+	}
 }
 
 // Stats returns a snapshot of the network counters, including virtual-time
-// aggregates across all endpoints.
+// aggregates across all endpoints. See the Stats type for the consistency
+// guarantee: the counters balance exactly only at quiescence.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	s := n.stats
+	var s Stats
 	var sum time.Duration
 	var cnt int
 	var max time.Duration
-	for _, h := range n.hosts {
-		for _, e := range h.ports {
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		s.Sent += sh.ctr.sent
+		s.LostLink += sh.ctr.lostLink
+		s.LostCut += sh.ctr.lostCut
+		s.Duplicated += sh.ctr.duplicated
+		s.Reordered += sh.ctr.reordered
+		s.BytesSent += sh.ctr.bytesSent
+		eps := make([]*Endpoint, 0, 8)
+		for _, h := range sh.hosts {
+			for _, e := range h.ports {
+				eps = append(eps, e)
+			}
+		}
+		sh.mu.Unlock()
+		s.Delivered += sh.ctr.delivered.Load()
+		s.LostQueue += sh.ctr.lostQueue.Load()
+		for _, e := range eps {
 			v := e.VNow()
 			if v > max {
 				max = v
@@ -208,7 +277,6 @@ func (n *Network) Stats() Stats {
 			cnt++
 		}
 	}
-	n.mu.Unlock()
 	s.MaxVirtual = max
 	if cnt > 0 {
 		s.MeanVirtual = sum / time.Duration(cnt)
@@ -223,152 +291,200 @@ func (n *Network) MaxVirtual() time.Duration { return n.Stats().MaxVirtual }
 // Close shuts the network down, closing every endpoint. In-flight timed
 // deliveries are cancelled.
 func (n *Network) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
-	}
-	n.closed = true
-	for t := range n.timers {
-		t.Stop()
-	}
-	n.timers = make(map[*time.Timer]struct{})
-	hosts := make([]*Host, 0, len(n.hosts))
-	for _, h := range n.hosts {
-		hosts = append(hosts, h)
-	}
-	n.mu.Unlock()
-	for _, h := range hosts {
-		h.closeAll()
-	}
+	n.closeOnce.Do(func() {
+		n.closed.Store(true)
+		close(n.done) // stops every shard's timer goroutine
+		var hosts []*Host
+		for _, s := range n.shards {
+			s.mu.Lock()
+			s.timerQ = nil
+			for _, h := range s.hosts {
+				hosts = append(hosts, h)
+			}
+			s.mu.Unlock()
+		}
+		for _, h := range hosts {
+			h.closeAll()
+		}
+	})
 }
 
-// linkFor returns the parameters for the a<->b link, applying defaults.
-func (n *Network) linkFor(a, b string) LinkParams {
-	p := n.links[mkLinkKey(a, b)]
+// linkFor returns the parameters for the a<->b link from the given
+// shard's view, applying defaults. Caller must hold s.mu.
+func (n *Network) linkFor(s *shard, a, b string) LinkParams {
+	p := s.links[mkLinkKey(a, b)]
 	if p.Delay == nil {
 		p.Delay = n.cfg.defaultDelay
 	}
 	return p
 }
 
-// route performs loss/partition/duplication/reorder decisions and schedules
-// delivery of one datagram. Caller must not hold n.mu.
+// routeEntry is a cached resolution of one destination address: the
+// owning shard, the destination endpoint and the effective link
+// parameters. Entries are immutable; a shard version mismatch (link
+// reconfigured, endpoint closed) forces a re-resolution.
+type routeEntry struct {
+	ver uint64
+	to  Addr
+	s   *shard
+	dst *Endpoint
+	lp  LinkParams
+	key linkKey
+}
+
+// route performs loss/partition/duplication/reorder decisions and
+// schedules delivery of one datagram. All decisions for a datagram are
+// made on the destination host's shard, under that shard's lock and with
+// that shard's random stream. Caller must not hold any shard lock.
 func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+	if n.closed.Load() {
 		return ErrClosed
 	}
-	dstHost, ok := n.hosts[to.Host]
-	if !ok {
-		n.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNoRoute, to.Host)
+	var (
+		s   *shard
+		dst *Endpoint
+		lp  LinkParams
+		key linkKey
+	)
+	if c := from.rcache.Load(); c != nil && c.to == to {
+		s = c.s
+		s.mu.Lock()
+		if s.version == c.ver {
+			dst, lp, key = c.dst, c.lp, c.key
+		}
+	} else {
+		s = n.shardFor(to.Host)
+		s.mu.Lock()
 	}
-	n.stats.Sent++
-	n.stats.BytesSent += uint64(len(payload))
+	if dst == nil {
+		dstHost, ok := s.hosts[to.Host]
+		if !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrNoRoute, to.Host)
+		}
+		lp = n.linkFor(s, from.addr.Host, to.Host)
+		key = mkLinkKey(from.addr.Host, to.Host)
+		dst = dstHost.ports[to.Port]
+		if dst != nil {
+			// Fill the single cache slot only when it is empty, refreshing
+			// this same destination, or holding an entry this shard has
+			// already invalidated. A fan-out sender alternating between
+			// destinations otherwise evicts on every send, paying a
+			// routeEntry allocation per datagram for a cache that never
+			// hits.
+			if c := from.rcache.Load(); c == nil || c.to == to || (c.s == s && c.ver != s.version) {
+				from.rcache.Store(&routeEntry{ver: s.version, to: to, s: s, dst: dst, lp: lp, key: key})
+			}
+		}
+	}
+	s.ctr.sent++
+	s.ctr.bytesSent += uint64(len(payload))
 
 	// Partition check: distinct explicit groups never communicate; an
 	// explicit group is also cut off from the implicit group 0.
-	if len(n.groups) > 0 {
-		ga, gb := n.groups[from.addr.Host], n.groups[to.Host]
+	if len(s.groups) > 0 {
+		ga, gb := s.groups[from.addr.Host], s.groups[to.Host]
 		if ga != gb {
-			n.stats.LostCut++
-			n.mu.Unlock()
+			s.ctr.lostCut++
+			s.mu.Unlock()
 			return nil
 		}
 	}
 
-	lp := n.linkFor(from.addr.Host, to.Host)
-	if lp.Loss > 0 && n.rng.Float64() < lp.Loss {
-		n.stats.LostLink++
-		n.mu.Unlock()
+	if lp.Loss > 0 && s.rng.Float64() < lp.Loss {
+		s.ctr.lostLink++
+		s.mu.Unlock()
 		return nil
 	}
 
-	dst := dstHost.ports[to.Port]
 	if dst == nil {
 		// No listener: silently dropped, like UDP to a closed port.
-		n.stats.LostQueue++
-		n.mu.Unlock()
+		s.ctr.lostQueue.Add(1)
+		s.mu.Unlock()
 		return nil
 	}
 
-	vdelay := lp.Delay.Sample(n.rng)
-	dg := &Datagram{
+	vdelay := lp.Delay.Sample(s.rng)
+	dg := Datagram{
 		From:    from.addr,
 		To:      to,
-		Payload: append([]byte(nil), payload...),
+		Payload: s.clonePayload(payload),
 		VSent:   from.VNow(),
 	}
 	dg.VArrive = dg.VSent + vdelay
 
 	copies := 1
-	if lp.Dup > 0 && n.rng.Float64() < lp.Dup {
+	if lp.Dup > 0 && s.rng.Float64() < lp.Dup {
 		copies = 2
-		n.stats.Duplicated++
+		s.ctr.duplicated++
 	}
 
 	// Reordering: with probability Reorder, stash this datagram and deliver
 	// it only after the next datagram on the same link (or at flush).
-	key := mkLinkKey(from.addr.Host, to.Host)
-	var deliverNow []*Datagram
-	if prev := n.pending[key]; prev != nil {
-		delete(n.pending, key)
-		deliverNow = append(deliverNow, prev)
+	var flushed *Datagram
+	if len(s.pending) > 0 {
+		if prev := s.pending[key]; prev != nil {
+			delete(s.pending, key)
+			flushed = prev
+		}
 	}
-	if lp.Reorder > 0 && n.rng.Float64() < lp.Reorder && len(deliverNow) == 0 {
-		n.stats.Reordered++
-		n.pending[key] = dg
-		n.mu.Unlock()
+	if lp.Reorder > 0 && s.rng.Float64() < lp.Reorder && flushed == nil {
+		s.ctr.reordered++
+		// Copy to a branch-local so only this rare path heap-allocates;
+		// taking &dg directly would force every datagram to escape.
+		stash := dg
+		s.pending[key] = &stash
+		s.mu.Unlock()
 		return nil
 	}
 	realDelay := time.Duration(float64(vdelay) * n.cfg.timeScale)
-	n.mu.Unlock()
+
+	if realDelay > 0 {
+		due := time.Now().Add(realDelay)
+		for i := 0; i < copies; i++ {
+			s.scheduleLocked(n, due, dst, dg)
+		}
+		if flushed != nil {
+			s.scheduleLocked(n, due, dst, *flushed)
+		}
+		s.mu.Unlock()
+		s.wakeTimer()
+		return nil
+	}
+	s.mu.Unlock()
 
 	for i := 0; i < copies; i++ {
-		n.scheduleDelivery(dst, dg, realDelay)
+		n.deliver(dst, dg)
 	}
-	for _, p := range deliverNow {
-		n.scheduleDelivery(dst, p, realDelay)
+	if flushed != nil {
+		n.deliver(dst, *flushed)
 	}
 	return nil
 }
 
-// scheduleDelivery delivers dg to dst after realDelay (immediately when 0).
-func (n *Network) scheduleDelivery(dst *Endpoint, dg *Datagram, realDelay time.Duration) {
-	if realDelay <= 0 {
-		n.deliver(dst, dg)
-		return
+// deliver hands dg to dst's receive queue, dropping it if the queue is
+// full. It touches only the endpoint channel and the owning shard's
+// atomic delivery counters, so it runs without any shard lock.
+func (n *Network) deliver(dst *Endpoint, dg Datagram) {
+	ctr := &dst.host.shard.ctr
+	select {
+	case dst.queue <- dg:
+		ctr.delivered.Add(1)
+	default:
+		ctr.lostQueue.Add(1)
 	}
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return
-	}
-	var t *time.Timer
-	t = time.AfterFunc(realDelay, func() {
-		n.mu.Lock()
-		delete(n.timers, t)
-		closed := n.closed
-		n.mu.Unlock()
-		if !closed {
-			n.deliver(dst, dg)
-		}
-	})
-	n.timers[t] = struct{}{}
-	n.mu.Unlock()
 }
 
-func (n *Network) deliver(dst *Endpoint, dg *Datagram) {
-	select {
-	case dst.queue <- *dg:
-		n.mu.Lock()
-		n.stats.Delivered++
-		n.mu.Unlock()
-	default:
-		n.mu.Lock()
-		n.stats.LostQueue++
-		n.mu.Unlock()
+// hashString is FNV-1a, used to map host names to shards.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
 	}
+	return h
 }

@@ -130,8 +130,25 @@ type Client struct {
 	waiting map[uint64]chan *replyMsg
 }
 
-// NewClient attaches an RPC client to the dapplet.
+// clients maps each dapplet to its single RPC client. A dapplet has one
+// "@rpc-reply" inbox; two clients each consuming it would race for every
+// reply, and a reply drained by the wrong client is silently dropped
+// (deadlocking the real caller). NewClient therefore returns one shared
+// client per dapplet.
+var (
+	clientsMu sync.Mutex
+	clients   = make(map[*core.Dapplet]*Client)
+)
+
+// NewClient attaches an RPC client to the dapplet, or returns the
+// dapplet's existing client: all RPC replies to a dapplet arrive on the
+// one "@rpc-reply" inbox, so the client consuming it must be shared.
 func NewClient(d *core.Dapplet) *Client {
+	clientsMu.Lock()
+	defer clientsMu.Unlock()
+	if c, ok := clients[d]; ok {
+		return c
+	}
 	c := &Client{d: d, waiting: make(map[uint64]chan *replyMsg)}
 	d.Handle("@rpc-reply", func(env *wire.Envelope) {
 		rep, ok := env.Body.(*replyMsg)
@@ -146,6 +163,13 @@ func NewClient(d *core.Dapplet) *Client {
 			ch <- rep
 		}
 	})
+	clients[d] = c
+	go func() {
+		<-d.Stopped()
+		clientsMu.Lock()
+		delete(clients, d)
+		clientsMu.Unlock()
+	}()
 	return c
 }
 

@@ -256,3 +256,40 @@ func TestServedObjectsAreIndependent(t *testing.T) {
 		t.Fatalf("a=%d b=%d; objects share state", a, b)
 	}
 }
+
+// TestClientPerDappletIsShared is a regression test: two rpc.Clients
+// created on the same dapplet must share the "@rpc-reply" consumer. With
+// independent clients each spawns a handler draining the shared reply
+// inbox, and a reply drained by the wrong client is dropped, deadlocking
+// the caller (seen as a resmgr test hang under -race).
+func TestClientPerDappletIsShared(t *testing.T) {
+	w := newRWorld(t, netsim.WithSeed(1))
+	server := w.dapplet("s", "server")
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+
+	d := w.dapplet("c", "client")
+	c1 := rpc.NewClient(d)
+	c2 := rpc.NewClient(d)
+	if c1 != c2 {
+		t.Fatal("NewClient on the same dapplet returned distinct clients")
+	}
+	// Interleaved calls through both handles must all complete; before
+	// the fix roughly half the replies were consumed by the wrong
+	// client's handler and these calls hung.
+	for i := 0; i < 20; i++ {
+		cli := c1
+		if i%2 == 1 {
+			cli = c2
+		}
+		var n int
+		if err := cli.CallTimeout(ref, "add", 1, &n, 5*time.Second); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	// A fresh dapplet still gets a fresh client.
+	d2 := w.dapplet("c2", "client2")
+	if rpc.NewClient(d2) == c1 {
+		t.Fatal("distinct dapplets share a client")
+	}
+}

@@ -1,17 +1,3 @@
-// Package session implements the paper's sessions: "a temporary network
-// of dapplets that carries out a task" (§1). An initiator dapplet uses an
-// address directory to send link-up requests to component dapplets; a
-// dapplet "may accept the request and link itself up, or it may reject the
-// request because the requesting dapplet was not on its access control
-// list or because it is already participating in a session and another
-// concurrent session would cause interference" (§3.1). Sessions "need not
-// be static: after initiation they may grow and shrink" (§1), and when a
-// session terminates, "component dapplets unlink themselves from each
-// other".
-//
-// Setup is two-phase: Invite -> Accept/Reject, then Commit (bind channels)
-// or Abort. Termination and membership changes are acknowledged so the
-// initiator can observe completion.
 package session
 
 import (

@@ -1,30 +1,3 @@
-// Package snapshot implements the paper's checkpointing services (§4.2):
-//
-//   - Clock-based global checkpoints: "a global state can be easily
-//     checkpointed: all processes checkpoint their local states at some
-//     predetermined time T, and the states of the channels are the
-//     sequences of messages sent on the channels before T and received
-//     after T." The dapplet clocks satisfy the global snapshot criterion
-//     (see package lclock), so the checkpoint is consistent.
-//
-//   - Chandy–Lamport marker snapshots (the paper's reference [3]): the
-//     initiator records its state and sends markers on all outgoing
-//     channels; a process receiving its first marker records its state,
-//     records the arrival channel as empty, starts recording on other
-//     incoming channels, and relays markers; recording on a channel stops
-//     when its marker arrives. Channel FIFO order between dapplet pairs is
-//     provided by the reliable layer.
-//
-// Both produce a Global snapshot whose consistency is checkable: for every
-// ordered pair (p, q), the messages p had sent to q at p's record point
-// must equal the messages q had received from p at q's record point plus
-// the messages captured in the channel state.
-//
-// Limitation: a marker is ordered after the local state record only with
-// respect to sends made from the dapplet's message-handling threads;
-// behaviours that blast messages from unsynchronized background threads
-// concurrently with snapshot initiation can straddle the cut. Reactive
-// (message-driven) behaviours — the common dapplet style — are safe.
 package snapshot
 
 import (

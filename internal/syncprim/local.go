@@ -1,9 +1,3 @@
-// Package syncprim implements the paper's synchronization constructs
-// (§4.3): barriers, single-assignment variables, bounded channels and
-// semaphores for threads within a dapplet, and their extensions "to allow
-// synchronizations between threads in different dapplets in different
-// address spaces" — a distributed barrier service, a token-backed
-// distributed semaphore, and a distributed single-assignment register.
 package syncprim
 
 import (

@@ -1,12 +1,3 @@
-// Package transport provides the datagram transports the distributed layer
-// runs over, and the reliable ordered-delivery layer the paper describes:
-// "The initial implementation uses UDP and it includes a layer to ensure
-// that messages are delivered in the order they were sent" (§3.2).
-//
-// Two transports are provided: a simulated one over netsim (used by tests
-// and benchmarks so world-wide conditions are reproducible) and a real one
-// over net.UDPConn (used by the demo binaries on loopback or a real
-// network). The reliable layer is transport-agnostic.
 package transport
 
 import (

@@ -51,11 +51,15 @@ type NetOption = netsim.Option
 // NewNetwork creates a simulated network.
 func NewNetwork(opts ...NetOption) *Network { return netsim.New(opts...) }
 
-// Re-exported network options and delay profiles.
+// Re-exported network options and delay profiles. WithShards sets the
+// number of delivery shards (default GOMAXPROCS); WithShards(1) makes a
+// single-threaded run fully deterministic per seed.
 var (
 	WithSeed         = netsim.WithSeed
+	WithShards       = netsim.WithShards
 	WithDefaultDelay = netsim.WithDefaultDelay
 	WithTimeScale    = netsim.WithTimeScale
+	WithQueueCap     = netsim.WithQueueCap
 	Constant         = netsim.Constant
 	Uniform          = netsim.Uniform
 	LAN              = netsim.LAN
