@@ -2,7 +2,7 @@
 // the paper's three figures as runnable scenarios (F1-F3), the
 // traditional-vs-session comparison its introduction argues for (T1), and
 // a characterization experiment per mechanism the paper specifies
-// (E1-E7). Run all experiments or select one with -exp.
+// (E1-E8). Run all experiments or select one with -exp.
 //
 // Latencies labelled "vlat" are critical-path virtual latencies under the
 // configured WAN/LAN delay models (see internal/netsim); wall-clock
@@ -39,6 +39,7 @@ func main() {
 		{"e5", "RPC over inboxes: sync vs async", runE5},
 		{"e6", "Distributed synchronization constructs", runE6},
 		{"e7", "Session interference control", runE7},
+		{"e8", "Wire codec: binary envelope framing vs JSON", runE8},
 	}
 
 	ran := false

@@ -53,6 +53,30 @@ type schedReq struct {
 // Kind implements wire.Msg.
 func (*schedReq) Kind() string { return "calendar.req" }
 
+// AppendBinary implements wire.BinaryMessage: scheduling requests are the
+// per-round unit of Figure 1 / T1 traffic, so they take the binary path.
+func (m *schedReq) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendString(dst, m.RKind)
+	dst = wire.AppendVarint(dst, int64(m.Lo))
+	dst = wire.AppendVarint(dst, int64(m.Hi))
+	dst = wire.AppendVarint(dst, int64(m.Slot))
+	dst = wire.AppendInboxRef(dst, m.ReplyTo)
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *schedReq) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.ID = r.Uvarint()
+	m.RKind = r.String()
+	m.Lo = int(r.Varint())
+	m.Hi = int(r.Varint())
+	m.Slot = int(r.Varint())
+	m.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
 // schedRep flows upward.
 type schedRep struct {
 	ID    uint64  `json:"id"`
@@ -64,6 +88,38 @@ type schedRep struct {
 
 // Kind implements wire.Msg.
 func (*schedRep) Kind() string { return "calendar.rep" }
+
+// AppendBinary implements wire.BinaryMessage. The free-slot bitmap is
+// encoded word by word, a fraction of its decimal-array JSON cost.
+func (m *schedRep) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendString(dst, m.From)
+	dst = wire.AppendString(dst, m.RKind)
+	dst = wire.AppendUvarint(dst, uint64(len(m.Free)))
+	for _, w := range m.Free {
+		dst = wire.AppendUvarint(dst, w)
+	}
+	dst = wire.AppendBool(dst, m.OK)
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *schedRep) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.ID = r.Uvarint()
+	m.From = r.String()
+	m.RKind = r.String()
+	if n := r.Count(); n > 0 {
+		m.Free = make(SlotSet, n)
+		for i := range m.Free {
+			m.Free[i] = r.Uvarint()
+		}
+	} else {
+		m.Free = nil
+	}
+	m.OK = r.Bool()
+	return r.Done()
+}
 
 func init() {
 	wire.Register(&schedReq{})

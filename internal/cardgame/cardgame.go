@@ -42,6 +42,29 @@ type dealMsg struct {
 // Kind implements wire.Msg.
 func (*dealMsg) Kind() string { return "cards.deal" }
 
+// AppendBinary implements wire.BinaryMessage.
+func (m *dealMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, uint64(len(m.Hand)))
+	for _, c := range m.Hand {
+		dst = wire.AppendVarint(dst, int64(c))
+	}
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *dealMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	if n := r.Count(); n > 0 {
+		m.Hand = make([]int, n)
+		for i := range m.Hand {
+			m.Hand[i] = int(r.Varint())
+		}
+	} else {
+		m.Hand = nil
+	}
+	return r.Done()
+}
+
 // turnMsg passes the turn token and one card to the successor.
 type turnMsg struct {
 	Card    int  `json:"c"`
@@ -53,6 +76,26 @@ type turnMsg struct {
 // Kind implements wire.Msg.
 func (*turnMsg) Kind() string { return "cards.turn" }
 
+// AppendBinary implements wire.BinaryMessage: the turn token is the
+// per-hop unit of ring traffic, so it takes the binary fast path.
+func (m *turnMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendVarint(dst, int64(m.Card))
+	dst = wire.AppendBool(dst, m.HasCard)
+	dst = wire.AppendVarint(dst, int64(m.Hops))
+	dst = wire.AppendVarint(dst, int64(m.MaxHops))
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *turnMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Card = int(r.Varint())
+	m.HasCard = r.Bool()
+	m.Hops = int(r.Varint())
+	m.MaxHops = int(r.Varint())
+	return r.Done()
+}
+
 // announceMsg reports the game result to the dealer.
 type announceMsg struct {
 	Player string `json:"p"`
@@ -63,6 +106,25 @@ type announceMsg struct {
 
 // Kind implements wire.Msg.
 func (*announceMsg) Kind() string { return "cards.announce" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *announceMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.Player)
+	dst = wire.AppendVarint(dst, int64(m.Rank))
+	dst = wire.AppendBool(dst, m.Winner)
+	dst = wire.AppendVarint(dst, int64(m.Hops))
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *announceMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Player = r.String()
+	m.Rank = int(r.Varint())
+	m.Winner = r.Bool()
+	m.Hops = int(r.Varint())
+	return r.Done()
+}
 
 func init() {
 	wire.Register(&dealMsg{})

@@ -231,20 +231,41 @@ func (d *Dapplet) OnSend(f func(*wire.Envelope)) {
 	d.obsMu.Unlock()
 }
 
+// sendBufPool recycles envelope encode buffers: the reliable layer copies
+// the payload into its retransmission frame before Send returns, so the
+// buffer can be reused as soon as the send completes.
+var sendBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
 // sendEnvelope marshals and transmits one envelope to its destination
 // dapplet over the reliable layer.
 func (d *Dapplet) sendEnvelope(env *wire.Envelope) error {
-	data, err := wire.MarshalEnvelope(env)
+	body, err := wire.EncodeBody(env.Body)
 	if err != nil {
 		return err
 	}
+	err = d.sendEncoded(env, body)
+	body.Release()
+	return err
+}
+
+// sendEncoded frames an already-encoded body with env's header words and
+// transmits it; Outbox.Send uses it to fan one body encoding out to many
+// destinations.
+func (d *Dapplet) sendEncoded(env *wire.Envelope, body wire.Body) error {
+	bufp := sendBufPool.Get().(*[]byte)
+	buf := wire.AppendEnvelopeBody((*bufp)[:0], env, body)
+	*bufp = buf
 	d.obsMu.RLock()
 	obs := d.sendObs
 	d.obsMu.RUnlock()
 	for _, f := range obs {
 		f(env)
 	}
-	return d.rel.Send(env.To.Dapplet, data)
+	err := d.rel.Send(env.To.Dapplet, buf)
+	if cap(buf) <= wire.MaxPooledBuf {
+		sendBufPool.Put(bufp)
+	}
+	return err
 }
 
 // SendDirect sends msg to an inbox reference outside any outbox binding.

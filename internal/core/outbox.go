@@ -101,6 +101,17 @@ func (o *Outbox) Send(msg wire.Msg) error {
 	o.sent++
 	o.mu.Unlock()
 
+	if len(dests) == 0 {
+		return nil
+	}
+	// Marshal the body exactly once; each destination re-encodes only the
+	// envelope header words (destination and Lamport stamp) around the
+	// shared encoded bytes.
+	body, err := wire.EncodeBody(msg)
+	if err != nil {
+		return err
+	}
+	defer body.Release()
 	var errs []error
 	for _, ref := range dests {
 		env := &wire.Envelope{
@@ -111,7 +122,7 @@ func (o *Outbox) Send(msg wire.Msg) error {
 			Lamport:     o.d.clock.StampSend(),
 			Body:        msg,
 		}
-		if err := o.d.sendEnvelope(env); err != nil {
+		if err := o.d.sendEncoded(env, body); err != nil {
 			errs = append(errs, err)
 		}
 	}

@@ -125,6 +125,11 @@ func (e *Endpoint) Send(to Addr, payload []byte) error {
 
 // Recv blocks until a datagram arrives or the endpoint is closed, and
 // advances the endpoint's virtual clock to the datagram's arrival stamp.
+//
+// Ownership: the returned datagram's Payload is an exclusively owned
+// copy — the network neither retains nor writes to it after delivery
+// (duplicated datagrams are delivered with independent copies), so the
+// receiver may retain or mutate it without copying.
 func (e *Endpoint) Recv() (Datagram, error) {
 	select {
 	case dg := <-e.queue:

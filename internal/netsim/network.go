@@ -413,12 +413,6 @@ func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
 	}
 	dg.VArrive = dg.VSent + vdelay
 
-	copies := 1
-	if lp.Dup > 0 && s.rng.Float64() < lp.Dup {
-		copies = 2
-		s.ctr.duplicated++
-	}
-
 	// Reordering: with probability Reorder, stash this datagram and deliver
 	// it only after the next datagram on the same link (or at flush).
 	var flushed *Datagram
@@ -437,12 +431,26 @@ func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
 		s.mu.Unlock()
 		return nil
 	}
+
+	// Duplication is rolled only for a datagram actually being delivered
+	// (a reorder-stashed one returned above), keeping the Duplicated
+	// counter exact. The duplicate gets its own payload copy so every
+	// delivery hands the receiver an exclusively owned slice (see
+	// Endpoint.Recv).
+	var dup *Datagram
+	if lp.Dup > 0 && s.rng.Float64() < lp.Dup {
+		d2 := dg
+		d2.Payload = s.clonePayload(payload)
+		dup = &d2
+		s.ctr.duplicated++
+	}
 	realDelay := time.Duration(float64(vdelay) * n.cfg.timeScale)
 
 	if realDelay > 0 {
 		due := time.Now().Add(realDelay)
-		for i := 0; i < copies; i++ {
-			s.scheduleLocked(n, due, dst, dg)
+		s.scheduleLocked(n, due, dst, dg)
+		if dup != nil {
+			s.scheduleLocked(n, due, dst, *dup)
 		}
 		if flushed != nil {
 			s.scheduleLocked(n, due, dst, *flushed)
@@ -453,8 +461,9 @@ func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
 	}
 	s.mu.Unlock()
 
-	for i := 0; i < copies; i++ {
-		n.deliver(dst, dg)
+	n.deliver(dst, dg)
+	if dup != nil {
+		n.deliver(dst, *dup)
 	}
 	if flushed != nil {
 		n.deliver(dst, *flushed)

@@ -62,6 +62,25 @@ type callMsg struct {
 
 func (*callMsg) Kind() string { return "rpc.call" }
 
+// AppendBinary implements wire.BinaryMessage (the hot-path codec).
+func (c *callMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, c.ID)
+	dst = wire.AppendString(dst, c.Method)
+	dst = wire.AppendBytes(dst, c.Args)
+	dst = wire.AppendInboxRef(dst, c.ReplyTo)
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (c *callMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	c.ID = r.Uvarint()
+	c.Method = r.String()
+	c.Args = r.Bytes()
+	c.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
 // replyMsg answers a synchronous call.
 type replyMsg struct {
 	ID     uint64          `json:"id"`
@@ -71,6 +90,25 @@ type replyMsg struct {
 }
 
 func (*replyMsg) Kind() string { return "rpc.reply" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *replyMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendBytes(dst, m.Result)
+	dst = wire.AppendString(dst, m.Err)
+	dst = wire.AppendBool(dst, m.NoMeth)
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *replyMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.ID = r.Uvarint()
+	m.Result = r.Bytes()
+	m.Err = r.String()
+	m.NoMeth = r.Bool()
+	return r.Done()
+}
 
 func init() {
 	wire.Register(&callMsg{})

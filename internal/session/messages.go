@@ -73,6 +73,85 @@ type inviteMsg struct {
 
 func (*inviteMsg) Kind() string { return "session.invite" }
 
+// appendAccess / readAccess encode a state.AccessSet for the binary path.
+func appendAccess(dst []byte, a state.AccessSet) []byte {
+	dst = wire.AppendStringSlice(dst, a.Read)
+	return wire.AppendStringSlice(dst, a.Write)
+}
+
+func readAccess(r *wire.Reader) state.AccessSet {
+	return state.AccessSet{Read: r.StringSlice(), Write: r.StringSlice()}
+}
+
+func appendParticipants(dst []byte, ps []Participant) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
+		dst = wire.AppendString(dst, p.Name)
+		dst = wire.AppendString(dst, p.Addr.Host)
+		dst = wire.AppendUvarint(dst, uint64(p.Addr.Port))
+		dst = wire.AppendString(dst, p.Role)
+		dst = appendAccess(dst, p.Access)
+	}
+	return dst
+}
+
+func readParticipants(r *wire.Reader) []Participant {
+	n := r.Count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Participant, n)
+	for i := range out {
+		out[i].Name = r.String()
+		out[i].Addr.Host = r.String()
+		out[i].Addr.Port = r.Port()
+		out[i].Role = r.String()
+		out[i].Access = readAccess(r)
+	}
+	return out
+}
+
+// AppendBinary implements wire.BinaryMessage: invitations are the
+// per-participant unit of session setup cost (Figure 2), so they take the
+// binary fast path.
+func (m *inviteMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.SessionID)
+	dst = wire.AppendString(dst, m.Task)
+	dst = wire.AppendString(dst, m.Role)
+	dst = appendAccess(dst, m.Access)
+	dst = wire.AppendUvarint(dst, uint64(len(m.Bindings)))
+	for _, b := range m.Bindings {
+		dst = wire.AppendString(dst, b.Outbox)
+		dst = wire.AppendInboxRef(dst, b.To)
+	}
+	dst = wire.AppendStringSlice(dst, m.Inboxes)
+	dst = appendParticipants(dst, m.Roster)
+	dst = wire.AppendInboxRef(dst, m.ReplyTo)
+	return dst, nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *inviteMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.SessionID = r.String()
+	m.Task = r.String()
+	m.Role = r.String()
+	m.Access = readAccess(r)
+	if n := r.Count(); n > 0 {
+		m.Bindings = make([]Binding, n)
+		for i := range m.Bindings {
+			m.Bindings[i].Outbox = r.String()
+			m.Bindings[i].To = r.InboxRef()
+		}
+	} else {
+		m.Bindings = nil
+	}
+	m.Inboxes = r.StringSlice()
+	m.Roster = readParticipants(r)
+	m.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
 // acceptMsg is a participant's positive response to an invitation.
 type acceptMsg struct {
 	SessionID string `json:"sid"`
@@ -80,6 +159,20 @@ type acceptMsg struct {
 }
 
 func (*acceptMsg) Kind() string { return "session.accept" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *acceptMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.SessionID)
+	return wire.AppendString(dst, m.Name), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *acceptMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.SessionID = r.String()
+	m.Name = r.String()
+	return r.Done()
+}
 
 // rejectMsg is a participant's refusal, with the reason.
 type rejectMsg struct {

@@ -11,4 +11,11 @@
 // timeout, discards duplicates, and releases messages to the application
 // strictly in send order — exactly the guarantees the paper's channel
 // abstraction assumes of its UDP layer.
+//
+// The layer is sharded by peer: each peer's window, unacked set and
+// reordering buffer live under that peer's own mutex, acknowledgements
+// are cumulative and coalesced (after AckEvery messages or AckDelay,
+// whichever first), and a single timer goroutine drives retransmission
+// from a min-heap of per-peer deadlines, so cost is proportional to
+// peers with due packets rather than to all in-flight traffic.
 package transport

@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"container/heap"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -16,8 +18,15 @@ const (
 	pktAck  = 2
 )
 
-// headerLen is: magic(2) + type(1) + seq(8).
+// headerLen is: magic(2) + type(1) + seq(8). For data packets seq is the
+// message sequence number; for acks it is the cumulative acknowledgement
+// (every message up to and including it has been received), optionally
+// followed by an 8-byte selective acknowledgement payload naming one
+// out-of-order message received beyond the cumulative point.
 const headerLen = 11
+
+// ackSelLen is the payload length of an ack carrying a selective seq.
+const ackSelLen = 8
 
 var magic = [2]byte{'w', 'w'}
 
@@ -39,6 +48,15 @@ type Config struct {
 	Window int
 	// RecvBuf is the capacity of the ordered-delivery queue (default 1024).
 	RecvBuf int
+	// AckEvery is the number of in-order messages from a peer that forces
+	// an immediate cumulative acknowledgement (default 8). Out-of-order,
+	// duplicate and retransmitted arrivals are always acknowledged
+	// immediately.
+	AckEvery int
+	// AckDelay bounds how long a cumulative acknowledgement may be
+	// withheld waiting to coalesce with later ones (default RTO/8). An
+	// ack is sent after AckEvery messages or AckDelay, whichever first.
+	AckDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +71,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecvBuf <= 0 {
 		c.RecvBuf = 1024
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 8
+	}
+	if c.AckDelay <= 0 {
+		c.AckDelay = c.RTO / 8
 	}
 	return c
 }
@@ -69,41 +93,82 @@ type SendFailure struct {
 type Stats struct {
 	DataSent    uint64 // first transmissions
 	Retransmits uint64
-	AcksSent    uint64
+	AcksSent    uint64 // ack packets (cumulative: usually fewer than messages)
 	AcksRecv    uint64
 	DupsDropped uint64 // duplicate data packets discarded
 	Delivered   uint64 // messages handed to Recv in order
 	Failures    uint64
 }
 
+// statCounters is the lock-free internal form of Stats: counters are
+// atomics so the per-peer locks never serialize on shared accounting.
+type statCounters struct {
+	dataSent    atomic.Uint64
+	retransmits atomic.Uint64
+	acksSent    atomic.Uint64
+	acksRecv    atomic.Uint64
+	dupsDropped atomic.Uint64
+	delivered   atomic.Uint64
+	failures    atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		DataSent:    c.dataSent.Load(),
+		Retransmits: c.retransmits.Load(),
+		AcksSent:    c.acksSent.Load(),
+		AcksRecv:    c.acksRecv.Load(),
+		DupsDropped: c.dupsDropped.Load(),
+		Delivered:   c.delivered.Load(),
+		Failures:    c.failures.Load(),
+	}
+}
+
 // outPkt is an in-flight message awaiting acknowledgement.
 type outPkt struct {
 	seq      uint64
 	frame    []byte
-	lastSent time.Time
+	deadline time.Time // next retransmission time
 	retries  int
 }
 
-// peerState holds the per-peer sequencing state in both directions.
+// peerState holds one peer's sequencing state in both directions, guarded
+// by its own mutex: traffic to or from distinct peers never shares a lock.
 type peerState struct {
+	addr netsim.Addr
+
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast when window space frees or the layer closes
+	closed bool
+
 	// Sender side.
 	nextSeq uint64
+	ackedTo uint64 // highest cumulative ack received
 	unacked map[uint64]*outPkt
-	spaceC  chan struct{} // signalled when window space frees up
 
 	// Receiver side.
 	expected uint64
 	ooo      map[uint64][]byte
+
+	// Delayed-ack coalescing: ackPending counts in-order messages
+	// received since the last ack; ackTimerSet records that an ack
+	// deadline is already in the timer queue. retxArmed records that a
+	// retransmit event for this peer is in the queue.
+	ackPending  int
+	ackTimerSet bool
+	retxArmed   bool
 }
 
-func newPeerState() *peerState {
-	return &peerState{
+func newPeerState(addr netsim.Addr) *peerState {
+	p := &peerState{
+		addr:     addr,
 		nextSeq:  1,
 		unacked:  make(map[uint64]*outPkt),
-		spaceC:   make(chan struct{}, 1),
 		expected: 1,
 		ooo:      make(map[uint64][]byte),
 	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
 // inMsg is one ordered delivery.
@@ -112,18 +177,62 @@ type inMsg struct {
 	from    netsim.Addr
 }
 
+// Timer events: one goroutine per Reliable sleeps until the earliest
+// deadline in a min-heap and processes only the peers that are due —
+// retransmission work is proportional to peers with expired packets, not
+// to all unacked packets across all peers — and delayed acks ride the
+// same queue. Each peer keeps at most one retransmit event live
+// (retxArmed), armed at its next packet deadline; a fire whose packets
+// were acked in the meantime just re-arms or lapses, so the fault-free
+// send path performs no timer work per message.
+const (
+	evRetx = iota
+	evAck
+)
+
+type timerEvent struct {
+	due  time.Time
+	p    *peerState
+	kind uint8
+}
+
+type timerQueue []timerEvent
+
+func (h timerQueue) Len() int           { return len(h) }
+func (h timerQueue) Less(i, j int) bool { return h[i].due.Before(h[j].due) }
+func (h timerQueue) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerQueue) Push(x any)        { *h = append(*h, x.(timerEvent)) }
+func (h *timerQueue) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = timerEvent{}
+	*h = old[:n-1]
+	return ev
+}
+
 // Reliable implements per-peer FIFO, exactly-once message delivery over an
-// unreliable PacketConn, using sequence numbers, selective acknowledgements
-// and bounded exponential-backoff retransmission. Messages between a pair
-// of endpoints are delivered in the order sent (§3.2: "Messages sent along
-// a channel are delivered in the order sent").
+// unreliable PacketConn, using sequence numbers, cumulative+selective
+// acknowledgements and bounded exponential-backoff retransmission.
+// Messages between a pair of endpoints are delivered in the order sent
+// (§3.2: "Messages sent along a channel are delivered in the order sent").
+//
+// The layer is sharded by peer: each peer's window, unacked set and
+// reordering buffer live under that peer's own mutex (the table itself is
+// a sync.Map), so concurrent senders to different peers never contend.
 type Reliable struct {
 	pc  PacketConn
 	cfg Config
 
-	mu    sync.Mutex
-	peers map[netsim.Addr]*peerState
-	stats Stats
+	peers   sync.Map   // netsim.Addr -> *peerState
+	peersMu sync.Mutex // serializes peer creation against Close
+	closedB bool       // guarded by peersMu
+
+	stats statCounters
+
+	timerMu   sync.Mutex
+	timerQ    timerQueue
+	timerWake chan struct{}
 
 	incoming chan inMsg
 	failures chan SendFailure
@@ -134,19 +243,19 @@ type Reliable struct {
 }
 
 // NewReliable layers reliable ordered delivery over pc and starts its
-// receive and retransmission goroutines.
+// receive and timer goroutines.
 func NewReliable(pc PacketConn, cfg Config) *Reliable {
 	r := &Reliable{
-		pc:       pc,
-		cfg:      cfg.withDefaults(),
-		peers:    make(map[netsim.Addr]*peerState),
-		incoming: make(chan inMsg, cfg.withDefaults().RecvBuf),
-		failures: make(chan SendFailure, 64),
-		closed:   make(chan struct{}),
+		pc:        pc,
+		cfg:       cfg.withDefaults(),
+		timerWake: make(chan struct{}, 1),
+		incoming:  make(chan inMsg, cfg.withDefaults().RecvBuf),
+		failures:  make(chan SendFailure, 64),
+		closed:    make(chan struct{}),
 	}
 	r.wg.Add(2)
 	go r.recvLoop()
-	go r.retransmitLoop()
+	go r.timerLoop()
 	return r
 }
 
@@ -159,18 +268,23 @@ func (r *Reliable) LocalAddr() netsim.Addr { return r.pc.LocalAddr() }
 func (r *Reliable) Failures() <-chan SendFailure { return r.failures }
 
 // Stats returns a snapshot of the layer's counters.
-func (r *Reliable) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
-}
+func (r *Reliable) Stats() Stats { return r.stats.snapshot() }
 
+// peer returns the state for a peer, creating it on first contact. The
+// fast path is a lock-free sync.Map load; creation synchronizes with
+// Close through peersMu so a peer can never miss the close broadcast.
 func (r *Reliable) peer(a netsim.Addr) *peerState {
-	if p, ok := r.peers[a]; ok {
-		return p
+	if v, ok := r.peers.Load(a); ok {
+		return v.(*peerState)
 	}
-	p := newPeerState()
-	r.peers[a] = p
+	r.peersMu.Lock()
+	defer r.peersMu.Unlock()
+	if v, ok := r.peers.Load(a); ok {
+		return v.(*peerState)
+	}
+	p := newPeerState(a)
+	p.closed = r.closedB
+	r.peers.Store(a, p)
 	return p
 }
 
@@ -190,39 +304,51 @@ func decodeFrame(f []byte) (typ byte, seq uint64, payload []byte, err error) {
 	return f[2], binary.BigEndian.Uint64(f[3:11]), f[headerLen:], nil
 }
 
+// schedule queues a timer event, waking the timer goroutine if it created
+// a new earliest deadline. Must not be called with a peer lock held.
+func (r *Reliable) schedule(ev timerEvent) {
+	r.timerMu.Lock()
+	wake := len(r.timerQ) == 0 || ev.due.Before(r.timerQ[0].due)
+	heap.Push(&r.timerQ, ev)
+	r.timerMu.Unlock()
+	if wake {
+		select {
+		case r.timerWake <- struct{}{}:
+		default:
+		}
+	}
+}
+
 // Send transmits payload to the peer with FIFO, exactly-once semantics.
 // It blocks while the peer's send window is full and returns ErrClosed if
 // the layer shuts down first. Delivery failure after retries is reported
-// asynchronously on Failures.
+// asynchronously on Failures. Send copies payload into the retransmission
+// frame before returning, so the caller may reuse the slice immediately.
 func (r *Reliable) Send(to netsim.Addr, payload []byte) error {
-	for {
-		r.mu.Lock()
-		select {
-		case <-r.closed:
-			r.mu.Unlock()
-			return ErrClosed
-		default:
-		}
-		p := r.peer(to)
-		if len(p.unacked) < r.cfg.Window {
-			seq := p.nextSeq
-			p.nextSeq++
-			frame := encodeFrame(pktData, seq, payload)
-			p.unacked[seq] = &outPkt{seq: seq, frame: frame, lastSent: time.Now()}
-			r.stats.DataSent++
-			r.mu.Unlock()
-			return r.pc.WriteTo(to, frame)
-		}
-		spaceC := p.spaceC
-		r.mu.Unlock()
-		select {
-		case <-spaceC:
-		case <-r.closed:
-			return ErrClosed
-		case <-time.After(r.cfg.RTO):
-			// Re-check: space may have been signalled before we subscribed.
-		}
+	p := r.peer(to)
+	p.mu.Lock()
+	for len(p.unacked) >= r.cfg.Window && !p.closed {
+		p.cond.Wait()
 	}
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	seq := p.nextSeq
+	p.nextSeq++
+	frame := encodeFrame(pktData, seq, payload)
+	pkt := &outPkt{seq: seq, frame: frame, deadline: time.Now().Add(r.cfg.RTO)}
+	p.unacked[seq] = pkt
+	arm := !p.retxArmed
+	if arm {
+		p.retxArmed = true
+	}
+	p.mu.Unlock()
+	r.stats.dataSent.Add(1)
+	if arm {
+		r.schedule(timerEvent{due: pkt.deadline, p: p, kind: evRetx})
+	}
+	return r.pc.WriteTo(to, frame)
 }
 
 // Recv blocks until the next in-order message from any peer arrives.
@@ -255,10 +381,22 @@ func (r *Reliable) RecvTimeout(d time.Duration) ([]byte, netsim.Addr, error) {
 	}
 }
 
-// Close shuts the layer and the underlying socket down.
+// Close shuts the layer and the underlying socket down, waking any sender
+// blocked on a full window.
 func (r *Reliable) Close() error {
 	r.closeOnce.Do(func() {
 		close(r.closed)
+		r.peersMu.Lock()
+		r.closedB = true
+		r.peersMu.Unlock()
+		r.peers.Range(func(_, v any) bool {
+			p := v.(*peerState)
+			p.mu.Lock()
+			p.closed = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return true
+		})
 		r.pc.Close()
 	})
 	r.wg.Wait()
@@ -278,59 +416,126 @@ func (r *Reliable) recvLoop() {
 		}
 		switch typ {
 		case pktAck:
-			r.handleAck(from, seq)
+			r.handleAck(from, seq, payload)
 		case pktData:
 			r.handleData(from, seq, payload)
 		}
 	}
 }
 
-func (r *Reliable) handleAck(from netsim.Addr, seq uint64) {
-	r.mu.Lock()
+// handleAck processes a cumulative acknowledgement (plus an optional
+// selective seq in the payload), releasing window space.
+func (r *Reliable) handleAck(from netsim.Addr, cum uint64, payload []byte) {
+	r.stats.acksRecv.Add(1)
 	p := r.peer(from)
-	r.stats.AcksRecv++
-	if _, ok := p.unacked[seq]; ok {
-		delete(p.unacked, seq)
-		select {
-		case p.spaceC <- struct{}{}:
-		default:
+	p.mu.Lock()
+	if cum >= p.nextSeq {
+		cum = p.nextSeq - 1 // clamp garbage from a confused peer
+	}
+	freed := false
+	for q := p.ackedTo + 1; q <= cum; q++ {
+		if _, ok := p.unacked[q]; ok {
+			delete(p.unacked, q)
+			freed = true
 		}
 	}
-	r.mu.Unlock()
+	if cum > p.ackedTo {
+		p.ackedTo = cum
+	}
+	if len(payload) == ackSelLen {
+		sel := binary.BigEndian.Uint64(payload)
+		if _, ok := p.unacked[sel]; ok {
+			delete(p.unacked, sel)
+			freed = true
+		}
+	}
+	if freed {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
 }
 
+// sendAck transmits one cumulative ack, optionally carrying a selective
+// seq for an out-of-order arrival.
+func (r *Reliable) sendAck(to netsim.Addr, cum uint64, sel uint64, hasSel bool) {
+	var payload []byte
+	if hasSel {
+		var b [ackSelLen]byte
+		binary.BigEndian.PutUint64(b[:], sel)
+		payload = b[:]
+	}
+	r.stats.acksSent.Add(1)
+	_ = r.pc.WriteTo(to, encodeFrame(pktAck, cum, payload))
+}
+
+// handleData sequences one arriving data packet. In-order arrivals are
+// delivered immediately but acknowledged lazily (after AckEvery messages
+// or AckDelay, whichever first); out-of-order, duplicate and
+// retransmitted arrivals are acknowledged immediately so the sender's
+// window unblocks and retransmission stops promptly. The payload slice is
+// owned by this layer (see PacketConn.ReadFrom) and is handed to the
+// application without copying.
 func (r *Reliable) handleData(from netsim.Addr, seq uint64, payload []byte) {
-	// Always acknowledge: the ack for an earlier copy may have been lost.
-	ack := encodeFrame(pktAck, seq, nil)
-	_ = r.pc.WriteTo(from, ack)
-
-	r.mu.Lock()
-	r.stats.AcksSent++
 	p := r.peer(from)
-	if seq < p.expected {
-		r.stats.DupsDropped++
-		r.mu.Unlock()
-		return
-	}
-	if _, dup := p.ooo[seq]; dup {
-		r.stats.DupsDropped++
-		r.mu.Unlock()
-		return
-	}
-	p.ooo[seq] = append([]byte(nil), payload...)
-	var ready []inMsg
-	for {
-		pl, ok := p.ooo[p.expected]
-		if !ok {
-			break
-		}
-		delete(p.ooo, p.expected)
+	var (
+		ready    []inMsg
+		ackNow   bool
+		ackCum   uint64
+		ackSel   uint64
+		hasSel   bool
+		armTimer bool
+	)
+	p.mu.Lock()
+	switch {
+	case seq < p.expected:
+		// Retransmission of something already delivered: the previous ack
+		// was likely lost, so re-ack the cumulative point immediately.
+		r.stats.dupsDropped.Add(1)
+		p.ackPending = 0
+		ackNow, ackCum = true, p.expected-1
+	case seq == p.expected:
+		// In-order: deliver this message and any run it completes.
+		delete(p.ooo, seq)
+		ready = append(ready, inMsg{payload: payload, from: from})
 		p.expected++
-		ready = append(ready, inMsg{payload: pl, from: from})
-		r.stats.Delivered++
+		for {
+			pl, ok := p.ooo[p.expected]
+			if !ok {
+				break
+			}
+			delete(p.ooo, p.expected)
+			p.expected++
+			ready = append(ready, inMsg{payload: pl, from: from})
+		}
+		r.stats.delivered.Add(uint64(len(ready)))
+		p.ackPending += len(ready)
+		if p.ackPending >= r.cfg.AckEvery {
+			p.ackPending = 0
+			ackNow, ackCum = true, p.expected-1
+		} else if !p.ackTimerSet {
+			p.ackTimerSet = true
+			armTimer = true
+		}
+	default: // seq > expected
+		if _, dup := p.ooo[seq]; dup {
+			r.stats.dupsDropped.Add(1)
+		} else {
+			p.ooo[seq] = payload
+		}
+		// A gap is open: ack immediately — cumulative for everything
+		// in order, selective for this packet — so the sender
+		// retransmits only the hole.
+		p.ackPending = 0
+		ackNow, ackCum, ackSel, hasSel = true, p.expected-1, seq, true
 	}
-	r.mu.Unlock()
+	p.mu.Unlock()
 
+	if armTimer {
+		r.schedule(timerEvent{due: time.Now().Add(r.cfg.AckDelay), p: p, kind: evAck})
+	}
+	if ackNow {
+		r.sendAck(from, ackCum, ackSel, hasSel)
+	}
 	for _, m := range ready {
 		select {
 		case r.incoming <- m:
@@ -340,65 +545,118 @@ func (r *Reliable) handleData(from netsim.Addr, seq uint64, payload []byte) {
 	}
 }
 
-func (r *Reliable) retransmitLoop() {
+// timerLoop sleeps until the earliest deadline in the queue and fires only
+// due events; a schedule call with an earlier deadline wakes it early.
+func (r *Reliable) timerLoop() {
 	defer r.wg.Done()
-	tick := time.NewTicker(r.cfg.RTO / 4)
-	defer tick.Stop()
 	for {
-		select {
-		case <-r.closed:
-			return
-		case <-tick.C:
-		}
+		r.timerMu.Lock()
 		now := time.Now()
-		var resend []struct {
-			to    netsim.Addr
-			frame []byte
+		var due []timerEvent
+		wait := time.Duration(-1)
+		for len(r.timerQ) > 0 {
+			if d := r.timerQ[0].due.Sub(now); d > 0 {
+				wait = d
+				break
+			}
+			due = append(due, heap.Pop(&r.timerQ).(timerEvent))
 		}
-		var failed []SendFailure
-		r.mu.Lock()
-		for addr, p := range r.peers {
-			for seq, pkt := range p.unacked {
-				rto := r.cfg.RTO << uint(pkt.retries)
-				if maxRTO := 8 * r.cfg.RTO; rto > maxRTO {
-					rto = maxRTO
-				}
-				if now.Sub(pkt.lastSent) < rto {
-					continue
-				}
+		r.timerMu.Unlock()
+		for _, ev := range due {
+			r.fire(ev, now)
+		}
+		if wait < 0 {
+			select {
+			case <-r.timerWake:
+			case <-r.closed:
+				return
+			}
+			continue
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-r.timerWake:
+			t.Stop()
+		case <-t.C:
+		case <-r.closed:
+			t.Stop()
+			return
+		}
+	}
+}
+
+// fire handles one due timer event.
+func (r *Reliable) fire(ev timerEvent, now time.Time) {
+	p := ev.p
+	switch ev.kind {
+	case evAck:
+		p.mu.Lock()
+		p.ackTimerSet = false
+		send := p.ackPending > 0
+		cum := p.expected - 1
+		if send {
+			p.ackPending = 0
+		}
+		p.mu.Unlock()
+		if send {
+			r.sendAck(p.addr, cum, 0, false)
+		}
+
+	case evRetx:
+		var (
+			resend [][]byte
+			failed []SendFailure
+			next   time.Time
+		)
+		p.mu.Lock()
+		p.retxArmed = false
+		for seq, pkt := range p.unacked {
+			if !pkt.deadline.After(now) {
 				if pkt.retries >= r.cfg.MaxRetries {
 					delete(p.unacked, seq)
-					r.stats.Failures++
 					failed = append(failed, SendFailure{
-						To:      addr,
+						To:      p.addr,
 						Seq:     seq,
 						Payload: pkt.frame[headerLen:],
 						Err:     ErrTooManyRetries,
 					})
-					select {
-					case p.spaceC <- struct{}{}:
-					default:
-					}
 					continue
 				}
 				pkt.retries++
-				pkt.lastSent = now
-				r.stats.Retransmits++
-				resend = append(resend, struct {
-					to    netsim.Addr
-					frame []byte
-				}{addr, pkt.frame})
+				rto := r.cfg.RTO << uint(pkt.retries)
+				if maxRTO := 8 * r.cfg.RTO; rto > maxRTO {
+					rto = maxRTO
+				}
+				pkt.deadline = now.Add(rto)
+				resend = append(resend, pkt.frame)
+			}
+			if next.IsZero() || pkt.deadline.Before(next) {
+				next = pkt.deadline
 			}
 		}
-		r.mu.Unlock()
-		for _, rs := range resend {
-			_ = r.pc.WriteTo(rs.to, rs.frame)
+		rearm := len(p.unacked) > 0
+		if rearm {
+			p.retxArmed = true
 		}
-		for _, f := range failed {
-			select {
-			case r.failures <- f:
-			default: // drop if nobody is listening
+		if len(failed) > 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+		r.stats.retransmits.Add(uint64(len(resend)))
+		for _, frame := range resend {
+			_ = r.pc.WriteTo(p.addr, frame)
+		}
+		if len(failed) > 0 {
+			r.stats.failures.Add(uint64(len(failed)))
+			for _, f := range failed {
+				select {
+				case r.failures <- f:
+				default: // drop if nobody is listening
+				}
 			}
+		}
+		if rearm {
+			r.schedule(timerEvent{due: next, p: p, kind: evRetx})
 		}
 	}
 }

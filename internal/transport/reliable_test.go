@@ -329,8 +329,91 @@ func TestStatsAccounting(t *testing.T) {
 	if sb.Delivered != total {
 		t.Fatalf("Delivered = %d", sb.Delivered)
 	}
-	if sb.AcksSent != total {
-		t.Fatalf("AcksSent = %d", sb.AcksSent)
+	// Acks are cumulative and coalesced (every AckEvery messages or
+	// AckDelay): there must be at least one but never more than one per
+	// message on a fault-free in-order stream.
+	if sb.AcksSent == 0 || sb.AcksSent > total {
+		t.Fatalf("AcksSent = %d, want 1..%d", sb.AcksSent, total)
+	}
+}
+
+func TestAckCoalescing(t *testing.T) {
+	// 64 in-order messages with AckEvery=8 must produce far fewer acks
+	// than messages: coalescing is the point of the delayed-ack design.
+	cfg := Config{Window: 128, AckEvery: 8}
+	_, ra, rb := pairOn(t, "a", "b", cfg)
+	const total = 64
+	for i := 0; i < total; i++ {
+		if err := ra.Send(rb.LocalAddr(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if _, _, err := rb.RecvTimeout(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the trailing delayed ack so the count is stable.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p := ra.peer(rb.LocalAddr())
+		p.mu.Lock()
+		n := len(p.unacked)
+		p.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d packets still unacked", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := rb.Stats(); st.AcksSent > total/4 {
+		t.Fatalf("AcksSent = %d for %d in-order messages; acks are not coalescing", st.AcksSent, total)
+	}
+}
+
+func TestMultipleBlockedSendersAllWake(t *testing.T) {
+	// Regression test for the lost-wakeup in the old one-slot spaceC
+	// design: with several senders blocked on a full window, each ack
+	// must wake the waiters (sync.Cond broadcast), not just one of them
+	// per ack with the rest stalled until an RTO poll.
+	cfg := Config{RTO: 20 * time.Millisecond, MaxRetries: 100, Window: 1}
+	n, ra, rb := pairOn(t, "a", "b", cfg)
+	n.Partition([]string{"a"}, []string{"b"})
+	if err := ra.Send(rb.LocalAddr(), []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	const senders = 8
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ra.Send(rb.LocalAddr(), []byte{byte(i + 1)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let all senders block
+	n.Heal()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked senders did not all wake after window space freed")
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < senders+1; i++ {
+		got, _, err := rb.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if seen[got[0]] {
+			t.Fatalf("duplicate delivery of %d", got[0])
+		}
+		seen[got[0]] = true
 	}
 }
 

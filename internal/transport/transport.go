@@ -14,9 +14,16 @@ var ErrClosed = errors.New("transport: closed")
 type PacketConn interface {
 	// LocalAddr returns the bound address of this socket.
 	LocalAddr() netsim.Addr
-	// WriteTo sends one datagram; it never blocks on the receiver.
+	// WriteTo sends one datagram; it never blocks on the receiver. The
+	// implementation copies p before returning, so the caller may reuse
+	// the slice immediately.
 	WriteTo(to netsim.Addr, p []byte) error
 	// ReadFrom blocks until a datagram arrives or the socket is closed.
+	// Ownership contract: the returned slice is owned by the caller —
+	// the implementation neither retains nor writes to it after return
+	// (netsim hands each delivery its own copy; the UDP transport reads
+	// into a fresh buffer per datagram), so callers may retain or mutate
+	// it without copying.
 	ReadFrom() (p []byte, from netsim.Addr, err error)
 	// Close releases the socket and unblocks pending reads.
 	Close() error

@@ -3,6 +3,7 @@ package wire
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"repro/internal/netsim"
 )
@@ -43,8 +44,150 @@ type Envelope struct {
 	Body Msg `json:"-"`
 }
 
-// envFrame is the wire form of an Envelope with the body inlined as a
-// registered message frame.
+// Binary envelope framing. A binary frame is:
+//
+//	[0]      envMagic (0xBF — can never begin a JSON frame, which starts '{')
+//	[1]      flags (bit 0: body is binary, else JSON)
+//	uvarint  kind id (dense, assigned at registration)
+//	string   To.Dapplet.Host      ─┐
+//	uvarint  To.Dapplet.Port       │
+//	string   To.Inbox              │ header words, varint-framed
+//	string   FromDapplet.Host      │ (string = uvarint length + bytes)
+//	uvarint  FromDapplet.Port      │
+//	string   FromOutbox            │
+//	string   Session               │
+//	uvarint  Lamport              ─┘
+//	...      body bytes (to end of frame)
+//
+// The body is the message's AppendBinary form when its type implements
+// BinaryMessage, else its plain JSON encoding — marshalled once, with no
+// second encoding pass over the result (the JSON path marshalled the body
+// into a RawMessage and then marshalled the frame again).
+const (
+	envMagic      = 0xBF
+	flagBodyIsBin = 1 << 0
+)
+
+// bodyPool recycles body encode buffers so steady-state marshalling of
+// binary-capable messages performs no allocation. Buffers grow to fit and
+// keep their capacity across uses; ones grown past MaxPooledBuf are
+// dropped on release so one huge payload cannot pin memory for the
+// lifetime of the pool.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// MaxPooledBuf is the largest buffer capacity the wire and send-path
+// pools retain; larger buffers are left to the GC.
+const MaxPooledBuf = 64 << 10
+
+func releaseBodyBuf(bufp *[]byte) {
+	if cap(*bufp) <= MaxPooledBuf {
+		bodyPool.Put(bufp)
+	}
+}
+
+// Body is a message body encoded exactly once, ready to be fanned out
+// into any number of envelopes (Outbox.Send re-encodes only the header
+// words per destination). The encoded bytes live in a pooled buffer;
+// callers must Release the Body when the last envelope using it has been
+// handed to the transport, and must not retain Bytes past Release.
+type Body struct {
+	id  uint16
+	bin bool
+	buf *[]byte
+}
+
+// Bytes returns the encoded body bytes.
+func (b Body) Bytes() []byte {
+	if b.buf == nil {
+		return nil
+	}
+	return *b.buf
+}
+
+// Len returns the encoded body length.
+func (b Body) Len() int { return len(b.Bytes()) }
+
+// Release returns the encode buffer to the pool. Safe to call once.
+func (b *Body) Release() {
+	if b.buf != nil {
+		releaseBodyBuf(b.buf)
+		b.buf = nil
+	}
+}
+
+// EncodeBody marshals a registered message body once, using its binary
+// fast path when available and JSON otherwise.
+func EncodeBody(m Msg) (Body, error) {
+	if m == nil {
+		return Body{}, fmt.Errorf("wire: marshal nil message")
+	}
+	e := lookup(m.Kind())
+	if e == nil {
+		return Body{}, fmt.Errorf("wire: kind %q not registered", m.Kind())
+	}
+	bufp := bodyPool.Get().(*[]byte)
+	b := (*bufp)[:0]
+	if bm, ok := m.(BinaryMessage); ok && e.binary {
+		var err error
+		b, err = bm.AppendBinary(b)
+		if err != nil {
+			releaseBodyBuf(bufp)
+			return Body{}, fmt.Errorf("wire: marshal %q body: %w", m.Kind(), err)
+		}
+		*bufp = b
+		return Body{id: e.id, bin: true, buf: bufp}, nil
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		releaseBodyBuf(bufp)
+		return Body{}, fmt.Errorf("wire: marshal %q body: %w", m.Kind(), err)
+	}
+	*bufp = append(b, data...)
+	return Body{id: e.id, bin: false, buf: bufp}, nil
+}
+
+// AppendEnvelopeBody appends the binary frame for header e around an
+// already-encoded body, allocating only if dst lacks capacity. e.Body is
+// ignored; the body bytes come from body.
+func AppendEnvelopeBody(dst []byte, e *Envelope, body Body) []byte {
+	var flags byte
+	if body.bin {
+		flags = flagBodyIsBin
+	}
+	dst = append(dst, envMagic, flags)
+	dst = AppendUvarint(dst, uint64(body.id))
+	dst = AppendString(dst, e.To.Dapplet.Host)
+	dst = AppendUvarint(dst, uint64(e.To.Dapplet.Port))
+	dst = AppendString(dst, e.To.Inbox)
+	dst = AppendString(dst, e.FromDapplet.Host)
+	dst = AppendUvarint(dst, uint64(e.FromDapplet.Port))
+	dst = AppendString(dst, e.FromOutbox)
+	dst = AppendString(dst, e.Session)
+	dst = AppendUvarint(dst, e.Lamport)
+	return append(dst, body.Bytes()...)
+}
+
+// AppendEnvelope appends the binary frame for a complete envelope
+// (header + registered body) to dst. With a caller-reused dst and a
+// binary-capable body the encode performs zero heap allocations.
+func AppendEnvelope(dst []byte, e *Envelope) ([]byte, error) {
+	body, err := EncodeBody(e.Body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: envelope body: %w", err)
+	}
+	dst = AppendEnvelopeBody(dst, e, body)
+	body.Release()
+	return dst, nil
+}
+
+// MarshalEnvelope converts an envelope to its binary wire form.
+func MarshalEnvelope(e *Envelope) ([]byte, error) {
+	return AppendEnvelope(nil, e)
+}
+
+// envFrame is the JSON wire form of an Envelope with the body inlined as
+// a registered message frame. It is kept as the fallback/interop format;
+// UnmarshalEnvelope accepts both forms.
 type envFrame struct {
 	To          InboxRef        `json:"to"`
 	FromDapplet netsim.Addr     `json:"fd"`
@@ -54,9 +197,11 @@ type envFrame struct {
 	Body        json.RawMessage `json:"b"`
 }
 
-// MarshalEnvelope converts an envelope (header + registered body) to its
-// string form.
-func MarshalEnvelope(e *Envelope) ([]byte, error) {
+// MarshalEnvelopeJSON converts an envelope (header + registered body) to
+// its string (JSON) form — the paper's original encoding, retained as the
+// fallback for frames produced before the binary codec and as the
+// comparison baseline for experiment E8.
+func MarshalEnvelopeJSON(e *Envelope) ([]byte, error) {
 	body, err := Marshal(e.Body)
 	if err != nil {
 		return nil, fmt.Errorf("wire: envelope body: %w", err)
@@ -71,8 +216,13 @@ func MarshalEnvelope(e *Envelope) ([]byte, error) {
 	})
 }
 
-// UnmarshalEnvelope reconstructs an envelope and its typed body.
+// UnmarshalEnvelope reconstructs an envelope and its typed body from
+// either wire form: binary frames are recognized by their magic byte,
+// anything else is treated as the JSON form.
 func UnmarshalEnvelope(data []byte) (*Envelope, error) {
+	if len(data) > 0 && data[0] == envMagic {
+		return unmarshalEnvelopeBinary(data)
+	}
 	var f envFrame
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("wire: bad envelope: %w", err)
@@ -89,4 +239,52 @@ func UnmarshalEnvelope(data []byte) (*Envelope, error) {
 		Lamport:     f.Lamport,
 		Body:        body,
 	}, nil
+}
+
+func unmarshalEnvelopeBinary(data []byte) (*Envelope, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("wire: bad envelope: %w", ErrTruncated)
+	}
+	flags := data[1]
+	r := &Reader{data: data, off: 2}
+	id := r.Uvarint()
+	var env Envelope
+	env.To.Dapplet.Host = r.String()
+	env.To.Dapplet.Port = r.Port()
+	env.To.Inbox = r.String()
+	env.FromDapplet.Host = r.String()
+	env.FromDapplet.Port = r.Port()
+	env.FromOutbox = r.String()
+	env.Session = r.String()
+	env.Lamport = r.Uvarint()
+	bodyBytes := r.Rest()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: bad envelope: %w", err)
+	}
+	if id > 0xFFFF {
+		return nil, fmt.Errorf("wire: unknown message kind id %d", id)
+	}
+	e := entryByID(uint16(id))
+	if e == nil {
+		return nil, fmt.Errorf("wire: unknown message kind id %d", id)
+	}
+	m, err := NewOf(e.kind)
+	if err != nil {
+		return nil, err
+	}
+	if flags&flagBodyIsBin != 0 {
+		bm, ok := m.(BinaryMessage)
+		if !ok {
+			return nil, fmt.Errorf("wire: binary body for kind %q, which has no binary decoder", e.kind)
+		}
+		if err := bm.UnmarshalBinary(bodyBytes); err != nil {
+			return nil, fmt.Errorf("wire: decode %q body: %w", e.kind, err)
+		}
+	} else {
+		if err := json.Unmarshal(bodyBytes, m); err != nil {
+			return nil, fmt.Errorf("wire: decode %q body: %w", e.kind, err)
+		}
+	}
+	env.Body = m
+	return &env, nil
 }

@@ -5,14 +5,20 @@
 // original type by the receiving process."
 //
 // In Go, message types implement the Msg interface and are registered by
-// kind; Marshal converts a message to a JSON string and Unmarshal
-// reconstructs a value of the original registered type.
+// kind. Two wire forms exist: the paper's string (JSON) form, kept as the
+// universal fallback, and a length-prefixed binary form (see codec.go and
+// envelope.go) used on the hot path by types that implement
+// BinaryMessage. Kinds are resolved to dense uint16 ids at registration,
+// so binary frames carry two bytes of type information instead of a
+// quoted string.
 package wire
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"reflect"
+	"sort"
 	"sync"
 )
 
@@ -23,9 +29,22 @@ type Msg interface {
 	Kind() string
 }
 
+// regEntry is one registered message kind. The id is assigned densely in
+// registration order (starting at 1; 0 is reserved as invalid), so it can
+// index a slice at decode time. Registration order is fixed by package
+// init order within a build, and every dapplet in a simulation shares the
+// process-wide registry, so sender and receiver always agree on ids.
+type regEntry struct {
+	kind   string
+	typ    reflect.Type
+	id     uint16
+	binary bool // pointer type implements BinaryMessage
+}
+
 var (
 	regMu    sync.RWMutex
-	registry = make(map[string]reflect.Type)
+	registry = make(map[string]*regEntry)
+	byID     = []*regEntry{nil} // index = kind id; 0 reserved
 )
 
 // Register records a message prototype so values of its type can be
@@ -41,15 +60,21 @@ func Register(proto Msg) {
 	if t.Kind() == reflect.Pointer {
 		t = t.Elem()
 	}
+	_, isBinary := proto.(BinaryMessage)
 	regMu.Lock()
 	defer regMu.Unlock()
 	if prev, ok := registry[kind]; ok {
-		if prev != t {
-			panic(fmt.Sprintf("wire: kind %q registered twice with different types (%v, %v)", kind, prev, t))
+		if prev.typ != t {
+			panic(fmt.Sprintf("wire: kind %q registered twice with different types (%v, %v)", kind, prev.typ, t))
 		}
 		return
 	}
-	registry[kind] = t
+	if len(byID) > math.MaxUint16 {
+		panic("wire: kind-id space exhausted")
+	}
+	e := &regEntry{kind: kind, typ: t, id: uint16(len(byID)), binary: isBinary}
+	registry[kind] = e
+	byID = append(byID, e)
 }
 
 // Registered reports whether a kind has been registered.
@@ -60,7 +85,63 @@ func Registered(kind string) bool {
 	return ok
 }
 
-// frame is the on-the-wire string form of a message.
+// KindID returns the dense id assigned to a kind at registration.
+func KindID(kind string) (uint16, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[kind]
+	if !ok {
+		return 0, false
+	}
+	return e.id, true
+}
+
+// Kinds returns all registered kind names, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// NewOf returns a fresh zero value of the registered type for a kind.
+func NewOf(kind string) (Msg, error) {
+	regMu.RLock()
+	e, ok := registry[kind]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown message kind %q", kind)
+	}
+	m, ok := reflect.New(e.typ).Interface().(Msg)
+	if !ok {
+		return nil, fmt.Errorf("wire: registered type %v does not implement Msg as pointer", e.typ)
+	}
+	return m, nil
+}
+
+// lookup returns the entry for a kind, or nil.
+func lookup(kind string) *regEntry {
+	regMu.RLock()
+	e := registry[kind]
+	regMu.RUnlock()
+	return e
+}
+
+// entryByID returns the entry for a dense id, or nil.
+func entryByID(id uint16) *regEntry {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if int(id) >= len(byID) {
+		return nil
+	}
+	return byID[id]
+}
+
+// frame is the string (JSON) wire form of a bare message.
 type frame struct {
 	K string          `json:"k"`
 	B json.RawMessage `json:"b"`
@@ -88,19 +169,17 @@ func Unmarshal(data []byte) (Msg, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("wire: bad frame: %w", err)
 	}
-	regMu.RLock()
-	t, ok := registry[f.K]
-	regMu.RUnlock()
-	if !ok {
+	e := lookup(f.K)
+	if e == nil {
 		return nil, fmt.Errorf("wire: unknown message kind %q", f.K)
 	}
-	v := reflect.New(t).Interface()
+	v := reflect.New(e.typ).Interface()
 	if err := json.Unmarshal(f.B, v); err != nil {
 		return nil, fmt.Errorf("wire: decode %q body: %w", f.K, err)
 	}
 	m, ok := v.(Msg)
 	if !ok {
-		return nil, fmt.Errorf("wire: registered type %v does not implement Msg as pointer", t)
+		return nil, fmt.Errorf("wire: registered type %v does not implement Msg as pointer", e.typ)
 	}
 	return m, nil
 }
@@ -114,6 +193,18 @@ type Text struct {
 // Kind implements Msg.
 func (*Text) Kind() string { return "wire.text" }
 
+// AppendBinary implements BinaryMessage.
+func (t *Text) AppendBinary(dst []byte) ([]byte, error) {
+	return AppendString(dst, t.S), nil
+}
+
+// UnmarshalBinary implements BinaryMessage.
+func (t *Text) UnmarshalBinary(data []byte) error {
+	r := NewReader(data)
+	t.S = r.String()
+	return r.Done()
+}
+
 // Bytes is a ready-made opaque binary payload message.
 type Bytes struct {
 	B []byte `json:"b"`
@@ -121,6 +212,18 @@ type Bytes struct {
 
 // Kind implements Msg.
 func (*Bytes) Kind() string { return "wire.bytes" }
+
+// AppendBinary implements BinaryMessage.
+func (b *Bytes) AppendBinary(dst []byte) ([]byte, error) {
+	return AppendBytes(dst, b.B), nil
+}
+
+// UnmarshalBinary implements BinaryMessage.
+func (b *Bytes) UnmarshalBinary(data []byte) error {
+	r := NewReader(data)
+	b.B = r.Bytes()
+	return r.Done()
+}
 
 func init() {
 	Register(&Text{})

@@ -1,0 +1,190 @@
+// Round-trip conformance for the wire codec over every registered message
+// kind. This file lives in the root package because the test binary links
+// every message-bearing package (via bench_test.go's imports), so the
+// process-wide kind registry here is the full one a real deployment has.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// kindsEnvelope builds a representative envelope around a body.
+func kindsEnvelope(body wire.Msg) *wire.Envelope {
+	return &wire.Envelope{
+		To:          wire.InboxRef{Dapplet: netsim.Addr{Host: "caltech", Port: 4021}, Inbox: "students"},
+		FromDapplet: netsim.Addr{Host: "anu.au", Port: 999},
+		FromOutbox:  "out",
+		Session:     "s-42",
+		Lamport:     123456789,
+		Body:        body,
+	}
+}
+
+// populateValue fills v with deterministic non-zero data (seeded by n) so
+// round-trip tests exercise every field of every message type: a codec
+// that silently drops a field cannot pass against a populated value.
+func populateValue(v reflect.Value, n int) {
+	switch v.Kind() {
+	case reflect.String:
+		v.SetString(fmt.Sprintf("v%d", n))
+	case reflect.Bool:
+		v.SetBool(true)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(int64(n)*7 - 3)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(uint64(n)*7 + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(float64(n) + 0.5)
+	case reflect.Slice:
+		if v.Type() == reflect.TypeOf(json.RawMessage(nil)) {
+			// Must be valid JSON for the JSON fallback path.
+			v.SetBytes([]byte(fmt.Sprintf(`{"p":%d}`, n)))
+			return
+		}
+		s := reflect.MakeSlice(v.Type(), 2, 2)
+		populateValue(s.Index(0), n)
+		populateValue(s.Index(1), n+1)
+		v.Set(s)
+	case reflect.Map:
+		m := reflect.MakeMap(v.Type())
+		k := reflect.New(v.Type().Key()).Elem()
+		populateValue(k, n)
+		e := reflect.New(v.Type().Elem()).Elem()
+		populateValue(e, n+1)
+		m.SetMapIndex(k, e)
+		v.Set(m)
+	case reflect.Pointer:
+		p := reflect.New(v.Type().Elem())
+		populateValue(p.Elem(), n)
+		v.Set(p)
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if f := v.Field(i); f.CanSet() {
+				populateValue(f, n+i)
+			}
+		}
+	}
+}
+
+// TestEnvelopeRoundTripAllKinds asserts, for every registered kind, that
+// binary-encode → decode is identity, and that the JSON fallback and the
+// binary path decode to the same message — for both the zero value and a
+// fully populated value of each kind.
+func TestEnvelopeRoundTripAllKinds(t *testing.T) {
+	kinds := wire.Kinds()
+	if len(kinds) < 20 {
+		t.Fatalf("only %d kinds registered; message packages not linked?", len(kinds))
+	}
+	for _, kind := range kinds {
+		for _, populated := range []bool{false, true} {
+			m, err := wire.NewOf(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if populated {
+				populateValue(reflect.ValueOf(m).Elem(), 3)
+			}
+			env := kindsEnvelope(m)
+			roundTripKind(t, kind, m, env)
+		}
+	}
+}
+
+func roundTripKind(t *testing.T, kind string, m wire.Msg, env *wire.Envelope) {
+	t.Helper()
+	bin, err := wire.MarshalEnvelope(env)
+	if err != nil {
+		t.Fatalf("%s: binary marshal: %v", kind, err)
+	}
+	fromBin, err := wire.UnmarshalEnvelope(bin)
+	if err != nil {
+		t.Fatalf("%s: binary unmarshal: %v", kind, err)
+	}
+	if _, isBinary := m.(wire.BinaryMessage); isBinary {
+		// Binary fast-path kinds must round-trip to strict identity.
+		if !reflect.DeepEqual(fromBin, env) {
+			t.Fatalf("%s: binary round trip not identity:\n got %#v\nwant %#v", kind, fromBin, env)
+		}
+	} else {
+		// JSON-fallback kinds may canonicalize on the first trip
+		// (e.g. a nil json.RawMessage decodes as "null"); the second
+		// trip must be a fixed point.
+		bin2, err := wire.MarshalEnvelope(fromBin)
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", kind, err)
+		}
+		again, err := wire.UnmarshalEnvelope(bin2)
+		if err != nil {
+			t.Fatalf("%s: re-unmarshal: %v", kind, err)
+		}
+		if !reflect.DeepEqual(again, fromBin) {
+			t.Fatalf("%s: round trip not a fixed point:\n got %#v\nwant %#v", kind, again, fromBin)
+		}
+	}
+
+	js, err := wire.MarshalEnvelopeJSON(env)
+	if err != nil {
+		t.Fatalf("%s: json marshal: %v", kind, err)
+	}
+	fromJSON, err := wire.UnmarshalEnvelope(js)
+	if err != nil {
+		t.Fatalf("%s: json unmarshal: %v", kind, err)
+	}
+	if !reflect.DeepEqual(fromJSON.Body, fromBin.Body) {
+		t.Fatalf("%s: json and binary paths decode different bodies:\n json %#v\n bin  %#v",
+			kind, fromJSON.Body, fromBin.Body)
+	}
+}
+
+// FuzzEnvelopeRoundTrip feeds arbitrary bytes to the envelope decoder
+// (which sniffs binary vs JSON frames) and asserts that anything that
+// decodes re-encodes to a frame that decodes to the same envelope.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	for _, kind := range wire.Kinds() {
+		m, err := wire.NewOf(kind)
+		if err != nil {
+			f.Fatal(err)
+		}
+		env := kindsEnvelope(m)
+		if bin, err := wire.MarshalEnvelope(env); err == nil {
+			f.Add(bin)
+		}
+		if js, err := wire.MarshalEnvelopeJSON(env); err == nil {
+			f.Add(js)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env1, err := wire.UnmarshalEnvelope(data)
+		if err != nil {
+			return // malformed input must only error, never panic
+		}
+		// One re-encode round may canonicalize a JSON-fallback body
+		// (e.g. a nil json.RawMessage decodes as "null"); after that the
+		// binary round trip must be a fixed point.
+		bin1, err := wire.MarshalEnvelope(env1)
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v (%#v)", err, env1)
+		}
+		env2, err := wire.UnmarshalEnvelope(bin1)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		bin2, err := wire.MarshalEnvelope(env2)
+		if err != nil {
+			t.Fatalf("canonical envelope does not re-encode: %v", err)
+		}
+		env3, err := wire.UnmarshalEnvelope(bin2)
+		if err != nil {
+			t.Fatalf("canonical envelope does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(env2, env3) {
+			t.Fatalf("round trip is not a fixed point:\n was %#v\n now %#v", env2, env3)
+		}
+	})
+}
