@@ -8,12 +8,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/directory"
+	"repro/internal/failure"
 	"repro/internal/lclock"
 	"repro/internal/netsim"
 	"repro/internal/rpc"
@@ -579,6 +581,173 @@ func BenchmarkE6SyncPrim(b *testing.B) {
 			s.Release(1)
 		}
 	})
+}
+
+// BenchmarkE9FailureDetection measures crash-detection latency of the
+// heartbeat failure detector (experiment E9 in DESIGN.md) across
+// heartbeat intervals: each iteration crashes the watched peer's host,
+// times the watcher's Down verdict, then restarts the host and waits for
+// the Up verdict so the next iteration starts clean. Expected latency is
+// ~2*Multiplier intervals (Suspect at one detection time, Down at two).
+func BenchmarkE9FailureDetection(b *testing.B) {
+	for _, interval := range []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		b.Run(fmt.Sprintf("interval=%s", interval), func(b *testing.B) {
+			net := netsim.New(netsim.WithSeed(9))
+			defer net.Close()
+			watcher := benchDapplet(b, net, "hw", "watcher")
+			peer := benchDapplet(b, net, "hp", "peer")
+			cfg := failure.Config{Interval: interval, Multiplier: 2}
+			dw := failure.Attach(watcher, cfg)
+			dp := failure.Attach(peer, cfg)
+			events := make(chan failure.Event, 16)
+			dw.OnEvent(func(ev failure.Event) {
+				if ev.Peer == "peer" && (ev.State == failure.Down || ev.State == failure.Up) {
+					events <- ev
+				}
+			})
+			dw.Watch("peer", peer.Addr())
+			dp.Watch("watcher", watcher.Addr())
+			await := func(want failure.State) {
+				for ev := range events {
+					if ev.State == want {
+						return
+					}
+				}
+			}
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				net.Crash("hp")
+				await(failure.Down)
+				total += time.Since(start)
+				b.StopTimer()
+				net.Restart("hp")
+				await(failure.Up)
+				b.StartTimer()
+			}
+			b.StopTimer()
+			if b.N > 0 {
+				b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "detect-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkE9CheckpointRestoreRecovery measures the recovery half of E9:
+// the time from a crashed participant to a fully repaired session —
+// restart on the same host, state restored from the durable snapshot
+// checkpoint, membership restored from the surviving store, and every
+// survivor relinked to the new incarnation.
+func BenchmarkE9CheckpointRestoreRecovery(b *testing.B) {
+	net := netsim.New(netsim.WithSeed(10))
+	defer net.Close()
+	dir := directory.New()
+
+	type nodeState struct {
+		mu sync.Mutex
+		v  int
+	}
+	states := make(map[string]*nodeState)
+	var mu sync.Mutex
+	services := make(map[string]*session.Service)
+	reg := core.NewRegistry()
+	reg.Register("node", core.Factory(func() core.Behavior {
+		return core.BehaviorFunc(func(d *core.Dapplet) error {
+			mu.Lock()
+			st := states[d.Name()]
+			if st == nil {
+				st = &nodeState{}
+				states[d.Name()] = st
+			}
+			mu.Unlock()
+			// Restore application state from the last durable checkpoint.
+			if cp, ok := snapshot.LastCheckpoint(d.Store()); ok {
+				st.mu.Lock()
+				_ = json.Unmarshal(cp.State, &st.v)
+				st.mu.Unlock()
+			}
+			svc := session.Attach(d, session.Policy{})
+			if _, err := svc.RestoreSessions(); err != nil {
+				return err
+			}
+			mu.Lock()
+			services[d.Name()] = svc
+			mu.Unlock()
+			snapshot.Attach(d, func() any {
+				st.mu.Lock()
+				defer st.mu.Unlock()
+				return st.v
+			})
+			return nil
+		})
+	}))
+	rt := core.NewRuntime(net, reg)
+	defer rt.StopAll()
+	rt.SetTransportConfig(transport.Config{RTO: fastRTO})
+	for host, name := range map[string]string{"hhub": "hub", "h1": "m1"} {
+		if err := rt.Install(host, "node"); err != nil {
+			b.Fatal(err)
+		}
+		d, err := rt.Launch(host, "node", name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir.Register(directory.Entry{Name: name, Type: "node", Addr: d.Addr()})
+	}
+	iniD := benchDapplet(b, net, "hq", "director")
+	ini := session.NewInitiator(iniD, dir)
+	h, err := ini.Initiate(session.Spec{
+		ID: "e9",
+		Participants: []session.Participant{
+			{Name: "hub", Role: "hub"}, {Name: "m1", Role: "member"},
+		},
+		Links: []session.Link{
+			{From: "m1", Outbox: "up", To: "hub", Inbox: "requests"},
+			{From: "hub", Outbox: "down", To: "m1", Inbox: "replies"},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One durable checkpoint before the crash loop: every restart below
+	// restores application state from it.
+	states["m1"].mu.Lock()
+	states["m1"].v = 1996
+	states["m1"].mu.Unlock()
+	m1, _ := rt.Dapplet("m1")
+	if err := m1.Store().Set(snapshot.CheckpointVar,
+		snapshot.Checkpoint{ID: "seed", State: json.RawMessage("1996")}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := rt.Crash("m1"); err != nil {
+			b.Fatal(err)
+		}
+		states["m1"].v = 0 // lost with the process; restored from checkpoint
+		b.StartTimer()
+		d2, err := rt.Restart("m1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Reincarnate("m1", d2.Addr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := states["m1"]
+	st.mu.Lock()
+	v := st.v
+	st.mu.Unlock()
+	if b.N > 0 && v != 1996 {
+		b.Fatalf("restored state = %d, want 1996", v)
+	}
+	mem, ok := services["m1"].Membership("e9")
+	if !ok || len(mem.Roster) != 2 {
+		b.Fatal("membership not restored after final recovery")
+	}
 }
 
 // BenchmarkE7Interference measures §2.2 session scheduling on a dapplet's

@@ -32,7 +32,8 @@ func runF1() {
 	for _, mode := range []string{"session", "traditional"} {
 		w, err := scenario.BuildCalendar(scenario.CalendarOptions{
 			Sites: 3, MembersPerSite: 3, Hierarchical: mode == "session",
-			Slots: 112, BusyProb: 0.65, CommonSlot: 90, Seed: 1996,
+			Slots: 112, BusyProb: 0.65, CommonSlot: 90,
+			Seed: seedOr(1996), Shards: *flagShards,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -68,7 +69,7 @@ func runF1() {
 func runF2() {
 	row("participants", "setup-vlat", "teardown-vlat", "datagrams")
 	for _, n := range []int{2, 4, 8, 16, 32, 64} {
-		net := netsim.New(netsim.WithSeed(2), netsim.WithDefaultDelay(netsim.WAN()))
+		net := newNet(2, netsim.WithDefaultDelay(netsim.WAN()))
 		dir := directory.New()
 		var dapplets []*core.Dapplet
 		for j := 0; j < n; j++ {
@@ -112,7 +113,7 @@ func runF3() {
 	const msgs = 2000
 	row("pattern", "fan", "msgs/s(wall)", "deliveries")
 	for _, fan := range []int{1, 4, 16, 64} {
-		net := netsim.New(netsim.WithSeed(3))
+		net := newNet(3)
 		src := newDapplet(net, "src", "src")
 		out := src.Outbox("out")
 		var sinks []*core.Inbox
@@ -145,7 +146,7 @@ func runF3() {
 		net.Close()
 	}
 	for _, fan := range []int{1, 4, 16} {
-		net := netsim.New(netsim.WithSeed(3))
+		net := newNet(3)
 		dst := newDapplet(net, "dst", "dst")
 		in := dst.Inbox("in")
 		var outs []*core.Outbox
@@ -188,7 +189,8 @@ func runT1() {
 		for _, mode := range []string{"session", "traditional"} {
 			w, err := scenario.BuildCalendar(scenario.CalendarOptions{
 				Sites: members, MembersPerSite: 1, Hierarchical: false,
-				Slots: 64, BusyProb: 0.4, CommonSlot: 50, Seed: 77,
+				Slots: 64, BusyProb: 0.4, CommonSlot: 50,
+				Seed: seedOr(77), Shards: *flagShards,
 			})
 			if err != nil {
 				log.Fatal(err)

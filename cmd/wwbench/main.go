@@ -15,6 +15,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"repro/internal/netsim"
 )
 
 type experiment struct {
@@ -23,8 +25,40 @@ type experiment struct {
 	run  func()
 }
 
+var (
+	flagShards = flag.Int("shards", 0,
+		"delivery shard count for every experiment's network (0 = GOMAXPROCS); 1 makes single-driver runs bit-reproducible per seed")
+	flagSeed = flag.Int64("seed", 0,
+		"seed override for every experiment's network and workload (0 = per-experiment default)")
+)
+
+// seedOr resolves an experiment's default seed against the -seed flag.
+func seedOr(def int64) int64 {
+	if *flagSeed != 0 {
+		return *flagSeed
+	}
+	return def
+}
+
+// netOpts builds one experiment's network options, applying the global
+// -seed and -shards overrides. Extra options are appended after the
+// overrides.
+func netOpts(defaultSeed int64, extra ...netsim.Option) []netsim.Option {
+	opts := []netsim.Option{netsim.WithSeed(seedOr(defaultSeed))}
+	if *flagShards > 0 {
+		opts = append(opts, netsim.WithShards(*flagShards))
+	}
+	return append(opts, extra...)
+}
+
+// newNet creates one experiment's network with the global overrides
+// applied.
+func newNet(defaultSeed int64, extra ...netsim.Option) *netsim.Network {
+	return netsim.New(netOpts(defaultSeed, extra...)...)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: f1,f2,f3,t1,e1,...,e7 or all")
+	exp := flag.String("exp", "all", "experiment to run: f1,f2,f3,t1,e1,...,e9 or all")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -40,6 +74,7 @@ func main() {
 		{"e6", "Distributed synchronization constructs", runE6},
 		{"e7", "Session interference control", runE7},
 		{"e8", "Wire codec: binary envelope framing vs JSON", runE8},
+		{"e9", "Failure detection latency and checkpoint-restore recovery", runE9},
 	}
 
 	ran := false

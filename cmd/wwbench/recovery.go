@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/scenario"
+)
+
+// runE9 characterizes the failure subsystem. The first table sweeps the
+// heartbeat interval and measures detection latency on a live pair —
+// from the instant the peer's host crashes to the watcher's Suspect and
+// Down verdicts (expected: ~Multiplier intervals to Suspect, twice that
+// to Down). The second runs the full secretary-crash recovery scenario
+// and reports its end-to-end timings: detection, repair
+// (restart + restore-from-store + relink survivors), and the scheduling
+// outcome after recovery.
+func runE9() {
+	row("hb-interval", "multiplier", "suspect-latency", "down-latency")
+	for _, interval := range []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		suspect, down := measureDetection(interval, 2)
+		row(interval, 2, suspect.Round(100*time.Microsecond), down.Round(100*time.Microsecond))
+	}
+
+	fmt.Println()
+	row("scenario", "detection", "repair", "retries", "slot")
+	res, err := scenario.RunSecretaryCrashRecovery(scenario.RecoveryOptions{
+		Calendar: scenario.CalendarOptions{
+			Sites: 3, MembersPerSite: 3, Slots: 112,
+			BusyProb: 0.6, CommonSlot: 77,
+			Seed: seedOr(1996), Shards: *flagShards,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	row("secretary-crash", res.Detection.Round(100*time.Microsecond),
+		res.Recovery.Round(100*time.Microsecond), res.Retries, res.Result.Slot)
+}
+
+// measureDetection crashes a watched peer's host once and times the
+// watcher's Suspect and Down verdicts.
+func measureDetection(interval time.Duration, multiplier int) (suspect, down time.Duration) {
+	net := newNet(11)
+	defer net.Close()
+	watcher := newDapplet(net, "hw", "watcher")
+	peer := newDapplet(net, "hp", "peer")
+	cfg := failure.Config{Interval: interval, Multiplier: multiplier}
+	dw := failure.Attach(watcher, cfg)
+	dp := failure.Attach(peer, cfg)
+	type stamp struct {
+		state failure.State
+		at    time.Time
+	}
+	events := make(chan stamp, 16)
+	dw.OnEvent(func(ev failure.Event) {
+		events <- stamp{ev.State, time.Now()}
+	})
+	dw.Watch("peer", peer.Addr())
+	dp.Watch("watcher", watcher.Addr())
+	// Give the pair a few intervals to establish a heartbeat rhythm.
+	time.Sleep(4 * interval)
+	start := time.Now()
+	net.Crash("hp")
+	deadline := time.After(time.Minute)
+	for {
+		select {
+		case s := <-events:
+			switch s.state {
+			case failure.Suspect:
+				suspect = s.at.Sub(start)
+			case failure.Down:
+				down = s.at.Sub(start)
+				watcher.Stop()
+				peer.Stop()
+				return suspect, down
+			}
+		case <-deadline:
+			log.Fatal("e9: no Down verdict within a minute")
+		}
+	}
+}

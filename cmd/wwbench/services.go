@@ -28,7 +28,7 @@ func runE1() {
 	const msgs = 3000
 	row("loss%", "msgs/s(wall)", "retx/msg", "dups-dropped", "delivered")
 	for _, loss := range []float64{0, 0.01, 0.05, 0.10, 0.20} {
-		net := netsim.New(netsim.WithSeed(4))
+		net := newNet(4)
 		net.SetLink("a", "b", netsim.LinkParams{Loss: loss, Dup: 0.01, Reorder: 0.05})
 		epA, _ := net.Host("a").Bind(1)
 		epB, _ := net.Host("b").Bind(1)
@@ -68,7 +68,7 @@ func runE1() {
 func runE2() {
 	row("clients", "grant-release/s(wall)")
 	for _, clients := range []int{1, 2, 4, 8} {
-		net := netsim.New(netsim.WithSeed(5))
+		net := newNet(5)
 		hub := newDapplet(net, "hub", "hub")
 		alloc := tokens.Serve(hub, tokens.Bag{"r": clients})
 		const per = 500
@@ -97,7 +97,7 @@ func runE2() {
 
 	row("cycle-size", "deadlock-detect-latency(wall)")
 	for _, n := range []int{2, 4, 8} {
-		net := netsim.New(netsim.WithSeed(6))
+		net := newNet(6)
 		hub := newDapplet(net, "hub", "hub")
 		pop := tokens.Bag{}
 		for i := 0; i < n; i++ {
@@ -191,7 +191,7 @@ func runE4() {
 	row("nodes", "algorithm", "duration(wall)", "in-flight-captured", "consistent")
 	for _, n := range []int{4, 8, 16} {
 		for _, algo := range []string{"marker", "clock"} {
-			net := netsim.New(netsim.WithSeed(7))
+			net := newNet(7)
 			members := make([]snapshot.Member, 0, n)
 			services := make([]*snapshot.Service, 0, n)
 			dapplets := make([]*core.Dapplet, 0, n)
@@ -276,7 +276,7 @@ func runE5() {
 	const calls = 3000
 	row("mode", "clients", "calls/s(wall)")
 	for _, clients := range []int{1, 4, 8} {
-		net := netsim.New(netsim.WithSeed(8))
+		net := newNet(8)
 		server := newDapplet(net, "s", "server")
 		var mu sync.Mutex
 		n := 0
@@ -308,7 +308,7 @@ func runE5() {
 		net.Close()
 	}
 	// Async: one client blasting casts.
-	net := netsim.New(netsim.WithSeed(8))
+	net := newNet(8)
 	server := newDapplet(net, "s", "server")
 	var mu sync.Mutex
 	applied := 0
@@ -345,7 +345,7 @@ func runE5() {
 func runE6() {
 	row("construct", "parties", "ops/s(wall)")
 	for _, parties := range []int{2, 8, 32} {
-		net := netsim.New(netsim.WithSeed(9))
+		net := newNet(9)
 		svc := syncprim.ServeBarriers(newDapplet(net, "hub", "coord"))
 		clients := make([]*syncprim.Client, parties)
 		for i := range clients {
@@ -378,7 +378,7 @@ func runE6() {
 func runE7() {
 	row("access-pattern", "sessions-attempted", "accepted", "rejected-interference")
 	for _, pattern := range []string{"disjoint", "overlapping"} {
-		net := netsim.New(netsim.WithSeed(10))
+		net := newNet(10)
 		target := newDapplet(net, "h", "shared-dapplet")
 		session.Attach(target, session.Policy{})
 		dirSvc := newDapplet(net, "hq", "director")

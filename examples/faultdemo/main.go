@@ -1,0 +1,66 @@
+// Command faultdemo demonstrates the failure subsystem: two dapplets
+// watch each other with heartbeat failure detectors, one host crashes,
+// the watcher's verdict escalates up -> suspect -> down, and after a
+// restart the peer is detected alive again. The README's fault-injection
+// quickstart is this program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/wwds"
+)
+
+func main() {
+	net := wwds.NewNetwork(wwds.WithSeed(1))
+	defer net.Close()
+
+	epA, err := net.Host("pasadena").BindAny()
+	if err != nil {
+		log.Fatal(err)
+	}
+	epB, err := net.Host("canberra").BindAny()
+	if err != nil {
+		log.Fatal(err)
+	}
+	watcher := wwds.NewDapplet("watcher", "demo", wwds.NewSimConn(epA))
+	defer watcher.Stop()
+	peer := wwds.NewDapplet("peer", "demo", wwds.NewSimConn(epB))
+	defer peer.Stop()
+
+	// Attach a detector to each dapplet; detection is bidirectional like
+	// BFD, so both ends watch each other.
+	cfg := wwds.FailureConfig{Interval: 10 * time.Millisecond, Multiplier: 2}
+	verdicts := make(chan wwds.FailureEvent, 16)
+	dw := wwds.AttachFailureDetector(watcher, cfg)
+	dw.OnEvent(func(ev wwds.FailureEvent) { verdicts <- ev })
+	dw.Watch("peer", peer.Addr())
+	dp := wwds.AttachFailureDetector(peer, cfg)
+	dp.Watch("watcher", watcher.Addr())
+
+	// Power off the peer's machine: in-flight and inbound datagrams are
+	// dropped until the host restarts.
+	time.Sleep(5 * cfg.Interval) // let a heartbeat rhythm establish
+	fmt.Println("crashing canberra...")
+	crashed := time.Now()
+	net.Crash("canberra")
+
+	for ev := range verdicts {
+		fmt.Printf("  %s is %s (%.0fms after the crash)\n",
+			ev.Peer, ev.State, time.Since(crashed).Seconds()*1000)
+		if ev.State == wwds.PeerDown {
+			break
+		}
+	}
+
+	fmt.Println("restarting canberra...")
+	net.Restart("canberra")
+	for ev := range verdicts {
+		if ev.State == wwds.PeerUp {
+			fmt.Printf("  %s is %s again\n", ev.Peer, ev.State)
+			break
+		}
+	}
+}

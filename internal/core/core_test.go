@@ -485,3 +485,110 @@ func TestSendFailureSurfacesOnPartition(t *testing.T) {
 		t.Fatal("no failure surfaced")
 	}
 }
+
+func TestRuntimeCrashRestartKeepsStore(t *testing.T) {
+	n := netsim.New(netsim.WithSeed(21))
+	t.Cleanup(n.Close)
+	reg := NewRegistry()
+	reg.Register("counter", Factory(func() Behavior {
+		return BehaviorFunc(func(d *Dapplet) error {
+			var boots int
+			if _, err := d.Store().Get("boots", &boots); err != nil {
+				return err
+			}
+			return d.Store().Set("boots", boots+1)
+		})
+	}))
+	rt := NewRuntime(n, reg)
+	t.Cleanup(rt.StopAll)
+	if err := rt.Install("h", "counter"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := rt.Launch("h", "counter", "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store().Set("payload", "survives"); err != nil {
+		t.Fatal(err)
+	}
+	oldAddr := d.Addr()
+
+	if err := rt.Crash("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.Dapplet("c1"); ok {
+		t.Fatal("crashed dapplet still registered")
+	}
+	if err := rt.Crash("c1"); err == nil {
+		t.Fatal("double crash succeeded")
+	}
+
+	d2, err := rt.Restart("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Addr() == oldAddr {
+		t.Fatal("restart reused the crashed incarnation's port")
+	}
+	if got := rt.Incarnation("c1"); got != 1 {
+		t.Fatalf("incarnation = %d, want 1", got)
+	}
+	var payload string
+	if ok, err := d2.Store().Get("payload", &payload); err != nil || !ok || payload != "survives" {
+		t.Fatalf("store did not survive crash: %q, %v, %v", payload, ok, err)
+	}
+	var boots int
+	if _, err := d2.Store().Get("boots", &boots); err != nil {
+		t.Fatal(err)
+	}
+	if boots != 2 {
+		t.Fatalf("behaviour ran %d times, want 2 (restart re-runs Start)", boots)
+	}
+	// Restart of a live dapplet must fail.
+	if _, err := rt.Restart("c1"); err == nil {
+		t.Fatal("restart of a live dapplet succeeded")
+	}
+}
+
+func TestLaunchReusingCrashedNameStartsFreshLineage(t *testing.T) {
+	n := netsim.New(netsim.WithSeed(22))
+	t.Cleanup(n.Close)
+	reg := NewRegistry()
+	reg.Register("t1", Factory(func() Behavior { return BehaviorFunc(func(*Dapplet) error { return nil }) }))
+	reg.Register("t2", Factory(func() Behavior { return BehaviorFunc(func(*Dapplet) error { return nil }) }))
+	rt := NewRuntime(n, reg)
+	t.Cleanup(rt.StopAll)
+	for _, ht := range [][2]string{{"h1", "t1"}, {"h2", "t2"}} {
+		if err := rt.Install(ht[0], ht[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Launch("h1", "t1", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Crash("x"); err != nil {
+		t.Fatal(err)
+	}
+	// Reusing the name with different host/type replaces the lineage.
+	d2, err := rt.Launch("h2", "t2", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Store().Set("mark", "second"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Crash("x"); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := rt.Restart("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Type() != "t2" {
+		t.Fatalf("restart resurrected type %q, want the second lineage %q", d3.Type(), "t2")
+	}
+	var mark string
+	if ok, _ := d3.Store().Get("mark", &mark); !ok || mark != "second" {
+		t.Fatalf("restart used the wrong store (mark=%q ok=%v)", mark, ok)
+	}
+}

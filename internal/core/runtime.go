@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/netsim"
+	"repro/internal/state"
 	"repro/internal/transport"
 )
 
@@ -79,7 +80,9 @@ func (r *Registry) Types() []string {
 
 // Runtime launches dapplets onto simulated hosts. It tracks which dapplet
 // types are installed where, owns the launched dapplets, and stops them
-// together.
+// together. It also provides process-level fault injection: Crash kills a
+// dapplet abruptly and Restart brings up a fresh incarnation on the same
+// host with the same (surviving) persistent store.
 type Runtime struct {
 	net *netsim.Network
 	reg *Registry
@@ -87,7 +90,20 @@ type Runtime struct {
 	mu        sync.Mutex
 	installed map[string]map[string]bool // host -> type -> installed
 	dapplets  map[string]*Dapplet        // instance name -> dapplet
+	launched  map[string]*launchRec      // instance name -> launch record
 	relCfg    transport.Config
+}
+
+// launchRec remembers how an instance was launched so Restart can
+// reincarnate it. The store pointer models the instance's disk: it
+// survives a crash and is handed to the next incarnation.
+type launchRec struct {
+	host, typ   string
+	opts        []DappletOption
+	store       *state.Store
+	incarnation int
+	crashed     bool
+	restarting  bool // a Restart-driven Launch must keep this record
 }
 
 // NewRuntime creates a runtime over the given simulated network and
@@ -98,6 +114,7 @@ func NewRuntime(net *netsim.Network, reg *Registry) *Runtime {
 		reg:       reg,
 		installed: make(map[string]map[string]bool),
 		dapplets:  make(map[string]*Dapplet),
+		launched:  make(map[string]*launchRec),
 	}
 }
 
@@ -170,8 +187,91 @@ func (rt *Runtime) Launch(host, typ, name string, opts ...DappletOption) (*Dappl
 	}
 	rt.mu.Lock()
 	rt.dapplets[name] = d
+	if rec := rt.launched[name]; rec != nil && rec.restarting {
+		// Reincarnation via Restart: the original launch record stands.
+		rec.restarting = false
+		rec.crashed = false
+	} else {
+		// A fresh Launch — including one reusing a crashed instance's
+		// name — starts a new lineage with its own record, so a later
+		// Restart cannot resurrect the old host/type/store.
+		rt.launched[name] = &launchRec{host: host, typ: typ, opts: opts, store: d.Store()}
+	}
 	rt.mu.Unlock()
 	return d, nil
+}
+
+// Crash kills a launched dapplet abruptly, simulating a process failure:
+// its socket closes (inbound datagrams are dropped like UDP to a dead
+// port), its threads stop, and it is forgotten by the runtime — but its
+// persistent store survives, exactly as a dead process's disk does.
+// Restart brings up the next incarnation. To also take the machine off
+// the network (all dapplets on it), use Network.Crash.
+func (rt *Runtime) Crash(name string) error {
+	rt.mu.Lock()
+	d, ok := rt.dapplets[name]
+	rec := rt.launched[name]
+	if !ok || rec == nil {
+		rt.mu.Unlock()
+		return fmt.Errorf("core: crash: no launched dapplet %q", name)
+	}
+	delete(rt.dapplets, name)
+	rec.crashed = true
+	rt.mu.Unlock()
+	d.Stop()
+	return nil
+}
+
+// Restart launches a fresh incarnation of a crashed dapplet: same host,
+// type and name, a newly bound port, and the previous incarnation's
+// reopened store. The behaviour's Start runs again, so behaviours that
+// load state from the store (and services such as session.RestoreSessions)
+// recover what the store preserved. Restart returns the new dapplet;
+// note its address differs from the crashed incarnation's.
+func (rt *Runtime) Restart(name string) (*Dapplet, error) {
+	rt.mu.Lock()
+	rec := rt.launched[name]
+	if rec == nil {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("core: restart: %q was never launched", name)
+	}
+	if !rec.crashed {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("core: restart: %q is not crashed", name)
+	}
+	if rec.restarting {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("core: restart: %q is already being restarted", name)
+	}
+	rec.incarnation++
+	rec.restarting = true
+	host, typ := rec.host, rec.typ
+	opts := append([]DappletOption(nil), rec.opts...)
+	store := rec.store
+	rt.mu.Unlock()
+
+	store.Reopen()
+	d, err := rt.Launch(host, typ, name, append(opts, WithStore(store))...)
+	if err != nil {
+		// The instance is still down and still restartable.
+		rt.mu.Lock()
+		rec.restarting = false
+		rt.mu.Unlock()
+		return nil, err
+	}
+	return d, nil
+}
+
+// Incarnation returns how many times the named dapplet has been
+// restarted (0 for the original launch). Failure detectors attach it to
+// heartbeats so watchers can tell recovery from reincarnation.
+func (rt *Runtime) Incarnation(name string) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rec := rt.launched[name]; rec != nil {
+		return rec.incarnation
+	}
+	return 0
 }
 
 // Dapplet looks up a launched dapplet by instance name.

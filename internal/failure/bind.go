@@ -1,0 +1,19 @@
+package failure
+
+import "repro/internal/session"
+
+// BindSession forwards detector verdicts into a dapplet's session
+// service: a Down verdict marks the peer dead in every membership whose
+// roster names it (session.Membership.PeerDown, LivePeers), and an Up
+// verdict — the peer recovered, or its restarted incarnation was heard
+// from — clears it. Suspect verdicts are advisory and not forwarded.
+func BindSession(det *Detector, svc *session.Service) {
+	det.OnEvent(func(ev Event) {
+		switch ev.State {
+		case Down:
+			svc.MarkPeerDown(ev.Peer)
+		case Up:
+			svc.MarkPeerUp(ev.Peer)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+// Package failure implements heartbeat-based failure detection for
+// dapplets, the piece the paper's fault-tolerance story (§4.2) assumes
+// but does not specify: checkpointing is only useful when somebody
+// notices that a process has died and arranges its restart.
+//
+// The design follows the shape of BFD (RFC 5880, "Bidirectional
+// Forwarding Detection"), adapted from links to dapplets: each
+// participant transmits periodic heartbeats to the peers that watch it,
+// and each watcher declares a peer down after a detection time of
+// Multiplier missed intervals. Two departures from classic BFD fit the
+// dapplet world:
+//
+//   - Timeouts are per-peer adaptive: the watcher tracks a smoothed
+//     mean and deviation of observed heartbeat interarrival (the same
+//     estimator shape TCP uses for RTO), so a peer behind a slow WAN
+//     link earns a longer detection time than a LAN neighbour instead
+//     of being falsely suspected.
+//
+//   - Verdicts pass through an intermediate Suspect state before Down
+//     (suspect after one detection time, down after a second), giving
+//     applications a cheap early warning they can use to, e.g., stop
+//     routing new work to a peer before committing to recovery.
+//
+// Heartbeats carry an incarnation number so a watcher can distinguish
+// "the peer recovered" from "a restarted instance of the peer took its
+// place"; the restarted instance's new address is learned from the
+// heartbeat envelope itself, so watching survives a crash/restart cycle
+// that rebinds the peer to a fresh port.
+//
+// A Detector is attached to a dapplet (Attach) and told whom to watch
+// (Watch); state changes are delivered to OnEvent observers and queried
+// with Status. BindSession forwards verdicts into the dapplet's session
+// service so live rosters reflect peer liveness (see internal/session).
+package failure

@@ -1,0 +1,352 @@
+package failure
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// ControlInbox is the well-known inbox name heartbeat traffic arrives on;
+// like "@session" and "@snap" it is a service inbox, invisible to
+// application code and to snapshot channel recording.
+const ControlInbox = "@fail"
+
+// State is a watcher's verdict about one peer.
+type State uint8
+
+// Peer liveness states, in escalation order.
+const (
+	// Up means heartbeats are arriving within the detection time.
+	Up State = iota
+	// Suspect means one detection time has passed without a heartbeat;
+	// the peer may be dead, slow, or cut off.
+	Suspect
+	// Down means a second detection time has passed: the watcher commits
+	// to the verdict and stops heartbeating the peer until it is heard
+	// from again.
+	Down
+)
+
+// String returns the conventional lower-case state name.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one state transition for a watched peer.
+type Event struct {
+	// Peer is the watched dapplet's instance name.
+	Peer string
+	// Addr is the peer's last known address.
+	Addr netsim.Addr
+	// State is the new verdict.
+	State State
+	// Incarnation is the peer's incarnation number from its most recent
+	// heartbeat; a jump between two Up events means the peer restarted.
+	Incarnation uint64
+}
+
+// Config tunes a detector. Zero values select defaults.
+type Config struct {
+	// Interval is the heartbeat transmission period (default 50ms). It
+	// is also the floor of the detection timeout.
+	Interval time.Duration
+	// Multiplier is the number of missed intervals that makes a peer
+	// Suspect; a further Multiplier intervals make it Down (default 3,
+	// the conventional BFD detect multiplier).
+	Multiplier int
+	// Incarnation identifies this instance's lifetime; a restarted
+	// dapplet attaches a detector with a higher incarnation so watchers
+	// can tell recovery from restart (core.Runtime.Incarnation supplies
+	// one).
+	Incarnation uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.Multiplier <= 0 {
+		c.Multiplier = 3
+	}
+	return c
+}
+
+// heartbeatMsg is the periodic liveness beacon.
+type heartbeatMsg struct {
+	From string `json:"f"`
+	Seq  uint64 `json:"s"`
+	Inc  uint64 `json:"i"`
+}
+
+// Kind implements wire.Msg.
+func (*heartbeatMsg) Kind() string { return "fail.hb" }
+
+// AppendBinary implements wire.BinaryMessage: heartbeats are steady
+// background traffic on every watched channel, so they take the binary
+// fast path.
+func (m *heartbeatMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.From)
+	dst = wire.AppendUvarint(dst, m.Seq)
+	return wire.AppendUvarint(dst, m.Inc), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *heartbeatMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = r.String()
+	m.Seq = r.Uvarint()
+	m.Inc = r.Uvarint()
+	return r.Done()
+}
+
+func init() {
+	wire.Register(&heartbeatMsg{})
+}
+
+// peerState is everything a watcher tracks about one peer.
+type peerState struct {
+	name      string
+	addr      netsim.Addr
+	state     State
+	lastHeard time.Time
+	lastInc   uint64
+	// meanIA/devIA are the smoothed interarrival estimators feeding the
+	// adaptive timeout; zero until two heartbeats have been observed.
+	meanIA time.Duration
+	devIA  time.Duration
+}
+
+// detectionTimeout is the Up->Suspect (and Suspect->Down) window for this
+// peer: Multiplier times the larger of the configured interval and the
+// observed interarrival envelope (mean + 4 deviations, TCP-RTO style).
+func (p *peerState) detectionTimeout(cfg Config) time.Duration {
+	base := cfg.Interval
+	if adaptive := p.meanIA + 4*p.devIA; adaptive > base {
+		base = adaptive
+	}
+	return time.Duration(cfg.Multiplier) * base
+}
+
+// Detector heartbeats the peers watching this dapplet and watches peers
+// in return. All methods are safe for concurrent use.
+type Detector struct {
+	d   *core.Dapplet
+	cfg Config
+
+	// emitMu serializes each verdict transition with its observer
+	// delivery: it is taken before mu by every path that may emit, so
+	// two racing transitions (a timer-driven Down and a heartbeat-driven
+	// Up) cannot reach observers in reversed order. Observers run under
+	// emitMu but never under mu, so they may call Status etc.
+	emitMu sync.Mutex
+
+	mu    sync.Mutex
+	peers map[string]*peerState
+	seq   uint64
+	obs   []func(Event)
+}
+
+// Attach equips a dapplet with a failure detector. The detector starts
+// its heartbeat and verdict threads immediately; they stop with the
+// dapplet.
+func Attach(d *core.Dapplet, cfg Config) *Detector {
+	det := &Detector{
+		d:     d,
+		cfg:   cfg.withDefaults(),
+		peers: make(map[string]*peerState),
+	}
+	d.Handle(ControlInbox, det.onHeartbeat)
+	d.Spawn(det.loop)
+	return det
+}
+
+// Interval returns the configured heartbeat period.
+func (det *Detector) Interval() time.Duration { return det.cfg.Interval }
+
+// Watch starts heartbeating and monitoring the named peer. The peer
+// starts Up with a fresh grace window, so watching a live peer does not
+// produce a spurious Suspect. Detection is bidirectional, as in BFD:
+// a detector only transmits heartbeats to peers it watches, so both
+// ends of a channel must watch each other for either to be monitored.
+func (det *Detector) Watch(name string, addr netsim.Addr) {
+	det.mu.Lock()
+	defer det.mu.Unlock()
+	if p, ok := det.peers[name]; ok {
+		p.addr = addr
+		return
+	}
+	det.peers[name] = &peerState{name: name, addr: addr, state: Up, lastHeard: time.Now()}
+}
+
+// Unwatch stops heartbeating and monitoring the named peer.
+func (det *Detector) Unwatch(name string) {
+	det.mu.Lock()
+	delete(det.peers, name)
+	det.mu.Unlock()
+}
+
+// Status returns the current verdict for a watched peer.
+func (det *Detector) Status(name string) (State, bool) {
+	det.mu.Lock()
+	defer det.mu.Unlock()
+	p, ok := det.peers[name]
+	if !ok {
+		return Up, false
+	}
+	return p.state, true
+}
+
+// Addr returns the last known address of a watched peer, which tracks
+// restarts (a heartbeat from a reincarnated peer updates it).
+func (det *Detector) Addr(name string) (netsim.Addr, bool) {
+	det.mu.Lock()
+	defer det.mu.Unlock()
+	p, ok := det.peers[name]
+	if !ok {
+		return netsim.Addr{}, false
+	}
+	return p.addr, true
+}
+
+// OnEvent registers an observer for verdict changes. Observers run on
+// the detector's threads and must not block.
+func (det *Detector) OnEvent(f func(Event)) {
+	det.mu.Lock()
+	det.obs = append(det.obs, f)
+	det.mu.Unlock()
+}
+
+// emit delivers ev to every observer. Caller must not hold det.mu.
+func (det *Detector) emit(ev Event) {
+	det.mu.Lock()
+	obs := det.obs
+	det.mu.Unlock()
+	for _, f := range obs {
+		f(ev)
+	}
+}
+
+// onHeartbeat processes one arriving beacon: it refreshes the peer's
+// deadline, feeds the interarrival estimators, learns a restarted peer's
+// new address from the envelope, and lifts Suspect/Down verdicts.
+func (det *Detector) onHeartbeat(env *wire.Envelope) {
+	hb, ok := env.Body.(*heartbeatMsg)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	det.emitMu.Lock()
+	defer det.emitMu.Unlock()
+	det.mu.Lock()
+	p, watched := det.peers[hb.From]
+	if !watched {
+		det.mu.Unlock()
+		return
+	}
+	if hb.Inc < p.lastInc {
+		// A delayed beacon from a dead incarnation (it can linger in
+		// flight after the crash): honouring it would revert the peer's
+		// address and falsely lift a Down verdict.
+		det.mu.Unlock()
+		return
+	}
+	if p.state == Up {
+		// Feed the adaptive timeout only while the rhythm is unbroken;
+		// an interarrival spanning an outage is not a rhythm sample.
+		if ia := now.Sub(p.lastHeard); p.meanIA == 0 {
+			p.meanIA = ia
+		} else {
+			// TCP-style smoothing: mean gains 1/8 of the error,
+			// deviation 1/4 of its magnitude.
+			err := ia - p.meanIA
+			p.meanIA += err / 8
+			if err < 0 {
+				err = -err
+			}
+			p.devIA += (err - p.devIA) / 4
+		}
+	} else {
+		// Recovery: restart the rhythm estimate from scratch so the
+		// outage gap cannot inflate future detection times.
+		p.meanIA, p.devIA = 0, 0
+	}
+	p.lastHeard = now
+	p.lastInc = hb.Inc
+	p.addr = env.FromDapplet // a reincarnated peer announces its new address
+	recovered := p.state != Up
+	p.state = Up
+	ev := Event{Peer: p.name, Addr: p.addr, State: Up, Incarnation: p.lastInc}
+	det.mu.Unlock()
+	if recovered {
+		det.emit(ev)
+	}
+}
+
+// loop is the detector's single periodic thread: each tick it advances
+// peer verdicts whose detection time has expired and transmits one
+// heartbeat to every peer not considered Down. Ticking at a quarter
+// interval bounds verdict latency jitter to Interval/4.
+func (det *Detector) loop() {
+	tick := time.NewTicker(det.cfg.Interval / 4)
+	defer tick.Stop()
+	sendEvery := 4 // send heartbeats every 4th tick = every Interval
+	n := 0
+	for {
+		select {
+		case <-det.d.Stopped():
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var events []Event
+		var targets []wire.InboxRef
+		det.emitMu.Lock()
+		det.mu.Lock()
+		n++
+		send := n%sendEvery == 0
+		// Down peers are probed at 1/8 the configured rate — enough for
+		// two detectors that declared each other Down across a healed
+		// partition to rediscover one another, without a dead peer's
+		// retransmission state growing at full heartbeat rate.
+		slowSend := n%(sendEvery*8) == 0
+		if send {
+			det.seq++
+		}
+		for _, p := range det.peers {
+			timeout := p.detectionTimeout(det.cfg)
+			elapsed := now.Sub(p.lastHeard)
+			switch {
+			case p.state == Up && elapsed > timeout:
+				p.state = Suspect
+				events = append(events, Event{Peer: p.name, Addr: p.addr, State: Suspect, Incarnation: p.lastInc})
+			case p.state == Suspect && elapsed > 2*timeout:
+				p.state = Down
+				events = append(events, Event{Peer: p.name, Addr: p.addr, State: Down, Incarnation: p.lastInc})
+			}
+			if (send && p.state != Down) || (slowSend && p.state == Down) {
+				targets = append(targets, wire.InboxRef{Dapplet: p.addr, Inbox: ControlInbox})
+			}
+		}
+		seq, inc := det.seq, det.cfg.Incarnation
+		det.mu.Unlock()
+		for _, ev := range events {
+			det.emit(ev)
+		}
+		det.emitMu.Unlock()
+		for _, to := range targets {
+			_ = det.d.SendDirect(to, "", &heartbeatMsg{From: det.d.Name(), Seq: seq, Inc: inc})
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// TestStaleIncarnationHeartbeatIgnored pins the incarnation ordering: a
+// delayed beacon from a dead incarnation (lower Inc) must not revert
+// the learned address or lift a Down verdict.
+func TestStaleIncarnationHeartbeatIgnored(t *testing.T) {
+	det := &Detector{
+		cfg:   Config{Interval: time.Second, Multiplier: 2}.withDefaults(),
+		peers: make(map[string]*peerState),
+	}
+	newAddr := netsim.Addr{Host: "new", Port: 2}
+	det.peers["p"] = &peerState{name: "p", addr: newAddr, state: Down, lastInc: 2, lastHeard: time.Now()}
+
+	stale := &wire.Envelope{
+		FromDapplet: netsim.Addr{Host: "old", Port: 1},
+		Body:        &heartbeatMsg{From: "p", Inc: 1},
+	}
+	det.onHeartbeat(stale)
+	p := det.peers["p"]
+	if p.state != Down {
+		t.Fatalf("stale beacon lifted the Down verdict (state=%v)", p.state)
+	}
+	if p.addr != newAddr || p.lastInc != 2 {
+		t.Fatalf("stale beacon reverted peer identity: addr=%v inc=%d", p.addr, p.lastInc)
+	}
+
+	// The current incarnation's beacon does lift it and resets the
+	// rhythm estimators (the outage gap is not a rhythm sample).
+	p.meanIA, p.devIA = time.Minute, time.Minute
+	fresh := &wire.Envelope{
+		FromDapplet: newAddr,
+		Body:        &heartbeatMsg{From: "p", Inc: 2},
+	}
+	det.onHeartbeat(fresh)
+	if p.state != Up {
+		t.Fatalf("current beacon did not lift the verdict (state=%v)", p.state)
+	}
+	if p.meanIA != 0 || p.devIA != 0 {
+		t.Fatalf("recovery did not reset interarrival estimators (mean=%v dev=%v)", p.meanIA, p.devIA)
+	}
+}

@@ -1,0 +1,144 @@
+package failure_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+func newDapplet(t *testing.T, net *netsim.Network, host, name string) *core.Dapplet {
+	t.Helper()
+	ep, err := net.Host(host).BindAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := core.NewDapplet(name, "test", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 10 * time.Millisecond}))
+	t.Cleanup(d.Stop)
+	return d
+}
+
+// watchPair wires two dapplets to watch each other and returns a channel
+// of a's verdicts about b.
+func watchPair(a, b *core.Dapplet, cfg failure.Config) (<-chan failure.Event, *failure.Detector, *failure.Detector) {
+	da := failure.Attach(a, cfg)
+	db := failure.Attach(b, cfg)
+	events := make(chan failure.Event, 64)
+	da.OnEvent(func(ev failure.Event) {
+		if ev.Peer == b.Name() {
+			select {
+			case events <- ev:
+			default:
+			}
+		}
+	})
+	da.Watch(b.Name(), b.Addr())
+	db.Watch(a.Name(), a.Addr())
+	return events, da, db
+}
+
+func awaitState(t *testing.T, events <-chan failure.Event, want failure.State, within time.Duration) failure.Event {
+	t.Helper()
+	deadline := time.After(within)
+	for {
+		select {
+		case ev := <-events:
+			if ev.State == want {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("no %v verdict within %v", want, within)
+		}
+	}
+}
+
+func TestDetectorSuspectsThenDownsCrashedPeer(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(1))
+	defer net.Close()
+	a := newDapplet(t, net, "ha", "a")
+	b := newDapplet(t, net, "hb", "b")
+	events, da, _ := watchPair(a, b, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
+
+	// Let a round of heartbeats establish Up.
+	time.Sleep(50 * time.Millisecond)
+	if st, ok := da.Status("b"); !ok || st != failure.Up {
+		t.Fatalf("status(b) = %v, %v; want up", st, ok)
+	}
+
+	net.Crash("hb")
+	ev := awaitState(t, events, failure.Suspect, 5*time.Second)
+	if ev.Peer != "b" {
+		t.Fatalf("suspect peer = %q", ev.Peer)
+	}
+	awaitState(t, events, failure.Down, 5*time.Second)
+	if st, _ := da.Status("b"); st != failure.Down {
+		t.Fatalf("status(b) = %v, want down", st)
+	}
+}
+
+func TestDetectorRecoversAfterRestart(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(2))
+	defer net.Close()
+	a := newDapplet(t, net, "ha", "a")
+	b := newDapplet(t, net, "hb", "b")
+	events, da, _ := watchPair(a, b, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
+
+	net.Crash("hb")
+	awaitState(t, events, failure.Down, 5*time.Second)
+
+	net.Restart("hb")
+	awaitState(t, events, failure.Up, 5*time.Second)
+	if st, _ := da.Status("b"); st != failure.Up {
+		t.Fatalf("status(b) = %v, want up after restart", st)
+	}
+}
+
+func TestDetectorLearnsReincarnatedAddress(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(3))
+	defer net.Close()
+	a := newDapplet(t, net, "ha", "a")
+	b := newDapplet(t, net, "hb", "b")
+	events, da, _ := watchPair(a, b, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
+
+	net.Crash("hb")
+	awaitState(t, events, failure.Down, 5*time.Second)
+	b.Stop()
+	net.Restart("hb")
+
+	// A new incarnation of b on a fresh port heartbeats a; a must flip b
+	// to Up, report the higher incarnation and learn the new address.
+	b2 := newDapplet(t, net, "hb", "b")
+	db2 := failure.Attach(b2, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2, Incarnation: 1})
+	db2.Watch(a.Name(), a.Addr())
+
+	ev := awaitState(t, events, failure.Up, 5*time.Second)
+	if ev.Incarnation != 1 {
+		t.Fatalf("incarnation = %d, want 1", ev.Incarnation)
+	}
+	if addr, _ := da.Addr("b"); addr != b2.Addr() {
+		t.Fatalf("learned addr = %v, want %v", addr, b2.Addr())
+	}
+}
+
+func TestUnwatchedPeerIgnored(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(4))
+	defer net.Close()
+	a := newDapplet(t, net, "ha", "a")
+	b := newDapplet(t, net, "hb", "b")
+	da := failure.Attach(a, failure.Config{Interval: 10 * time.Millisecond})
+	db := failure.Attach(b, failure.Config{Interval: 10 * time.Millisecond})
+	db.Watch(a.Name(), a.Addr()) // b heartbeats a, but a does not watch b
+	time.Sleep(60 * time.Millisecond)
+	if _, ok := da.Status("b"); ok {
+		t.Fatal("unwatched peer acquired a status")
+	}
+	da.Watch(b.Name(), b.Addr())
+	da.Unwatch(b.Name())
+	if _, ok := da.Status("b"); ok {
+		t.Fatal("unwatched peer retained a status")
+	}
+}

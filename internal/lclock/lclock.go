@@ -100,12 +100,17 @@ type Ordering int
 
 // Vector clock comparison results.
 const (
+	// Equal means the two clocks are identical.
 	Equal Ordering = iota
+	// Before means the first clock causally precedes the second.
 	Before
+	// After means the first clock causally follows the second.
 	After
+	// Concurrent means neither clock precedes the other.
 	Concurrent
 )
 
+// String returns the lower-case ordering name.
 func (o Ordering) String() string {
 	switch o {
 	case Equal:

@@ -1,7 +1,8 @@
 // Package netsim provides a deterministic simulation of a world-wide
 // datagram network: named hosts, point-to-point links with configurable
 // delay distributions, probabilistic loss, duplication and reordering,
-// and network partitions.
+// network partitions, and host crash/restart fault injection (a crashed
+// host drops in-flight and inbound datagrams until restarted).
 //
 // The simulator models the environment the paper's communication layer is
 // designed against (§2.2 "Coping with a Varied Network Environment" and

@@ -527,3 +527,137 @@ func TestStatsVirtualAggregates(t *testing.T) {
 		t.Fatalf("MeanVirtual = %v", st.MeanVirtual)
 	}
 }
+
+func TestCrashDropsInboundAndOutbound(t *testing.T) {
+	n := New(WithSeed(11))
+	defer n.Close()
+	a, _ := n.Host("alive").Bind(1)
+	b, _ := n.Host("victim").Bind(1)
+
+	// Sanity: traffic flows both ways before the crash.
+	if err := a.Send(b.Addr(), []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Crash("victim")
+	if !n.Crashed("victim") {
+		t.Fatal("Crashed(victim) = false after Crash")
+	}
+	before := n.Stats()
+	if err := a.Send(b.Addr(), []byte("to-victim")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(a.Addr(), []byte("from-victim")); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Stats()
+	if got := after.LostCrash - before.LostCrash; got != 2 {
+		t.Fatalf("LostCrash delta = %d, want 2", got)
+	}
+	if _, err := b.RecvTimeout(20 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("crashed host received a datagram (err=%v)", err)
+	}
+
+	n.Restart("victim")
+	if n.Crashed("victim") {
+		t.Fatal("Crashed(victim) = true after Restart")
+	}
+	if err := a.Send(b.Addr(), []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dg.Payload) != "post" {
+		t.Fatalf("restarted host got %q, want %q (outage traffic must not replay)", dg.Payload, "post")
+	}
+}
+
+func TestCrashDropsInFlightTimedDeliveries(t *testing.T) {
+	// Time-scaled network: datagrams sit in the timer queue long enough
+	// for a crash to land while they are in flight.
+	n := New(WithSeed(12), WithDefaultDelay(Constant(50*time.Millisecond)), WithTimeScale(1))
+	defer n.Close()
+	a, _ := n.Host("src").Bind(1)
+	b, _ := n.Host("dst").Bind(1)
+	if err := a.Send(b.Addr(), []byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash("dst")
+	if _, err := b.RecvTimeout(200 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("in-flight datagram delivered to crashed host (err=%v)", err)
+	}
+	st := n.Stats()
+	if st.LostCrash != 1 {
+		t.Fatalf("LostCrash = %d, want 1", st.LostCrash)
+	}
+}
+
+func TestCrashConsumesNoRandomDraws(t *testing.T) {
+	// Two same-seed runs, one with a crash/restart of an uninvolved host
+	// in the middle, must deliver identical loss patterns: crash is
+	// control-plane and must not disturb the shard's random stream.
+	run := func(crash bool) []bool {
+		n := New(WithSeed(33), WithShards(1))
+		defer n.Close()
+		n.SetLoss("s", "d", 0.5)
+		src, _ := n.Host("s").Bind(1)
+		dst, _ := n.Host("d").Bind(1)
+		var got []bool
+		for i := 0; i < 64; i++ {
+			if crash && i == 32 {
+				n.Crash("bystander")
+				n.Restart("bystander")
+			}
+			if err := src.Send(dst.Addr(), []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			_, err := dst.RecvTimeout(time.Millisecond)
+			got = append(got, err == nil)
+		}
+		return got
+	}
+	plain, crashed := run(false), run(true)
+	for i := range plain {
+		if plain[i] != crashed[i] {
+			t.Fatalf("loss pattern diverged at send %d: crash consumed a random draw", i)
+		}
+	}
+}
+
+func TestCrashDropsReorderStashedDatagram(t *testing.T) {
+	// A Reorder stash holds a datagram until the link's next send; a
+	// crash must discard it, or a pre-crash datagram would resurrect
+	// after restart.
+	n := New(WithSeed(13))
+	defer n.Close()
+	n.SetLink("src", "dst", LinkParams{Reorder: 1.0})
+	a, _ := n.Host("src").Bind(1)
+	b, _ := n.Host("dst").Bind(1)
+	if err := a.Send(b.Addr(), []byte("stashed")); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash("dst")
+	n.Restart("dst")
+	n.SetLink("src", "dst", LinkParams{}) // no reordering for the flush probe
+	if err := a.Send(b.Addr(), []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dg.Payload) != "fresh" {
+		t.Fatalf("got %q; the crashed link's stash leaked through", dg.Payload)
+	}
+	if _, err := b.RecvTimeout(20 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("stashed pre-crash datagram was delivered (err=%v)", err)
+	}
+	if st := n.Stats(); st.LostCrash != 1 {
+		t.Fatalf("LostCrash = %d, want 1 (the discarded stash)", st.LostCrash)
+	}
+}

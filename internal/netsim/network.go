@@ -89,6 +89,7 @@ type Stats struct {
 	LostLink    uint64 // dropped by link loss
 	LostQueue   uint64 // dropped at a full receive queue
 	LostCut     uint64 // dropped by a partition
+	LostCrash   uint64 // dropped because an endpoint's host was crashed
 	Duplicated  uint64 // extra copies delivered
 	Reordered   uint64 // datagrams deferred behind a successor
 	BytesSent   uint64
@@ -227,6 +228,52 @@ func (n *Network) Partition(groups ...[]string) {
 // Heal removes any partition.
 func (n *Network) Heal() { n.setGroups(map[string]int{}) }
 
+// Crash marks a host as crashed. While crashed, every datagram addressed
+// to or sent from the host is dropped (counted as LostCrash), including
+// time-scaled deliveries already in flight when Crash is called — they
+// are discarded at their delivery instant, matching a machine that lost
+// power with packets on the wire. Endpoints on the host stay bound, so a
+// restarted host keeps its addresses. Crash is a control-plane change
+// like Partition: it consumes no random draws, so seeded replay is
+// unaffected.
+func (n *Network) Crash(host string) { n.setDown(host, true) }
+
+// Restart brings a crashed host back: datagrams flow to and from it
+// again. Nothing dropped during the outage is replayed.
+func (n *Network) Restart(host string) { n.setDown(host, false) }
+
+// Crashed reports whether the host is currently crashed.
+func (n *Network) Crashed(host string) bool {
+	s := n.shardFor(host)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down[host]
+}
+
+// setDown installs the host's crash state on every shard, so both the
+// source-side and destination-side checks in route see it. Like
+// Partition, a send racing with Crash may see either the old or the new
+// view. A crash also discards reorder-stashed datagrams on the host's
+// links: a stash flushes with the link's next routed datagram, which
+// could otherwise resurrect a pre-crash datagram after a restart.
+func (n *Network) setDown(host string, down bool) {
+	for _, s := range n.shards {
+		s.mu.Lock()
+		if down {
+			s.down[host] = true
+			for key := range s.pending {
+				if key.a == host || key.b == host {
+					delete(s.pending, key)
+					s.ctr.lostCrash++
+				}
+			}
+		} else {
+			delete(s.down, host)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // setGroups installs a copy of the partition map on every shard. Routing
 // reads only the destination shard's copy, so a send racing with
 // Partition may see either the old or the new view — the same guarantee
@@ -256,6 +303,7 @@ func (n *Network) Stats() Stats {
 		s.Sent += sh.ctr.sent
 		s.LostLink += sh.ctr.lostLink
 		s.LostCut += sh.ctr.lostCut
+		s.LostCrash += sh.ctr.lostCrash
 		s.Duplicated += sh.ctr.duplicated
 		s.Reordered += sh.ctr.reordered
 		s.BytesSent += sh.ctr.bytesSent
@@ -379,6 +427,15 @@ func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
 	}
 	s.ctr.sent++
 	s.ctr.bytesSent += uint64(len(payload))
+
+	// Crash check: a crashed machine neither sends nor receives. The
+	// check reads the destination shard's copy of the crash view, the
+	// same consistency Partition offers concurrent senders.
+	if len(s.down) > 0 && (s.down[from.addr.Host] || s.down[to.Host]) {
+		s.ctr.lostCrash++
+		s.mu.Unlock()
+		return nil
+	}
 
 	// Partition check: distinct explicit groups never communicate; an
 	// explicit group is also cut off from the implicit group 0.

@@ -21,6 +21,7 @@ type shard struct {
 	hosts   map[string]*Host
 	links   map[linkKey]LinkParams
 	groups  map[string]int        // partition group per host; empty = fully connected
+	down    map[string]bool       // crashed hosts (copy installed on every shard)
 	pending map[linkKey]*Datagram // reorder slots for links delivering into this shard
 
 	timerQ  timerHeap
@@ -70,6 +71,7 @@ type shardCounters struct {
 	sent       uint64 // guarded by shard.mu
 	lostLink   uint64 // guarded by shard.mu
 	lostCut    uint64 // guarded by shard.mu
+	lostCrash  uint64 // guarded by shard.mu
 	duplicated uint64 // guarded by shard.mu
 	reordered  uint64 // guarded by shard.mu
 	bytesSent  uint64 // guarded by shard.mu
@@ -87,6 +89,7 @@ func newShard(seed int64, i int) *shard {
 		hosts:   make(map[string]*Host),
 		links:   make(map[linkKey]LinkParams),
 		groups:  make(map[string]int),
+		down:    make(map[string]bool),
 		pending: make(map[linkKey]*Datagram),
 		wake:    make(chan struct{}, 1),
 	}
@@ -165,7 +168,15 @@ func (s *shard) drainTimers(n *Network) {
 				wait = d
 				break
 			}
-			due = append(due, heap.Pop(&s.timerQ).(timedDelivery))
+			td := heap.Pop(&s.timerQ).(timedDelivery)
+			// An in-flight datagram is discarded at its delivery instant
+			// if either endpoint's host crashed after it was scheduled,
+			// matching the route-stage check and the Crash contract.
+			if len(s.down) > 0 && (s.down[td.dst.host.name] || s.down[td.dg.From.Host]) {
+				s.ctr.lostCrash++
+				continue
+			}
+			due = append(due, td)
 		}
 		s.mu.Unlock()
 		for _, td := range due {

@@ -38,6 +38,10 @@ type CalendarOptions struct {
 	CommonSlot int
 	// Seed drives both the network and the calendar generation.
 	Seed int64
+	// Shards overrides the network's delivery shard count (0 uses the
+	// netsim default, GOMAXPROCS). Shards=1 makes single-driver runs
+	// bit-reproducible per seed.
+	Shards int
 	// InterSite and IntraSite are the link delay models (defaults: WAN
 	// and LAN).
 	InterSite netsim.DelayModel
@@ -79,7 +83,10 @@ type CalendarWorld struct {
 	Members     map[string]*calendar.MemberBehavior
 	MemberNames []string
 	Sites       []calendar.Site
-	Opts        CalendarOptions
+	// Sessions maps each dapplet's instance name to its session service;
+	// recovery flows need the service to restore membership on restart.
+	Sessions map[string]*session.Service
+	Opts     CalendarOptions
 }
 
 // Close tears the world down.
@@ -96,7 +103,11 @@ func siteName(i int) string { return fmt.Sprintf("site%d", i) }
 // directory, and (for the session scheduler) a committed session.
 func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 	opts.defaults()
-	net := netsim.New(netsim.WithSeed(opts.Seed), netsim.WithDefaultDelay(opts.IntraSite))
+	netOpts := []netsim.Option{netsim.WithSeed(opts.Seed), netsim.WithDefaultDelay(opts.IntraSite)}
+	if opts.Shards > 0 {
+		netOpts = append(netOpts, netsim.WithShards(opts.Shards))
+	}
+	net := netsim.New(netOpts...)
 
 	// Inter-site links get the WAN model; the coordinator lives at site 0.
 	for i := 0; i < opts.Sites; i++ {
@@ -107,20 +118,28 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	w := &CalendarWorld{
-		Net:     net,
-		Dir:     directory.New(),
-		Members: make(map[string]*calendar.MemberBehavior),
-		Opts:    opts,
+		Net:      net,
+		Dir:      directory.New(),
+		Members:  make(map[string]*calendar.MemberBehavior),
+		Sessions: make(map[string]*session.Service),
+		Opts:     opts,
 	}
 
 	// Behaviour registry with per-instance busy calendars handed out in
-	// launch order (Go has no dynamic code loading; see DESIGN.md).
+	// launch order (Go has no dynamic code loading; see DESIGN.md). Once
+	// the build-time queue is drained, the factory serves Runtime.Restart:
+	// a fresh incarnation starts with a blank calendar and recovers the
+	// real one from its surviving store (MemberBehavior.Start loads the
+	// persisted BusyVar).
 	var mu sync.Mutex
 	var queue []*calendar.MemberBehavior
 	reg := core.NewRegistry()
 	reg.Register("calendar", func() core.Behavior {
 		mu.Lock()
 		defer mu.Unlock()
+		if len(queue) == 0 {
+			return calendar.NewMember(opts.Slots, nil)
+		}
 		b := queue[0]
 		queue = queue[1:]
 		return b
@@ -181,7 +200,7 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 
 	// The session service on every participant.
 	for _, d := range w.RT.Dapplets() {
-		session.Attach(d, session.Policy{})
+		w.Sessions[d.Name()] = session.Attach(d, session.Policy{})
 	}
 
 	// Initiate the scheduling session from the coordinator (the

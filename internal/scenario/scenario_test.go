@@ -90,3 +90,24 @@ func TestBuildCardGameWorld(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestSecretaryCrashRecovery(t *testing.T) {
+	res, err := scenario.RunSecretaryCrashRecovery(scenario.RecoveryOptions{
+		Calendar: scenario.CalendarOptions{
+			Sites: 3, MembersPerSite: 2, Slots: 64,
+			BusyProb: 0.5, CommonSlot: 40, Seed: 7, Shards: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Result.Slot != 40 {
+		t.Fatalf("scheduled slot %d, want the forced common slot 40", res.Result.Slot)
+	}
+	if res.Retries < 1 {
+		t.Fatalf("retries = %d; the crash must abandon at least one round", res.Retries)
+	}
+	if res.Detection <= 0 || res.Recovery <= 0 {
+		t.Fatalf("latencies not measured: detection=%v recovery=%v", res.Detection, res.Recovery)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/directory"
+	"repro/internal/netsim"
 	"repro/internal/wire"
 )
 
@@ -124,6 +125,22 @@ func collectReplies(in *core.Inbox, deadline time.Time, want int, accept func(wi
 	return nil
 }
 
+// awaitAcks collects one acknowledgement per expected participant,
+// deduplicating by the name extract reports; extract returns false for
+// messages that are not the awaited ack kind (or belong to another
+// session).
+func awaitAcks(in *core.Inbox, deadline time.Time, want int, extract func(wire.Msg) (string, bool)) error {
+	acked := make(map[string]bool)
+	return collectReplies(in, deadline, want, func(m wire.Msg) bool {
+		name, ok := extract(m)
+		if !ok || acked[name] {
+			return false
+		}
+		acked[name] = true
+		return true
+	})
+}
+
 // Initiate sets up the session described by spec: it invites every
 // participant, and if all accept, commits the channel bindings. On any
 // rejection the session is aborted everywhere and a *RejectedError is
@@ -206,14 +223,12 @@ func (ini *Initiator) Initiate(spec Spec) (*Handle, error) {
 			return nil, fmt.Errorf("session: commit %s: %w", p.Name, err)
 		}
 	}
-	acked := make(map[string]bool)
-	err = collectReplies(replyIn, deadline, len(spec.Participants), func(m wire.Msg) bool {
+	err = awaitAcks(replyIn, deadline, len(spec.Participants), func(m wire.Msg) (string, bool) {
 		a, ok := m.(*commitAckMsg)
-		if !ok || a.SessionID != spec.ID || acked[a.Name] {
-			return false
+		if !ok || a.SessionID != spec.ID {
+			return "", false
 		}
-		acked[a.Name] = true
-		return true
+		return a.Name, true
 	})
 	if err != nil {
 		return nil, err
@@ -299,14 +314,12 @@ func (h *Handle) Terminate() error {
 			return err
 		}
 	}
-	acked := make(map[string]bool)
-	return collectReplies(replyIn, deadline, len(roster), func(m wire.Msg) bool {
+	return awaitAcks(replyIn, deadline, len(roster), func(m wire.Msg) (string, bool) {
 		a, ok := m.(*terminateAckMsg)
-		if !ok || a.SessionID != h.id || acked[a.Name] {
-			return false
+		if !ok || a.SessionID != h.id {
+			return "", false
 		}
-		acked[a.Name] = true
-		return true
+		return a.Name, true
 	})
 }
 
@@ -439,14 +452,12 @@ func (h *Handle) Grow(p Participant, newLinks []Link) error {
 			return err
 		}
 	}
-	acked := make(map[string]bool)
-	if err := collectReplies(replyIn, deadline, len(existing), func(m wire.Msg) bool {
+	if err := awaitAcks(replyIn, deadline, len(existing), func(m wire.Msg) (string, bool) {
 		a, ok := m.(*relinkAckMsg)
-		if !ok || a.SessionID != h.id || acked[a.Name] {
-			return false
+		if !ok || a.SessionID != h.id {
+			return "", false
 		}
-		acked[a.Name] = true
-		return true
+		return a.Name, true
 	}); err != nil {
 		return err
 	}
@@ -454,6 +465,99 @@ func (h *Handle) Grow(p Participant, newLinks []Link) error {
 	h.mu.Lock()
 	h.participants[p.Name] = &p
 	h.links = append(h.links, resolvedNew...)
+	h.mu.Unlock()
+	return nil
+}
+
+// Reincarnate repairs the session after a participant crashed and was
+// restarted at a new address (core.Runtime.Restart rebinds a fresh
+// port). Unlike Shrink+Grow it never talks to the dead incarnation: it
+// updates the roster entry to newAddr, tells every surviving participant
+// with a channel into the crashed one to swing that binding to the new
+// address, and delivers the corrected roster to everyone — including the
+// reincarnated participant, which is expected to have already restored
+// its own outbox bindings and membership from its store
+// (Service.RestoreSessions).
+func (h *Handle) Reincarnate(name string, newAddr netsim.Addr) error {
+	h.mu.Lock()
+	if h.terminated {
+		h.mu.Unlock()
+		return errors.New("session: terminated")
+	}
+	p, ok := h.participants[name]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("session: no participant %q", name)
+	}
+	oldAddr := p.Addr
+	if oldAddr == newAddr {
+		h.mu.Unlock()
+		return nil
+	}
+	// Swing every binding whose destination inbox lived on the crashed
+	// incarnation: the owner must Remove the stale binding and Add the
+	// replacement. That includes a self-link (the restored incarnation's
+	// own binding to itself points at the dead address); bindings the
+	// crashed participant holds toward surviving peers need no repair.
+	// The handle's own view is committed only after every survivor has
+	// acknowledged: a failed or timed-out call leaves it untouched, so a
+	// retry recomputes the same stale bindings (survivors that already
+	// applied them treat the repeat as a no-op).
+	removesFor := make(map[string][]Binding)
+	addsFor := make(map[string][]Binding)
+	for _, l := range h.links {
+		if l.toName != name {
+			continue
+		}
+		stale, fresh := l.binding, l.binding
+		stale.To.Dapplet = oldAddr
+		fresh.To.Dapplet = newAddr
+		removesFor[l.fromName] = append(removesFor[l.fromName], stale)
+		addsFor[l.fromName] = append(addsFor[l.fromName], fresh)
+	}
+	roster := h.rosterLocked()
+	for i := range roster {
+		if roster[i].Name == name {
+			roster[i].Addr = newAddr
+		}
+	}
+	h.mu.Unlock()
+
+	replyIn := h.ini.d.NewInbox()
+	defer h.ini.d.RemoveInbox(replyIn.Name())
+	deadline := time.Now().Add(h.ini.timeout)
+	for _, q := range roster {
+		rl := &relinkMsg{
+			SessionID: h.id,
+			Remove:    removesFor[q.Name],
+			Add:       addsFor[q.Name],
+			Roster:    roster,
+			ReplyTo:   replyIn.Ref(),
+		}
+		if err := h.ini.d.SendDirect(controlRef(q), h.id, rl); err != nil {
+			return err
+		}
+	}
+	if err := awaitAcks(replyIn, deadline, len(roster), func(m wire.Msg) (string, bool) {
+		a, ok := m.(*relinkAckMsg)
+		if !ok || a.SessionID != h.id {
+			return "", false
+		}
+		return a.Name, true
+	}); err != nil {
+		return err
+	}
+
+	h.mu.Lock()
+	if q, live := h.participants[name]; live {
+		q.Addr = newAddr
+	}
+	for i := range h.links {
+		l := &h.links[i]
+		if l.toName == name && l.binding.To.Dapplet == oldAddr {
+			l.binding.To.Dapplet = newAddr
+		}
+	}
 	h.mu.Unlock()
 	return nil
 }
@@ -516,13 +620,11 @@ func (h *Handle) Shrink(name string) error {
 			return err
 		}
 	}
-	acked := make(map[string]bool)
-	return collectReplies(replyIn, deadline, len(remaining), func(m wire.Msg) bool {
+	return awaitAcks(replyIn, deadline, len(remaining), func(m wire.Msg) (string, bool) {
 		a, ok := m.(*relinkAckMsg)
-		if !ok || a.SessionID != h.id || acked[a.Name] {
-			return false
+		if !ok || a.SessionID != h.id {
+			return "", false
 		}
-		acked[a.Name] = true
-		return true
+		return a.Name, true
 	})
 }

@@ -30,7 +30,10 @@ type Membership struct {
 	Roster []Participant
 
 	mu       sync.Mutex
+	access   state.AccessSet
+	inboxes  []string
 	bindings []Binding
+	down     map[string]bool // peers a failure detector declared dead
 }
 
 // Bindings returns the outbox bindings this participant currently holds
@@ -56,6 +59,29 @@ func (m *Membership) Peers(role string) []Participant {
 	var out []Participant
 	for _, p := range m.Roster {
 		if p.Role == role {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PeerDown reports whether a failure detector has declared the named
+// roster member dead (see Service.MarkPeerDown).
+func (m *Membership) PeerDown(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down[name]
+}
+
+// LivePeers returns the roster entries with the given role that no
+// failure detector verdict currently marks down; an empty role matches
+// every entry.
+func (m *Membership) LivePeers(role string) []Participant {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Participant
+	for _, p := range m.Roster {
+		if (role == "" || p.Role == role) && !m.down[p.Name] {
 			out = append(out, p)
 		}
 	}
@@ -219,11 +245,14 @@ func (s *Service) onCommit(m *commitMsg) {
 		Task:     inv.Task,
 		Role:     inv.Role,
 		Roster:   inv.Roster,
+		access:   inv.Access,
+		inboxes:  append([]string(nil), inv.Inboxes...),
 		bindings: append([]Binding(nil), inv.Bindings...),
 	}
 	s.mu.Lock()
 	s.members[m.SessionID] = mem
 	s.mu.Unlock()
+	s.persist(mem)
 	s.reply(m.ReplyTo, m.SessionID, &commitAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
 	if s.policy.OnJoin != nil {
 		s.policy.OnJoin(mem)
@@ -257,6 +286,7 @@ func (s *Service) onTerminate(m *terminateMsg) {
 		mem.mu.Unlock()
 	}
 	s.d.Store().Release(m.SessionID)
+	s.unpersist(m.SessionID)
 	s.reply(m.ReplyTo, m.SessionID, &terminateAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
 	if ok && s.policy.OnLeave != nil {
 		s.policy.OnLeave(m.SessionID)
@@ -286,11 +316,23 @@ func (s *Service) onRelink(m *relinkMsg) {
 		ob := s.d.Outbox(b.Outbox)
 		ob.SetSession(m.SessionID)
 		ob.Add(b.To)
-		mem.bindings = append(mem.bindings, b)
+		// Idempotent like Outbox.Add: a retried repair (Reincarnate)
+		// re-ships bindings a survivor may already hold.
+		dup := false
+		for _, have := range mem.bindings {
+			if have == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			mem.bindings = append(mem.bindings, b)
+		}
 	}
 	if m.Roster != nil {
 		mem.Roster = m.Roster
 	}
 	mem.mu.Unlock()
+	s.persist(mem)
 	s.reply(m.ReplyTo, m.SessionID, &relinkAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
 }

@@ -2,6 +2,7 @@ package session_test
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -475,5 +476,172 @@ func TestSessionOverWANWithLoss(t *testing.T) {
 	}
 	if err := h.Terminate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReincarnateAfterCrashRestart drives the full recovery path: a hub
+// dapplet crashes mid-session, restarts at a new address with its store
+// intact, restores its membership locally, and the initiator relinks the
+// survivors to the new incarnation.
+func TestReincarnateAfterCrashRestart(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(5))
+	t.Cleanup(net.Close)
+	dir := directory.New()
+
+	var mu sync.Mutex
+	services := make(map[string]*session.Service)
+	reg := core.NewRegistry()
+	reg.Register("node", core.Factory(func() core.Behavior {
+		return core.BehaviorFunc(func(d *core.Dapplet) error {
+			svc := session.Attach(d, session.Policy{})
+			if _, err := svc.RestoreSessions(); err != nil {
+				return err
+			}
+			mu.Lock()
+			services[d.Name()] = svc
+			mu.Unlock()
+			return nil
+		})
+	}))
+	rt := core.NewRuntime(net, reg)
+	t.Cleanup(rt.StopAll)
+	for host, name := range map[string]string{"hhub": "hub", "h1": "m1"} {
+		if err := rt.Install(host, "node"); err != nil {
+			t.Fatal(err)
+		}
+		d, err := rt.Launch(host, "node", name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir.Register(directory.Entry{Name: name, Type: "node", Addr: d.Addr()})
+	}
+
+	iniEp, err := net.Host("hq").BindAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iniD := core.NewDapplet("director", "initiator", transport.NewSimConn(iniEp),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	t.Cleanup(iniD.Stop)
+	ini := session.NewInitiator(iniD, dir)
+	ini.SetTimeout(5 * time.Second)
+
+	spec := session.Spec{
+		ID: "recov",
+		Participants: []session.Participant{
+			{Name: "hub", Role: "hub"},
+			{Name: "m1", Role: "member"},
+		},
+		Links: []session.Link{
+			{From: "m1", Outbox: "up", To: "hub", Inbox: "requests"},
+			{From: "hub", Outbox: "down", To: "m1", Inbox: "replies"},
+			// A self-link: must be re-aimed at the new incarnation too.
+			{From: "hub", Outbox: "loop", To: "hub", Inbox: "self"},
+		},
+	}
+	h, err := ini.Initiate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(name, outbox, text string) {
+		t.Helper()
+		d, ok := rt.Dapplet(name)
+		if !ok {
+			t.Fatalf("dapplet %s gone", name)
+		}
+		if err := d.Outbox(outbox).Send(&wire.Text{S: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func(name, inbox, want string) {
+		t.Helper()
+		d, ok := rt.Dapplet(name)
+		if !ok {
+			t.Fatalf("dapplet %s gone", name)
+		}
+		m, err := d.Inbox(inbox).ReceiveTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("recv %s/%s: %v", name, inbox, err)
+		}
+		if got := m.(*wire.Text).S; got != want {
+			t.Fatalf("recv %s/%s = %q, want %q", name, inbox, got, want)
+		}
+	}
+	send("m1", "up", "before")
+	recv("hub", "requests", "before")
+
+	if err := rt.Crash("hub"); err != nil {
+		t.Fatal(err)
+	}
+	hub2, err := rt.Restart("hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The behaviour restored the membership from the surviving store.
+	mu.Lock()
+	svc := services["hub"]
+	mu.Unlock()
+	if mem, ok := svc.Membership("recov"); !ok {
+		t.Fatal("membership not restored from store")
+	} else if mem.Role != "hub" || len(mem.Roster) != 2 {
+		t.Fatalf("restored membership corrupt: role=%q roster=%d", mem.Role, len(mem.Roster))
+	}
+
+	if err := h.Reincarnate("hub", hub2.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// The survivor's channel into the hub now reaches the new
+	// incarnation, and the restored hub's own binding still works.
+	send("m1", "up", "after")
+	recv("hub", "requests", "after")
+	send("hub", "down", "from-new-hub")
+	recv("m1", "replies", "from-new-hub")
+	send("hub", "loop", "note-to-self")
+	recv("hub", "self", "note-to-self")
+
+	// Teardown still works end to end and clears the durable record.
+	if err := h.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub2.Store().LiveSessions(); len(got) != 0 {
+		t.Fatalf("live sessions after terminate: %v", got)
+	}
+}
+
+// TestPeerDownVerdictsFilterLivePeers exercises the session-side verdict
+// plumbing a failure detector drives through MarkPeerDown/MarkPeerUp.
+func TestPeerDownVerdictsFilterLivePeers(t *testing.T) {
+	w := newSWorld(t)
+	w.add("caltech", "secretary", "secretary", session.Policy{})
+	w.add("rice", "herb", "calendar", session.Policy{})
+	w.add("tennessee", "jack", "calendar", session.Policy{})
+	ini := w.initiator("caltech", "director")
+	if _, err := ini.Initiate(starSpec("s-down", []string{"herb", "jack"}, "secretary")); err != nil {
+		t.Fatal(err)
+	}
+	svc := w.services["secretary"]
+	mem, ok := svc.Membership("s-down")
+	if !ok {
+		t.Fatal("no membership")
+	}
+	if got := len(mem.LivePeers("member")); got != 2 {
+		t.Fatalf("live members = %d, want 2", got)
+	}
+	svc.MarkPeerDown("herb")
+	if !mem.PeerDown("herb") {
+		t.Fatal("herb not marked down")
+	}
+	live := mem.LivePeers("member")
+	if len(live) != 1 || live[0].Name != "jack" {
+		t.Fatalf("live members = %v, want [jack]", live)
+	}
+	svc.MarkPeerDown("stranger") // not on the roster: ignored
+	if mem.PeerDown("stranger") {
+		t.Fatal("non-member acquired a down mark")
+	}
+	svc.MarkPeerUp("herb")
+	if got := len(mem.LivePeers("member")); got != 2 {
+		t.Fatalf("live members after recovery = %d, want 2", got)
 	}
 }

@@ -6,12 +6,38 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/state"
 	"repro/internal/wire"
 )
 
 // StateFunc captures a dapplet's local state; the result must be
 // JSON-serializable.
 type StateFunc func() any
+
+// CheckpointVar is the store variable holding a participant's most
+// recent locally recorded checkpoint. It is written at the instant the
+// local state is recorded — before the report travels anywhere — so the
+// record survives a crash of the participant or of the coordinator, and
+// a restarted incarnation can recover from it (LastCheckpoint).
+const CheckpointVar = "@snap.last"
+
+// Checkpoint is one participant's durable local checkpoint record.
+type Checkpoint struct {
+	// ID is the snapshot id the record was taken for.
+	ID string `json:"sid"`
+	// State is the participant's recorded local state (JSON).
+	State json.RawMessage `json:"st"`
+	// Lamport is the participant's logical clock at the record point.
+	Lamport uint64 `json:"lam"`
+}
+
+// LastCheckpoint reads the most recent local checkpoint from a store
+// (typically one that survived a crash), reporting whether one exists.
+func LastCheckpoint(st *state.Store) (Checkpoint, bool) {
+	var cp Checkpoint
+	ok, err := st.Get(CheckpointVar, &cp)
+	return cp, ok && err == nil
+}
 
 // markerSnap is the per-snapshot state of a marker (Chandy–Lamport) run.
 type markerSnap struct {
@@ -79,6 +105,16 @@ func Attach(d *core.Dapplet, stateFn StateFunc) *Service {
 	return s
 }
 
+// Pending returns the number of snapshot runs (marker and clock) this
+// participant is still tracking. A participant whose coordinator crashed
+// mid-snapshot must drain back to zero once the surviving members'
+// markers/flushes arrive — pending state must not leak.
+func (s *Service) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.markers) + len(s.clocks)
+}
+
 // SetPeers declares the other participants whose channels this dapplet
 // must track (typically the session roster minus itself).
 func (s *Service) SetPeers(peers []Member) {
@@ -103,9 +139,9 @@ func (s *Service) onSend(env *wire.Envelope) {
 	}
 	// A send stamped at or after T is a post-checkpoint event: the local
 	// state must be recorded before it is counted (§4.2).
-	for _, cs := range s.clocks {
+	for id, cs := range s.clocks {
 		if !cs.recorded && env.Lamport >= cs.t {
-			s.recordClockLocked(cs)
+			s.recordClockLocked(id, cs)
 		}
 	}
 	s.sent[peer]++
@@ -136,9 +172,9 @@ func (s *Service) onRecv(env *wire.Envelope) {
 	}
 	// Clock checkpoints: trigger on the first post-T message, and capture
 	// pre-T messages that arrive after the record point.
-	for _, cs := range s.clocks {
+	for id, cs := range s.clocks {
 		if !cs.recorded && env.Lamport >= cs.t {
-			s.recordClockLocked(cs)
+			s.recordClockLocked(id, cs)
 		}
 		if cs.recorded && env.Lamport < cs.t {
 			cs.channels[peer] = append(cs.channels[peer], body)
@@ -194,6 +230,7 @@ func (s *Service) startMarker(id string, replyTo wire.InboxRef, fromPeer string)
 	ms.state, _ = json.Marshal(s.stateFn())
 	ms.sentAt = copyCounts(s.sent)
 	ms.recvAt = copyCounts(s.recv)
+	s.persistCheckpoint(id, ms.state)
 	var targets []Member
 	for _, p := range s.peers {
 		if p.Name == fromPeer {
@@ -263,11 +300,18 @@ func (s *Service) reportMarker(id string) {
 
 // --- clock-checkpoint protocol ---
 
-func (s *Service) recordClockLocked(cs *clockSnap) {
+func (s *Service) recordClockLocked(id string, cs *clockSnap) {
 	cs.recorded = true
 	cs.state, _ = json.Marshal(s.stateFn())
 	cs.sentAt = copyCounts(s.sent)
 	cs.recvAt = copyCounts(s.recv)
+	s.persistCheckpoint(id, cs.state)
+}
+
+// persistCheckpoint writes the just-recorded local state durably (see
+// CheckpointVar). Caller holds s.mu; the store has its own lock.
+func (s *Service) persistCheckpoint(id string, st json.RawMessage) {
+	_ = s.d.Store().Set(CheckpointVar, Checkpoint{ID: id, State: st, Lamport: s.d.Clock().Now()})
 }
 
 // armClockLocked creates (or returns) the checkpoint state for a snapshot
@@ -285,7 +329,7 @@ func (s *Service) armClockLocked(id string, t uint64, replyTo wire.InboxRef) *cl
 	}
 	s.clocks[id] = cs
 	if s.d.Clock().Now() >= t {
-		s.recordClockLocked(cs)
+		s.recordClockLocked(id, cs)
 	}
 	return cs
 }
@@ -306,7 +350,7 @@ func (s *Service) onCollect(m *collectMsg) {
 	if !cs.recorded {
 		// The collect message's stamp exceeds T, so the clock has passed
 		// T by now; record immediately.
-		s.recordClockLocked(cs)
+		s.recordClockLocked(m.SnapID, cs)
 	}
 	var targets []Member
 	if !cs.flushSent {
@@ -331,7 +375,7 @@ func (s *Service) onFlush(m *flushMsg) {
 	cs := s.armClockLocked(m.SnapID, m.T, m.ReplyTo)
 	if !cs.recorded {
 		// The flush stamp exceeds T, so the clock has passed T.
-		s.recordClockLocked(cs)
+		s.recordClockLocked(m.SnapID, cs)
 	}
 	if !cs.flushed[m.From] {
 		cs.flushed[m.From] = true

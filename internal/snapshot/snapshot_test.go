@@ -2,6 +2,7 @@ package snapshot_test
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -273,5 +274,89 @@ func TestEmptyMembership(t *testing.T) {
 	}
 	if _, err := coord.SnapshotClock(10); err == nil {
 		t.Fatal("empty member set accepted")
+	}
+}
+
+// TestCoordinatorCrashMidSnapshot is the crash-during-checkpoint case:
+// a marker snapshot is in flight when the coordinator's host crashes.
+// The members' marker runs must still terminate (they depend only on
+// each other's markers), every member must persist its local checkpoint
+// durably, no pending snapshot state may leak, and the coordinator's
+// call must abort cleanly with a timeout rather than wedge. Fixed seed,
+// single shard: the network schedule is reproducible.
+func TestCoordinatorCrashMidSnapshot(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(99), netsim.WithShards(1))
+	defer net.Close()
+	w := buildRing(t, net, 4, 1)
+	w.inject(t, 6)
+
+	ep, err := net.Host("coord-host").BindAny()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordD := core.NewDapplet("coord", "coord", transport.NewSimConn(ep),
+		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
+	t.Cleanup(coordD.Stop)
+	coord := snapshot.NewCoordinator(coordD, w.members)
+	coord.SetTimeout(500 * time.Millisecond)
+
+	// Crash the coordinator the moment the first member records its
+	// local state — the snapshot is then guaranteed to be mid-flight.
+	recorded := make(chan struct{}, 8)
+	for _, d := range w.dapplets {
+		d.OnRecv(func(env *wire.Envelope) {
+			if env.To.Inbox == "@snap" {
+				select {
+				case recorded <- struct{}{}:
+				default:
+				}
+			}
+		})
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.SnapshotMarker()
+		done <- err
+	}()
+	select {
+	case <-recorded:
+		net.Crash("coord-host")
+	case <-time.After(5 * time.Second):
+		t.Fatal("snapshot never reached a member")
+	}
+
+	// The coordinator aborts cleanly (reports are lost to the crash) —
+	// or, if every report raced ahead of the crash, completes; it must
+	// not wedge.
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, snapshot.ErrTimeout) {
+			t.Fatalf("snapshot ended with unexpected error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SnapshotMarker wedged after coordinator crash")
+	}
+
+	// Members drain all pending snapshot state.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, svc := range w.services {
+		for svc.Pending() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("member leaked %d pending snapshot runs", svc.Pending())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Every member persisted a durable local checkpoint before the
+	// report went anywhere.
+	for i, d := range w.dapplets {
+		cp, ok := snapshot.LastCheckpoint(d.Store())
+		if !ok {
+			t.Fatalf("member %d has no durable checkpoint", i)
+		}
+		var held int
+		if err := json.Unmarshal(cp.State, &held); err != nil {
+			t.Fatalf("member %d checkpoint state: %v", i, err)
+		}
 	}
 }

@@ -32,6 +32,12 @@ var ErrConflict = errors.New("state: session interferes with a live session")
 // ErrClosed is returned by blocking operations on a closed store.
 var ErrClosed = errors.New("state: store closed")
 
+// ErrAlreadyLive is returned by TryAcquire and Acquire when the session
+// id already holds access. A recovering dapplet whose store survived a
+// crash sees this when it re-registers a session it never released;
+// callers restoring membership treat it as success.
+var ErrAlreadyLive = errors.New("state: session already live")
+
 // AccessSet declares the portions of a dapplet's state a session may
 // touch: "a distributed session to set up an executive committee meeting
 // may have access to Mondays and Fridays on one user's calendar but not to
@@ -225,6 +231,17 @@ func (s *Store) Close() {
 	s.cond.Broadcast()
 }
 
+// Reopen makes a closed store usable again. Variables and live session
+// access survive Close, so a store models a dapplet's disk: a crashed
+// dapplet's runtime closes the store with the dapplet, and the restarted
+// incarnation reopens it to find its state — and any session access it
+// held at the crash — intact.
+func (s *Store) Reopen() {
+	s.mu.Lock()
+	s.closed = false
+	s.mu.Unlock()
+}
+
 // interferesLocked reports whether acc conflicts with any live session.
 func (s *Store) interferesLocked(acc AccessSet) (string, bool) {
 	for id, live := range s.live {
@@ -247,7 +264,7 @@ func (s *Store) TryAcquire(sessionID string, acc AccessSet) error {
 		return ErrClosed
 	}
 	if _, ok := s.live[sessionID]; ok {
-		return fmt.Errorf("state: session %q already live", sessionID)
+		return fmt.Errorf("%w: %q", ErrAlreadyLive, sessionID)
 	}
 	if other, bad := s.interferesLocked(acc); bad {
 		return fmt.Errorf("%w: %q conflicts with live session %q", ErrConflict, sessionID, other)
@@ -267,7 +284,7 @@ func (s *Store) Acquire(sessionID string, acc AccessSet) error {
 			return ErrClosed
 		}
 		if _, ok := s.live[sessionID]; ok {
-			return fmt.Errorf("state: session %q already live", sessionID)
+			return fmt.Errorf("%w: %q", ErrAlreadyLive, sessionID)
 		}
 		if _, bad := s.interferesLocked(acc); !bad {
 			s.live[sessionID] = acc

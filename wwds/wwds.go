@@ -16,6 +16,7 @@ package wwds
 import (
 	"repro/internal/core"
 	"repro/internal/directory"
+	"repro/internal/failure"
 	"repro/internal/lclock"
 	"repro/internal/netsim"
 	"repro/internal/rpc"
@@ -51,20 +52,31 @@ type NetOption = netsim.Option
 // NewNetwork creates a simulated network.
 func NewNetwork(opts ...NetOption) *Network { return netsim.New(opts...) }
 
-// Re-exported network options and delay profiles. WithShards sets the
-// number of delivery shards (default GOMAXPROCS); WithShards(1) makes a
-// single-threaded run fully deterministic per seed.
+// Re-exported network options and delay profiles.
 var (
-	WithSeed         = netsim.WithSeed
-	WithShards       = netsim.WithShards
+	// WithSeed fixes the simulator's random seed for reproducible runs.
+	WithSeed = netsim.WithSeed
+	// WithShards sets the number of delivery shards (default GOMAXPROCS);
+	// WithShards(1) makes a single-threaded run fully deterministic per
+	// seed.
+	WithShards = netsim.WithShards
+	// WithDefaultDelay sets the delay model for unconfigured links.
 	WithDefaultDelay = netsim.WithDefaultDelay
-	WithTimeScale    = netsim.WithTimeScale
-	WithQueueCap     = netsim.WithQueueCap
-	Constant         = netsim.Constant
-	Uniform          = netsim.Uniform
-	LAN              = netsim.LAN
-	Campus           = netsim.Campus
-	WAN              = netsim.WAN
+	// WithTimeScale sets the real-time to virtual-delay ratio.
+	WithTimeScale = netsim.WithTimeScale
+	// WithQueueCap sets the per-endpoint receive queue capacity.
+	WithQueueCap = netsim.WithQueueCap
+	// Constant builds a fixed-delay model.
+	Constant = netsim.Constant
+	// Uniform builds a uniformly distributed delay model.
+	Uniform = netsim.Uniform
+	// LAN is the local-area delay profile.
+	LAN = netsim.LAN
+	// Campus is the campus-network delay profile.
+	Campus = netsim.Campus
+	// WAN is the wide-area delay profile.
+	WAN = netsim.WAN
+	// Intercontinental is the paper's Pasadena-to-Australia delay profile.
 	Intercontinental = netsim.Intercontinental
 )
 
@@ -232,6 +244,8 @@ type (
 	SnapshotMember = snapshot.Member
 	// GlobalSnapshot is an assembled snapshot with a consistency check.
 	GlobalSnapshot = snapshot.Global
+	// Checkpoint is a participant's durable local checkpoint record.
+	Checkpoint = snapshot.Checkpoint
 )
 
 // AttachSnapshots equips a dapplet with the snapshot service.
@@ -239,6 +253,41 @@ var AttachSnapshots = snapshot.Attach
 
 // NewSnapshotCoordinator creates a snapshot coordinator.
 var NewSnapshotCoordinator = snapshot.NewCoordinator
+
+// LastCheckpoint reads the most recent durable local checkpoint from a
+// store that survived a crash.
+var LastCheckpoint = snapshot.LastCheckpoint
+
+// Failure detection (see internal/failure): BFD-style heartbeats with
+// per-peer adaptive timeouts and a suspect -> down state machine.
+type (
+	// FailureDetector heartbeats and monitors a dapplet's peers.
+	FailureDetector = failure.Detector
+	// FailureConfig tunes a detector (interval, multiplier, incarnation).
+	FailureConfig = failure.Config
+	// FailureEvent is one verdict change for a watched peer.
+	FailureEvent = failure.Event
+	// PeerState is a watcher's verdict about one peer.
+	PeerState = failure.State
+)
+
+// Peer liveness verdicts, in escalation order.
+const (
+	// PeerUp means heartbeats are arriving within the detection time.
+	PeerUp = failure.Up
+	// PeerSuspect means one detection time passed without a heartbeat.
+	PeerSuspect = failure.Suspect
+	// PeerDown means the watcher committed to the failure verdict.
+	PeerDown = failure.Down
+)
+
+// AttachFailureDetector equips a dapplet with a heartbeat failure
+// detector.
+var AttachFailureDetector = failure.Attach
+
+// BindSessionFailures forwards detector verdicts into a dapplet's
+// session service, so Membership.LivePeers reflects peer liveness.
+var BindSessionFailures = failure.BindSession
 
 // RPC over inboxes: global pointers, async and sync calls.
 type (
