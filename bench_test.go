@@ -750,6 +750,91 @@ func BenchmarkE9CheckpointRestoreRecovery(b *testing.B) {
 	}
 }
 
+// benchDirCluster hosts a shards x replicas directory service, replica r
+// of shard s on host "dir<s>-<r>".
+func benchDirCluster(b *testing.B, net *netsim.Network, shards, replicas int) *directory.Cluster {
+	b.Helper()
+	refs := make([][]wire.InboxRef, shards)
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			name := fmt.Sprintf("dir%d-%d", s, r)
+			refs[s] = append(refs[s], directory.Serve(benchDapplet(b, net, name, name)).Ref())
+		}
+	}
+	cl, err := directory.NewCluster(refs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// BenchmarkE10DirectoryLookup measures the replicated directory service
+// (experiment E10 in DESIGN.md): lookup latency/throughput against
+// shard/replica count, cached (version-stamped client cache hit) vs
+// uncached (a full round trip to the owning shard's replica per lookup).
+func BenchmarkE10DirectoryLookup(b *testing.B) {
+	const names = 64
+	for _, cfg := range []struct{ shards, replicas int }{{1, 1}, {2, 2}, {4, 2}} {
+		for _, mode := range []string{"cached", "uncached"} {
+			b.Run(fmt.Sprintf("shards=%d/replicas=%d/%s", cfg.shards, cfg.replicas, mode), func(b *testing.B) {
+				net := netsim.New(netsim.WithSeed(12))
+				defer net.Close()
+				cl := benchDirCluster(b, net, cfg.shards, cfg.replicas)
+				cli := directory.NewClient(benchDapplet(b, net, "hq", "dirclient"), cl)
+				for i := 0; i < names; i++ {
+					name := fmt.Sprintf("dapplet-%d", i)
+					e := directory.Entry{Name: name, Type: "bench", Addr: netsim.Addr{Host: "h", Port: uint16(i + 1)}}
+					if err := cli.Register(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					name := fmt.Sprintf("dapplet-%d", i%names)
+					if mode == "uncached" {
+						cli.Invalidate(name)
+					}
+					if _, ok := cli.Lookup(name); !ok {
+						b.Fatal("lookup failed")
+					}
+				}
+				b.StopTimer()
+				st := cli.Stats()
+				if total := st.Hits + st.Misses; total > 0 {
+					b.ReportMetric(float64(st.Hits)/float64(total), "hit-rate")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE10DirectoryFailover measures the cost of losing a replica:
+// each iteration performs one uncached lookup; half way through the run
+// the preferred replica's host is crashed, so the remaining lookups pay
+// the detection timeout once and then resolve from the survivor.
+func BenchmarkE10DirectoryFailover(b *testing.B) {
+	net := netsim.New(netsim.WithSeed(13))
+	defer net.Close()
+	cl := benchDirCluster(b, net, 1, 2)
+	cli := directory.NewClient(benchDapplet(b, net, "hq", "dirclient"), cl)
+	cli.SetTimeout(100 * time.Millisecond)
+	if err := cli.Register(directory.Entry{Name: "svc", Type: "bench", Addr: netsim.Addr{Host: "h", Port: 1}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i == b.N/2 {
+			net.Crash("dir0-0")
+		}
+		cli.Invalidate("svc")
+		if _, ok := cli.Lookup("svc"); !ok {
+			b.Fatal("lookup failed after replica crash")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cli.Stats().Failovers), "failovers")
+}
+
 // BenchmarkE7Interference measures §2.2 session scheduling on a dapplet's
 // state: disjoint sessions proceed concurrently, interfering sessions
 // serialize.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/session"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -36,8 +37,26 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	dir := directory.New()
 	common := rng.Intn(*slots)
+
+	// The directory itself is a dapplet-hosted service over UDP; every
+	// member registers through the coordinator's caching client, and
+	// session setup resolves addresses the same way.
+	dirD := core.NewDapplet("directory", "directory", udp())
+	dirSvc := directory.Serve(dirD)
+	cluster, err := directory.NewCluster([][]wire.InboxRef{{dirSvc.Ref()}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directory service listening on udp://%s\n", dirD.Addr())
+
+	coord := core.NewDapplet("coordinator", "coordinator", udp())
+	session.Attach(coord, session.Policy{})
+	dir := directory.NewClient(coord, cluster)
+	if err := dir.Register(directory.Entry{Name: "coordinator", Type: "coordinator", Addr: coord.Addr()}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordinator listening on udp://%s\n\n", coord.Addr())
 
 	var names []string
 	var dapplets []*core.Dapplet
@@ -56,17 +75,14 @@ func main() {
 			log.Fatal(err)
 		}
 		session.Attach(d, session.Policy{})
-		dir.Register(directory.Entry{Name: name, Type: "calendar", Addr: d.Addr()})
+		if err := dir.Register(directory.Entry{Name: name, Type: "calendar", Addr: d.Addr()}); err != nil {
+			log.Fatal(err)
+		}
 		names = append(names, name)
 		dapplets = append(dapplets, d)
 		behaviors[name] = mb
 		fmt.Printf("%s listening on udp://%s\n", name, d.Addr())
 	}
-
-	coord := core.NewDapplet("coordinator", "coordinator", udp())
-	session.Attach(coord, session.Policy{})
-	dir.Register(directory.Entry{Name: "coordinator", Type: "coordinator", Addr: coord.Addr()})
-	fmt.Printf("coordinator listening on udp://%s\n\n", coord.Addr())
 
 	ini := session.NewInitiator(coord, dir)
 	h, err := ini.Initiate(calendar.FlatSpec("udp-calendar", "coordinator", names))
@@ -97,8 +113,12 @@ func main() {
 	}
 	fmt.Println("session terminated; dapplets unlinked")
 
+	st := dir.Stats()
+	fmt.Printf("directory client: %d cache hits, %d misses over UDP\n", st.Hits, st.Misses)
+
 	for _, d := range dapplets {
 		d.Stop()
 	}
 	coord.Stop()
+	dirD.Stop()
 }

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/directory"
+	"repro/internal/failure"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// e10Cluster hosts a shards x replicas directory service on a network,
+// replica r of shard s on host "dir<s>-<r>".
+func e10Cluster(net *netsim.Network, shards, replicas int) (*directory.Cluster, [][]*directory.Service) {
+	refs := make([][]wire.InboxRef, shards)
+	svcs := make([][]*directory.Service, shards)
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			name := fmt.Sprintf("dir%d-%d", s, r)
+			svc := directory.Serve(newDapplet(net, name, name))
+			refs[s] = append(refs[s], svc.Ref())
+			svcs[s] = append(svcs[s], svc)
+		}
+	}
+	cl, err := directory.NewCluster(refs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cl, svcs
+}
+
+// runE10 characterizes the replicated directory service. The first table
+// sweeps the shard/replica topology and measures lookup throughput for
+// cached (client cache hit) and uncached (full round trip to the owning
+// shard) resolution, plus the registration fan-out cost. The second
+// crashes a replica under load: lookups keep succeeding through the
+// shard's surviving replica, and a failure detector bound to a replica
+// expires a dead registrant's entry with no manual removal.
+func runE10() {
+	const (
+		names   = 64
+		lookups = 5000
+	)
+	row("shards", "replicas", "mode", "lookups/s(wall)", "ns/lookup", "hit-rate")
+	for _, cfg := range []struct{ shards, replicas int }{{1, 1}, {2, 2}, {4, 2}, {8, 2}} {
+		for _, mode := range []string{"cached", "uncached"} {
+			net := newNet(12)
+			cl, _ := e10Cluster(net, cfg.shards, cfg.replicas)
+			cli := directory.NewClient(newDapplet(net, "hq", "dirclient"), cl)
+			for i := 0; i < names; i++ {
+				name := fmt.Sprintf("dapplet-%d", i)
+				e := directory.Entry{Name: name, Type: "bench", Addr: netsim.Addr{Host: "h", Port: uint16(i + 1)}}
+				if err := cli.Register(e); err != nil {
+					log.Fatal(err)
+				}
+			}
+			start := time.Now()
+			for i := 0; i < lookups; i++ {
+				name := fmt.Sprintf("dapplet-%d", i%names)
+				if mode == "uncached" {
+					cli.Invalidate(name)
+				}
+				if _, ok := cli.Lookup(name); !ok {
+					log.Fatalf("e10: lookup %s failed", name)
+				}
+			}
+			dur := time.Since(start)
+			st := cli.Stats()
+			hitRate := float64(st.Hits) / float64(st.Hits+st.Misses)
+			row(cfg.shards, cfg.replicas, mode,
+				int(float64(lookups)/dur.Seconds()),
+				int(dur.Nanoseconds()/lookups),
+				fmt.Sprintf("%.2f", hitRate))
+			net.Close()
+		}
+	}
+
+	fmt.Println()
+	row("event", "result")
+	// Replica crash: the preferred replica of the only shard dies; an
+	// uncached lookup pays one detection timeout, fails over, and every
+	// lookup after it resolves from the survivor.
+	net := newNet(13)
+	cl, _ := e10Cluster(net, 1, 2)
+	cli := directory.NewClient(newDapplet(net, "hq", "dirclient"), cl)
+	cli.SetTimeout(100 * time.Millisecond)
+	if err := cli.Register(directory.Entry{Name: "svc", Type: "bench", Addr: netsim.Addr{Host: "h", Port: 1}}); err != nil {
+		log.Fatal(err)
+	}
+	net.Crash("dir0-0")
+	cli.FlushCache()
+	start := time.Now()
+	if _, err := cli.MustLookup("svc"); err != nil {
+		log.Fatalf("e10: lookup after replica crash: %v", err)
+	}
+	first := time.Since(start)
+	start = time.Now()
+	const after = 1000
+	for i := 0; i < after; i++ {
+		cli.Invalidate("svc")
+		if _, ok := cli.Lookup("svc"); !ok {
+			log.Fatal("e10: survivor lookup failed")
+		}
+	}
+	row("replica-crash failover", fmt.Sprintf("first lookup %v (1 timeout), then %v/lookup via survivor, failovers=%d",
+		first.Round(time.Millisecond), (time.Since(start) / after).Round(time.Microsecond), cli.Stats().Failovers))
+	net.Close()
+
+	// Failure-driven expiry: a replica's own detector declares a dead
+	// registrant Down and expires its entry — no Remove anywhere.
+	net = newNet(14)
+	svcD := newDapplet(net, "hs", "dir0-0")
+	svc := directory.Serve(svcD)
+	det := failure.Attach(svcD, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
+	failure.BindDirectory(det, svc)
+	worker := newDapplet(net, "hw", "worker")
+	wdet := failure.Attach(worker, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
+	wdet.Watch(svcD.Name(), svcD.Addr())
+	svc.Register(directory.Entry{Name: "worker", Type: "node", Addr: worker.Addr()})
+	time.Sleep(50 * time.Millisecond) // establish the heartbeat rhythm
+	net.Crash("hw")
+	start = time.Now()
+	for {
+		if _, _, ok := svc.Lookup("worker"); !ok {
+			break
+		}
+		if time.Since(start) > time.Minute {
+			log.Fatal("e10: dead registrant's entry never expired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	row("failure-driven expiry", fmt.Sprintf("dead dapplet's entry expired %v after crash (no manual Remove)",
+		time.Since(start).Round(time.Millisecond)))
+	net.Close()
+}

@@ -1,0 +1,17 @@
+package calendar
+
+import "repro/internal/failure"
+
+// BindHoldGC garbage-collects a member's tentative proposal holds on
+// failure verdicts: when the member's detector declares a peer Down,
+// every hold that peer proposed is cleared, so a coordinator (or
+// relaying secretary) that crashed mid-proposal cannot pin a slot
+// forever. Complementary to SetHoldLease, which clears orphaned holds by
+// timeout even without a detector.
+func BindHoldGC(det *failure.Detector, m *MemberBehavior) {
+	det.OnEvent(func(ev failure.Event) {
+		if ev.State == failure.Down {
+			m.ClearHoldsFrom(ev.Addr)
+		}
+	})
+}

@@ -16,6 +16,13 @@ var ErrNoSlot = errors.New("calendar: no common free slot")
 // ErrSchedTimeout is returned when participants stop responding.
 var ErrSchedTimeout = errors.New("calendar: scheduling timed out")
 
+// ErrStaleHold is returned when a member refuses a commit because its
+// proposal hold was garbage-collected (lease expiry or a Down verdict)
+// between propose and commit. Members that had already committed keep
+// the booking, so the caller must treat the meeting as not reliably
+// scheduled and renegotiate.
+var ErrStaleHold = errors.New("calendar: proposal hold expired before commit")
+
 // Result describes a completed scheduling run.
 type Result struct {
 	// Slot is the agreed meeting slot.
@@ -131,8 +138,12 @@ func (h *HeadScheduler) Schedule(lo, hi, window int) (Result, error) {
 				continue
 			}
 			res.Calls++
-			if _, err := h.roundTrip(&schedReq{ID: pid, RKind: kindCommit, Slot: slot}); err != nil {
+			conf, err = h.roundTrip(&schedReq{ID: pid, RKind: kindCommit, Slot: slot})
+			if err != nil {
 				return res, err
+			}
+			if !conf.OK {
+				return res, fmt.Errorf("%w: slot %d", ErrStaleHold, slot)
 			}
 			res.Slot = slot
 			return res, nil
@@ -249,8 +260,12 @@ func (t *Traditional) Schedule(lo, hi, window int) (Result, error) {
 			}
 			for _, m := range t.members {
 				res.Calls++
-				if _, err := t.call(m, &schedReq{ID: pid, RKind: kindCommit, Slot: slot}, replyIn); err != nil {
+				rep, err := t.call(m, &schedReq{ID: pid, RKind: kindCommit, Slot: slot}, replyIn)
+				if err != nil {
 					return res, err
+				}
+				if !rep.OK {
+					return res, fmt.Errorf("%w: slot %d", ErrStaleHold, slot)
 				}
 			}
 			res.Slot = slot

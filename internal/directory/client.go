@@ -1,0 +1,483 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// DefaultTimeout bounds one request to one directory replica; a replica
+// silent past it is treated as failed and the client fails over to the
+// next replica of the shard.
+const DefaultTimeout = 2 * time.Second
+
+// ClientStats counts a client's cache and failover activity.
+type ClientStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits uint64
+	// Misses counts lookups that went to a replica.
+	Misses uint64
+	// Failovers counts replica switches after a request timeout.
+	Failovers uint64
+	// Evictions counts cache entries dropped by invalidation events or
+	// failover flushes.
+	Evictions uint64
+}
+
+// cached is one cache slot: the entry plus the version that stamped it at
+// the replica the client is subscribed to. Like the netsim route cache,
+// the slot stays valid until a higher version invalidates it — here the
+// version arrives pushed on the watch channel rather than polled.
+type cached struct {
+	entry   Entry
+	version uint64
+}
+
+// Client is the initiator-side view of the replicated directory: lookups
+// are served from a version-stamped cache kept coherent by watch events,
+// misses are resolved from the owning shard's preferred replica, and a
+// silent replica is failed over transparently. Registrations and
+// removals fan out to every replica of the owning shard. Client
+// implements Resolver, so an Initiator accepts it interchangeably with
+// the process-local Directory.
+type Client struct {
+	d       *core.Dapplet
+	cluster *Cluster
+	timeout time.Duration
+
+	replyRef wire.InboxRef
+
+	mu         sync.Mutex
+	seq        uint64
+	waiting    map[uint64]chan wire.Msg
+	cache      map[string]cached
+	pref       []int    // per-shard index of the preferred replica
+	subbed     []bool   // per-shard: watch subscription acked by the preferred replica
+	subPending []bool   // per-shard: a watch ack is being awaited
+	subGen     []uint64 // per-shard: bumped by failover, so a stale ack cannot mark the new replica subscribed
+
+	hits, misses, failovers, evictions atomic.Uint64
+}
+
+// NewClient attaches a directory client to a dapplet and subscribes it to
+// invalidation events from the preferred replica of every shard. The
+// watch requests are transmitted before NewClient returns (so, on the
+// reliable layer's FIFO ordering, a replica adds the watcher before it
+// sees any later request from this client) but their acks are awaited in
+// the background — construction never blocks on a silent replica. An
+// unacked subscription is retried on the next lookup the shard serves.
+func NewClient(d *core.Dapplet, cluster *Cluster) *Client {
+	c := &Client{
+		d:          d,
+		cluster:    cluster,
+		timeout:    DefaultTimeout,
+		waiting:    make(map[uint64]chan wire.Msg),
+		cache:      make(map[string]cached),
+		pref:       make([]int, cluster.NumShards()),
+		subbed:     make([]bool, cluster.NumShards()),
+		subPending: make([]bool, cluster.NumShards()),
+		subGen:     make([]uint64, cluster.NumShards()),
+	}
+	in := d.NewInbox()
+	c.replyRef = in.Ref()
+	d.Spawn(func() {
+		for {
+			env, err := in.ReceiveEnvelope()
+			if err != nil {
+				return
+			}
+			c.onEnvelope(env)
+		}
+	})
+	for shard := 0; shard < cluster.NumShards(); shard++ {
+		c.subscribe(shard)
+	}
+	return c
+}
+
+// SetTimeout changes the per-replica request timeout (and thereby the
+// failover latency after a replica crash).
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the client's cache and failover counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Failovers: c.failovers.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// CacheLen returns the number of cached entries.
+func (c *Client) CacheLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Invalidate drops one name from the cache.
+func (c *Client) Invalidate(name string) {
+	c.mu.Lock()
+	if _, ok := c.cache[name]; ok {
+		delete(c.cache, name)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// FlushCache drops every cached entry.
+func (c *Client) FlushCache() {
+	c.mu.Lock()
+	n := len(c.cache)
+	c.cache = make(map[string]cached)
+	c.mu.Unlock()
+	c.evictions.Add(uint64(n))
+}
+
+// onEnvelope demultiplexes one arriving reply or watch event.
+func (c *Client) onEnvelope(env *wire.Envelope) {
+	switch m := env.Body.(type) {
+	case *ackMsg:
+		c.deliver(m.Seq, m)
+	case *lookupRepMsg:
+		c.deliver(m.Seq, m)
+	case *eventMsg:
+		c.onEvent(env, m)
+	}
+}
+
+func (c *Client) deliver(seq uint64, m wire.Msg) {
+	c.mu.Lock()
+	ch := c.waiting[seq]
+	delete(c.waiting, seq)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- m
+	}
+}
+
+// onEvent applies one invalidation event: a removal evicts the cached
+// entry, a registration refreshes it in place. Events are honoured only
+// from the shard's current preferred replica (version counters are
+// per-replica, so a stray event from a previously preferred replica
+// must not be compared against the new domain — whether the watch ack
+// has arrived yet is irrelevant to the domain), and only when they
+// carry a strictly newer version than the cache holds.
+func (c *Client) onEvent(env *wire.Envelope, ev *eventMsg) {
+	shard := c.cluster.ShardOf(ev.Name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub := c.cluster.shards[shard][c.pref[shard]%len(c.cluster.shards[shard])]
+	if env.FromDapplet != sub.Dapplet {
+		return
+	}
+	have, ok := c.cache[ev.Name]
+	if !ok {
+		return // demand-filled cache: events never insert
+	}
+	if ev.Version <= have.version {
+		return // stale or echo of our own write
+	}
+	if ev.Removed {
+		delete(c.cache, ev.Name)
+		c.evictions.Add(1)
+		return
+	}
+	c.cache[ev.Name] = cached{
+		entry:   Entry{Name: ev.Name, Type: ev.Typ, Addr: ev.Addr},
+		version: ev.Version,
+	}
+}
+
+// nextSeq allocates one request id and its reply channel.
+func (c *Client) nextSeq() (uint64, chan wire.Msg) {
+	ch := make(chan wire.Msg, 1)
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.waiting[seq] = ch
+	c.mu.Unlock()
+	return seq, ch
+}
+
+func (c *Client) forget(seq uint64) {
+	c.mu.Lock()
+	delete(c.waiting, seq)
+	c.mu.Unlock()
+}
+
+// await waits for the reply to seq, with the client timeout.
+func (c *Client) await(seq uint64, ch chan wire.Msg, timeout time.Duration) (wire.Msg, bool) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m := <-ch:
+		return m, true
+	case <-t.C:
+	case <-c.d.Stopped():
+	}
+	c.forget(seq)
+	return nil, false
+}
+
+// preferred returns the shard's current preferred replica ref.
+func (c *Client) preferred(shard int) wire.InboxRef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.cluster.shards[shard]
+	return rs[c.pref[shard]%len(rs)]
+}
+
+// failover advances the shard to its next replica, flushes the shard's
+// cached entries (version counters are per-replica, so entries stamped in
+// the old replica's domain cannot be compared in the new one), and
+// resubscribes to the new replica's watch channel.
+func (c *Client) failover(shard int) {
+	c.mu.Lock()
+	abandoned := c.cluster.shards[shard][c.pref[shard]%len(c.cluster.shards[shard])]
+	c.pref[shard] = (c.pref[shard] + 1) % len(c.cluster.shards[shard])
+	// Retire any in-flight subscription: its ack (if it ever arrives)
+	// belongs to the abandoned replica's generation.
+	c.subGen[shard]++
+	c.subbed[shard] = false
+	c.subPending[shard] = false
+	dropped := 0
+	for name := range c.cache {
+		if c.cluster.ShardOf(name) == shard {
+			delete(c.cache, name)
+			dropped++
+		}
+	}
+	c.mu.Unlock()
+	c.failovers.Add(1)
+	c.evictions.Add(uint64(dropped))
+	// Tell the abandoned replica (best effort — it is usually the dead
+	// one) to stop pushing events this client would discard anyway.
+	_ = c.d.SendDirect(abandoned, "", &unwatchMsg{ReplyTo: c.replyRef})
+	c.subscribe(shard)
+}
+
+// subscribe transmits a watch request to the shard's preferred replica
+// immediately (callers rely on the FIFO ordering relative to their next
+// request) and awaits the ack on a background thread; at most one ack
+// wait is in flight per shard. A subscription that never acks is
+// retried by the next lookup the shard answers, so a replica that was
+// merely slow does not stay event-less forever.
+func (c *Client) subscribe(shard int) {
+	c.mu.Lock()
+	if c.subPending[shard] {
+		c.mu.Unlock()
+		return
+	}
+	c.subPending[shard] = true
+	gen := c.subGen[shard]
+	timeout := c.timeout
+	c.mu.Unlock()
+	seq, ch := c.nextSeq()
+	ref := c.preferred(shard)
+	if err := c.d.SendDirect(ref, "", &watchMsg{Seq: seq, ReplyTo: c.replyRef}); err != nil {
+		c.forget(seq)
+		c.mu.Lock()
+		if c.subGen[shard] == gen {
+			c.subPending[shard] = false
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.d.Spawn(func() {
+		_, ok := c.await(seq, ch, timeout)
+		c.mu.Lock()
+		if c.subGen[shard] == gen {
+			if ok {
+				c.subbed[shard] = true
+			}
+			c.subPending[shard] = false
+		}
+		c.mu.Unlock()
+	})
+}
+
+// Register adds or replaces an entry, fanning the registration to every
+// replica of the owning shard. It succeeds when at least one replica
+// acknowledges within the timeout; replicas that were unreachable catch
+// up through the reliable layer's retransmission when they return.
+func (c *Client) Register(e Entry) error {
+	shard := c.cluster.ShardOf(e.Name)
+	acked := c.fanout(shard, func(seq uint64) wire.Msg {
+		return &registerMsg{Seq: seq, Name: e.Name, Typ: e.Type, Addr: e.Addr, ReplyTo: c.replyRef}
+	}, func(version uint64) {
+		// Prime the cache from the subscribed replica's ack, whenever it
+		// arrives, with the same staleness guard as lookupRemote: a
+		// concurrent writer's higher-versioned entry (applied from a
+		// watch event) must not be clobbered by our own older ack.
+		c.mu.Lock()
+		if have, ok := c.cache[e.Name]; !ok || version > have.version {
+			c.cache[e.Name] = cached{entry: e, version: version}
+		}
+		c.mu.Unlock()
+	})
+	if acked == 0 {
+		return fmt.Errorf("directory: no replica of shard %d acknowledged registering %q", shard, e.Name)
+	}
+	return nil
+}
+
+// Remove deletes an entry by name on every replica of the owning shard.
+// Removing a name that is not registered is not an error.
+func (c *Client) Remove(name string) error {
+	shard := c.cluster.ShardOf(name)
+	c.Invalidate(name)
+	acked := c.fanout(shard, func(seq uint64) wire.Msg {
+		return &removeMsg{Seq: seq, Name: name, ReplyTo: c.replyRef}
+	}, nil)
+	if acked == 0 {
+		return fmt.Errorf("directory: no replica of shard %d acknowledged removing %q", shard, name)
+	}
+	return nil
+}
+
+// fanout sends one request (built per replica by mk) to every replica of
+// a shard and blocks only until the first ack arrives (or every replica
+// stays silent past the timeout), returning the number of acks seen by
+// then. The remaining acks are collected on background threads, so a
+// crashed replica costs its own timeout and nothing else — mutations
+// stay fast while a shard is degraded. Per-destination FIFO ordering
+// still holds: all requests are transmitted before fanout returns, so a
+// caller's next mutation cannot overtake this one at any replica.
+// onPrefAck, when non-nil, runs with the acked version whenever the
+// shard's preferred (subscribed) replica answers — possibly after fanout
+// returns.
+func (c *Client) fanout(shard int, mk func(seq uint64) wire.Msg, onPrefAck func(version uint64)) (acked int) {
+	c.mu.Lock()
+	rs := c.cluster.shards[shard]
+	prefIdx := c.pref[shard] % len(rs)
+	timeout := c.timeout
+	c.mu.Unlock()
+
+	results := make(chan bool, len(rs))
+	sent := 0
+	for i, ref := range rs {
+		seq, ch := c.nextSeq()
+		if err := c.d.SendDirect(ref, "", mk(seq)); err != nil {
+			c.forget(seq)
+			continue
+		}
+		sent++
+		pref := i == prefIdx
+		c.d.Spawn(func() {
+			m, ok := c.await(seq, ch, timeout)
+			if ok && pref && onPrefAck != nil {
+				if ack, isAck := m.(*ackMsg); isAck {
+					onPrefAck(ack.Version)
+				}
+			}
+			results <- ok
+		})
+	}
+	for i := 0; i < sent; i++ {
+		if <-results {
+			acked++
+			return acked
+		}
+	}
+	return acked
+}
+
+// Lookup resolves a name: from the cache when a valid entry is held,
+// otherwise from the owning shard's preferred replica (failing over
+// through the shard's remaining replicas on silence). A resolution
+// failure — name unknown, or every replica silent — reports !ok.
+func (c *Client) Lookup(name string) (Entry, bool) {
+	c.mu.Lock()
+	if have, ok := c.cache[name]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return have.entry, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e, _, found, err := c.lookupRemote(name)
+	if err != nil || !found {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// MustLookup is Lookup but returns an error naming the missing dapplet
+// (or the unreachable shard).
+func (c *Client) MustLookup(name string) (Entry, error) {
+	c.mu.Lock()
+	if have, ok := c.cache[name]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return have.entry, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e, _, found, err := c.lookupRemote(name)
+	if err != nil {
+		return Entry{}, err
+	}
+	if !found {
+		return Entry{}, fmt.Errorf("directory: no dapplet named %q", name)
+	}
+	return e, nil
+}
+
+// lookupRemote resolves a name from the owning shard, trying each replica
+// at most once starting from the preferred one. A found entry is cached
+// under the answering replica's version stamp.
+func (c *Client) lookupRemote(name string) (Entry, uint64, bool, error) {
+	shard := c.cluster.ShardOf(name)
+	attempts := len(c.cluster.shards[shard])
+	for try := 0; try < attempts; try++ {
+		seq, ch := c.nextSeq()
+		ref := c.preferred(shard)
+		if err := c.d.SendDirect(ref, "", &lookupMsg{Seq: seq, Name: name, ReplyTo: c.replyRef}); err != nil {
+			c.forget(seq)
+			c.failover(shard)
+			continue
+		}
+		c.mu.Lock()
+		timeout := c.timeout
+		c.mu.Unlock()
+		m, ok := c.await(seq, ch, timeout)
+		if !ok {
+			c.failover(shard)
+			continue
+		}
+		rep, isRep := m.(*lookupRepMsg)
+		if !isRep {
+			continue
+		}
+		// The replica answers but our watch subscription never acked
+		// (e.g. it was slow at construction time): retry it now, or the
+		// cache would silently miss this replica's invalidations.
+		c.mu.Lock()
+		needSub := !c.subbed[shard] && !c.subPending[shard]
+		c.mu.Unlock()
+		if needSub {
+			c.subscribe(shard)
+		}
+		if !rep.Found {
+			return Entry{}, rep.Version, false, nil
+		}
+		e := Entry{Name: rep.Name, Type: rep.Typ, Addr: rep.Addr}
+		c.mu.Lock()
+		if have, cachedAlready := c.cache[name]; !cachedAlready || rep.Version > have.version {
+			c.cache[name] = cached{entry: e, version: rep.Version}
+		}
+		c.mu.Unlock()
+		return e, rep.Version, true, nil
+	}
+	return Entry{}, 0, false, fmt.Errorf("directory: no replica of shard %d answered lookup of %q", shard, name)
+}

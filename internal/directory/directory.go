@@ -3,7 +3,18 @@
 // initiator dapplet and passes it a directory of addresses (e.g. Internet
 // IP addresses and ports) of component dapplets that are to be linked
 // together into a session." The paper does not address how the directory
-// is maintained; we provide a simple in-memory registry.
+// is maintained; we provide two interchangeable implementations behind
+// the Resolver interface:
+//
+//   - Directory, a process-local map — the fast path for single-process
+//     worlds, with no network traffic and therefore no effect on seeded
+//     replay.
+//   - The dapplet-hosted service (Serve, Cluster, Client): the name space
+//     is prefix-sharded across replica dapplets, registrations fan to
+//     every replica of the owning shard, lookups are cached at the client
+//     under version stamps and invalidated by pushed watch events, and a
+//     failure detector's Down verdict expires a dead dapplet's entries
+//     (failure.BindDirectory).
 package directory
 
 import (
@@ -24,7 +35,24 @@ type Entry struct {
 	Addr netsim.Addr
 }
 
-// Directory is a thread-safe name -> address registry.
+// Resolver is the registration and lookup API shared by the
+// process-local Directory and the replicated-service Client; initiators
+// and scenarios accept either.
+type Resolver interface {
+	// Register adds or replaces an entry.
+	Register(e Entry) error
+	// Remove deletes an entry by name; removing an unknown name is not
+	// an error.
+	Remove(name string) error
+	// Lookup finds an entry by name.
+	Lookup(name string) (Entry, bool)
+	// MustLookup is Lookup but returns an error naming the missing
+	// dapplet.
+	MustLookup(name string) (Entry, error)
+}
+
+// Directory is a thread-safe process-local name -> address registry: the
+// Resolver fast path for worlds that live in one process.
 type Directory struct {
 	mu      sync.RWMutex
 	entries map[string]Entry
@@ -33,18 +61,22 @@ type Directory struct {
 // New returns an empty directory.
 func New() *Directory { return &Directory{entries: make(map[string]Entry)} }
 
-// Register adds or replaces an entry.
-func (d *Directory) Register(e Entry) {
+// Register adds or replaces an entry. The returned error is always nil;
+// it exists to satisfy Resolver.
+func (d *Directory) Register(e Entry) error {
 	d.mu.Lock()
 	d.entries[e.Name] = e
 	d.mu.Unlock()
+	return nil
 }
 
-// Remove deletes an entry by name.
-func (d *Directory) Remove(name string) {
+// Remove deletes an entry by name. The returned error is always nil; it
+// exists to satisfy Resolver.
+func (d *Directory) Remove(name string) error {
 	d.mu.Lock()
 	delete(d.entries, name)
 	d.mu.Unlock()
+	return nil
 }
 
 // Lookup finds an entry by name.

@@ -1,0 +1,260 @@
+package directory
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// The directory service protocol: four request kinds (register, remove,
+// lookup, watch) and three replies (ack, lookup reply, watch event), all
+// carried as binary wire messages on the "@dir" service inbox. Requests
+// carry a ReplyTo inbox and a client-chosen sequence number; the pair of
+// asynchronous messages forms one synchronous RPC, exactly the model
+// internal/rpc documents (§3.2), but with first-class binary kinds so
+// directory traffic never pays the JSON fallback.
+
+// registerMsg adds or replaces one entry on a replica.
+type registerMsg struct {
+	Seq     uint64        `json:"q"`
+	Name    string        `json:"n"`
+	Typ     string        `json:"t"`
+	Addr    netsim.Addr   `json:"a"`
+	ReplyTo wire.InboxRef `json:"re,omitempty"`
+}
+
+// Kind implements wire.Msg.
+func (*registerMsg) Kind() string { return "dir.reg" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *registerMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendString(dst, m.Name)
+	dst = wire.AppendString(dst, m.Typ)
+	dst = wire.AppendString(dst, m.Addr.Host)
+	dst = wire.AppendUvarint(dst, uint64(m.Addr.Port))
+	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *registerMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Name = r.String()
+	m.Typ = r.String()
+	m.Addr.Host = r.String()
+	m.Addr.Port = r.Port()
+	m.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
+// removeMsg deletes one entry by name.
+type removeMsg struct {
+	Seq     uint64        `json:"q"`
+	Name    string        `json:"n"`
+	ReplyTo wire.InboxRef `json:"re,omitempty"`
+}
+
+// Kind implements wire.Msg.
+func (*removeMsg) Kind() string { return "dir.rm" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *removeMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendString(dst, m.Name)
+	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *removeMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Name = r.String()
+	m.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
+// lookupMsg resolves one name.
+type lookupMsg struct {
+	Seq     uint64        `json:"q"`
+	Name    string        `json:"n"`
+	ReplyTo wire.InboxRef `json:"re"`
+}
+
+// Kind implements wire.Msg.
+func (*lookupMsg) Kind() string { return "dir.lookup" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *lookupMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendString(dst, m.Name)
+	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *lookupMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Name = r.String()
+	m.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
+// watchMsg subscribes an inbox to the replica's invalidation events.
+type watchMsg struct {
+	Seq     uint64        `json:"q"`
+	ReplyTo wire.InboxRef `json:"re"`
+}
+
+// Kind implements wire.Msg.
+func (*watchMsg) Kind() string { return "dir.watch" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *watchMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *watchMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
+// unwatchMsg unsubscribes an inbox from the replica's invalidation
+// events; a client failing over to another replica sends it (best
+// effort, no reply) so the abandoned replica stops pushing events it
+// would discard anyway.
+type unwatchMsg struct {
+	ReplyTo wire.InboxRef `json:"re"`
+}
+
+// Kind implements wire.Msg.
+func (*unwatchMsg) Kind() string { return "dir.unwatch" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *unwatchMsg) AppendBinary(dst []byte) ([]byte, error) {
+	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *unwatchMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.ReplyTo = r.InboxRef()
+	return r.Done()
+}
+
+// ackMsg answers a register, remove or watch request. Version is the
+// replica's version counter after the mutation (unchanged for a remove of
+// an unknown name); OK reports whether the request changed anything.
+type ackMsg struct {
+	Seq     uint64 `json:"q"`
+	Version uint64 `json:"v"`
+	OK      bool   `json:"ok"`
+}
+
+// Kind implements wire.Msg.
+func (*ackMsg) Kind() string { return "dir.ack" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *ackMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendUvarint(dst, m.Version)
+	return wire.AppendBool(dst, m.OK), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *ackMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Version = r.Uvarint()
+	m.OK = r.Bool()
+	return r.Done()
+}
+
+// lookupRepMsg answers a lookup. Version stamps the entry with the
+// replica's version counter at resolution time, the basis of the client
+// cache's staleness check.
+type lookupRepMsg struct {
+	Seq     uint64      `json:"q"`
+	Name    string      `json:"n"`
+	Typ     string      `json:"t"`
+	Addr    netsim.Addr `json:"a"`
+	Version uint64      `json:"v"`
+	Found   bool        `json:"f"`
+}
+
+// Kind implements wire.Msg.
+func (*lookupRepMsg) Kind() string { return "dir.rep" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *lookupRepMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendString(dst, m.Name)
+	dst = wire.AppendString(dst, m.Typ)
+	dst = wire.AppendString(dst, m.Addr.Host)
+	dst = wire.AppendUvarint(dst, uint64(m.Addr.Port))
+	dst = wire.AppendUvarint(dst, m.Version)
+	return wire.AppendBool(dst, m.Found), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *lookupRepMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Name = r.String()
+	m.Typ = r.String()
+	m.Addr.Host = r.String()
+	m.Addr.Port = r.Port()
+	m.Version = r.Uvarint()
+	m.Found = r.Bool()
+	return r.Done()
+}
+
+// eventMsg is pushed to watchers on every mutation: a register (Removed
+// false, entry fields set) or a removal/expiry (Removed true). A watcher
+// applies the event if its version exceeds the version it has cached.
+type eventMsg struct {
+	Name    string      `json:"n"`
+	Typ     string      `json:"t"`
+	Addr    netsim.Addr `json:"a"`
+	Version uint64      `json:"v"`
+	Removed bool        `json:"rm"`
+}
+
+// Kind implements wire.Msg.
+func (*eventMsg) Kind() string { return "dir.event" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *eventMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.Name)
+	dst = wire.AppendString(dst, m.Typ)
+	dst = wire.AppendString(dst, m.Addr.Host)
+	dst = wire.AppendUvarint(dst, uint64(m.Addr.Port))
+	dst = wire.AppendUvarint(dst, m.Version)
+	return wire.AppendBool(dst, m.Removed), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *eventMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Name = r.String()
+	m.Typ = r.String()
+	m.Addr.Host = r.String()
+	m.Addr.Port = r.Port()
+	m.Version = r.Uvarint()
+	m.Removed = r.Bool()
+	return r.Done()
+}
+
+func init() {
+	wire.Register(&registerMsg{})
+	wire.Register(&removeMsg{})
+	wire.Register(&lookupMsg{})
+	wire.Register(&watchMsg{})
+	wire.Register(&unwatchMsg{})
+	wire.Register(&ackMsg{})
+	wire.Register(&lookupRepMsg{})
+	wire.Register(&eventMsg{})
+}

@@ -1,0 +1,296 @@
+package directory
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// ServiceInbox is the well-known inbox name a directory replica serves
+// on; like "@session" and "@fail" it is a service inbox, invisible to
+// application code.
+const ServiceInbox = "@dir"
+
+// Update describes one directory mutation, as seen by Service.OnUpdate
+// observers.
+type Update struct {
+	// Entry is the affected entry (its last known value for removals).
+	Entry Entry
+	// Version is the replica's version counter after the mutation.
+	Version uint64
+	// Removed reports that the entry is no longer resolvable.
+	Removed bool
+	// Expired reports that the removal was driven by a failure verdict
+	// (ExpireOwner) rather than an explicit Remove; expired entries keep
+	// a tombstone so Reincarnate can re-register them.
+	Expired bool
+}
+
+// record is one name's slot in a replica, alive or tombstoned. Tombstones
+// retain the last entry (type, address) so a failure-driven expiry can be
+// undone by Reincarnate when the dapplet is heard from again.
+type record struct {
+	entry   Entry
+	version uint64
+	dead    bool
+	expired bool // dead via ExpireOwner, not Remove
+}
+
+// Service is one replica of the dapplet-hosted directory: a versioned
+// name → address registry served on the hosting dapplet's "@dir" inbox
+// (§3.1's "center director" directory, made a service in its own right).
+// Every mutation bumps the replica's version counter and is pushed to
+// watchers, which is how client caches learn of stale entries. A replica
+// stores whatever names it is sent; shard ownership is the client-side
+// Cluster's concern.
+type Service struct {
+	d *core.Dapplet
+
+	mu       sync.Mutex
+	version  uint64
+	entries  map[string]*record
+	watchers []wire.InboxRef
+	obs      []func(Update)
+}
+
+// Serve hosts a directory replica on the dapplet, consuming its "@dir"
+// inbox, and returns the service.
+func Serve(d *core.Dapplet) *Service {
+	s := &Service{d: d, entries: make(map[string]*record)}
+	d.Handle(ServiceInbox, s.handle)
+	return s
+}
+
+// Ref returns the global address of the replica's service inbox.
+func (s *Service) Ref() wire.InboxRef {
+	return wire.InboxRef{Dapplet: s.d.Addr(), Inbox: ServiceInbox}
+}
+
+// Version returns the replica's current version counter.
+func (s *Service) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Len returns the number of live (non-tombstoned) entries.
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, rec := range s.entries {
+		if !rec.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Names returns the live entry names, sorted.
+func (s *Service) Names() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.entries))
+	for n, rec := range s.entries {
+		if !rec.dead {
+			out = append(out, n)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Entries returns the live entries, sorted by name.
+func (s *Service) Entries() []Entry {
+	s.mu.Lock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, rec := range s.entries {
+		if !rec.dead {
+			out = append(out, rec.entry)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// OnUpdate registers an observer for mutations. Observers run on the
+// mutating thread, outside the service lock, and must not block.
+func (s *Service) OnUpdate(f func(Update)) {
+	s.mu.Lock()
+	s.obs = append(s.obs, f)
+	s.mu.Unlock()
+}
+
+// Register adds or replaces an entry, returning the replica version after
+// the mutation. Registering over a tombstone revives the name.
+func (s *Service) Register(e Entry) uint64 {
+	s.mu.Lock()
+	s.version++
+	s.entries[e.Name] = &record{entry: e, version: s.version}
+	up := Update{Entry: e, Version: s.version}
+	s.mu.Unlock()
+	s.notify(up)
+	return up.Version
+}
+
+// Remove deletes an entry by name, returning the replica version and
+// whether the name was live. Removing an unknown or dead name is a no-op.
+func (s *Service) Remove(name string) (uint64, bool) {
+	s.mu.Lock()
+	rec, ok := s.entries[name]
+	if !ok || rec.dead {
+		v := s.version
+		s.mu.Unlock()
+		return v, false
+	}
+	s.version++
+	rec.dead = true
+	rec.expired = false
+	rec.version = s.version
+	up := Update{Entry: rec.entry, Version: s.version, Removed: true}
+	s.mu.Unlock()
+	s.notify(up)
+	return up.Version, true
+}
+
+// Lookup resolves a live entry and the version that stamped it.
+func (s *Service) Lookup(name string) (Entry, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.entries[name]
+	if !ok || rec.dead {
+		return Entry{}, s.version, false
+	}
+	return rec.entry, rec.version, true
+}
+
+// ExpireOwner tombstones the named dapplet's entry after a failure
+// detector's Down verdict: the entry stops resolving without any manual
+// Remove, but its type and last address are retained so Reincarnate can
+// revive it. Expiring an unknown or dead name is a no-op.
+func (s *Service) ExpireOwner(name string) bool {
+	s.mu.Lock()
+	rec, ok := s.entries[name]
+	if !ok || rec.dead {
+		s.mu.Unlock()
+		return false
+	}
+	s.version++
+	rec.dead = true
+	rec.expired = true
+	rec.version = s.version
+	up := Update{Entry: rec.entry, Version: s.version, Removed: true, Expired: true}
+	s.mu.Unlock()
+	s.notify(up)
+	return true
+}
+
+// Reincarnate revives an expired entry at the restarted dapplet's new
+// address, keeping the tombstone's recorded type. It is a no-op for
+// names that were never registered or were removed explicitly.
+func (s *Service) Reincarnate(name string, addr netsim.Addr) bool {
+	s.mu.Lock()
+	rec, ok := s.entries[name]
+	if !ok || (rec.dead && !rec.expired) {
+		s.mu.Unlock()
+		return false
+	}
+	if !rec.dead && rec.entry.Addr == addr {
+		s.mu.Unlock()
+		return false // already current
+	}
+	s.version++
+	rec.entry.Addr = addr
+	rec.dead = false
+	rec.expired = false
+	rec.version = s.version
+	up := Update{Entry: rec.entry, Version: s.version}
+	s.mu.Unlock()
+	s.notify(up)
+	return true
+}
+
+// notify delivers one mutation to watchers and observers. Caller must not
+// hold s.mu.
+func (s *Service) notify(up Update) {
+	s.mu.Lock()
+	watchers := append([]wire.InboxRef(nil), s.watchers...)
+	obs := s.obs
+	s.mu.Unlock()
+	for _, f := range obs {
+		f(up)
+	}
+	if len(watchers) == 0 {
+		return
+	}
+	ev := &eventMsg{
+		Name:    up.Entry.Name,
+		Typ:     up.Entry.Type,
+		Addr:    up.Entry.Addr,
+		Version: up.Version,
+		Removed: up.Removed,
+	}
+	for _, w := range watchers {
+		_ = s.d.SendDirect(w, "", ev)
+	}
+}
+
+// addWatcher subscribes an inbox to mutation events (idempotent). A
+// watcher stays subscribed until removeWatcher: a client that crashes
+// without unwatching keeps costing one (undeliverable) event send per
+// mutation until then — reconciling watcher liveness is part of the
+// directory anti-entropy item in ROADMAP.md.
+func (s *Service) addWatcher(ref wire.InboxRef) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.watchers {
+		if w == ref {
+			return
+		}
+	}
+	s.watchers = append(s.watchers, ref)
+}
+
+// removeWatcher drops an event subscription.
+func (s *Service) removeWatcher(ref wire.InboxRef) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, w := range s.watchers {
+		if w == ref {
+			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// handle serves one protocol request from the "@dir" inbox.
+func (s *Service) handle(env *wire.Envelope) {
+	switch m := env.Body.(type) {
+	case *registerMsg:
+		v := s.Register(Entry{Name: m.Name, Type: m.Typ, Addr: m.Addr})
+		if !m.ReplyTo.IsZero() {
+			_ = s.d.SendDirect(m.ReplyTo, "", &ackMsg{Seq: m.Seq, Version: v, OK: true})
+		}
+	case *removeMsg:
+		v, ok := s.Remove(m.Name)
+		if !m.ReplyTo.IsZero() {
+			_ = s.d.SendDirect(m.ReplyTo, "", &ackMsg{Seq: m.Seq, Version: v, OK: ok})
+		}
+	case *lookupMsg:
+		e, v, ok := s.Lookup(m.Name)
+		rep := &lookupRepMsg{Seq: m.Seq, Name: m.Name, Version: v, Found: ok}
+		if ok {
+			rep.Typ, rep.Addr = e.Type, e.Addr
+		}
+		_ = s.d.SendDirect(m.ReplyTo, "", rep)
+	case *watchMsg:
+		s.addWatcher(m.ReplyTo)
+		_ = s.d.SendDirect(m.ReplyTo, "", &ackMsg{Seq: m.Seq, Version: s.Version(), OK: true})
+	case *unwatchMsg:
+		s.removeWatcher(m.ReplyTo)
+	}
+}

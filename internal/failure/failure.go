@@ -2,6 +2,7 @@ package failure
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -122,6 +123,16 @@ type peerState struct {
 	state     State
 	lastHeard time.Time
 	lastInc   uint64
+	// lastSent is the last time this dapplet sent the peer application
+	// traffic; while it is fresher than one interval the peer is hearing
+	// from us anyway, so the explicit heartbeat is suppressed
+	// (piggybacked liveness).
+	lastSent time.Time
+	// lastHB is the last explicit heartbeat transmission to the peer.
+	// Suppression is floored at one heartbeat per 8 intervals: only a
+	// heartbeat's incarnation number can lift a Down verdict the peer
+	// holds against us, so a busy channel must not starve them forever.
+	lastHB time.Time
 	// meanIA/devIA are the smoothed interarrival estimators feeding the
 	// adaptive timeout; zero until two heartbeats have been observed.
 	meanIA time.Duration
@@ -152,24 +163,53 @@ type Detector struct {
 	// emitMu but never under mu, so they may call Status etc.
 	emitMu sync.Mutex
 
-	mu    sync.Mutex
-	peers map[string]*peerState
-	seq   uint64
-	obs   []func(Event)
+	mu     sync.Mutex
+	peers  map[string]*peerState
+	byAddr map[netsim.Addr]*peerState
+	seq    uint64
+	obs    []func(Event)
+
+	hbSent   atomic.Uint64
+	implicit atomic.Uint64
+}
+
+// Stats counts a detector's transmitted heartbeats and the application
+// frames it accepted as implicit liveness in their place.
+type Stats struct {
+	// HeartbeatsSent is the number of explicit heartbeat transmissions.
+	HeartbeatsSent uint64
+	// ImplicitRefreshes is the number of application/ack frames from
+	// watched peers that refreshed liveness instead of a heartbeat.
+	ImplicitRefreshes uint64
 }
 
 // Attach equips a dapplet with a failure detector. The detector starts
 // its heartbeat and verdict threads immediately; they stop with the
-// dapplet.
+// dapplet. Any frame the dapplet exchanges with a watched peer doubles
+// as liveness evidence: received application traffic refreshes the
+// peer's deadline, and transmitted application traffic suppresses the
+// next explicit heartbeat to that peer, so heartbeats flow only on idle
+// channels.
 func Attach(d *core.Dapplet, cfg Config) *Detector {
 	det := &Detector{
-		d:     d,
-		cfg:   cfg.withDefaults(),
-		peers: make(map[string]*peerState),
+		d:      d,
+		cfg:    cfg.withDefaults(),
+		peers:  make(map[string]*peerState),
+		byAddr: make(map[netsim.Addr]*peerState),
 	}
 	d.Handle(ControlInbox, det.onHeartbeat)
+	d.OnRecv(det.onAppRecv)
+	d.OnSend(det.onAppSend)
 	d.Spawn(det.loop)
 	return det
+}
+
+// Stats returns the detector's heartbeat-economy counters.
+func (det *Detector) Stats() Stats {
+	return Stats{
+		HeartbeatsSent:    det.hbSent.Load(),
+		ImplicitRefreshes: det.implicit.Load(),
+	}
 }
 
 // Interval returns the configured heartbeat period.
@@ -184,16 +224,25 @@ func (det *Detector) Watch(name string, addr netsim.Addr) {
 	det.mu.Lock()
 	defer det.mu.Unlock()
 	if p, ok := det.peers[name]; ok {
-		p.addr = addr
+		if p.addr != addr {
+			delete(det.byAddr, p.addr)
+			p.addr = addr
+			det.byAddr[addr] = p
+		}
 		return
 	}
-	det.peers[name] = &peerState{name: name, addr: addr, state: Up, lastHeard: time.Now()}
+	p := &peerState{name: name, addr: addr, state: Up, lastHeard: time.Now()}
+	det.peers[name] = p
+	det.byAddr[addr] = p
 }
 
 // Unwatch stops heartbeating and monitoring the named peer.
 func (det *Detector) Unwatch(name string) {
 	det.mu.Lock()
-	delete(det.peers, name)
+	if p, ok := det.peers[name]; ok {
+		delete(det.byAddr, p.addr)
+		delete(det.peers, name)
+	}
 	det.mu.Unlock()
 }
 
@@ -284,7 +333,11 @@ func (det *Detector) onHeartbeat(env *wire.Envelope) {
 	}
 	p.lastHeard = now
 	p.lastInc = hb.Inc
-	p.addr = env.FromDapplet // a reincarnated peer announces its new address
+	if p.addr != env.FromDapplet { // a reincarnated peer announces its new address
+		delete(det.byAddr, p.addr)
+		p.addr = env.FromDapplet
+		det.byAddr[p.addr] = p
+	}
 	recovered := p.state != Up
 	p.state = Up
 	ev := Event{Peer: p.name, Addr: p.addr, State: Up, Incarnation: p.lastInc}
@@ -294,10 +347,79 @@ func (det *Detector) onHeartbeat(env *wire.Envelope) {
 	}
 }
 
+// onAppRecv treats any received application or service frame from a
+// watched peer's current address as implicit liveness: the peer's
+// deadline refreshes without a heartbeat, and a Suspect verdict lifts
+// (the channel is demonstrably alive). Heartbeats themselves are
+// excluded — onHeartbeat handles them with incarnation and address
+// learning — and Down verdicts lift only via heartbeats, because only a
+// heartbeat's incarnation number distinguishes a recovered peer from a
+// dead incarnation's lingering frames. The interarrival estimators are
+// not fed: application traffic has no rhythm to learn.
+func (det *Detector) onAppRecv(env *wire.Envelope) {
+	if env.To.Inbox == ControlInbox {
+		return
+	}
+	// Fast path: an Up peer refreshes under det.mu alone; emitMu is taken
+	// only when a Suspect verdict must lift, keeping the per-frame cost of
+	// the observer off the emit lock.
+	det.mu.Lock()
+	p, ok := det.byAddr[env.FromDapplet]
+	if !ok || p.state == Down {
+		det.mu.Unlock()
+		return
+	}
+	if p.state == Up {
+		p.lastHeard = time.Now()
+		det.mu.Unlock()
+		det.implicit.Add(1)
+		return
+	}
+	det.mu.Unlock()
+	det.emitMu.Lock()
+	defer det.emitMu.Unlock()
+	det.mu.Lock()
+	p, ok = det.byAddr[env.FromDapplet]
+	if !ok || p.state == Down {
+		det.mu.Unlock()
+		return
+	}
+	p.lastHeard = time.Now()
+	recovered := p.state == Suspect
+	if recovered {
+		p.meanIA, p.devIA = 0, 0
+		p.state = Up
+	}
+	ev := Event{Peer: p.name, Addr: p.addr, State: Up, Incarnation: p.lastInc}
+	det.mu.Unlock()
+	det.implicit.Add(1)
+	if recovered {
+		det.emit(ev)
+	}
+}
+
+// onAppSend records application traffic toward a watched peer, which
+// stands in for this dapplet's next heartbeat to it (the peer's detector
+// accepts the frame as implicit liveness).
+func (det *Detector) onAppSend(env *wire.Envelope) {
+	if env.To.Inbox == ControlInbox {
+		return
+	}
+	det.mu.Lock()
+	if p, ok := det.byAddr[env.To.Dapplet]; ok {
+		p.lastSent = time.Now()
+	}
+	det.mu.Unlock()
+}
+
 // loop is the detector's single periodic thread: each tick it advances
 // peer verdicts whose detection time has expired and transmits one
-// heartbeat to every peer not considered Down. Ticking at a quarter
-// interval bounds verdict latency jitter to Interval/4.
+// heartbeat to every peer not considered Down whose channel has been
+// idle for an interval (peers we sent application traffic more recently
+// are hearing from us anyway), floored at one explicit heartbeat per 8
+// intervals so a watcher holding us Down is guaranteed to eventually see
+// an incarnation-carrying beacon. Ticking at a quarter interval bounds
+// verdict latency jitter to Interval/4.
 func (det *Detector) loop() {
 	tick := time.NewTicker(det.cfg.Interval / 4)
 	defer tick.Stop()
@@ -335,7 +457,14 @@ func (det *Detector) loop() {
 				p.state = Down
 				events = append(events, Event{Peer: p.name, Addr: p.addr, State: Down, Incarnation: p.lastInc})
 			}
-			if (send && p.state != Down) || (slowSend && p.state == Down) {
+			// A busy channel suppresses explicit heartbeats, but never all
+			// of them: one per 8 intervals still flows, because a watcher
+			// that declared us Down ignores our application frames and
+			// only a heartbeat's incarnation can lift its verdict.
+			idle := now.Sub(p.lastSent) >= det.cfg.Interval ||
+				now.Sub(p.lastHB) >= 8*det.cfg.Interval
+			if (send && p.state != Down && idle) || (slowSend && p.state == Down) {
+				p.lastHB = now
 				targets = append(targets, wire.InboxRef{Dapplet: p.addr, Inbox: ControlInbox})
 			}
 		}
@@ -346,6 +475,7 @@ func (det *Detector) loop() {
 		}
 		det.emitMu.Unlock()
 		for _, to := range targets {
+			det.hbSent.Add(1)
 			_ = det.d.SendDirect(to, "", &heartbeatMsg{From: det.d.Name(), Seq: seq, Inc: inc})
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/netsim"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 func newDapplet(t *testing.T, net *netsim.Network, host, name string) *core.Dapplet {
@@ -121,6 +122,64 @@ func TestDetectorLearnsReincarnatedAddress(t *testing.T) {
 	}
 	if addr, _ := da.Addr("b"); addr != b2.Addr() {
 		t.Fatalf("learned addr = %v, want %v", addr, b2.Addr())
+	}
+}
+
+// TestHeartbeatPiggybacking runs two same-length watch windows — one over
+// a busy channel (steady application traffic both ways), one idle — and
+// asserts the busy pair sent measurably fewer explicit heartbeats while
+// never losing the Up verdict: application frames are accepted as
+// implicit liveness and stand in for this end's own heartbeats.
+func TestHeartbeatPiggybacking(t *testing.T) {
+	const (
+		interval = 10 * time.Millisecond
+		window   = 40 * interval
+	)
+	run := func(seed int64, busy bool) (hbSent, implicit uint64) {
+		net := netsim.New(netsim.WithSeed(seed))
+		defer net.Close()
+		a := newDapplet(t, net, "ha", "a")
+		b := newDapplet(t, net, "hb", "b")
+		a.Handle("app", func(*wire.Envelope) {})
+		b.Handle("app", func(*wire.Envelope) {})
+		events, da, db := watchPair(a, b, failure.Config{Interval: interval, Multiplier: 3})
+
+		deadline := time.Now().Add(window)
+		for time.Now().Before(deadline) {
+			if busy {
+				_ = a.SendDirect(wire.InboxRef{Dapplet: b.Addr(), Inbox: "app"}, "", &wire.Text{S: "tick"})
+				_ = b.SendDirect(wire.InboxRef{Dapplet: a.Addr(), Inbox: "app"}, "", &wire.Text{S: "tock"})
+			}
+			time.Sleep(interval / 2)
+		}
+		// The channel must have stayed healthy throughout.
+		for {
+			select {
+			case ev := <-events:
+				if ev.State == failure.Down {
+					t.Fatalf("busy=%v: peer went down during the window", busy)
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if st, ok := da.Status("b"); !ok || st == failure.Down {
+			t.Fatalf("busy=%v: status(b) = %v %v", busy, st, ok)
+		}
+		sa, sb := da.Stats(), db.Stats()
+		return sa.HeartbeatsSent + sb.HeartbeatsSent, sa.ImplicitRefreshes + sb.ImplicitRefreshes
+	}
+
+	idleHB, _ := run(10, false)
+	busyHB, busyImplicit := run(11, true)
+	if busyImplicit == 0 {
+		t.Fatal("no application frame was accepted as implicit liveness")
+	}
+	// ~40 intervals of app traffic both ways should suppress nearly every
+	// explicit heartbeat; half the idle pair's count is a generous bound.
+	if busyHB > idleHB/2 {
+		t.Fatalf("piggybacking saved too little: busy pair sent %d heartbeats, idle pair %d", busyHB, idleHB)
 	}
 }
 

@@ -42,6 +42,16 @@ type CalendarOptions struct {
 	// netsim default, GOMAXPROCS). Shards=1 makes single-driver runs
 	// bit-reproducible per seed.
 	Shards int
+	// DirShards, when > 0, hosts the directory as a replicated
+	// prefix-sharded service on dedicated dapplets instead of the
+	// process-local map: DirShards shards with DirReplicas replicas each
+	// (default 1), resolved through the caching client (experiment E10).
+	// Zero keeps the in-process fast path, so existing seeds and
+	// determinism are untouched.
+	DirShards int
+	// DirReplicas is the replica count per directory shard (only with
+	// DirShards > 0; default 1).
+	DirReplicas int
 	// InterSite and IntraSite are the link delay models (defaults: WAN
 	// and LAN).
 	InterSite netsim.DelayModel
@@ -73,9 +83,19 @@ func (o *CalendarOptions) defaults() {
 
 // CalendarWorld is an assembled calendar application.
 type CalendarWorld struct {
-	Net         *netsim.Network
-	RT          *core.Runtime
-	Dir         *directory.Directory
+	Net *netsim.Network
+	RT  *core.Runtime
+	// Dir resolves participant addresses: the process-local Directory by
+	// default, or the replicated service's caching client when
+	// CalendarOptions.DirShards > 0.
+	Dir directory.Resolver
+	// DirClient is the caching client when the service-backed directory
+	// is enabled (nil otherwise); its Stats expose cache hits, misses
+	// and failovers.
+	DirClient *directory.Client
+	// DirServices holds the hosted directory replicas, indexed
+	// [shard][replica], when DirShards > 0.
+	DirServices [][]*directory.Service
 	Coordinator *core.Dapplet
 	Scheduler   *calendar.HeadScheduler
 	Traditional *calendar.Traditional
@@ -87,12 +107,25 @@ type CalendarWorld struct {
 	// recovery flows need the service to restore membership on restart.
 	Sessions map[string]*session.Service
 	Opts     CalendarOptions
+
+	// extras are dapplets hosted outside the runtime (directory replicas
+	// and the directory client's bootstrap dapplet), stopped on Close.
+	extras []*core.Dapplet
 }
 
 // Close tears the world down.
 func (w *CalendarWorld) Close() {
 	w.RT.StopAll()
+	for _, d := range w.extras {
+		d.Stop()
+	}
 	w.Net.Close()
+}
+
+// DirReplicaHost names the simulated host a directory replica runs on,
+// for fault injection (net.Crash) in replica-failure experiments.
+func DirReplicaHost(shard, replica int) string {
+	return fmt.Sprintf("dirhost-%d-%d", shard, replica)
 }
 
 // siteHosts follows Figure 1's geography: members and their secretary
@@ -119,10 +152,54 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 1))
 	w := &CalendarWorld{
 		Net:      net,
-		Dir:      directory.New(),
 		Members:  make(map[string]*calendar.MemberBehavior),
 		Sessions: make(map[string]*session.Service),
 		Opts:     opts,
+	}
+
+	// Directory: the process-local map by default; with DirShards > 0 a
+	// replicated service hosted on dedicated dapplets, resolved through
+	// the caching client (all registrations below then travel the wire).
+	if opts.DirShards > 0 {
+		if opts.DirReplicas <= 0 {
+			opts.DirReplicas = 1
+		}
+		w.Opts.DirReplicas = opts.DirReplicas
+		refs := make([][]wire.InboxRef, opts.DirShards)
+		w.DirServices = make([][]*directory.Service, opts.DirShards)
+		hostDap := func(host, name string) (*core.Dapplet, error) {
+			ep, err := net.Host(host).BindAny()
+			if err != nil {
+				return nil, fmt.Errorf("scenario: bind %s: %w", host, err)
+			}
+			d := core.NewDapplet(name, "directory", transport.NewSimConn(ep),
+				core.WithTransportConfig(transport.Config{RTO: opts.RTO}))
+			w.extras = append(w.extras, d)
+			return d, nil
+		}
+		for s := 0; s < opts.DirShards; s++ {
+			for r := 0; r < opts.DirReplicas; r++ {
+				d, err := hostDap(DirReplicaHost(s, r), fmt.Sprintf("dir-%d-%d", s, r))
+				if err != nil {
+					return nil, err
+				}
+				svc := directory.Serve(d)
+				w.DirServices[s] = append(w.DirServices[s], svc)
+				refs[s] = append(refs[s], svc.Ref())
+			}
+		}
+		cluster, err := directory.NewCluster(refs)
+		if err != nil {
+			return nil, err
+		}
+		cliD, err := hostDap("dirhost-client", "dir-client")
+		if err != nil {
+			return nil, err
+		}
+		w.DirClient = directory.NewClient(cliD, cluster)
+		w.Dir = w.DirClient
+	} else {
+		w.Dir = directory.New()
 	}
 
 	// Behaviour registry with per-instance busy calendars handed out in
@@ -157,7 +234,9 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.Dir.Register(directory.Entry{Name: name, Type: typ, Addr: d.Addr()})
+		if err := w.Dir.Register(directory.Entry{Name: name, Type: typ, Addr: d.Addr()}); err != nil {
+			return nil, fmt.Errorf("scenario: register %s: %w", name, err)
+		}
 		return d, nil
 	}
 

@@ -241,7 +241,9 @@ func recoverSecretary(w *CalendarWorld, coordDet *failure.Detector, detCfg failu
 	if err := w.Handle.Reincarnate(name, d2.Addr()); err != nil {
 		return err
 	}
-	w.Dir.Register(directory.Entry{Name: d2.Name(), Type: d2.Type(), Addr: d2.Addr()})
+	if err := w.Dir.Register(directory.Entry{Name: d2.Name(), Type: d2.Type(), Addr: d2.Addr()}); err != nil {
+		return fmt.Errorf("scenario: re-register %s: %w", d2.Name(), err)
+	}
 	// The new incarnation heartbeats the coordinator (higher
 	// incarnation number), lifting the Down verdict; the coordinator
 	// re-aims its own heartbeats at the new address.

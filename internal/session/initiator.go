@@ -42,16 +42,18 @@ var sessionSeq atomic.Uint64
 
 // Initiator links dapplets into sessions using an address directory
 // (§3.1, Fig. 2). It is itself hosted on a dapplet (the initiator
-// dapplet), whose address participants see on control messages.
+// dapplet), whose address participants see on control messages. The
+// directory may be the process-local map or the replicated service's
+// caching client — any directory.Resolver.
 type Initiator struct {
 	d       *core.Dapplet
-	dir     *directory.Directory
+	dir     directory.Resolver
 	timeout time.Duration
 }
 
 // NewInitiator creates an initiator on the given dapplet with the given
-// address directory.
-func NewInitiator(d *core.Dapplet, dir *directory.Directory) *Initiator {
+// address directory (a *directory.Directory or a *directory.Client).
+func NewInitiator(d *core.Dapplet, dir directory.Resolver) *Initiator {
 	return &Initiator{d: d, dir: dir, timeout: DefaultTimeout}
 }
 

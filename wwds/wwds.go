@@ -151,14 +151,57 @@ var WithStore = core.WithStore
 
 // --- directory and sessions ---
 
-// Directory is the name -> address registry initiators use.
+// Directory is the process-local name -> address registry initiators
+// use: the fast-path DirResolver for single-process worlds.
 type Directory = directory.Directory
 
 // DirEntry is one directory registration.
 type DirEntry = directory.Entry
 
-// NewDirectory creates an empty directory.
+// DirResolver is the registration/lookup interface shared by the
+// process-local Directory and the replicated service's caching client;
+// NewInitiator accepts either.
+type DirResolver = directory.Resolver
+
+// DirectoryService is one replica of the dapplet-hosted directory,
+// served on its dapplet's "@dir" inbox.
+type DirectoryService = directory.Service
+
+// DirectoryCluster describes a deployed directory service: prefix
+// shards times replicas, addressed by their service inbox refs.
+type DirectoryCluster = directory.Cluster
+
+// DirectoryClient resolves names through a replicated directory with a
+// version-stamped cache invalidated by pushed watch events, failing over
+// to a shard's surviving replicas.
+type DirectoryClient = directory.Client
+
+// DirectoryClientStats counts a client's cache hits/misses, failovers
+// and evictions.
+type DirectoryClientStats = directory.ClientStats
+
+// NewDirectory creates an empty process-local directory.
 func NewDirectory() *Directory { return directory.New() }
+
+// ServeDirectory hosts a directory replica on a dapplet.
+var ServeDirectory = directory.Serve
+
+// NewDirectoryCluster builds a cluster description from per-shard
+// replica service refs.
+var NewDirectoryCluster = directory.NewCluster
+
+// NewDirectoryClient attaches a caching directory client to a dapplet.
+var NewDirectoryClient = directory.NewClient
+
+// DirectoryShardOf returns the shard owning a name for a given shard
+// count (prefix partitioning of the hashed name space).
+var DirectoryShardOf = directory.ShardOf
+
+// BindDirectoryFailures wires a failure detector into a directory
+// replica: registered dapplets are watched, a Down verdict expires their
+// entries, and a reincarnation's heartbeat re-registers them at the new
+// address.
+var BindDirectoryFailures = failure.BindDirectory
 
 // Session types: specs, participants, links, the initiator and the
 // per-dapplet service.
@@ -269,6 +312,9 @@ type (
 	FailureEvent = failure.Event
 	// PeerState is a watcher's verdict about one peer.
 	PeerState = failure.State
+	// FailureStats counts explicit heartbeats sent and application
+	// frames accepted as implicit liveness (heartbeat piggybacking).
+	FailureStats = failure.Stats
 )
 
 // Peer liveness verdicts, in escalation order.

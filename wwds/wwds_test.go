@@ -257,3 +257,57 @@ func TestFacadeClockStamps(t *testing.T) {
 		t.Fatal("stamp ordering broken")
 	}
 }
+
+func TestFacadeDirectoryService(t *testing.T) {
+	net := wwds.NewNetwork(wwds.WithSeed(3))
+	t.Cleanup(net.Close)
+	cfg := wwds.WithTransportConfig(wwds.TransportConfig{RTO: 20 * time.Millisecond})
+
+	newDap := func(host, name string) *wwds.Dapplet {
+		ep, err := net.Host(host).BindAny()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := wwds.NewDapplet(name, "t", wwds.NewSimConn(ep), cfg)
+		t.Cleanup(d.Stop)
+		return d
+	}
+
+	// Two shards, one replica each, hosted through the facade.
+	var refs [][]wwds.InboxRef
+	for s := 0; s < 2; s++ {
+		svc := wwds.ServeDirectory(newDap(fmt.Sprintf("dh%d", s), fmt.Sprintf("dir-%d", s)))
+		refs = append(refs, []wwds.InboxRef{svc.Ref()})
+	}
+	cluster, err := wwds.NewDirectoryCluster(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := wwds.NewDirectoryClient(newDap("hc", "client"), cluster)
+
+	target := newDap("ht", "worker")
+	wwds.AttachSessions(target, wwds.SessionPolicy{})
+	if err := cli.Register(wwds.DirEntry{Name: "worker", Type: "t", Addr: target.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := cli.MustLookup("worker"); err != nil || got.Addr != target.Addr() {
+		t.Fatalf("lookup = %+v, %v", got, err)
+	}
+
+	// The initiator accepts the caching client as its DirResolver.
+	var _ wwds.DirResolver = cli
+	ini := wwds.NewInitiator(newDap("hq", "director"), cli)
+	h, err := ini.Initiate(wwds.SessionSpec{
+		ID:           "dir-facade",
+		Participants: []wwds.Participant{{Name: "worker", Role: "member"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Terminate(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cli.Stats(); st.Hits == 0 {
+		t.Fatalf("session setup did not use the cache: %+v", st)
+	}
+}
