@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -169,11 +170,11 @@ func BenchmarkFig2SessionSetup(b *testing.B) {
 					spec.Participants = append(spec.Participants,
 						session.Participant{Name: fmt.Sprintf("p%d", j), Role: "member"})
 				}
-				h, err := ini.Initiate(spec)
+				h, err := ini.Initiate(context.Background(), spec)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if err := h.Terminate(); err != nil {
+				if err := h.Terminate(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -188,7 +189,7 @@ func benchDirectory(b *testing.B, net *netsim.Network, n int) *directory.Directo
 		name := fmt.Sprintf("p%d", j)
 		d := benchDapplet(b, net, fmt.Sprintf("h%d", j), name)
 		session.Attach(d, session.Policy{})
-		dir.Register(directory.Entry{Name: name, Type: "bench", Addr: d.Addr()})
+		dir.Register(context.Background(), directory.Entry{Name: name, Type: "bench", Addr: d.Addr()})
 	}
 	return dir
 }
@@ -503,7 +504,7 @@ func BenchmarkE5RPC(b *testing.B) {
 	cli := rpc.NewClient(client)
 	b.Run("sync", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if err := cli.Call(ref, "add", nil, nil); err != nil {
+			if err := cli.Call(context.Background(), ref, "add", nil, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -693,11 +694,11 @@ func BenchmarkE9CheckpointRestoreRecovery(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		dir.Register(directory.Entry{Name: name, Type: "node", Addr: d.Addr()})
+		dir.Register(context.Background(), directory.Entry{Name: name, Type: "node", Addr: d.Addr()})
 	}
 	iniD := benchDapplet(b, net, "hq", "director")
 	ini := session.NewInitiator(iniD, dir)
-	h, err := ini.Initiate(session.Spec{
+	h, err := ini.Initiate(context.Background(), session.Spec{
 		ID: "e9",
 		Participants: []session.Participant{
 			{Name: "hub", Role: "hub"}, {Name: "m1", Role: "member"},
@@ -732,7 +733,7 @@ func BenchmarkE9CheckpointRestoreRecovery(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := h.Reincarnate("m1", d2.Addr()); err != nil {
+		if err := h.ReincarnateAt(context.Background(), "m1", d2.Addr()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -784,7 +785,7 @@ func BenchmarkE10DirectoryLookup(b *testing.B) {
 				for i := 0; i < names; i++ {
 					name := fmt.Sprintf("dapplet-%d", i)
 					e := directory.Entry{Name: name, Type: "bench", Addr: netsim.Addr{Host: "h", Port: uint16(i + 1)}}
-					if err := cli.Register(e); err != nil {
+					if err := cli.Register(context.Background(), e); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -794,7 +795,7 @@ func BenchmarkE10DirectoryLookup(b *testing.B) {
 					if mode == "uncached" {
 						cli.Invalidate(name)
 					}
-					if _, ok := cli.Lookup(name); !ok {
+					if _, ok := cli.Lookup(context.Background(), name); !ok {
 						b.Fatal("lookup failed")
 					}
 				}
@@ -816,9 +817,9 @@ func BenchmarkE10DirectoryFailover(b *testing.B) {
 	net := netsim.New(netsim.WithSeed(13))
 	defer net.Close()
 	cl := benchDirCluster(b, net, 1, 2)
-	cli := directory.NewClient(benchDapplet(b, net, "hq", "dirclient"), cl)
-	cli.SetTimeout(100 * time.Millisecond)
-	if err := cli.Register(directory.Entry{Name: "svc", Type: "bench", Addr: netsim.Addr{Host: "h", Port: 1}}); err != nil {
+	cli := directory.NewClient(benchDapplet(b, net, "hq", "dirclient"), cl,
+		directory.WithClientTimeout(100*time.Millisecond))
+	if err := cli.Register(context.Background(), directory.Entry{Name: "svc", Type: "bench", Addr: netsim.Addr{Host: "h", Port: 1}}); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -827,7 +828,7 @@ func BenchmarkE10DirectoryFailover(b *testing.B) {
 			net.Crash("dir0-0")
 		}
 		cli.Invalidate("svc")
-		if _, ok := cli.Lookup("svc"); !ok {
+		if _, ok := cli.Lookup(context.Background(), "svc"); !ok {
 			b.Fatal("lookup failed after replica crash")
 		}
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -53,7 +54,7 @@ func main() {
 	coord := core.NewDapplet("coordinator", "coordinator", udp())
 	session.Attach(coord, session.Policy{})
 	dir := directory.NewClient(coord, cluster)
-	if err := dir.Register(directory.Entry{Name: "coordinator", Type: "coordinator", Addr: coord.Addr()}); err != nil {
+	if err := dir.Register(context.Background(), directory.Entry{Name: "coordinator", Type: "coordinator", Addr: coord.Addr()}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("coordinator listening on udp://%s\n\n", coord.Addr())
@@ -75,7 +76,7 @@ func main() {
 			log.Fatal(err)
 		}
 		session.Attach(d, session.Policy{})
-		if err := dir.Register(directory.Entry{Name: name, Type: "calendar", Addr: d.Addr()}); err != nil {
+		if err := dir.Register(context.Background(), directory.Entry{Name: name, Type: "calendar", Addr: d.Addr()}); err != nil {
 			log.Fatal(err)
 		}
 		names = append(names, name)
@@ -85,7 +86,7 @@ func main() {
 	}
 
 	ini := session.NewInitiator(coord, dir)
-	h, err := ini.Initiate(calendar.FlatSpec("udp-calendar", "coordinator", names))
+	h, err := ini.Initiate(context.Background(), calendar.FlatSpec("udp-calendar", "coordinator", names))
 	if err != nil {
 		log.Fatalf("session setup: %v", err)
 	}
@@ -108,7 +109,7 @@ func main() {
 	}
 	fmt.Println("all calendars booked consistently")
 
-	if err := h.Terminate(); err != nil {
+	if err := h.Terminate(context.Background()); err != nil {
 		log.Fatalf("terminate: %v", err)
 	}
 	fmt.Println("session terminated; dapplets unlinked")

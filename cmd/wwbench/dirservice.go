@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -52,7 +53,7 @@ func runE10() {
 			for i := 0; i < names; i++ {
 				name := fmt.Sprintf("dapplet-%d", i)
 				e := directory.Entry{Name: name, Type: "bench", Addr: netsim.Addr{Host: "h", Port: uint16(i + 1)}}
-				if err := cli.Register(e); err != nil {
+				if err := cli.Register(context.Background(), e); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -62,7 +63,7 @@ func runE10() {
 				if mode == "uncached" {
 					cli.Invalidate(name)
 				}
-				if _, ok := cli.Lookup(name); !ok {
+				if _, ok := cli.Lookup(context.Background(), name); !ok {
 					log.Fatalf("e10: lookup %s failed", name)
 				}
 			}
@@ -84,15 +85,15 @@ func runE10() {
 	// lookup after it resolves from the survivor.
 	net := newNet(13)
 	cl, _ := e10Cluster(net, 1, 2)
-	cli := directory.NewClient(newDapplet(net, "hq", "dirclient"), cl)
-	cli.SetTimeout(100 * time.Millisecond)
-	if err := cli.Register(directory.Entry{Name: "svc", Type: "bench", Addr: netsim.Addr{Host: "h", Port: 1}}); err != nil {
+	cli := directory.NewClient(newDapplet(net, "hq", "dirclient"), cl,
+		directory.WithClientTimeout(100*time.Millisecond))
+	if err := cli.Register(context.Background(), directory.Entry{Name: "svc", Type: "bench", Addr: netsim.Addr{Host: "h", Port: 1}}); err != nil {
 		log.Fatal(err)
 	}
 	net.Crash("dir0-0")
 	cli.FlushCache()
 	start := time.Now()
-	if _, err := cli.MustLookup("svc"); err != nil {
+	if _, err := cli.MustLookup(context.Background(), "svc"); err != nil {
 		log.Fatalf("e10: lookup after replica crash: %v", err)
 	}
 	first := time.Since(start)
@@ -100,12 +101,12 @@ func runE10() {
 	const after = 1000
 	for i := 0; i < after; i++ {
 		cli.Invalidate("svc")
-		if _, ok := cli.Lookup("svc"); !ok {
+		if _, ok := cli.Lookup(context.Background(), "svc"); !ok {
 			log.Fatal("e10: survivor lookup failed")
 		}
 	}
 	row("replica-crash failover", fmt.Sprintf("first lookup %v (1 timeout), then %v/lookup via survivor, failovers=%d",
-		first.Round(time.Millisecond), (time.Since(start) / after).Round(time.Microsecond), cli.Stats().Failovers))
+		first.Round(time.Millisecond), (time.Since(start)/after).Round(time.Microsecond), cli.Stats().Failovers))
 	net.Close()
 
 	// Failure-driven expiry: a replica's own detector declares a dead

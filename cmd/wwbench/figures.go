@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -76,7 +77,7 @@ func runF2() {
 			name := fmt.Sprintf("p%d", j)
 			d := newDapplet(net, fmt.Sprintf("h%d", j), name)
 			session.Attach(d, session.Policy{})
-			dir.Register(directory.Entry{Name: name, Type: "bench", Addr: d.Addr()})
+			dir.Register(context.Background(), directory.Entry{Name: name, Type: "bench", Addr: d.Addr()})
 			dapplets = append(dapplets, d)
 		}
 		iniD := newDapplet(net, "hq", "director")
@@ -86,13 +87,13 @@ func runF2() {
 			spec.Participants = append(spec.Participants,
 				session.Participant{Name: fmt.Sprintf("p%d", j), Role: "member"})
 		}
-		h, err := ini.Initiate(spec)
+		h, err := ini.Initiate(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		setupV := net.MaxVirtual()
 		mid := net.Stats()
-		if err := h.Terminate(); err != nil {
+		if err := h.Terminate(context.Background()); err != nil {
 			log.Fatal(err)
 		}
 		teardownV := net.MaxVirtual() - setupV

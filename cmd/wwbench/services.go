@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -296,7 +297,7 @@ func runE5() {
 			go func(cli *rpc.Client) {
 				defer wg.Done()
 				for i := 0; i < calls/clients; i++ {
-					if err := cli.Call(ref, "add", nil, nil); err != nil {
+					if err := cli.Call(context.Background(), ref, "add", nil, nil); err != nil {
 						log.Fatal(err)
 					}
 				}
@@ -398,7 +399,7 @@ func runE7() {
 					Access: state.AccessSet{Write: []string{v}},
 				}},
 			}
-			_, err := ini.Initiate(spec)
+			_, err := ini.Initiate(context.Background(), spec)
 			var rej *session.RejectedError
 			switch {
 			case err == nil:
@@ -487,7 +488,7 @@ func runE8() {
 func newDirectory(ds ...*core.Dapplet) *dirT {
 	d := dirNew()
 	for _, dd := range ds {
-		d.Register(dirEntry{Name: dd.Name(), Type: dd.Type(), Addr: dd.Addr()})
+		d.Register(context.Background(), dirEntry{Name: dd.Name(), Type: dd.Type(), Addr: dd.Addr()})
 	}
 	return d
 }

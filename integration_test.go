@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -82,9 +83,10 @@ func TestSessionGrowIntoRunningCalendar(t *testing.T) {
 		t.Fatal(err)
 	}
 	session.Attach(d, session.Policy{})
-	w.Dir.Register(directory.Entry{Name: "latecomer", Type: "late-calendar", Addr: d.Addr()})
+	w.Dir.Register(context.Background(), directory.Entry{Name: "latecomer", Type: "late-calendar", Addr: d.Addr()})
 
 	err = w.Handle.Grow(
+		context.Background(),
 		session.Participant{Name: "latecomer", Role: "member",
 			Access: state.AccessSet{Read: []string{calendar.BusyVar}, Write: []string{calendar.BusyVar}}},
 		[]session.Link{
@@ -141,7 +143,7 @@ func TestSnapshotOfCalendarSession(t *testing.T) {
 	}
 	coord := snapshot.NewCoordinator(w.Coordinator, members)
 	coord.SetSettle(30 * time.Millisecond)
-	coord.SetTimeout(10 * time.Second)
+	coord.SetTimeout(10 * time.Second) //depcheck:allow snapshot.Coordinator knob, not a deprecated session/directory timeout
 	g, err := coord.SnapshotClock(1_000_000)
 	if err != nil {
 		t.Fatal(err)
@@ -209,16 +211,16 @@ func TestInterferingCalendarSessionsAreRejected(t *testing.T) {
 
 	ini := session.NewInitiator(w.Coordinator, w.Dir)
 	spec := calendar.FlatSpec("second-calendar-session", "coordinator", w.MemberNames)
-	_, err = ini.Initiate(spec)
+	_, err = ini.Initiate(context.Background(), spec)
 	var rej *session.RejectedError
 	if !errors.As(err, &rej) {
 		t.Fatalf("err = %v, want RejectedError (interference)", err)
 	}
 	// After terminating the first session, the second is admitted.
-	if err := w.Handle.Terminate(); err != nil {
+	if err := w.Handle.Terminate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ini.Initiate(calendar.FlatSpec("third-session", "coordinator", w.MemberNames)); err != nil {
+	if _, err := ini.Initiate(context.Background(), calendar.FlatSpec("third-session", "coordinator", w.MemberNames)); err != nil {
 		t.Fatalf("post-terminate session rejected: %v", err)
 	}
 }
@@ -238,7 +240,7 @@ func TestEnvelopeSessionTagsEndToEnd(t *testing.T) {
 	if err := member.Outbox(calendar.MemberUp).Send(&wire.Text{S: "tagged?"}); err != nil {
 		t.Fatal(err)
 	}
-	env, err := w.Coordinator.Inbox(calendar.HeadFromSecs).ReceiveEnvelopeTimeout(5 * time.Second)
+	env, err := w.Coordinator.Inbox(calendar.HeadFromSecs).ReceiveEnvelopeContext(waitCtx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,4 +272,12 @@ func TestStateAccessSetsEnforcedInSession(t *testing.T) {
 	if err := view.Set("some.other.var", 1); !errors.Is(err, state.ErrDenied) {
 		t.Fatalf("out-of-set write err = %v", err)
 	}
+}
+
+// waitCtx bounds one receive in these tests.
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
 }

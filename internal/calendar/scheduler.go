@@ -1,6 +1,7 @@
 package calendar
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -71,11 +72,12 @@ func (h *HeadScheduler) roundTrip(req *schedReq) (*schedRep, error) {
 	if req.RKind == kindAvail {
 		agg.Free = NewAllFree(h.slots).Slice(req.Lo, req.Hi)
 	}
-	deadline := time.Now().Add(h.timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+	defer cancel()
 	for got := 0; got < n; {
-		env, err := in.ReceiveEnvelopeTimeout(time.Until(deadline))
+		env, err := in.ReceiveEnvelopeContext(ctx)
 		if err != nil {
-			if errors.Is(err, core.ErrTimeout) {
+			if errors.Is(err, context.DeadlineExceeded) {
 				return nil, fmt.Errorf("%w (%d of %d replies to %s)", ErrSchedTimeout, got, n, req.RKind)
 			}
 			return nil, err
@@ -179,11 +181,12 @@ func (t *Traditional) call(member wire.InboxRef, req *schedReq, replyIn *core.In
 	if err := t.d.SendDirect(member, "", req); err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(t.timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), t.timeout)
+	defer cancel()
 	for {
-		env, err := replyIn.ReceiveEnvelopeTimeout(time.Until(deadline))
+		env, err := replyIn.ReceiveEnvelopeContext(ctx)
 		if err != nil {
-			if errors.Is(err, core.ErrTimeout) {
+			if errors.Is(err, context.DeadlineExceeded) {
 				return nil, ErrSchedTimeout
 			}
 			return nil, err

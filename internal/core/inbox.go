@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -11,8 +13,9 @@ import (
 // messages from the head; the distributed layer appends messages arriving
 // on the inbox's incoming channels. The inbox method set follows the paper:
 // IsEmpty, AwaitNonEmpty, and Receive (which suspends until non-empty and
-// removes the head). Timed and non-blocking variants are provided as
-// conveniences, as is access to the full envelope (sender, session and
+// removes the head). Context-bounded and non-blocking variants are
+// provided as conveniences (the timed variants remain as deprecated
+// wrappers), as is access to the full envelope (sender, session and
 // logical timestamp).
 type Inbox struct {
 	d    *Dapplet
@@ -100,11 +103,57 @@ func (in *Inbox) Receive() (wire.Msg, error) {
 // ReceiveEnvelope is Receive but returns the full envelope, exposing the
 // sender's address and outbox, the session tag and the logical timestamp.
 func (in *Inbox) ReceiveEnvelope() (*wire.Envelope, error) {
-	return in.receiveDeadline(time.Time{})
+	return in.ReceiveEnvelopeContext(context.Background())
+}
+
+// ReceiveContext is Receive bounded by a context: it returns ctx.Err()
+// (context.Canceled or context.DeadlineExceeded) when the context ends
+// before a message arrives. It is the primary bounded receive; every
+// blocking call in the public surface takes a context the same way.
+func (in *Inbox) ReceiveContext(ctx context.Context) (wire.Msg, error) {
+	env, err := in.ReceiveEnvelopeContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return env.Body, nil
+}
+
+// ReceiveEnvelopeContext is ReceiveContext but returns the full envelope.
+func (in *Inbox) ReceiveEnvelopeContext(ctx context.Context) (*wire.Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if done := ctx.Done(); done != nil {
+		// Broadcast under the lock so a waiter is either still before its
+		// Wait (and re-checks ctx.Err) or inside it (and is woken).
+		stop := context.AfterFunc(ctx, func() {
+			in.mu.Lock()
+			in.cond.Broadcast()
+			in.mu.Unlock()
+		})
+		defer stop()
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for len(in.q) == 0 {
+		if in.closed {
+			return nil, ErrStopped
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in.cond.Wait()
+	}
+	env := in.q[0]
+	in.q = in.q[1:]
+	return env, nil
 }
 
 // ReceiveTimeout is Receive with a deadline; it returns ErrTimeout on
 // expiry.
+//
+// Deprecated: use ReceiveContext with a deadline context, which returns
+// context.DeadlineExceeded and composes with cancellation.
 func (in *Inbox) ReceiveTimeout(d time.Duration) (wire.Msg, error) {
 	env, err := in.ReceiveEnvelopeTimeout(d)
 	if err != nil {
@@ -114,8 +163,16 @@ func (in *Inbox) ReceiveTimeout(d time.Duration) (wire.Msg, error) {
 }
 
 // ReceiveEnvelopeTimeout is ReceiveEnvelope with a deadline.
+//
+// Deprecated: use ReceiveEnvelopeContext with a deadline context.
 func (in *Inbox) ReceiveEnvelopeTimeout(d time.Duration) (*wire.Envelope, error) {
-	return in.receiveDeadline(time.Now().Add(d))
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	env, err := in.ReceiveEnvelopeContext(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = ErrTimeout
+	}
+	return env, err
 }
 
 // TryReceive removes and returns the head message without blocking,
@@ -129,26 +186,4 @@ func (in *Inbox) TryReceive() (wire.Msg, bool) {
 	env := in.q[0]
 	in.q = in.q[1:]
 	return env.Body, true
-}
-
-func (in *Inbox) receiveDeadline(deadline time.Time) (*wire.Envelope, error) {
-	var timer *time.Timer
-	if !deadline.IsZero() {
-		timer = time.AfterFunc(time.Until(deadline), func() { in.cond.Broadcast() })
-		defer timer.Stop()
-	}
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	for len(in.q) == 0 {
-		if in.closed {
-			return nil, ErrStopped
-		}
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			return nil, ErrTimeout
-		}
-		in.cond.Wait()
-	}
-	env := in.q[0]
-	in.q = in.q[1:]
-	return env, nil
 }

@@ -1,18 +1,21 @@
 package directory
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/svc"
 	"repro/internal/wire"
 )
 
 // DefaultTimeout bounds one request to one directory replica; a replica
 // silent past it is treated as failed and the client fails over to the
-// next replica of the shard.
+// next replica of the shard. Caller contexts compose with it: a request
+// ends at whichever bound arrives first.
 const DefaultTimeout = 2 * time.Second
 
 // ClientStats counts a client's cache and failover activity.
@@ -41,19 +44,19 @@ type cached struct {
 // are served from a version-stamped cache kept coherent by watch events,
 // misses are resolved from the owning shard's preferred replica, and a
 // silent replica is failed over transparently. Registrations and
-// removals fan out to every replica of the owning shard. Client
-// implements Resolver, so an Initiator accepts it interchangeably with
-// the process-local Directory.
+// removals fan out to every replica of the owning shard through the svc
+// caller's first-ack helper. Client implements Resolver, so an Initiator
+// accepts it interchangeably with the process-local Directory; every
+// blocking method takes a context.Context, which propagates to the
+// background fan-out threads — an abandoned mutation leaves no stragglers
+// waiting past its caller's cancellation.
 type Client struct {
 	d       *core.Dapplet
 	cluster *Cluster
-	timeout time.Duration
-
-	replyRef wire.InboxRef
+	caller  *svc.Caller
 
 	mu         sync.Mutex
-	seq        uint64
-	waiting    map[uint64]chan wire.Msg
+	timeout    time.Duration
 	cache      map[string]cached
 	pref       []int    // per-shard index of the preferred replica
 	subbed     []bool   // per-shard: watch subscription acked by the preferred replica
@@ -63,6 +66,15 @@ type Client struct {
 	hits, misses, failovers, evictions atomic.Uint64
 }
 
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithClientTimeout sets the per-replica request timeout (and thereby the
+// failover latency after a replica crash). The default is DefaultTimeout.
+func WithClientTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
 // NewClient attaches a directory client to a dapplet and subscribes it to
 // invalidation events from the preferred replica of every shard. The
 // watch requests are transmitted before NewClient returns (so, on the
@@ -70,41 +82,44 @@ type Client struct {
 // sees any later request from this client) but their acks are awaited in
 // the background — construction never blocks on a silent replica. An
 // unacked subscription is retried on the next lookup the shard serves.
-func NewClient(d *core.Dapplet, cluster *Cluster) *Client {
+func NewClient(d *core.Dapplet, cluster *Cluster, opts ...ClientOption) *Client {
 	c := &Client{
 		d:          d,
 		cluster:    cluster,
+		caller:     svc.NewCaller(d),
 		timeout:    DefaultTimeout,
-		waiting:    make(map[uint64]chan wire.Msg),
 		cache:      make(map[string]cached),
 		pref:       make([]int, cluster.NumShards()),
 		subbed:     make([]bool, cluster.NumShards()),
 		subPending: make([]bool, cluster.NumShards()),
 		subGen:     make([]uint64, cluster.NumShards()),
 	}
-	in := d.NewInbox()
-	c.replyRef = in.Ref()
-	d.Spawn(func() {
-		for {
-			env, err := in.ReceiveEnvelope()
-			if err != nil {
-				return
-			}
-			c.onEnvelope(env)
-		}
-	})
+	for _, o := range opts {
+		o(c)
+	}
+	c.caller.OnNotify(c.onNotify)
 	for shard := 0; shard < cluster.NumShards(); shard++ {
 		c.subscribe(shard)
 	}
 	return c
 }
 
-// SetTimeout changes the per-replica request timeout (and thereby the
-// failover latency after a replica crash).
+// SetTimeout changes the per-replica request timeout.
+//
+// Deprecated: pass WithClientTimeout to NewClient, and bound individual
+// requests with their context; the per-replica timeout only sets the
+// failover latency.
 func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
 	c.timeout = d
 	c.mu.Unlock()
+}
+
+// replicaTimeout returns the current per-replica bound.
+func (c *Client) replicaTimeout() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timeout
 }
 
 // Stats returns a snapshot of the client's cache and failover counters.
@@ -143,25 +158,11 @@ func (c *Client) FlushCache() {
 	c.evictions.Add(uint64(n))
 }
 
-// onEnvelope demultiplexes one arriving reply or watch event.
-func (c *Client) onEnvelope(env *wire.Envelope) {
-	switch m := env.Body.(type) {
-	case *ackMsg:
-		c.deliver(m.Seq, m)
-	case *lookupRepMsg:
-		c.deliver(m.Seq, m)
-	case *eventMsg:
-		c.onEvent(env, m)
-	}
-}
-
-func (c *Client) deliver(seq uint64, m wire.Msg) {
-	c.mu.Lock()
-	ch := c.waiting[seq]
-	delete(c.waiting, seq)
-	c.mu.Unlock()
-	if ch != nil {
-		ch <- m
+// onNotify receives the server-initiated pushes on the caller's reply
+// inbox — the watch events carrying invalidations.
+func (c *Client) onNotify(env *wire.Envelope) {
+	if ev, ok := env.Body.(*eventMsg); ok {
+		c.onEvent(env, ev)
 	}
 }
 
@@ -198,37 +199,6 @@ func (c *Client) onEvent(env *wire.Envelope, ev *eventMsg) {
 	}
 }
 
-// nextSeq allocates one request id and its reply channel.
-func (c *Client) nextSeq() (uint64, chan wire.Msg) {
-	ch := make(chan wire.Msg, 1)
-	c.mu.Lock()
-	c.seq++
-	seq := c.seq
-	c.waiting[seq] = ch
-	c.mu.Unlock()
-	return seq, ch
-}
-
-func (c *Client) forget(seq uint64) {
-	c.mu.Lock()
-	delete(c.waiting, seq)
-	c.mu.Unlock()
-}
-
-// await waits for the reply to seq, with the client timeout.
-func (c *Client) await(seq uint64, ch chan wire.Msg, timeout time.Duration) (wire.Msg, bool) {
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case m := <-ch:
-		return m, true
-	case <-t.C:
-	case <-c.d.Stopped():
-	}
-	c.forget(seq)
-	return nil, false
-}
-
 // preferred returns the shard's current preferred replica ref.
 func (c *Client) preferred(shard int) wire.InboxRef {
 	c.mu.Lock()
@@ -262,7 +232,7 @@ func (c *Client) failover(shard int) {
 	c.evictions.Add(uint64(dropped))
 	// Tell the abandoned replica (best effort — it is usually the dead
 	// one) to stop pushing events this client would discard anyway.
-	_ = c.d.SendDirect(abandoned, "", &unwatchMsg{ReplyTo: c.replyRef})
+	_ = c.caller.Cast(abandoned, "", &unwatchMsg{ReplyTo: c.caller.ReplyRef()})
 	c.subscribe(shard)
 }
 
@@ -282,38 +252,74 @@ func (c *Client) subscribe(shard int) {
 	gen := c.subGen[shard]
 	timeout := c.timeout
 	c.mu.Unlock()
-	seq, ch := c.nextSeq()
-	ref := c.preferred(shard)
-	if err := c.d.SendDirect(ref, "", &watchMsg{Seq: seq, ReplyTo: c.replyRef}); err != nil {
-		c.forget(seq)
+	settle := func(acked bool) {
 		c.mu.Lock()
 		if c.subGen[shard] == gen {
-			c.subPending[shard] = false
-		}
-		c.mu.Unlock()
-		return
-	}
-	c.d.Spawn(func() {
-		_, ok := c.await(seq, ch, timeout)
-		c.mu.Lock()
-		if c.subGen[shard] == gen {
-			if ok {
+			if acked {
 				c.subbed[shard] = true
 			}
 			c.subPending[shard] = false
 		}
 		c.mu.Unlock()
+	}
+	pend, err := c.caller.Send(c.preferred(shard), "", &watchMsg{})
+	if err != nil {
+		settle(false)
+		return
+	}
+	c.d.Spawn(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		settle(pend.Await(ctx, nil) == nil)
 	})
+}
+
+// mutate fans one mutation (built per replica by mk) to every replica of
+// the owning shard and returns once the first replica acks — or every
+// replica fails, or ctx ends first. The straggling acks are collected on
+// background threads bounded by the caller's context plus the per-replica
+// timeout, so an abandoned mutation cannot leave threads retrying past
+// its cancellation; onPrefAck, when non-nil, runs with the acked version
+// whenever the shard's preferred (subscribed) replica answers — possibly
+// after mutate returns. Per-destination FIFO ordering still holds: all
+// requests are transmitted before the first await begins.
+func (c *Client) mutate(ctx context.Context, shard int, mk func(i int) wire.Msg, onPrefAck func(version uint64)) error {
+	c.mu.Lock()
+	rs := c.cluster.shards[shard]
+	prefIdx := c.pref[shard] % len(rs)
+	timeout := c.timeout
+	c.mu.Unlock()
+
+	// The fan-out context: the caller's cancellation propagated to every
+	// straggler, bounded by the per-replica timeout. It is released when
+	// the last replica's outcome is in.
+	fctx, cancel := context.WithTimeout(ctx, timeout)
+	var outcomes atomic.Int64
+	_, _, err := c.caller.CallFirst(fctx, rs, mk, func(i int, m wire.Msg, err error) {
+		if err == nil && i == prefIdx && onPrefAck != nil {
+			if ack, isAck := m.(*ackMsg); isAck {
+				onPrefAck(ack.Version)
+			}
+		}
+		if outcomes.Add(1) == int64(len(rs)) {
+			cancel()
+		}
+	})
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
 }
 
 // Register adds or replaces an entry, fanning the registration to every
 // replica of the owning shard. It succeeds when at least one replica
-// acknowledges within the timeout; replicas that were unreachable catch
-// up through the reliable layer's retransmission when they return.
-func (c *Client) Register(e Entry) error {
+// acknowledges within the context and per-replica timeout; replicas that
+// were unreachable catch up through the reliable layer's retransmission
+// when they return.
+func (c *Client) Register(ctx context.Context, e Entry) error {
 	shard := c.cluster.ShardOf(e.Name)
-	acked := c.fanout(shard, func(seq uint64) wire.Msg {
-		return &registerMsg{Seq: seq, Name: e.Name, Typ: e.Type, Addr: e.Addr, ReplyTo: c.replyRef}
+	err := c.mutate(ctx, shard, func(int) wire.Msg {
+		return &registerMsg{Name: e.Name, Typ: e.Type, Addr: e.Addr}
 	}, func(version uint64) {
 		// Prime the cache from the subscribed replica's ack, whenever it
 		// arrives, with the same staleness guard as lookupRemote: a
@@ -325,78 +331,38 @@ func (c *Client) Register(e Entry) error {
 		}
 		c.mu.Unlock()
 	})
-	if acked == 0 {
-		return fmt.Errorf("directory: no replica of shard %d acknowledged registering %q", shard, e.Name)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("directory: no replica of shard %d acknowledged registering %q: %w", shard, e.Name, err)
 	}
 	return nil
 }
 
 // Remove deletes an entry by name on every replica of the owning shard.
 // Removing a name that is not registered is not an error.
-func (c *Client) Remove(name string) error {
+func (c *Client) Remove(ctx context.Context, name string) error {
 	shard := c.cluster.ShardOf(name)
 	c.Invalidate(name)
-	acked := c.fanout(shard, func(seq uint64) wire.Msg {
-		return &removeMsg{Seq: seq, Name: name, ReplyTo: c.replyRef}
+	err := c.mutate(ctx, shard, func(int) wire.Msg {
+		return &removeMsg{Name: name}
 	}, nil)
-	if acked == 0 {
-		return fmt.Errorf("directory: no replica of shard %d acknowledged removing %q", shard, name)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("directory: no replica of shard %d acknowledged removing %q: %w", shard, name, err)
 	}
 	return nil
-}
-
-// fanout sends one request (built per replica by mk) to every replica of
-// a shard and blocks only until the first ack arrives (or every replica
-// stays silent past the timeout), returning the number of acks seen by
-// then. The remaining acks are collected on background threads, so a
-// crashed replica costs its own timeout and nothing else — mutations
-// stay fast while a shard is degraded. Per-destination FIFO ordering
-// still holds: all requests are transmitted before fanout returns, so a
-// caller's next mutation cannot overtake this one at any replica.
-// onPrefAck, when non-nil, runs with the acked version whenever the
-// shard's preferred (subscribed) replica answers — possibly after fanout
-// returns.
-func (c *Client) fanout(shard int, mk func(seq uint64) wire.Msg, onPrefAck func(version uint64)) (acked int) {
-	c.mu.Lock()
-	rs := c.cluster.shards[shard]
-	prefIdx := c.pref[shard] % len(rs)
-	timeout := c.timeout
-	c.mu.Unlock()
-
-	results := make(chan bool, len(rs))
-	sent := 0
-	for i, ref := range rs {
-		seq, ch := c.nextSeq()
-		if err := c.d.SendDirect(ref, "", mk(seq)); err != nil {
-			c.forget(seq)
-			continue
-		}
-		sent++
-		pref := i == prefIdx
-		c.d.Spawn(func() {
-			m, ok := c.await(seq, ch, timeout)
-			if ok && pref && onPrefAck != nil {
-				if ack, isAck := m.(*ackMsg); isAck {
-					onPrefAck(ack.Version)
-				}
-			}
-			results <- ok
-		})
-	}
-	for i := 0; i < sent; i++ {
-		if <-results {
-			acked++
-			return acked
-		}
-	}
-	return acked
 }
 
 // Lookup resolves a name: from the cache when a valid entry is held,
 // otherwise from the owning shard's preferred replica (failing over
 // through the shard's remaining replicas on silence). A resolution
-// failure — name unknown, or every replica silent — reports !ok.
-func (c *Client) Lookup(name string) (Entry, bool) {
+// failure — name unknown, every replica silent, or the context ended —
+// reports !ok.
+func (c *Client) Lookup(ctx context.Context, name string) (Entry, bool) {
 	c.mu.Lock()
 	if have, ok := c.cache[name]; ok {
 		c.mu.Unlock()
@@ -405,7 +371,7 @@ func (c *Client) Lookup(name string) (Entry, bool) {
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
-	e, _, found, err := c.lookupRemote(name)
+	e, _, found, err := c.lookupRemote(ctx, name)
 	if err != nil || !found {
 		return Entry{}, false
 	}
@@ -413,8 +379,8 @@ func (c *Client) Lookup(name string) (Entry, bool) {
 }
 
 // MustLookup is Lookup but returns an error naming the missing dapplet
-// (or the unreachable shard).
-func (c *Client) MustLookup(name string) (Entry, error) {
+// (or the unreachable shard, or the ended context).
+func (c *Client) MustLookup(ctx context.Context, name string) (Entry, error) {
 	c.mu.Lock()
 	if have, ok := c.cache[name]; ok {
 		c.mu.Unlock()
@@ -423,7 +389,7 @@ func (c *Client) MustLookup(name string) (Entry, error) {
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
-	e, _, found, err := c.lookupRemote(name)
+	e, _, found, err := c.lookupRemote(ctx, name)
 	if err != nil {
 		return Entry{}, err
 	}
@@ -435,28 +401,27 @@ func (c *Client) MustLookup(name string) (Entry, error) {
 
 // lookupRemote resolves a name from the owning shard, trying each replica
 // at most once starting from the preferred one. A found entry is cached
-// under the answering replica's version stamp.
-func (c *Client) lookupRemote(name string) (Entry, uint64, bool, error) {
+// under the answering replica's version stamp. A per-replica attempt is
+// bounded by the replica timeout; the caller's context bounds (and can
+// cancel) the whole resolution, and its ending is not grounds for
+// failover — only a silent replica is.
+func (c *Client) lookupRemote(ctx context.Context, name string) (Entry, uint64, bool, error) {
 	shard := c.cluster.ShardOf(name)
 	attempts := len(c.cluster.shards[shard])
 	for try := 0; try < attempts; try++ {
-		seq, ch := c.nextSeq()
+		if err := ctx.Err(); err != nil {
+			return Entry{}, 0, false, err
+		}
 		ref := c.preferred(shard)
-		if err := c.d.SendDirect(ref, "", &lookupMsg{Seq: seq, Name: name, ReplyTo: c.replyRef}); err != nil {
-			c.forget(seq)
+		tctx, cancel := context.WithTimeout(ctx, c.replicaTimeout())
+		var rep lookupRepMsg
+		err := c.caller.Call(tctx, ref, &lookupMsg{Name: name}, &rep)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return Entry{}, 0, false, ctx.Err()
+			}
 			c.failover(shard)
-			continue
-		}
-		c.mu.Lock()
-		timeout := c.timeout
-		c.mu.Unlock()
-		m, ok := c.await(seq, ch, timeout)
-		if !ok {
-			c.failover(shard)
-			continue
-		}
-		rep, isRep := m.(*lookupRepMsg)
-		if !isRep {
 			continue
 		}
 		// The replica answers but our watch subscription never acked

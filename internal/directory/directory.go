@@ -18,6 +18,7 @@
 package directory
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -37,18 +38,21 @@ type Entry struct {
 
 // Resolver is the registration and lookup API shared by the
 // process-local Directory and the replicated-service Client; initiators
-// and scenarios accept either.
+// and scenarios accept either. Every method takes a context: the
+// service-backed Client blocks on the network and honours cancellation
+// and deadlines, while the process-local Directory answers from memory
+// and ignores the context.
 type Resolver interface {
 	// Register adds or replaces an entry.
-	Register(e Entry) error
+	Register(ctx context.Context, e Entry) error
 	// Remove deletes an entry by name; removing an unknown name is not
 	// an error.
-	Remove(name string) error
+	Remove(ctx context.Context, name string) error
 	// Lookup finds an entry by name.
-	Lookup(name string) (Entry, bool)
+	Lookup(ctx context.Context, name string) (Entry, bool)
 	// MustLookup is Lookup but returns an error naming the missing
 	// dapplet.
-	MustLookup(name string) (Entry, error)
+	MustLookup(ctx context.Context, name string) (Entry, error)
 }
 
 // Directory is a thread-safe process-local name -> address registry: the
@@ -61,26 +65,27 @@ type Directory struct {
 // New returns an empty directory.
 func New() *Directory { return &Directory{entries: make(map[string]Entry)} }
 
-// Register adds or replaces an entry. The returned error is always nil;
-// it exists to satisfy Resolver.
-func (d *Directory) Register(e Entry) error {
+// Register adds or replaces an entry. The context is ignored (the map is
+// local); the error is always nil. Both exist to satisfy Resolver.
+func (d *Directory) Register(_ context.Context, e Entry) error {
 	d.mu.Lock()
 	d.entries[e.Name] = e
 	d.mu.Unlock()
 	return nil
 }
 
-// Remove deletes an entry by name. The returned error is always nil; it
-// exists to satisfy Resolver.
-func (d *Directory) Remove(name string) error {
+// Remove deletes an entry by name. The context is ignored; the error is
+// always nil. Both exist to satisfy Resolver.
+func (d *Directory) Remove(_ context.Context, name string) error {
 	d.mu.Lock()
 	delete(d.entries, name)
 	d.mu.Unlock()
 	return nil
 }
 
-// Lookup finds an entry by name.
-func (d *Directory) Lookup(name string) (Entry, bool) {
+// Lookup finds an entry by name. The context is ignored (the map answers
+// from memory).
+func (d *Directory) Lookup(_ context.Context, name string) (Entry, bool) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	e, ok := d.entries[name]
@@ -88,8 +93,8 @@ func (d *Directory) Lookup(name string) (Entry, bool) {
 }
 
 // MustLookup is Lookup but returns an error naming the missing dapplet.
-func (d *Directory) MustLookup(name string) (Entry, error) {
-	if e, ok := d.Lookup(name); ok {
+func (d *Directory) MustLookup(ctx context.Context, name string) (Entry, error) {
+	if e, ok := d.Lookup(ctx, name); ok {
 		return e, nil
 	}
 	return Entry{}, fmt.Errorf("directory: no dapplet named %q", name)

@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -12,23 +13,25 @@ func entry(name, typ string, port uint16) Entry {
 }
 
 func TestRegisterLookupRemove(t *testing.T) {
+	ctx := context.Background()
 	d := New()
-	d.Register(entry("mani-cal", "calendar", 1))
-	e, ok := d.Lookup("mani-cal")
+	d.Register(ctx, entry("mani-cal", "calendar", 1))
+	e, ok := d.Lookup(ctx, "mani-cal")
 	if !ok || e.Type != "calendar" || e.Addr.Port != 1 {
 		t.Fatalf("lookup = %+v %v", e, ok)
 	}
-	d.Remove("mani-cal")
-	if _, ok := d.Lookup("mani-cal"); ok {
+	d.Remove(ctx, "mani-cal")
+	if _, ok := d.Lookup(ctx, "mani-cal"); ok {
 		t.Fatal("removed entry still present")
 	}
 }
 
 func TestRegisterReplaces(t *testing.T) {
+	ctx := context.Background()
 	d := New()
-	d.Register(entry("x", "a", 1))
-	d.Register(entry("x", "b", 2))
-	e, _ := d.Lookup("x")
+	d.Register(ctx, entry("x", "a", 1))
+	d.Register(ctx, entry("x", "b", 2))
+	e, _ := d.Lookup(ctx, "x")
 	if e.Type != "b" || e.Addr.Port != 2 {
 		t.Fatalf("replace failed: %+v", e)
 	}
@@ -38,21 +41,23 @@ func TestRegisterReplaces(t *testing.T) {
 }
 
 func TestMustLookup(t *testing.T) {
+	ctx := context.Background()
 	d := New()
-	if _, err := d.MustLookup("ghost"); err == nil {
+	if _, err := d.MustLookup(ctx, "ghost"); err == nil {
 		t.Fatal("missing name did not error")
 	}
-	d.Register(entry("real", "t", 3))
-	if _, err := d.MustLookup("real"); err != nil {
+	d.Register(ctx, entry("real", "t", 3))
+	if _, err := d.MustLookup(ctx, "real"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestNamesSortedAndByType(t *testing.T) {
+	ctx := context.Background()
 	d := New()
-	d.Register(entry("zoe-cal", "calendar", 1))
-	d.Register(entry("abe-cal", "calendar", 2))
-	d.Register(entry("sec", "secretary", 3))
+	d.Register(ctx, entry("zoe-cal", "calendar", 1))
+	d.Register(ctx, entry("abe-cal", "calendar", 2))
+	d.Register(ctx, entry("sec", "secretary", 3))
 	names := d.Names()
 	if len(names) != 3 || names[0] != "abe-cal" || names[2] != "zoe-cal" {
 		t.Fatalf("Names = %v", names)
@@ -67,6 +72,7 @@ func TestNamesSortedAndByType(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
+	ctx := context.Background()
 	d := New()
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
@@ -74,8 +80,8 @@ func TestConcurrentAccess(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			name := string(rune('a' + i))
-			d.Register(entry(name, "t", uint16(i)))
-			d.Lookup(name)
+			d.Register(ctx, entry(name, "t", uint16(i)))
+			d.Lookup(ctx, name)
 			d.Names()
 		}(i)
 	}

@@ -6,20 +6,18 @@ import (
 )
 
 // The directory service protocol: four request kinds (register, remove,
-// lookup, watch) and three replies (ack, lookup reply, watch event), all
-// carried as binary wire messages on the "@dir" service inbox. Requests
-// carry a ReplyTo inbox and a client-chosen sequence number; the pair of
-// asynchronous messages forms one synchronous RPC, exactly the model
-// internal/rpc documents (§3.2), but with first-class binary kinds so
-// directory traffic never pays the JSON fallback.
+// lookup, watch) and three server-originated kinds (ack, lookup reply,
+// watch event), all carried as binary wire messages on the "@dir" service
+// inbox. Correlation ids, reply inboxes and deadlines belong to the svc
+// framework (internal/svc) the requests travel on; the messages here
+// carry only directory payload. Watch events are pushed bare to the
+// subscribed caller's reply inbox, outside any request/reply pair.
 
 // registerMsg adds or replaces one entry on a replica.
 type registerMsg struct {
-	Seq     uint64        `json:"q"`
-	Name    string        `json:"n"`
-	Typ     string        `json:"t"`
-	Addr    netsim.Addr   `json:"a"`
-	ReplyTo wire.InboxRef `json:"re,omitempty"`
+	Name string      `json:"n"`
+	Typ  string      `json:"t"`
+	Addr netsim.Addr `json:"a"`
 }
 
 // Kind implements wire.Msg.
@@ -27,31 +25,25 @@ func (*registerMsg) Kind() string { return "dir.reg" }
 
 // AppendBinary implements wire.BinaryMessage.
 func (m *registerMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, m.Seq)
 	dst = wire.AppendString(dst, m.Name)
 	dst = wire.AppendString(dst, m.Typ)
 	dst = wire.AppendString(dst, m.Addr.Host)
-	dst = wire.AppendUvarint(dst, uint64(m.Addr.Port))
-	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+	return wire.AppendUvarint(dst, uint64(m.Addr.Port)), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *registerMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	m.Seq = r.Uvarint()
 	m.Name = r.String()
 	m.Typ = r.String()
 	m.Addr.Host = r.String()
 	m.Addr.Port = r.Port()
-	m.ReplyTo = r.InboxRef()
 	return r.Done()
 }
 
 // removeMsg deletes one entry by name.
 type removeMsg struct {
-	Seq     uint64        `json:"q"`
-	Name    string        `json:"n"`
-	ReplyTo wire.InboxRef `json:"re,omitempty"`
+	Name string `json:"n"`
 }
 
 // Kind implements wire.Msg.
@@ -59,25 +51,19 @@ func (*removeMsg) Kind() string { return "dir.rm" }
 
 // AppendBinary implements wire.BinaryMessage.
 func (m *removeMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, m.Seq)
-	dst = wire.AppendString(dst, m.Name)
-	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+	return wire.AppendString(dst, m.Name), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *removeMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	m.Seq = r.Uvarint()
 	m.Name = r.String()
-	m.ReplyTo = r.InboxRef()
 	return r.Done()
 }
 
 // lookupMsg resolves one name.
 type lookupMsg struct {
-	Seq     uint64        `json:"q"`
-	Name    string        `json:"n"`
-	ReplyTo wire.InboxRef `json:"re"`
+	Name string `json:"n"`
 }
 
 // Kind implements wire.Msg.
@@ -85,47 +71,35 @@ func (*lookupMsg) Kind() string { return "dir.lookup" }
 
 // AppendBinary implements wire.BinaryMessage.
 func (m *lookupMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, m.Seq)
-	dst = wire.AppendString(dst, m.Name)
-	return wire.AppendInboxRef(dst, m.ReplyTo), nil
+	return wire.AppendString(dst, m.Name), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *lookupMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	m.Seq = r.Uvarint()
 	m.Name = r.String()
-	m.ReplyTo = r.InboxRef()
 	return r.Done()
 }
 
-// watchMsg subscribes an inbox to the replica's invalidation events.
-type watchMsg struct {
-	Seq     uint64        `json:"q"`
-	ReplyTo wire.InboxRef `json:"re"`
-}
+// watchMsg subscribes the requesting caller's reply inbox (the svc
+// frame's ReplyTo) to the replica's invalidation events.
+type watchMsg struct{}
 
 // Kind implements wire.Msg.
 func (*watchMsg) Kind() string { return "dir.watch" }
 
 // AppendBinary implements wire.BinaryMessage.
-func (m *watchMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, m.Seq)
-	return wire.AppendInboxRef(dst, m.ReplyTo), nil
-}
+func (m *watchMsg) AppendBinary(dst []byte) ([]byte, error) { return dst, nil }
 
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *watchMsg) UnmarshalBinary(data []byte) error {
-	r := wire.NewReader(data)
-	m.Seq = r.Uvarint()
-	m.ReplyTo = r.InboxRef()
-	return r.Done()
+	return wire.NewReader(data).Done()
 }
 
 // unwatchMsg unsubscribes an inbox from the replica's invalidation
-// events; a client failing over to another replica sends it (best
-// effort, no reply) so the abandoned replica stops pushing events it
-// would discard anyway.
+// events; a client failing over to another replica sends it one-way
+// (best effort, no reply) so the abandoned replica stops pushing events
+// it would discard anyway.
 type unwatchMsg struct {
 	ReplyTo wire.InboxRef `json:"re"`
 }
@@ -149,7 +123,6 @@ func (m *unwatchMsg) UnmarshalBinary(data []byte) error {
 // replica's version counter after the mutation (unchanged for a remove of
 // an unknown name); OK reports whether the request changed anything.
 type ackMsg struct {
-	Seq     uint64 `json:"q"`
 	Version uint64 `json:"v"`
 	OK      bool   `json:"ok"`
 }
@@ -159,7 +132,6 @@ func (*ackMsg) Kind() string { return "dir.ack" }
 
 // AppendBinary implements wire.BinaryMessage.
 func (m *ackMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, m.Seq)
 	dst = wire.AppendUvarint(dst, m.Version)
 	return wire.AppendBool(dst, m.OK), nil
 }
@@ -167,7 +139,6 @@ func (m *ackMsg) AppendBinary(dst []byte) ([]byte, error) {
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *ackMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	m.Seq = r.Uvarint()
 	m.Version = r.Uvarint()
 	m.OK = r.Bool()
 	return r.Done()
@@ -177,7 +148,6 @@ func (m *ackMsg) UnmarshalBinary(data []byte) error {
 // replica's version counter at resolution time, the basis of the client
 // cache's staleness check.
 type lookupRepMsg struct {
-	Seq     uint64      `json:"q"`
 	Name    string      `json:"n"`
 	Typ     string      `json:"t"`
 	Addr    netsim.Addr `json:"a"`
@@ -190,7 +160,6 @@ func (*lookupRepMsg) Kind() string { return "dir.rep" }
 
 // AppendBinary implements wire.BinaryMessage.
 func (m *lookupRepMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, m.Seq)
 	dst = wire.AppendString(dst, m.Name)
 	dst = wire.AppendString(dst, m.Typ)
 	dst = wire.AppendString(dst, m.Addr.Host)
@@ -202,7 +171,6 @@ func (m *lookupRepMsg) AppendBinary(dst []byte) ([]byte, error) {
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *lookupRepMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	m.Seq = r.Uvarint()
 	m.Name = r.String()
 	m.Typ = r.String()
 	m.Addr.Host = r.String()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/svc"
 	"repro/internal/wire"
 )
 
@@ -57,10 +58,41 @@ type Service struct {
 }
 
 // Serve hosts a directory replica on the dapplet, consuming its "@dir"
-// inbox, and returns the service.
+// inbox through the svc framework, and returns the service. Correlation
+// and reply routing are svc's; the handlers below only apply directory
+// mutations and shape their payloads.
 func Serve(d *core.Dapplet) *Service {
 	s := &Service{d: d, entries: make(map[string]*record)}
-	d.Handle(ServiceInbox, s.handle)
+	svc.Serve(d, ServiceInbox, svc.Handlers{
+		"dir.reg": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			m := req.(*registerMsg)
+			v := s.Register(Entry{Name: m.Name, Type: m.Typ, Addr: m.Addr})
+			return &ackMsg{Version: v, OK: true}, nil
+		},
+		"dir.rm": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			v, ok := s.Remove(req.(*removeMsg).Name)
+			return &ackMsg{Version: v, OK: ok}, nil
+		},
+		"dir.lookup": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			m := req.(*lookupMsg)
+			e, v, ok := s.Lookup(m.Name)
+			rep := &lookupRepMsg{Name: m.Name, Version: v, Found: ok}
+			if ok {
+				rep.Typ, rep.Addr = e.Type, e.Addr
+			}
+			return rep, nil
+		},
+		"dir.watch": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			// The subscription is keyed on the caller's reply inbox: the
+			// same address its acks and lookup replies already arrive on.
+			s.addWatcher(c.ReplyTo())
+			return &ackMsg{Version: s.Version(), OK: true}, nil
+		},
+		"dir.unwatch": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			s.removeWatcher(req.(*unwatchMsg).ReplyTo)
+			return nil, nil
+		},
+	})
 	return s
 }
 
@@ -264,33 +296,5 @@ func (s *Service) removeWatcher(ref wire.InboxRef) {
 			s.watchers = append(s.watchers[:i], s.watchers[i+1:]...)
 			return
 		}
-	}
-}
-
-// handle serves one protocol request from the "@dir" inbox.
-func (s *Service) handle(env *wire.Envelope) {
-	switch m := env.Body.(type) {
-	case *registerMsg:
-		v := s.Register(Entry{Name: m.Name, Type: m.Typ, Addr: m.Addr})
-		if !m.ReplyTo.IsZero() {
-			_ = s.d.SendDirect(m.ReplyTo, "", &ackMsg{Seq: m.Seq, Version: v, OK: true})
-		}
-	case *removeMsg:
-		v, ok := s.Remove(m.Name)
-		if !m.ReplyTo.IsZero() {
-			_ = s.d.SendDirect(m.ReplyTo, "", &ackMsg{Seq: m.Seq, Version: v, OK: ok})
-		}
-	case *lookupMsg:
-		e, v, ok := s.Lookup(m.Name)
-		rep := &lookupRepMsg{Seq: m.Seq, Name: m.Name, Version: v, Found: ok}
-		if ok {
-			rep.Typ, rep.Addr = e.Type, e.Addr
-		}
-		_ = s.d.SendDirect(m.ReplyTo, "", rep)
-	case *watchMsg:
-		s.addWatcher(m.ReplyTo)
-		_ = s.d.SendDirect(m.ReplyTo, "", &ackMsg{Seq: m.Seq, Version: s.Version(), OK: true})
-	case *unwatchMsg:
-		s.removeWatcher(m.ReplyTo)
 	}
 }

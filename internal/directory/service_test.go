@@ -1,7 +1,10 @@
 package directory_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -81,6 +84,7 @@ func TestShardOfStableAndInRange(t *testing.T) {
 }
 
 func TestClientRegisterLookupRemove(t *testing.T) {
+	ctx := context.Background()
 	net := netsim.New(netsim.WithSeed(1))
 	defer net.Close()
 	cl, _ := buildCluster(t, net, 2, 2)
@@ -88,31 +92,32 @@ func TestClientRegisterLookupRemove(t *testing.T) {
 	c := directory.NewClient(cliD, cl)
 
 	e := directory.Entry{Name: "mani-cal", Type: "calendar", Addr: netsim.Addr{Host: "x", Port: 7}}
-	if err := c.Register(e); err != nil {
+	if err := c.Register(ctx, e); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.MustLookup("mani-cal")
+	got, err := c.MustLookup(ctx, "mani-cal")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != e {
 		t.Fatalf("lookup = %+v, want %+v", got, e)
 	}
-	if _, ok := c.Lookup("ghost"); ok {
+	if _, ok := c.Lookup(ctx, "ghost"); ok {
 		t.Fatal("phantom entry resolved")
 	}
-	if _, err := c.MustLookup("ghost"); err == nil {
+	if _, err := c.MustLookup(ctx, "ghost"); err == nil {
 		t.Fatal("missing name did not error")
 	}
-	if err := c.Remove("mani-cal"); err != nil {
+	if err := c.Remove(ctx, "mani-cal"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Lookup("mani-cal"); ok {
+	if _, ok := c.Lookup(ctx, "mani-cal"); ok {
 		t.Fatal("removed entry still resolves")
 	}
 }
 
 func TestClientCacheHitPath(t *testing.T) {
+	ctx := context.Background()
 	net := netsim.New(netsim.WithSeed(2))
 	defer net.Close()
 	cl, _ := buildCluster(t, net, 1, 1)
@@ -120,12 +125,12 @@ func TestClientCacheHitPath(t *testing.T) {
 	c := directory.NewClient(cliD, cl)
 
 	e := directory.Entry{Name: "n1", Type: "t", Addr: netsim.Addr{Host: "x", Port: 1}}
-	if err := c.Register(e); err != nil {
+	if err := c.Register(ctx, e); err != nil {
 		t.Fatal(err)
 	}
 	// Registration primes the cache; every lookup after it is a hit.
 	for i := 0; i < 5; i++ {
-		if _, ok := c.Lookup("n1"); !ok {
+		if _, ok := c.Lookup(ctx, "n1"); !ok {
 			t.Fatal("lookup failed")
 		}
 	}
@@ -135,8 +140,8 @@ func TestClientCacheHitPath(t *testing.T) {
 	}
 	// A flushed cache forces the remote path once, then hits again.
 	c.FlushCache()
-	c.Lookup("n1")
-	c.Lookup("n1")
+	c.Lookup(ctx, "n1")
+	c.Lookup(ctx, "n1")
 	st = c.Stats()
 	if st.Hits != 6 || st.Misses != 1 {
 		t.Fatalf("stats after flush = %+v, want 6 hits 1 miss", st)
@@ -147,6 +152,7 @@ func TestClientCacheHitPath(t *testing.T) {
 // client's re-registration and removal must invalidate this client's
 // version-stamped cache entries through pushed watch events.
 func TestStaleVersionEviction(t *testing.T) {
+	ctx := context.Background()
 	net := netsim.New(netsim.WithSeed(3))
 	defer net.Close()
 	cl, _ := buildCluster(t, net, 1, 1)
@@ -154,25 +160,25 @@ func TestStaleVersionEviction(t *testing.T) {
 	b := directory.NewClient(newDap(t, net, "hb", "b"), cl)
 
 	old := directory.Entry{Name: "n", Type: "t", Addr: netsim.Addr{Host: "x", Port: 1}}
-	if err := a.Register(old); err != nil {
+	if err := a.Register(ctx, old); err != nil {
 		t.Fatal(err)
 	}
-	if e, ok := a.Lookup("n"); !ok || e.Addr.Port != 1 {
+	if e, ok := a.Lookup(ctx, "n"); !ok || e.Addr.Port != 1 {
 		t.Fatalf("initial lookup = %+v %v", e, ok)
 	}
 
 	// B re-registers the name at a new address: the event must refresh
 	// A's cached entry in place (no extra remote round trip).
 	fresh := directory.Entry{Name: "n", Type: "t", Addr: netsim.Addr{Host: "y", Port: 2}}
-	if err := b.Register(fresh); err != nil {
+	if err := b.Register(ctx, fresh); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "cache refresh", func() bool {
-		e, ok := a.Lookup("n")
+		e, ok := a.Lookup(ctx, "n")
 		return ok && e.Addr.Port == 2
 	})
 	missesBefore := a.Stats().Misses
-	if e, _ := a.Lookup("n"); e.Addr != fresh.Addr {
+	if e, _ := a.Lookup(ctx, "n"); e.Addr != fresh.Addr {
 		t.Fatalf("stale entry survived: %+v", e)
 	}
 	if got := a.Stats().Misses; got != missesBefore {
@@ -181,11 +187,11 @@ func TestStaleVersionEviction(t *testing.T) {
 
 	// B removes the name: the event must evict A's cache, and the next
 	// lookup goes remote and reports the name gone.
-	if err := b.Remove("n"); err != nil {
+	if err := b.Remove(ctx, "n"); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "cache eviction", func() bool {
-		_, ok := a.Lookup("n")
+		_, ok := a.Lookup(ctx, "n")
 		return !ok
 	})
 	if a.Stats().Evictions == 0 {
@@ -196,6 +202,7 @@ func TestStaleVersionEviction(t *testing.T) {
 // TestConcurrentRegisterRemoveLookup exercises the client and service
 // under racing mutations from several goroutines (run with -race).
 func TestConcurrentRegisterRemoveLookup(t *testing.T) {
+	ctx := context.Background()
 	net := netsim.New(netsim.WithSeed(4))
 	defer net.Close()
 	cl, svcs := buildCluster(t, net, 2, 2)
@@ -219,14 +226,14 @@ func TestConcurrentRegisterRemoveLookup(t *testing.T) {
 				e := directory.Entry{Name: name, Type: "t", Addr: netsim.Addr{Host: "h", Port: uint16(g + 1)}}
 				switch i % 3 {
 				case 0:
-					if err := c.Register(e); err != nil {
+					if err := c.Register(ctx, e); err != nil {
 						t.Error(err)
 						return
 					}
 				case 1:
-					c.Lookup(name)
+					c.Lookup(ctx, name)
 				case 2:
-					if err := c.Remove(name); err != nil {
+					if err := c.Remove(ctx, name); err != nil {
 						t.Error(err)
 						return
 					}
@@ -252,14 +259,15 @@ func TestConcurrentRegisterRemoveLookup(t *testing.T) {
 // TestFailoverToSurvivingReplica crashes the replica a client prefers and
 // checks lookups keep succeeding through the shard's surviving replica.
 func TestFailoverToSurvivingReplica(t *testing.T) {
+	ctx := context.Background()
 	net := netsim.New(netsim.WithSeed(5))
 	defer net.Close()
 	cl, _ := buildCluster(t, net, 1, 2)
-	c := directory.NewClient(newDap(t, net, "hc", "client"), cl)
-	c.SetTimeout(150 * time.Millisecond)
+	c := directory.NewClient(newDap(t, net, "hc", "client"), cl,
+		directory.WithClientTimeout(150*time.Millisecond))
 
 	e := directory.Entry{Name: "survivor-test", Type: "t", Addr: netsim.Addr{Host: "x", Port: 9}}
-	if err := c.Register(e); err != nil {
+	if err := c.Register(ctx, e); err != nil {
 		t.Fatal(err)
 	}
 
@@ -267,7 +275,7 @@ func TestFailoverToSurvivingReplica(t *testing.T) {
 	// so the next lookup must go remote and fail over.
 	net.Crash("dir-0-0")
 	c.FlushCache()
-	got, err := c.MustLookup("survivor-test")
+	got, err := c.MustLookup(ctx, "survivor-test")
 	if err != nil {
 		t.Fatalf("lookup after replica crash: %v", err)
 	}
@@ -278,10 +286,10 @@ func TestFailoverToSurvivingReplica(t *testing.T) {
 		t.Fatal("no failover counted")
 	}
 	// Mutations keep working too: the surviving replica acknowledges.
-	if err := c.Register(directory.Entry{Name: "post-crash", Type: "t", Addr: netsim.Addr{Host: "y", Port: 1}}); err != nil {
+	if err := c.Register(ctx, directory.Entry{Name: "post-crash", Type: "t", Addr: netsim.Addr{Host: "y", Port: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.MustLookup("post-crash"); err != nil {
+	if _, err := c.MustLookup(ctx, "post-crash"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -291,6 +299,7 @@ func TestFailoverToSurvivingReplica(t *testing.T) {
 // its entry with no manual Remove, and its restarted incarnation's
 // heartbeat re-registers it at the new address.
 func TestFailureDrivenExpiryAndReincarnation(t *testing.T) {
+	ctx := context.Background()
 	net := netsim.New(netsim.WithSeed(6))
 	defer net.Close()
 
@@ -309,7 +318,7 @@ func TestFailureDrivenExpiryAndReincarnation(t *testing.T) {
 	worker := newDap(t, net, "hw", "worker")
 	wdet := failure.Attach(worker, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
 	wdet.Watch(svcD.Name(), svcD.Addr())
-	if err := c.Register(directory.Entry{Name: "worker", Type: "node", Addr: worker.Addr()}); err != nil {
+	if err := c.Register(ctx, directory.Entry{Name: "worker", Type: "node", Addr: worker.Addr()}); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, "replica watching worker", func() bool {
@@ -326,7 +335,7 @@ func TestFailureDrivenExpiryAndReincarnation(t *testing.T) {
 		return !ok
 	})
 	waitFor(t, "client cache eviction", func() bool {
-		_, ok := c.Lookup("worker")
+		_, ok := c.Lookup(ctx, "worker")
 		return !ok
 	})
 
@@ -341,11 +350,71 @@ func TestFailureDrivenExpiryAndReincarnation(t *testing.T) {
 		e, _, ok := svc.Lookup("worker")
 		return ok && e.Addr == worker2.Addr() && e.Type == "node"
 	})
-	got, err := c.MustLookup("worker")
+	got, err := c.MustLookup(ctx, "worker")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Addr != worker2.Addr() {
 		t.Fatalf("client resolved %v, want reincarnated %v", got.Addr, worker2.Addr())
+	}
+}
+
+// TestMutationContextPropagation pins the fan-out cancellation satellite:
+// a Register abandoned by its caller's cancellation must return promptly
+// with the context error — not ride out the full per-replica timeout —
+// and must leave no background threads retrying past the cancellation
+// (fenced with runtime.NumGoroutine, meaningful under -race).
+func TestMutationContextPropagation(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(7))
+	defer net.Close()
+	cl, _ := buildCluster(t, net, 1, 2)
+	c := directory.NewClient(newDap(t, net, "hc", "client"), cl)
+	// Both replicas dead: every fan-out leg is a straggler. The default
+	// per-replica timeout is 2s; cancellation must beat it.
+	net.Crash("dir-0-0")
+	net.Crash("dir-0-1")
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Register(ctx, directory.Entry{Name: "orphan", Type: "t", Addr: netsim.Addr{Host: "x", Port: 1}})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Register never returned")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled Register took %v (rode out the replica timeout?)", elapsed)
+	}
+	waitFor(t, "fan-out stragglers to exit", func() bool {
+		return runtime.NumGoroutine() <= before+2
+	})
+}
+
+// TestLookupExpiredContext checks the read path's context contract: an
+// already-expired context resolves nothing and MustLookup surfaces
+// context.DeadlineExceeded.
+func TestLookupExpiredContext(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(8))
+	defer net.Close()
+	cl, _ := buildCluster(t, net, 1, 1)
+	c := directory.NewClient(newDap(t, net, "hc", "client"), cl)
+	if err := c.Register(context.Background(), directory.Entry{Name: "n", Type: "t", Addr: netsim.Addr{Host: "x", Port: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	c.FlushCache() // force the remote path
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if _, err := c.MustLookup(ctx, "n"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -27,6 +27,13 @@
 // heartbeat envelope itself, so watching survives a crash/restart cycle
 // that rebinds the peer to a fresh port.
 //
+// The "@fail" inbox is served through the svc framework (internal/svc):
+// heartbeats stay bare one-way beacons, while peers held Down are sent
+// a correlated address-learning probe at a slow rate — a request/reply
+// whose answer (name plus incarnation) lifts the verdict even when the
+// probed peer does not watch back, and whose arrival doubles as
+// liveness evidence for the probed side.
+//
 // A Detector is attached to a dapplet (Attach) and told whom to watch
 // (Watch); state changes are delivered to OnEvent observers and queried
 // with Status. BindSession forwards verdicts into the dapplet's session

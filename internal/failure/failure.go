@@ -1,12 +1,14 @@
 package failure
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/svc"
 	"repro/internal/wire"
 )
 
@@ -112,8 +114,62 @@ func (m *heartbeatMsg) UnmarshalBinary(data []byte) error {
 	return r.Done()
 }
 
+// probeMsg is the address-learning probe a watcher sends (through svc,
+// with a correlation id and reply inbox) to a peer it holds Down: unlike
+// the one-way heartbeat, the pair proves the channel alive in both
+// directions in one exchange, without requiring the peer to watch back.
+type probeMsg struct {
+	From string `json:"f"`
+	Inc  uint64 `json:"i"`
+}
+
+// Kind implements wire.Msg.
+func (*probeMsg) Kind() string { return "fail.probe" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *probeMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.From)
+	return wire.AppendUvarint(dst, m.Inc), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *probeMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.From = r.String()
+	m.Inc = r.Uvarint()
+	return r.Done()
+}
+
+// probeRepMsg answers a probe with the answering dapplet's identity and
+// incarnation, which is what lifts the prober's Down verdict (only an
+// incarnation number distinguishes a recovered peer from a dead
+// incarnation's lingering frames).
+type probeRepMsg struct {
+	Name string `json:"n"`
+	Inc  uint64 `json:"i"`
+}
+
+// Kind implements wire.Msg.
+func (*probeRepMsg) Kind() string { return "fail.probe-rep" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *probeRepMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.Name)
+	return wire.AppendUvarint(dst, m.Inc), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *probeRepMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Name = r.String()
+	m.Inc = r.Uvarint()
+	return r.Done()
+}
+
 func init() {
 	wire.Register(&heartbeatMsg{})
+	wire.Register(&probeMsg{})
+	wire.Register(&probeRepMsg{})
 }
 
 // peerState is everything a watcher tracks about one peer.
@@ -133,6 +189,9 @@ type peerState struct {
 	// heartbeat's incarnation number can lift a Down verdict the peer
 	// holds against us, so a busy channel must not starve them forever.
 	lastHB time.Time
+	// probing marks an address-learning probe in flight to this (Down)
+	// peer, so the slow probe rate cannot pile calls onto a dead address.
+	probing bool
 	// meanIA/devIA are the smoothed interarrival estimators feeding the
 	// adaptive timeout; zero until two heartbeats have been observed.
 	meanIA time.Duration
@@ -153,8 +212,9 @@ func (p *peerState) detectionTimeout(cfg Config) time.Duration {
 // Detector heartbeats the peers watching this dapplet and watches peers
 // in return. All methods are safe for concurrent use.
 type Detector struct {
-	d   *core.Dapplet
-	cfg Config
+	d      *core.Dapplet
+	cfg    Config
+	caller *svc.Caller
 
 	// emitMu serializes each verdict transition with its observer
 	// delivery: it is taken before mu by every path that may emit, so
@@ -171,6 +231,7 @@ type Detector struct {
 
 	hbSent   atomic.Uint64
 	implicit atomic.Uint64
+	probes   atomic.Uint64
 }
 
 // Stats counts a detector's transmitted heartbeats and the application
@@ -181,6 +242,9 @@ type Stats struct {
 	// ImplicitRefreshes is the number of application/ack frames from
 	// watched peers that refreshed liveness instead of a heartbeat.
 	ImplicitRefreshes uint64
+	// ProbesSent is the number of address-learning probes issued to Down
+	// peers (the svc request/reply that rediscovers a healed partition).
+	ProbesSent uint64
 }
 
 // Attach equips a dapplet with a failure detector. The detector starts
@@ -189,15 +253,32 @@ type Stats struct {
 // as liveness evidence: received application traffic refreshes the
 // peer's deadline, and transmitted application traffic suppresses the
 // next explicit heartbeat to that peer, so heartbeats flow only on idle
-// channels.
+// channels. The "@fail" inbox is an svc-served inbox: heartbeats arrive
+// bare (one-way), and address-learning probes arrive correlated and are
+// answered with this instance's name and incarnation.
 func Attach(d *core.Dapplet, cfg Config) *Detector {
 	det := &Detector{
 		d:      d,
 		cfg:    cfg.withDefaults(),
+		caller: svc.NewCaller(d),
 		peers:  make(map[string]*peerState),
 		byAddr: make(map[netsim.Addr]*peerState),
 	}
-	d.Handle(ControlInbox, det.onHeartbeat)
+	svc.Serve(d, ControlInbox, svc.Handlers{
+		"fail.hb": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			hb := req.(*heartbeatMsg)
+			det.applyBeacon(hb.From, hb.Inc, c.From())
+			return nil, nil
+		},
+		"fail.probe": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			// A probe is itself liveness evidence, incarnation included:
+			// if we hold the prober Down across a healed partition, this
+			// lifts our verdict while the reply lifts theirs.
+			p := req.(*probeMsg)
+			det.applyBeacon(p.From, p.Inc, c.From())
+			return &probeRepMsg{Name: d.Name(), Inc: det.cfg.Incarnation}, nil
+		},
+	})
 	d.OnRecv(det.onAppRecv)
 	d.OnSend(det.onAppSend)
 	d.Spawn(det.loop)
@@ -209,6 +290,7 @@ func (det *Detector) Stats() Stats {
 	return Stats{
 		HeartbeatsSent:    det.hbSent.Load(),
 		ImplicitRefreshes: det.implicit.Load(),
+		ProbesSent:        det.probes.Load(),
 	}
 }
 
@@ -287,24 +369,21 @@ func (det *Detector) emit(ev Event) {
 	}
 }
 
-// onHeartbeat processes one arriving beacon: it refreshes the peer's
-// deadline, feeds the interarrival estimators, learns a restarted peer's
-// new address from the envelope, and lifts Suspect/Down verdicts.
-func (det *Detector) onHeartbeat(env *wire.Envelope) {
-	hb, ok := env.Body.(*heartbeatMsg)
-	if !ok {
-		return
-	}
+// applyBeacon processes one incarnation-carrying liveness proof — a
+// heartbeat, an incoming probe, or a probe reply — from a watched peer:
+// it refreshes the peer's deadline, feeds the interarrival estimators,
+// learns a restarted peer's new address, and lifts Suspect/Down verdicts.
+func (det *Detector) applyBeacon(from string, inc uint64, addr netsim.Addr) {
 	now := time.Now()
 	det.emitMu.Lock()
 	defer det.emitMu.Unlock()
 	det.mu.Lock()
-	p, watched := det.peers[hb.From]
+	p, watched := det.peers[from]
 	if !watched {
 		det.mu.Unlock()
 		return
 	}
-	if hb.Inc < p.lastInc {
+	if inc < p.lastInc {
 		// A delayed beacon from a dead incarnation (it can linger in
 		// flight after the crash): honouring it would revert the peer's
 		// address and falsely lift a Down verdict.
@@ -332,10 +411,10 @@ func (det *Detector) onHeartbeat(env *wire.Envelope) {
 		p.meanIA, p.devIA = 0, 0
 	}
 	p.lastHeard = now
-	p.lastInc = hb.Inc
-	if p.addr != env.FromDapplet { // a reincarnated peer announces its new address
+	p.lastInc = inc
+	if p.addr != addr { // a reincarnated peer announces its new address
 		delete(det.byAddr, p.addr)
-		p.addr = env.FromDapplet
+		p.addr = addr
 		det.byAddr[p.addr] = p
 	}
 	recovered := p.state != Up
@@ -418,8 +497,10 @@ func (det *Detector) onAppSend(env *wire.Envelope) {
 // idle for an interval (peers we sent application traffic more recently
 // are hearing from us anyway), floored at one explicit heartbeat per 8
 // intervals so a watcher holding us Down is guaranteed to eventually see
-// an incarnation-carrying beacon. Ticking at a quarter interval bounds
-// verdict latency jitter to Interval/4.
+// an incarnation-carrying beacon. Down peers are not heartbeated: they
+// receive a correlated address-learning probe at 1/8 the rate instead
+// (see probe). Ticking at a quarter interval bounds verdict latency
+// jitter to Interval/4.
 func (det *Detector) loop() {
 	tick := time.NewTicker(det.cfg.Interval / 4)
 	defer tick.Stop()
@@ -434,6 +515,11 @@ func (det *Detector) loop() {
 		now := time.Now()
 		var events []Event
 		var targets []wire.InboxRef
+		type probeTarget struct {
+			name string
+			addr netsim.Addr
+		}
+		var probes []probeTarget
 		det.emitMu.Lock()
 		det.mu.Lock()
 		n++
@@ -460,12 +546,16 @@ func (det *Detector) loop() {
 			// A busy channel suppresses explicit heartbeats, but never all
 			// of them: one per 8 intervals still flows, because a watcher
 			// that declared us Down ignores our application frames and
-			// only a heartbeat's incarnation can lift its verdict.
+			// only a beacon's incarnation can lift its verdict.
 			idle := now.Sub(p.lastSent) >= det.cfg.Interval ||
 				now.Sub(p.lastHB) >= 8*det.cfg.Interval
-			if (send && p.state != Down && idle) || (slowSend && p.state == Down) {
+			switch {
+			case send && p.state != Down && idle:
 				p.lastHB = now
 				targets = append(targets, wire.InboxRef{Dapplet: p.addr, Inbox: ControlInbox})
+			case slowSend && p.state == Down && !p.probing:
+				p.probing = true
+				probes = append(probes, probeTarget{name: p.name, addr: p.addr})
 			}
 		}
 		seq, inc := det.seq, det.cfg.Incarnation
@@ -478,5 +568,32 @@ func (det *Detector) loop() {
 			det.hbSent.Add(1)
 			_ = det.d.SendDirect(to, "", &heartbeatMsg{From: det.d.Name(), Seq: seq, Inc: inc})
 		}
+		for _, pt := range probes {
+			pt := pt
+			det.d.Spawn(func() { det.probe(pt.name, pt.addr) })
+		}
 	}
+}
+
+// probe issues one address-learning probe to a Down peer: an svc call to
+// its "@fail" inbox whose reply — name and incarnation — lifts the Down
+// verdict through the same path a heartbeat would, without requiring the
+// peer to watch us back. At most one probe per peer is in flight; the
+// call is bounded by one detection-ish window (8 intervals).
+func (det *Detector) probe(name string, addr netsim.Addr) {
+	det.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval)
+	defer cancel()
+	var rep probeRepMsg
+	err := det.caller.Call(ctx, wire.InboxRef{Dapplet: addr, Inbox: ControlInbox},
+		&probeMsg{From: det.d.Name(), Inc: det.cfg.Incarnation}, &rep)
+	det.mu.Lock()
+	if p, ok := det.peers[name]; ok {
+		p.probing = false
+	}
+	det.mu.Unlock()
+	if err != nil || rep.Name != name {
+		return
+	}
+	det.applyBeacon(name, rep.Inc, addr)
 }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/netsim"
-	"repro/internal/wire"
 )
 
 // TestStaleIncarnationHeartbeatIgnored pins the incarnation ordering: a
@@ -19,11 +18,7 @@ func TestStaleIncarnationHeartbeatIgnored(t *testing.T) {
 	newAddr := netsim.Addr{Host: "new", Port: 2}
 	det.peers["p"] = &peerState{name: "p", addr: newAddr, state: Down, lastInc: 2, lastHeard: time.Now()}
 
-	stale := &wire.Envelope{
-		FromDapplet: netsim.Addr{Host: "old", Port: 1},
-		Body:        &heartbeatMsg{From: "p", Inc: 1},
-	}
-	det.onHeartbeat(stale)
+	det.applyBeacon("p", 1, netsim.Addr{Host: "old", Port: 1})
 	p := det.peers["p"]
 	if p.state != Down {
 		t.Fatalf("stale beacon lifted the Down verdict (state=%v)", p.state)
@@ -35,11 +30,7 @@ func TestStaleIncarnationHeartbeatIgnored(t *testing.T) {
 	// The current incarnation's beacon does lift it and resets the
 	// rhythm estimators (the outage gap is not a rhythm sample).
 	p.meanIA, p.devIA = time.Minute, time.Minute
-	fresh := &wire.Envelope{
-		FromDapplet: newAddr,
-		Body:        &heartbeatMsg{From: "p", Inc: 2},
-	}
-	det.onHeartbeat(fresh)
+	det.applyBeacon("p", 2, newAddr)
 	if p.state != Up {
 		t.Fatalf("current beacon did not lift the verdict (state=%v)", p.state)
 	}

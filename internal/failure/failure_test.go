@@ -201,3 +201,38 @@ func TestUnwatchedPeerIgnored(t *testing.T) {
 		t.Fatal("unwatched peer retained a status")
 	}
 }
+
+// TestProbeRecoversOneSidedWatch exercises the address-learning probe
+// control plane: a watches b, but b does not watch a back, so b never
+// heartbeats and a inevitably declares it Down. Before the probes that
+// verdict was final — only a heartbeat could lift it, and none would
+// ever come. Now the slow svc probe (request and typed reply, carrying
+// b's name and incarnation) proves the channel alive and lifts the
+// verdict without b ever watching a.
+func TestProbeRecoversOneSidedWatch(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(31))
+	t.Cleanup(net.Close)
+	a := newDapplet(t, net, "ha", "a")
+	b := newDapplet(t, net, "hb", "b")
+	cfg := failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2}
+	da := failure.Attach(a, cfg)
+	failure.Attach(b, cfg) // serves "@fail" probes; watches nobody
+	events := make(chan failure.Event, 64)
+	da.OnEvent(func(ev failure.Event) {
+		if ev.Peer == b.Name() {
+			select {
+			case events <- ev:
+			default:
+			}
+		}
+	})
+	da.Watch(b.Name(), b.Addr())
+
+	// b sends no heartbeats, so a's verdict decays to Down...
+	awaitState(t, events, failure.Down, 10*time.Second)
+	// ...and the probe's reply lifts it.
+	awaitState(t, events, failure.Up, 10*time.Second)
+	if da.Stats().ProbesSent == 0 {
+		t.Fatal("verdict lifted without any probe")
+	}
+}

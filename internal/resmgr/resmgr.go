@@ -17,6 +17,7 @@
 package resmgr
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -210,42 +211,42 @@ func NewClient(d *core.Dapplet, ref rpc.Ref) *Client {
 }
 
 // Publish registers a named service (an inbox on this dapplet).
-func (c *Client) Publish(name string, inbox wire.InboxRef) error {
-	return c.cli.Call(c.ref, "publish", publishArgs{
+func (c *Client) Publish(ctx context.Context, name string, inbox wire.InboxRef) error {
+	return c.cli.Call(ctx, c.ref, "publish", publishArgs{
 		Service: Service{Name: name, Owner: c.d.Name(), Inbox: inbox},
 	}, nil)
 }
 
 // Lookup finds a service by name.
-func (c *Client) Lookup(name string) (Service, error) {
+func (c *Client) Lookup(ctx context.Context, name string) (Service, error) {
 	var s Service
-	err := c.cli.Call(c.ref, "lookup", lookupArgs{Name: name}, &s)
+	err := c.cli.Call(ctx, c.ref, "lookup", lookupArgs{Name: name}, &s)
 	return s, err
 }
 
 // List returns every published service on the machine.
-func (c *Client) List() ([]Service, error) {
+func (c *Client) List(ctx context.Context) ([]Service, error) {
 	var out []Service
-	err := c.cli.Call(c.ref, "list", nil, &out)
+	err := c.cli.Call(ctx, c.ref, "list", nil, &out)
 	return out, err
 }
 
 // Ping records a heartbeat for this dapplet.
-func (c *Client) Ping() error {
-	return c.cli.Call(c.ref, "ping", pingArgs{Dapplet: c.d.Name()}, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	return c.cli.Call(ctx, c.ref, "ping", pingArgs{Dapplet: c.d.Name()}, nil)
 }
 
 // Alive returns the dapplets that have pinged recently.
-func (c *Client) Alive() ([]string, error) {
+func (c *Client) Alive(ctx context.Context) ([]string, error) {
 	var out []string
-	err := c.cli.Call(c.ref, "alive", nil, &out)
+	err := c.cli.Call(ctx, c.ref, "alive", nil, &out)
 	return out, err
 }
 
 // Launch asks the manager to start an installed dapplet type on its
 // machine, returning the new dapplet's address.
-func (c *Client) Launch(typ, name string) (wire.InboxRef, error) {
+func (c *Client) Launch(ctx context.Context, typ, name string) (wire.InboxRef, error) {
 	var rep launchReply
-	err := c.cli.Call(c.ref, "launch", launchArgs{Type: typ, Name: name}, &rep)
+	err := c.cli.Call(ctx, c.ref, "launch", launchArgs{Type: typ, Name: name}, &rep)
 	return rep.Addr, err
 }

@@ -1,6 +1,7 @@
 package resmgr_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -50,10 +51,10 @@ func TestPublishLookup(t *testing.T) {
 	}
 	d, cli := launchClient(t, rt, "machine1", "w1", mgr)
 	svcInbox := d.Inbox("work").Ref()
-	if err := cli.Publish("printing", svcInbox); err != nil {
+	if err := cli.Publish(context.Background(), "printing", svcInbox); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cli.Lookup("printing")
+	got, err := cli.Lookup(context.Background(), "printing")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +63,13 @@ func TestPublishLookup(t *testing.T) {
 	}
 	// Lookup from a different dapplet (even on another machine).
 	_, cli2 := launchClient(t, rt, "machine1", "w2", mgr)
-	if _, err := cli2.Lookup("printing"); err != nil {
+	if _, err := cli2.Lookup(context.Background(), "printing"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli2.Lookup("nonexistent"); err == nil {
+	if _, err := cli2.Lookup(context.Background(), "nonexistent"); err == nil {
 		t.Fatal("missing service found")
 	}
-	list, err := cli2.List()
+	list, err := cli2.List(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +86,13 @@ func TestHeartbeats(t *testing.T) {
 	}
 	_, c1 := launchClient(t, rt, "m", "alpha", mgr)
 	_, c2 := launchClient(t, rt, "m", "beta", mgr)
-	if err := c1.Ping(); err != nil {
+	if err := c1.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Ping(); err != nil {
+	if err := c2.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	alive, err := c1.Alive()
+	alive, err := c1.Alive(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestRemoteLaunch(t *testing.T) {
 		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
 	t.Cleanup(d.Stop)
 	cli := resmgr.NewClient(d, mgr.Ref())
-	addr, err := cli.Launch("worker", "remote-worker")
+	addr, err := cli.Launch(context.Background(), "worker", "remote-worker")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestRemoteLaunch(t *testing.T) {
 		t.Fatal(err)
 	}
 	rw, _ := rt.Dapplet("remote-worker")
-	if _, err := rw.Inbox("work").ReceiveTimeout(5 * time.Second); err != nil {
+	if _, err := rw.Inbox("work").ReceiveContext(waitCtx(t, 5*time.Second)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -150,7 +151,7 @@ func TestLaunchUninstalledTypeFails(t *testing.T) {
 		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
 	t.Cleanup(d.Stop)
 	cli := resmgr.NewClient(d, mgr.Ref())
-	_, err = cli.Launch("no-such-type", "z")
+	_, err = cli.Launch(context.Background(), "no-such-type", "z")
 	var remote *rpc.RemoteError
 	if !errors.As(err, &remote) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -168,12 +169,20 @@ func TestManagersPerMachineAreIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	d, c1 := launchClient(t, rt, "m1", "w1", m1)
-	if err := c1.Publish("svc", d.Inbox("work").Ref()); err != nil {
+	if err := c1.Publish(context.Background(), "svc", d.Inbox("work").Ref()); err != nil {
 		t.Fatal(err)
 	}
 	// m2 does not see m1's registrations.
 	c2 := resmgr.NewClient(d, m2.Ref())
-	if _, err := c2.Lookup("svc"); err == nil {
+	if _, err := c2.Lookup(context.Background(), "svc"); err == nil {
 		t.Fatal("service leaked across machines")
 	}
+}
+
+// waitCtx returns a context that expires after d, cleaned up with the test.
+func waitCtx(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
 }

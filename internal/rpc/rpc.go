@@ -8,16 +8,21 @@
 //	as a global pointer to an object associated with the inbox, and
 //	messages serve the role of asynchronous RPCs. Synchronous RPCs are
 //	implemented as pairwise asynchronous RPCs."
+//
+// The request/reply pairing, correlation ids and deadlines are the svc
+// framework's (internal/svc); this package adds only the object/method
+// model and the JSON argument convention on top of it.
 package rpc
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/svc"
 	"repro/internal/wire"
 )
 
@@ -25,10 +30,21 @@ import (
 var (
 	// ErrClosed is returned when the client's dapplet has stopped.
 	ErrClosed = errors.New("rpc: closed")
-	// ErrTimeout is returned by CallTimeout on expiry.
+	// ErrTimeout is returned by the deprecated CallTimeout on expiry;
+	// context-first calls return context.DeadlineExceeded instead.
 	ErrTimeout = errors.New("rpc: call timeout")
 	// ErrNoMethod is returned (remotely) for unknown method names.
 	ErrNoMethod = errors.New("rpc: no such method")
+)
+
+// Service error codes piggybacked through the svc reply: the remote end
+// classifies its failure as a typed value, not a string the client would
+// have to parse.
+const (
+	// codeNoMethod reports an unknown method name.
+	codeNoMethod = svc.CodeUser + 0
+	// codeRemote wraps an error raised by the remote method itself.
+	codeRemote = svc.CodeUser + 1
 )
 
 // RemoteError carries an error raised by the remote object's method.
@@ -49,64 +65,48 @@ type Ref struct {
 // IsZero reports whether the reference is unset.
 func (r Ref) IsZero() bool { return r.Inbox.IsZero() }
 
-// callMsg is an invocation direction placed in an object's inbox. A zero
-// ReplyTo makes it an asynchronous RPC (a plain message); otherwise the
-// server replies, and the pair of asynchronous messages forms one
-// synchronous RPC.
+// callMsg is an invocation direction placed in an object's inbox. Sent
+// bare it is an asynchronous RPC (no reply); inside an svc frame the
+// framework's correlation id and reply inbox make it synchronous.
 type callMsg struct {
-	ID      uint64          `json:"id"`
-	Method  string          `json:"m"`
-	Args    json.RawMessage `json:"a,omitempty"`
-	ReplyTo wire.InboxRef   `json:"re,omitempty"`
+	Method string          `json:"m"`
+	Args   json.RawMessage `json:"a,omitempty"`
 }
 
 func (*callMsg) Kind() string { return "rpc.call" }
 
 // AppendBinary implements wire.BinaryMessage (the hot-path codec).
 func (c *callMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, c.ID)
 	dst = wire.AppendString(dst, c.Method)
 	dst = wire.AppendBytes(dst, c.Args)
-	dst = wire.AppendInboxRef(dst, c.ReplyTo)
 	return dst, nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
 func (c *callMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	c.ID = r.Uvarint()
 	c.Method = r.String()
 	c.Args = r.Bytes()
-	c.ReplyTo = r.InboxRef()
 	return r.Done()
 }
 
-// replyMsg answers a synchronous call.
+// replyMsg carries a successful call's result; errors travel as typed
+// svc error codes instead.
 type replyMsg struct {
-	ID     uint64          `json:"id"`
 	Result json.RawMessage `json:"r,omitempty"`
-	Err    string          `json:"e,omitempty"`
-	NoMeth bool            `json:"nm,omitempty"`
 }
 
 func (*replyMsg) Kind() string { return "rpc.reply" }
 
 // AppendBinary implements wire.BinaryMessage.
 func (m *replyMsg) AppendBinary(dst []byte) ([]byte, error) {
-	dst = wire.AppendUvarint(dst, m.ID)
-	dst = wire.AppendBytes(dst, m.Result)
-	dst = wire.AppendString(dst, m.Err)
-	dst = wire.AppendBool(dst, m.NoMeth)
-	return dst, nil
+	return wire.AppendBytes(dst, m.Result), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *replyMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
-	m.ID = r.Uvarint()
 	m.Result = r.Bytes()
-	m.Err = r.String()
-	m.NoMeth = r.Bool()
 	return r.Done()
 }
 
@@ -123,92 +123,46 @@ type Method func(args json.RawMessage) (any, error)
 type Object map[string]Method
 
 // Serve associates an object with an inbox named "@obj:<name>" on the
-// dapplet and a thread that invokes the directed methods, returning the
-// object's global pointer.
+// dapplet and a dispatch thread that invokes the directed methods,
+// returning the object's global pointer. The inbox is an svc-served
+// inbox: correlated invocations are answered, bare ones are asynchronous.
 func Serve(d *core.Dapplet, name string, obj Object) Ref {
 	inboxName := "@obj:" + name
-	d.Handle(inboxName, func(env *wire.Envelope) {
-		call, ok := env.Body.(*callMsg)
-		if !ok {
-			return
-		}
-		m, found := obj[call.Method]
-		var (
-			result any
-			err    error
-		)
-		if found {
-			result, err = m(call.Args)
-		}
-		if call.ReplyTo.IsZero() {
-			return // asynchronous invocation: no reply expected
-		}
-		rep := &replyMsg{ID: call.ID, NoMeth: !found}
-		if err != nil {
-			rep.Err = err.Error()
-		} else if found && result != nil {
+	srv := svc.Serve(d, inboxName, svc.Handlers{
+		"rpc.call": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			call := req.(*callMsg)
+			m, found := obj[call.Method]
+			if !found {
+				return nil, &svc.Error{Code: codeNoMethod, Msg: call.Method}
+			}
+			result, err := m(call.Args)
+			if err != nil {
+				return nil, &svc.Error{Code: codeRemote, Msg: err.Error()}
+			}
+			if result == nil {
+				return &replyMsg{}, nil
+			}
 			data, jerr := json.Marshal(result)
 			if jerr != nil {
-				rep.Err = fmt.Sprintf("marshal result: %v", jerr)
-			} else {
-				rep.Result = data
+				return nil, &svc.Error{Code: codeRemote, Msg: fmt.Sprintf("marshal result: %v", jerr)}
 			}
-		}
-		_ = d.SendDirect(call.ReplyTo, env.Session, rep)
+			return &replyMsg{Result: data}, nil
+		},
 	})
-	return Ref{Inbox: wire.InboxRef{Dapplet: d.Addr(), Inbox: inboxName}}
+	return Ref{Inbox: srv.Ref()}
 }
 
-// Client issues calls from a dapplet to remote objects.
+// Client issues calls from a dapplet to remote objects. Each client owns
+// its own svc caller (private reply inbox and correlation ids), so any
+// number of clients per dapplet coexist.
 type Client struct {
-	d *core.Dapplet
-
-	mu      sync.Mutex
-	nextID  uint64
-	waiting map[uint64]chan *replyMsg
+	d      *core.Dapplet
+	caller *svc.Caller
 }
 
-// clients maps each dapplet to its single RPC client. A dapplet has one
-// "@rpc-reply" inbox; two clients each consuming it would race for every
-// reply, and a reply drained by the wrong client is silently dropped
-// (deadlocking the real caller). NewClient therefore returns one shared
-// client per dapplet.
-var (
-	clientsMu sync.Mutex
-	clients   = make(map[*core.Dapplet]*Client)
-)
-
-// NewClient attaches an RPC client to the dapplet, or returns the
-// dapplet's existing client: all RPC replies to a dapplet arrive on the
-// one "@rpc-reply" inbox, so the client consuming it must be shared.
+// NewClient attaches an RPC client to the dapplet.
 func NewClient(d *core.Dapplet) *Client {
-	clientsMu.Lock()
-	defer clientsMu.Unlock()
-	if c, ok := clients[d]; ok {
-		return c
-	}
-	c := &Client{d: d, waiting: make(map[uint64]chan *replyMsg)}
-	d.Handle("@rpc-reply", func(env *wire.Envelope) {
-		rep, ok := env.Body.(*replyMsg)
-		if !ok {
-			return
-		}
-		c.mu.Lock()
-		ch := c.waiting[rep.ID]
-		delete(c.waiting, rep.ID)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- rep
-		}
-	})
-	clients[d] = c
-	go func() {
-		<-d.Stopped()
-		clientsMu.Lock()
-		delete(clients, d)
-		clientsMu.Unlock()
-	}()
-	return c
+	return &Client{d: d, caller: svc.NewCaller(d)}
 }
 
 // Cast is an asynchronous RPC: a message directing the remote object to
@@ -218,76 +172,58 @@ func (c *Client) Cast(ref Ref, method string, args any) error {
 	if err != nil {
 		return err
 	}
-	return c.d.SendDirect(ref.Inbox, "", &callMsg{Method: method, Args: data})
+	return c.caller.Cast(ref.Inbox, "", &callMsg{Method: method, Args: data})
 }
 
 // Call is a synchronous RPC implemented as pairwise asynchronous RPCs: it
 // sends the invocation and suspends until the reply message arrives,
-// decoding the result into out (which may be nil).
-func (c *Client) Call(ref Ref, method string, args any, out any) error {
-	return c.call(ref, method, args, out, 0)
-}
-
-// CallTimeout is Call with a deadline.
-func (c *Client) CallTimeout(ref Ref, method string, args any, out any, d time.Duration) error {
-	return c.call(ref, method, args, out, d)
-}
-
-func (c *Client) call(ref Ref, method string, args any, out any, timeout time.Duration) error {
+// decoding the result into out (which may be nil). The context bounds the
+// wait: cancellation or deadline expiry returns ctx.Err().
+func (c *Client) Call(ctx context.Context, ref Ref, method string, args any, out any) error {
 	data, err := marshalArgs(args)
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	c.nextID++
-	id := c.nextID
-	ch := make(chan *replyMsg, 1)
-	c.waiting[id] = ch
-	c.mu.Unlock()
-	cleanup := func() {
-		c.mu.Lock()
-		delete(c.waiting, id)
-		c.mu.Unlock()
-	}
-
-	call := &callMsg{
-		ID:      id,
-		Method:  method,
-		Args:    data,
-		ReplyTo: wire.InboxRef{Dapplet: c.d.Addr(), Inbox: "@rpc-reply"},
-	}
-	if err := c.d.SendDirect(ref.Inbox, "", call); err != nil {
-		cleanup()
-		return err
-	}
-
-	var timerC <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		timerC = t.C
-	}
-	select {
-	case rep := <-ch:
-		if rep.NoMeth {
-			return fmt.Errorf("%w: %q", ErrNoMethod, method)
-		}
-		if rep.Err != "" {
-			return &RemoteError{Method: method, Msg: rep.Err}
-		}
-		if out != nil && rep.Result != nil {
-			if err := json.Unmarshal(rep.Result, out); err != nil {
-				return fmt.Errorf("rpc: decode result of %s: %w", method, err)
+	var rep replyMsg
+	if err := c.caller.Call(ctx, ref.Inbox, &callMsg{Method: method, Args: data}, &rep); err != nil {
+		var se *svc.Error
+		if errors.As(err, &se) {
+			switch se.Code {
+			case codeNoMethod:
+				return fmt.Errorf("%w: %q", ErrNoMethod, method)
+			case codeRemote:
+				return &RemoteError{Method: method, Msg: se.Msg}
 			}
 		}
-		return nil
-	case <-timerC:
-		cleanup()
-		return fmt.Errorf("%w: %s", ErrTimeout, method)
-	case <-c.d.Stopped():
-		cleanup()
-		return ErrClosed
+		if errors.Is(err, core.ErrStopped) {
+			return ErrClosed
+		}
+		return err
 	}
+	if out != nil && rep.Result != nil {
+		if err := json.Unmarshal(rep.Result, out); err != nil {
+			return fmt.Errorf("rpc: decode result of %s: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// CallTimeout is Call with a deadline, returning ErrTimeout on expiry.
+//
+// Deprecated: use Call with a deadline context, which returns
+// context.DeadlineExceeded and composes with cancellation.
+func (c *Client) CallTimeout(ref Ref, method string, args any, out any, d time.Duration) error {
+	ctx := context.Background()
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	err := c.Call(ctx, ref, method, args, out)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %s", ErrTimeout, method)
+	}
+	return err
 }
 
 func marshalArgs(args any) (json.RawMessage, error) {

@@ -1,6 +1,7 @@
 package rpc_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"sync"
@@ -73,20 +74,20 @@ func TestSyncCall(t *testing.T) {
 	cli := rpc.NewClient(clientD)
 
 	var result int
-	if err := cli.Call(ref, "add", 5, &result); err != nil {
+	if err := cli.Call(context.Background(), ref, "add", 5, &result); err != nil {
 		t.Fatal(err)
 	}
 	if result != 5 {
 		t.Fatalf("result = %d", result)
 	}
-	if err := cli.Call(ref, "add", 3, &result); err != nil {
+	if err := cli.Call(context.Background(), ref, "add", 3, &result); err != nil {
 		t.Fatal(err)
 	}
 	if result != 8 {
 		t.Fatalf("result = %d", result)
 	}
 	// Nil out is allowed.
-	if err := cli.Call(ref, "add", 1, nil); err != nil {
+	if err := cli.Call(context.Background(), ref, "add", 1, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -125,7 +126,7 @@ func TestRemoteError(t *testing.T) {
 	cli := rpc.NewClient(w.dapplet("h2", "client"))
 	obj, _, _ := counterObject()
 	ref := rpc.Serve(server, "counter", obj)
-	err := cli.Call(ref, "fail", nil, nil)
+	err := cli.Call(context.Background(), ref, "fail", nil, nil)
 	var remote *rpc.RemoteError
 	if !errors.As(err, &remote) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -141,7 +142,7 @@ func TestNoSuchMethod(t *testing.T) {
 	cli := rpc.NewClient(w.dapplet("h2", "client"))
 	obj, _, _ := counterObject()
 	ref := rpc.Serve(server, "counter", obj)
-	if err := cli.Call(ref, "bogus", nil, nil); !errors.Is(err, rpc.ErrNoMethod) {
+	if err := cli.Call(context.Background(), ref, "bogus", nil, nil); !errors.Is(err, rpc.ErrNoMethod) {
 		t.Fatalf("err = %v, want ErrNoMethod", err)
 	}
 }
@@ -177,7 +178,7 @@ func TestGlobalPointerIsTransferable(t *testing.T) {
 	}
 	cli := rpc.NewClient(w.dapplet("h3", "other-client"))
 	var out int
-	if err := cli.Call(ref2, "add", 7, &out); err != nil {
+	if err := cli.Call(context.Background(), ref2, "add", 7, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out != 7 {
@@ -203,7 +204,7 @@ func TestConcurrentCallsMultiplex(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			var out int
-			if err := cli.Call(ref, "echo", i, &out); err != nil {
+			if err := cli.Call(context.Background(), ref, "echo", i, &out); err != nil {
 				t.Error(err)
 				return
 			}
@@ -224,7 +225,7 @@ func TestClientClosedDuringCall(t *testing.T) {
 	ref := rpc.Serve(server, "counter", obj)
 	cli := rpc.NewClient(clientD)
 	done := make(chan error, 1)
-	go func() { done <- cli.Call(ref, "get", nil, nil) }()
+	go func() { done <- cli.Call(context.Background(), ref, "get", nil, nil) }()
 	time.Sleep(50 * time.Millisecond)
 	clientD.Stop()
 	select {
@@ -246,10 +247,10 @@ func TestServedObjectsAreIndependent(t *testing.T) {
 	refA := rpc.Serve(server, "a", objA)
 	refB := rpc.Serve(server, "b", objB)
 	var a, b int
-	if err := cli.Call(refA, "add", 10, &a); err != nil {
+	if err := cli.Call(context.Background(), refA, "add", 10, &a); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Call(refB, "get", nil, &b); err != nil {
+	if err := cli.Call(context.Background(), refB, "get", nil, &b); err != nil {
 		t.Fatal(err)
 	}
 	if a != 10 || b != 0 {
@@ -257,12 +258,12 @@ func TestServedObjectsAreIndependent(t *testing.T) {
 	}
 }
 
-// TestClientPerDappletIsShared is a regression test: two rpc.Clients
-// created on the same dapplet must share the "@rpc-reply" consumer. With
-// independent clients each spawns a handler draining the shared reply
-// inbox, and a reply drained by the wrong client is dropped, deadlocking
-// the caller (seen as a resmgr test hang under -race).
-func TestClientPerDappletIsShared(t *testing.T) {
+// TestIndependentClientsPerDapplet pins the svc-era contract: every
+// rpc.Client owns a private reply inbox and correlation-id space, so any
+// number of clients on one dapplet interleave calls without stealing
+// each other's replies (the old shared "@rpc-reply" inbox, and the
+// shared-client workaround it forced, are gone).
+func TestIndependentClientsPerDapplet(t *testing.T) {
 	w := newRWorld(t, netsim.WithSeed(1))
 	server := w.dapplet("s", "server")
 	obj, _, _ := counterObject()
@@ -271,25 +272,35 @@ func TestClientPerDappletIsShared(t *testing.T) {
 	d := w.dapplet("c", "client")
 	c1 := rpc.NewClient(d)
 	c2 := rpc.NewClient(d)
-	if c1 != c2 {
-		t.Fatal("NewClient on the same dapplet returned distinct clients")
+	if c1 == c2 {
+		t.Fatal("NewClient returned the same client twice")
 	}
-	// Interleaved calls through both handles must all complete; before
-	// the fix roughly half the replies were consumed by the wrong
-	// client's handler and these calls hung.
+	// Interleaved calls through both clients must all complete.
 	for i := 0; i < 20; i++ {
 		cli := c1
 		if i%2 == 1 {
 			cli = c2
 		}
 		var n int
-		if err := cli.CallTimeout(ref, "add", 1, &n, 5*time.Second); err != nil {
+		if err := cli.Call(context.Background(), ref, "add", 1, &n); err != nil {
 			t.Fatalf("call %d: %v", i, err)
 		}
 	}
-	// A fresh dapplet still gets a fresh client.
-	d2 := w.dapplet("c2", "client2")
-	if rpc.NewClient(d2) == c1 {
-		t.Fatal("distinct dapplets share a client")
+}
+
+// TestCallExpiredContext pins the context contract: a Call whose context
+// has already expired fails fast with context.DeadlineExceeded — never a
+// bespoke rpc timeout error.
+func TestCallExpiredContext(t *testing.T) {
+	w := newRWorld(t)
+	server := w.dapplet("h1", "server")
+	cli := rpc.NewClient(w.dapplet("h2", "client"))
+	obj, _, _ := counterObject()
+	ref := rpc.Serve(server, "counter", obj)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if err := cli.Call(ctx, ref, "get", nil, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }

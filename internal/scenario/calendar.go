@@ -5,6 +5,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -52,6 +53,10 @@ type CalendarOptions struct {
 	// DirReplicas is the replica count per directory shard (only with
 	// DirShards > 0; default 1).
 	DirReplicas int
+	// DirTimeout is the directory client's per-replica request timeout —
+	// the failover latency after a replica crash (0 uses the directory
+	// default).
+	DirTimeout time.Duration
 	// InterSite and IntraSite are the link delay models (defaults: WAN
 	// and LAN).
 	InterSite netsim.DelayModel
@@ -196,7 +201,11 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.DirClient = directory.NewClient(cliD, cluster)
+		var cliOpts []directory.ClientOption
+		if opts.DirTimeout > 0 {
+			cliOpts = append(cliOpts, directory.WithClientTimeout(opts.DirTimeout))
+		}
+		w.DirClient = directory.NewClient(cliD, cluster, cliOpts...)
 		w.Dir = w.DirClient
 	} else {
 		w.Dir = directory.New()
@@ -234,7 +243,7 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := w.Dir.Register(directory.Entry{Name: name, Type: typ, Addr: d.Addr()}); err != nil {
+		if err := w.Dir.Register(context.Background(), directory.Entry{Name: name, Type: typ, Addr: d.Addr()}); err != nil {
 			return nil, fmt.Errorf("scenario: register %s: %w", name, err)
 		}
 		return d, nil
@@ -291,7 +300,7 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 	} else {
 		spec = calendar.FlatSpec("calendar-session", "coordinator", w.MemberNames)
 	}
-	h, err := ini.Initiate(spec)
+	h, err := ini.Initiate(context.Background(), spec)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: session setup: %w", err)
 	}
@@ -300,7 +309,7 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 	// The traditional director drives the same member dapplets directly.
 	refs := make([]wire.InboxRef, 0, len(w.MemberNames))
 	for _, name := range w.MemberNames {
-		e, err := w.Dir.MustLookup(name)
+		e, err := w.Dir.MustLookup(context.Background(), name)
 		if err != nil {
 			return nil, err
 		}

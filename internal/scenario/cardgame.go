@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -94,7 +95,7 @@ func BuildCardGame(opts CardOptions) (*CardWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.Dir.Register(directory.Entry{Name: names[i], Type: "player", Addr: d.Addr()})
+		w.Dir.Register(context.Background(), directory.Entry{Name: names[i], Type: "player", Addr: d.Addr()})
 		w.Players = append(w.Players, p)
 		w.Refs = append(w.Refs, wire.InboxRef{Dapplet: d.Addr(), Inbox: cardgame.PredInbox})
 		session.Attach(d, session.Policy{})
@@ -106,7 +107,7 @@ func BuildCardGame(opts CardOptions) (*CardWorld, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.Dir.Register(directory.Entry{Name: "dealer", Type: "dealer", Addr: dealerD.Addr()})
+	w.Dir.Register(context.Background(), directory.Entry{Name: "dealer", Type: "dealer", Addr: dealerD.Addr()})
 	session.Attach(dealerD, session.Policy{})
 	w.Dealer = cardgame.NewDealer(dealerD)
 
@@ -121,7 +122,7 @@ func BuildCardGame(opts CardOptions) (*CardWorld, error) {
 		)
 	}
 	ini := session.NewInitiator(dealerD, w.Dir)
-	h, err := ini.Initiate(spec)
+	h, err := ini.Initiate(context.Background(), spec)
 	if err != nil {
 		return nil, err
 	}

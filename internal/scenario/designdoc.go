@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,7 +93,7 @@ func BuildDesign(opts DesignOptions) (*DesignWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.Dir.Register(directory.Entry{Name: name, Type: "designer", Addr: d.Addr()})
+		w.Dir.Register(context.Background(), directory.Entry{Name: name, Type: "designer", Addr: d.Addr()})
 		w.Designers = append(w.Designers, ds)
 		w.Dapplets = append(w.Dapplets, d)
 		session.Attach(d, session.Policy{})
@@ -137,7 +138,7 @@ func BuildDesign(opts DesignOptions) (*DesignWorld, error) {
 		}
 	}
 	ini := session.NewInitiator(w.Dapplets[0], w.Dir)
-	h, err := ini.Initiate(spec)
+	h, err := ini.Initiate(context.Background(), spec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -163,7 +164,7 @@ func RunSecretaryCrashRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
 
 	// Drive scheduling; rounds stalled on the dead secretary are
 	// abandoned after SchedTimeout and retried once recovery completes.
-	w.Scheduler.SetTimeout(opts.SchedTimeout)
+	w.Scheduler.SetTimeout(opts.SchedTimeout) //depcheck:allow calendar scheduler gather knob, not a deprecated session/directory timeout
 	deadline := time.Now().Add(opts.Deadline)
 	res := &RecoveryResult{}
 	slots := opts.Calendar.Slots
@@ -226,9 +227,12 @@ func RunSecretaryCrashRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
 }
 
 // recoverSecretary is the repair pipeline for one crashed secretary:
-// restart, restore membership from the surviving store, relink the
-// survivors, and resume watching the new incarnation.
+// restart, restore membership from the surviving store, re-register the
+// new incarnation in the directory, relink the survivors (the repair
+// resolves the new address through the directory — Handle.Reincarnate
+// needs only the name), and resume watching the new incarnation.
 func recoverSecretary(w *CalendarWorld, coordDet *failure.Detector, detCfg failure.Config, name string) error {
+	ctx := context.Background()
 	d2, err := w.RT.Restart(name)
 	if err != nil {
 		return err
@@ -238,11 +242,11 @@ func recoverSecretary(w *CalendarWorld, coordDet *failure.Detector, detCfg failu
 	if _, err := svc.RestoreSessions(); err != nil {
 		return err
 	}
-	if err := w.Handle.Reincarnate(name, d2.Addr()); err != nil {
-		return err
-	}
-	if err := w.Dir.Register(directory.Entry{Name: d2.Name(), Type: d2.Type(), Addr: d2.Addr()}); err != nil {
+	if err := w.Dir.Register(ctx, directory.Entry{Name: d2.Name(), Type: d2.Type(), Addr: d2.Addr()}); err != nil {
 		return fmt.Errorf("scenario: re-register %s: %w", d2.Name(), err)
+	}
+	if err := w.Handle.Reincarnate(ctx, name); err != nil {
+		return err
 	}
 	// The new incarnation heartbeats the coordinator (higher
 	// incarnation number), lifting the Down verdict; the coordinator

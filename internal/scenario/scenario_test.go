@@ -1,6 +1,7 @@
 package scenario_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -122,7 +123,7 @@ func TestCalendarWithDirectoryService(t *testing.T) {
 	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
 		Sites: 2, MembersPerSite: 2, Hierarchical: false,
 		Slots: 64, BusyProb: 0.5, CommonSlot: 40, Seed: 9,
-		DirShards: 2, DirReplicas: 2,
+		DirShards: 2, DirReplicas: 2, DirTimeout: 200 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -144,7 +145,7 @@ func TestCalendarWithDirectoryService(t *testing.T) {
 	}
 	// An uncached name travels to the service.
 	w.DirClient.Invalidate(w.MemberNames[0])
-	if _, err := w.Dir.MustLookup(w.MemberNames[0]); err != nil {
+	if _, err := w.Dir.MustLookup(context.Background(), w.MemberNames[0]); err != nil {
 		t.Fatal(err)
 	}
 	if st := w.DirClient.Stats(); st.Misses == 0 {
@@ -156,10 +157,9 @@ func TestCalendarWithDirectoryService(t *testing.T) {
 	for s := 0; s < 2; s++ {
 		w.Net.Crash(scenario.DirReplicaHost(s, 0))
 	}
-	w.DirClient.SetTimeout(200 * time.Millisecond)
 	w.DirClient.FlushCache()
 	for _, name := range w.MemberNames {
-		if _, err := w.Dir.MustLookup(name); err != nil {
+		if _, err := w.Dir.MustLookup(context.Background(), name); err != nil {
 			t.Fatalf("lookup %s after replica crash: %v", name, err)
 		}
 	}

@@ -11,5 +11,10 @@
 //
 // Setup is two-phase: Invite -> Accept/Reject, then Commit (bind channels)
 // or Abort. Termination and membership changes are acknowledged so the
-// initiator can observe completion.
+// initiator can observe completion. All control traffic rides the svc
+// request/response framework (internal/svc): the "@session" inbox is an
+// svc-served handler table, the initiator is an svc caller, and every
+// blocking call takes a context.Context — a cancelled handshake aborts
+// the session everywhere, including at participants whose commit had
+// already landed.
 package session

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,13 +11,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/netsim"
+	"repro/internal/svc"
 	"repro/internal/wire"
 )
 
-// DefaultTimeout bounds each phase of session setup and teardown.
+// DefaultTimeout bounds a whole handshake (initiate, grow, shrink,
+// terminate, reincarnate) when the caller's context carries no deadline
+// of its own.
 const DefaultTimeout = 10 * time.Second
 
-// ErrTimeout is returned when participants do not respond in time.
+// ErrTimeout reports that participants did not respond in time.
+//
+// Deprecated: context-first calls return context.DeadlineExceeded (or
+// context.Canceled); this sentinel is retained only so older callers
+// keep compiling.
 var ErrTimeout = errors.New("session: timed out waiting for participants")
 
 // Rejection records one participant's refusal to join.
@@ -44,21 +52,36 @@ var sessionSeq atomic.Uint64
 // (§3.1, Fig. 2). It is itself hosted on a dapplet (the initiator
 // dapplet), whose address participants see on control messages. The
 // directory may be the process-local map or the replicated service's
-// caching client — any directory.Resolver.
+// caching client — any directory.Resolver. All control traffic travels
+// on the svc framework: one caller multiplexes every handshake, and
+// every blocking method takes a context.Context.
 type Initiator struct {
 	d       *core.Dapplet
 	dir     directory.Resolver
+	caller  *svc.Caller
 	timeout time.Duration
 }
 
 // NewInitiator creates an initiator on the given dapplet with the given
 // address directory (a *directory.Directory or a *directory.Client).
 func NewInitiator(d *core.Dapplet, dir directory.Resolver) *Initiator {
-	return &Initiator{d: d, dir: dir, timeout: DefaultTimeout}
+	return &Initiator{d: d, dir: dir, caller: svc.NewCaller(d), timeout: DefaultTimeout}
 }
 
-// SetTimeout changes the per-phase timeout.
+// SetTimeout changes the fallback handshake timeout applied when a
+// caller's context has no deadline.
+//
+// Deprecated: bound each call with its context instead.
 func (ini *Initiator) SetTimeout(d time.Duration) { ini.timeout = d }
+
+// withDeadline applies the initiator's fallback timeout to a context that
+// has no deadline of its own.
+func (ini *Initiator) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, has := ctx.Deadline(); has || ini.timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, ini.timeout)
+}
 
 // resolved is a link with the destination inbox resolved to an address.
 type resolved struct {
@@ -69,12 +92,12 @@ type resolved struct {
 
 // resolveSpec fills participant addresses from the directory and converts
 // links into per-participant bindings.
-func (ini *Initiator) resolveSpec(spec *Spec) (map[string]*Participant, []resolved, error) {
+func (ini *Initiator) resolveSpec(ctx context.Context, spec *Spec) (map[string]*Participant, []resolved, error) {
 	parts := make(map[string]*Participant, len(spec.Participants))
 	for i := range spec.Participants {
 		p := &spec.Participants[i]
 		if p.Addr.IsZero() {
-			e, err := ini.dir.MustLookup(p.Name)
+			e, err := ini.dir.MustLookup(ctx, p.Name)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -87,15 +110,13 @@ func (ini *Initiator) resolveSpec(spec *Spec) (map[string]*Participant, []resolv
 	}
 	links := make([]resolved, 0, len(spec.Links))
 	for _, l := range spec.Links {
-		from, ok := parts[l.From]
-		if !ok {
+		if _, ok := parts[l.From]; !ok {
 			return nil, nil, fmt.Errorf("session: link from unknown participant %q", l.From)
 		}
 		to, ok := parts[l.To]
 		if !ok {
 			return nil, nil, fmt.Errorf("session: link to unknown participant %q", l.To)
 		}
-		_ = from
 		links = append(links, resolved{
 			fromName: l.From,
 			toName:   l.To,
@@ -108,51 +129,56 @@ func (ini *Initiator) resolveSpec(spec *Spec) (map[string]*Participant, []resolv
 	return parts, links, nil
 }
 
-// collectReplies reads envelopes from in until pred says every participant
-// has answered, or the deadline passes.
-func collectReplies(in *core.Inbox, deadline time.Time, want int, accept func(wire.Msg) bool) error {
-	got := 0
-	for got < want {
-		env, err := in.ReceiveEnvelopeTimeout(time.Until(deadline))
+// callAll issues one svc request per participant concurrently and awaits
+// every typed reply; the requests are all transmitted before any await
+// begins, preserving per-destination FIFO ordering. It returns the
+// replies (indexed like ps) and the first failure — a cancelled or
+// expired context surfaces as ctx.Err().
+func callAll[T wire.Msg](ctx context.Context, caller *svc.Caller, sid string, ps []Participant, mk func(Participant) wire.Msg, newRep func() T) ([]T, error) {
+	reps := make([]T, len(ps))
+	errs := make([]error, len(ps))
+	var wg sync.WaitGroup
+	for i, p := range ps {
+		pend, err := caller.Send(controlRef(p), sid, mk(p))
 		if err != nil {
-			if errors.Is(err, core.ErrTimeout) {
-				return fmt.Errorf("%w (%d of %d replies)", ErrTimeout, got, want)
-			}
-			return err
+			errs[i] = fmt.Errorf("session: %s: %w", p.Name, err)
+			continue
 		}
-		if accept(env.Body) {
-			got++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep := newRep()
+			if err := pend.Await(ctx, rep); err != nil {
+				errs[i] = err
+				return
+			}
+			reps[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return reps, err
 		}
 	}
-	return nil
-}
-
-// awaitAcks collects one acknowledgement per expected participant,
-// deduplicating by the name extract reports; extract returns false for
-// messages that are not the awaited ack kind (or belong to another
-// session).
-func awaitAcks(in *core.Inbox, deadline time.Time, want int, extract func(wire.Msg) (string, bool)) error {
-	acked := make(map[string]bool)
-	return collectReplies(in, deadline, want, func(m wire.Msg) bool {
-		name, ok := extract(m)
-		if !ok || acked[name] {
-			return false
-		}
-		acked[name] = true
-		return true
-	})
+	return reps, nil
 }
 
 // Initiate sets up the session described by spec: it invites every
 // participant, and if all accept, commits the channel bindings. On any
-// rejection the session is aborted everywhere and a *RejectedError is
-// returned. On success it returns a Handle for growing, shrinking and
+// rejection — or any failure, including ctx ending mid-handshake — the
+// session is aborted everywhere, tearing it down even at participants
+// whose commit had already landed. The context bounds the whole
+// handshake (the initiator's fallback timeout applies when it has no
+// deadline). On success it returns a Handle for growing, shrinking and
 // terminating the session.
-func (ini *Initiator) Initiate(spec Spec) (*Handle, error) {
+func (ini *Initiator) Initiate(ctx context.Context, spec Spec) (*Handle, error) {
+	ctx, cancel := ini.withDeadline(ctx)
+	defer cancel()
 	if spec.ID == "" {
 		spec.ID = fmt.Sprintf("sess-%s-%d", ini.d.Name(), sessionSeq.Add(1))
 	}
-	parts, links, err := ini.resolveSpec(&spec)
+	parts, links, err := ini.resolveSpec(ctx, &spec)
 	if err != nil {
 		return nil, err
 	}
@@ -168,13 +194,9 @@ func (ini *Initiator) Initiate(spec Spec) (*Handle, error) {
 		inboxesOf[l.toName] = append(inboxesOf[l.toName], l.binding.To.Inbox)
 	}
 
-	replyIn := ini.d.NewInbox()
-	defer ini.d.RemoveInbox(replyIn.Name())
-	deadline := time.Now().Add(ini.timeout)
-
-	// Phase 1: invite.
-	for _, p := range spec.Participants {
-		inv := &inviteMsg{
+	// Phase 1: invite, and collect every response.
+	invites, err := callAll(ctx, ini.caller, spec.ID, spec.Participants, func(p Participant) wire.Msg {
+		return &inviteMsg{
 			SessionID: spec.ID,
 			Task:      spec.Task,
 			Role:      p.Role,
@@ -182,57 +204,30 @@ func (ini *Initiator) Initiate(spec Spec) (*Handle, error) {
 			Bindings:  bindingsOf[p.Name],
 			Inboxes:   inboxesOf[p.Name],
 			Roster:    roster,
-			ReplyTo:   replyIn.Ref(),
 		}
-		if err := ini.d.SendDirect(controlRef(p), spec.ID, inv); err != nil {
-			return nil, fmt.Errorf("session: invite %s: %w", p.Name, err)
-		}
-	}
-
-	// Phase 1 responses.
-	var rejections []Rejection
-	accepted := make(map[string]bool)
-	err = collectReplies(replyIn, deadline, len(spec.Participants), func(m wire.Msg) bool {
-		switch r := m.(type) {
-		case *acceptMsg:
-			if r.SessionID != spec.ID || accepted[r.Name] {
-				return false
-			}
-			accepted[r.Name] = true
-			return true
-		case *rejectMsg:
-			if r.SessionID != spec.ID {
-				return false
-			}
-			rejections = append(rejections, Rejection{Name: r.Name, Reason: r.Reason})
-			return true
-		}
-		return false
-	})
+	}, func() *inviteRepMsg { return &inviteRepMsg{} })
 	if err != nil {
-		ini.abort(parts, spec.ID, "initiator timeout")
+		ini.abort(parts, spec.ID, "initiator gave up: "+err.Error())
 		return nil, err
+	}
+	var rejections []Rejection
+	for _, rep := range invites {
+		if !rep.Accepted {
+			rejections = append(rejections, Rejection{Name: rep.Name, Reason: rep.Reason})
+		}
 	}
 	if len(rejections) > 0 {
 		ini.abort(parts, spec.ID, "peer rejected")
 		return nil, &RejectedError{SessionID: spec.ID, Rejections: rejections}
 	}
 
-	// Phase 2: commit.
-	for _, p := range spec.Participants {
-		c := &commitMsg{SessionID: spec.ID, ReplyTo: replyIn.Ref()}
-		if err := ini.d.SendDirect(controlRef(p), spec.ID, c); err != nil {
-			return nil, fmt.Errorf("session: commit %s: %w", p.Name, err)
-		}
-	}
-	err = awaitAcks(replyIn, deadline, len(spec.Participants), func(m wire.Msg) (string, bool) {
-		a, ok := m.(*commitAckMsg)
-		if !ok || a.SessionID != spec.ID {
-			return "", false
-		}
-		return a.Name, true
-	})
-	if err != nil {
+	// Phase 2: commit. A failure here still aborts everywhere: commits
+	// that landed are torn down by the abort, so no participant is left
+	// holding a session the initiator gave up on.
+	if _, err := callAll(ctx, ini.caller, spec.ID, spec.Participants, func(Participant) wire.Msg {
+		return &commitMsg{SessionID: spec.ID}
+	}, func() *commitAckMsg { return &commitAckMsg{} }); err != nil {
+		ini.abort(parts, spec.ID, "initiator gave up mid-commit: "+err.Error())
 		return nil, err
 	}
 
@@ -246,9 +241,11 @@ func (ini *Initiator) Initiate(spec Spec) (*Handle, error) {
 	return h, nil
 }
 
+// abort cancels the session at every participant, one-way: pending
+// invitations are dropped and committed memberships torn down.
 func (ini *Initiator) abort(parts map[string]*Participant, sid, reason string) {
 	for _, p := range parts {
-		_ = ini.d.SendDirect(controlRef(*p), sid, &abortMsg{SessionID: sid, Reason: reason})
+		_ = ini.caller.Cast(controlRef(*p), sid, &abortMsg{SessionID: sid, Reason: reason})
 	}
 }
 
@@ -296,8 +293,9 @@ func sortParticipants(ps []Participant) {
 }
 
 // Terminate ends the session: every participant unlinks its bindings and
-// releases its state access, and the initiator waits for acknowledgements.
-func (h *Handle) Terminate() error {
+// releases its state access, and the initiator awaits every
+// acknowledgement within ctx.
+func (h *Handle) Terminate(ctx context.Context) error {
 	h.mu.Lock()
 	if h.terminated {
 		h.mu.Unlock()
@@ -307,30 +305,20 @@ func (h *Handle) Terminate() error {
 	roster := h.rosterLocked()
 	h.mu.Unlock()
 
-	replyIn := h.ini.d.NewInbox()
-	defer h.ini.d.RemoveInbox(replyIn.Name())
-	deadline := time.Now().Add(h.ini.timeout)
-	for _, p := range roster {
-		t := &terminateMsg{SessionID: h.id, ReplyTo: replyIn.Ref()}
-		if err := h.ini.d.SendDirect(controlRef(p), h.id, t); err != nil {
-			return err
-		}
-	}
-	return awaitAcks(replyIn, deadline, len(roster), func(m wire.Msg) (string, bool) {
-		a, ok := m.(*terminateAckMsg)
-		if !ok || a.SessionID != h.id {
-			return "", false
-		}
-		return a.Name, true
-	})
+	ctx, cancel := h.ini.withDeadline(ctx)
+	defer cancel()
+	_, err := callAll(ctx, h.ini.caller, h.id, roster, func(Participant) wire.Msg {
+		return &terminateMsg{SessionID: h.id}
+	}, func() *terminateAckMsg { return &terminateAckMsg{} })
+	return err
 }
 
 // Grow adds a participant to the live session with the given new links
 // (which may mention existing participants on either side). The new
 // participant goes through the same invite/commit handshake; existing
 // participants affected by new links are relinked. (§1: sessions "may
-// grow and shrink as required".)
-func (h *Handle) Grow(p Participant, newLinks []Link) error {
+// grow and shrink as required".) The context bounds the whole exchange.
+func (h *Handle) Grow(ctx context.Context, p Participant, newLinks []Link) error {
 	h.mu.Lock()
 	if h.terminated {
 		h.mu.Unlock()
@@ -342,8 +330,11 @@ func (h *Handle) Grow(p Participant, newLinks []Link) error {
 	}
 	h.mu.Unlock()
 
+	ctx, cancel := h.ini.withDeadline(ctx)
+	defer cancel()
+
 	if p.Addr.IsZero() {
-		e, err := h.ini.dir.MustLookup(p.Name)
+		e, err := h.ini.dir.MustLookup(ctx, p.Name)
 		if err != nil {
 			return err
 		}
@@ -395,12 +386,21 @@ func (h *Handle) Grow(p Participant, newLinks []Link) error {
 		}
 	}
 
-	replyIn := h.ini.d.NewInbox()
-	defer h.ini.d.RemoveInbox(replyIn.Name())
-	deadline := time.Now().Add(h.ini.timeout)
+	// Any failure once the invite is on the wire aborts the newcomer:
+	// its invitation may be pending — or its commit may already have
+	// landed (the commitMsg is transmitted before the ack wait, so a
+	// cancelled wait does not mean an uncommitted newcomer). Without the
+	// abort a half-joined orphan would hold its state access forever,
+	// outside every roster a Terminate would reach. A failed Grow leaves
+	// the handle untouched, so a retry re-runs the whole handshake
+	// (invites, commits and relink adds are all idempotent).
+	abortNewcomer := func(reason string) {
+		_ = h.ini.caller.Cast(controlRef(p), h.id, &abortMsg{SessionID: h.id, Reason: reason})
+	}
 
 	// Invite and commit the newcomer.
-	inv := &inviteMsg{
+	var inviteRep inviteRepMsg
+	err := h.ini.caller.CallTagged(ctx, controlRef(p), h.id, &inviteMsg{
 		SessionID: h.id,
 		Task:      h.task,
 		Role:      p.Role,
@@ -408,59 +408,28 @@ func (h *Handle) Grow(p Participant, newLinks []Link) error {
 		Bindings:  pBindings,
 		Inboxes:   pInboxes,
 		Roster:    newRoster,
-		ReplyTo:   replyIn.Ref(),
-	}
-	if err := h.ini.d.SendDirect(controlRef(p), h.id, inv); err != nil {
-		return err
-	}
-	var rejected *Rejection
-	err := collectReplies(replyIn, deadline, 1, func(m wire.Msg) bool {
-		switch r := m.(type) {
-		case *acceptMsg:
-			return r.SessionID == h.id && r.Name == p.Name
-		case *rejectMsg:
-			if r.SessionID == h.id && r.Name == p.Name {
-				rejected = &Rejection{Name: r.Name, Reason: r.Reason}
-				return true
-			}
-		}
-		return false
-	})
+	}, &inviteRep)
 	if err != nil {
+		abortNewcomer("initiator gave up growing: " + err.Error())
 		return err
 	}
-	if rejected != nil {
-		return &RejectedError{SessionID: h.id, Rejections: []Rejection{*rejected}}
+	if !inviteRep.Accepted {
+		return &RejectedError{SessionID: h.id, Rejections: []Rejection{{Name: inviteRep.Name, Reason: inviteRep.Reason}}}
 	}
-	if err := h.ini.d.SendDirect(controlRef(p), h.id, &commitMsg{SessionID: h.id, ReplyTo: replyIn.Ref()}); err != nil {
-		return err
-	}
-	if err := collectReplies(replyIn, deadline, 1, func(m wire.Msg) bool {
-		a, ok := m.(*commitAckMsg)
-		return ok && a.SessionID == h.id && a.Name == p.Name
-	}); err != nil {
+	if err := h.ini.caller.CallTagged(ctx, controlRef(p), h.id, &commitMsg{SessionID: h.id}, &commitAckMsg{}); err != nil {
+		abortNewcomer("initiator gave up growing mid-commit: " + err.Error())
 		return err
 	}
 
 	// Relink existing participants: new bindings plus the fresh roster.
-	for _, q := range existing {
-		rl := &relinkMsg{
+	if _, err := callAll(ctx, h.ini.caller, h.id, existing, func(q Participant) wire.Msg {
+		return &relinkMsg{
 			SessionID: h.id,
 			Add:       addsFor[q.Name],
 			Roster:    newRoster,
-			ReplyTo:   replyIn.Ref(),
 		}
-		if err := h.ini.d.SendDirect(controlRef(q), h.id, rl); err != nil {
-			return err
-		}
-	}
-	if err := awaitAcks(replyIn, deadline, len(existing), func(m wire.Msg) (string, bool) {
-		a, ok := m.(*relinkAckMsg)
-		if !ok || a.SessionID != h.id {
-			return "", false
-		}
-		return a.Name, true
-	}); err != nil {
+	}, func() *relinkAckMsg { return &relinkAckMsg{} }); err != nil {
+		abortNewcomer("initiator gave up growing mid-relink: " + err.Error())
 		return err
 	}
 
@@ -472,7 +441,23 @@ func (h *Handle) Grow(p Participant, newLinks []Link) error {
 }
 
 // Reincarnate repairs the session after a participant crashed and was
-// restarted at a new address (core.Runtime.Restart rebinds a fresh
+// restarted at a new address, resolving that address through the
+// initiator's directory — the replicated directory re-registers a
+// reincarnation at its new address (failure.BindDirectory), so the
+// repair needs only the name. Use ReincarnateAt when the address is
+// known out-of-band instead.
+func (h *Handle) Reincarnate(ctx context.Context, name string) error {
+	ctx, cancel := h.ini.withDeadline(ctx)
+	defer cancel()
+	e, err := h.ini.dir.MustLookup(ctx, name)
+	if err != nil {
+		return fmt.Errorf("session: resolve reincarnated %q: %w", name, err)
+	}
+	return h.ReincarnateAt(ctx, name, e.Addr)
+}
+
+// ReincarnateAt repairs the session after a participant crashed and was
+// restarted at the given address (core.Runtime.Restart rebinds a fresh
 // port). Unlike Shrink+Grow it never talks to the dead incarnation: it
 // updates the roster entry to newAddr, tells every surviving participant
 // with a channel into the crashed one to swing that binding to the new
@@ -480,7 +465,7 @@ func (h *Handle) Grow(p Participant, newLinks []Link) error {
 // reincarnated participant, which is expected to have already restored
 // its own outbox bindings and membership from its store
 // (Service.RestoreSessions).
-func (h *Handle) Reincarnate(name string, newAddr netsim.Addr) error {
+func (h *Handle) ReincarnateAt(ctx context.Context, name string, newAddr netsim.Addr) error {
 	h.mu.Lock()
 	if h.terminated {
 		h.mu.Unlock()
@@ -525,28 +510,16 @@ func (h *Handle) Reincarnate(name string, newAddr netsim.Addr) error {
 	}
 	h.mu.Unlock()
 
-	replyIn := h.ini.d.NewInbox()
-	defer h.ini.d.RemoveInbox(replyIn.Name())
-	deadline := time.Now().Add(h.ini.timeout)
-	for _, q := range roster {
-		rl := &relinkMsg{
+	ctx, cancel := h.ini.withDeadline(ctx)
+	defer cancel()
+	if _, err := callAll(ctx, h.ini.caller, h.id, roster, func(q Participant) wire.Msg {
+		return &relinkMsg{
 			SessionID: h.id,
 			Remove:    removesFor[q.Name],
 			Add:       addsFor[q.Name],
 			Roster:    roster,
-			ReplyTo:   replyIn.Ref(),
 		}
-		if err := h.ini.d.SendDirect(controlRef(q), h.id, rl); err != nil {
-			return err
-		}
-	}
-	if err := awaitAcks(replyIn, deadline, len(roster), func(m wire.Msg) (string, bool) {
-		a, ok := m.(*relinkAckMsg)
-		if !ok || a.SessionID != h.id {
-			return "", false
-		}
-		return a.Name, true
-	}); err != nil {
+	}, func() *relinkAckMsg { return &relinkAckMsg{} }); err != nil {
 		return err
 	}
 
@@ -566,67 +539,69 @@ func (h *Handle) Reincarnate(name string, newAddr netsim.Addr) error {
 
 // Shrink removes a participant: the victim unlinks everything and releases
 // its state access, and every remaining participant with a channel to the
-// victim's inboxes drops that binding.
-func (h *Handle) Shrink(name string) error {
+// victim's inboxes drops that binding. The context bounds the exchange.
+// Like ReincarnateAt, the handle's own view is committed only after
+// every remaining participant has acknowledged: a failed or cancelled
+// Shrink leaves the roster untouched, so a retry re-drives the same
+// removal (the victim's repeated terminate and the survivors' repeated
+// binding removes are no-ops).
+func (h *Handle) Shrink(ctx context.Context, name string) error {
 	h.mu.Lock()
 	if h.terminated {
 		h.mu.Unlock()
 		return errors.New("session: terminated")
 	}
-	victim, ok := h.participants[name]
+	vp, ok := h.participants[name]
 	if !ok {
 		h.mu.Unlock()
 		return fmt.Errorf("session: no participant %q", name)
 	}
+	victim := *vp // copied under the lock; used after it is released
 	removesFor := make(map[string][]Binding)
-	var kept []resolved
 	for _, l := range h.links {
 		if l.fromName == name || l.toName == name {
 			if l.fromName != name {
 				removesFor[l.fromName] = append(removesFor[l.fromName], l.binding)
 			}
-			continue
 		}
-		kept = append(kept, l)
 	}
-	delete(h.participants, name)
-	h.links = kept
-	newRoster := h.rosterLocked()
-	remaining := newRoster
+	roster := h.rosterLocked()
+	newRoster := roster[:0:0]
+	for _, q := range roster {
+		if q.Name != name {
+			newRoster = append(newRoster, q)
+		}
+	}
 	h.mu.Unlock()
 
-	replyIn := h.ini.d.NewInbox()
-	defer h.ini.d.RemoveInbox(replyIn.Name())
-	deadline := time.Now().Add(h.ini.timeout)
+	ctx, cancel := h.ini.withDeadline(ctx)
+	defer cancel()
 
 	// The victim fully unlinks (terminate semantics for it alone).
-	t := &terminateMsg{SessionID: h.id, ReplyTo: replyIn.Ref()}
-	if err := h.ini.d.SendDirect(controlRef(*victim), h.id, t); err != nil {
-		return err
-	}
-	if err := collectReplies(replyIn, deadline, 1, func(m wire.Msg) bool {
-		a, ok := m.(*terminateAckMsg)
-		return ok && a.SessionID == h.id && a.Name == name
-	}); err != nil {
+	if err := h.ini.caller.CallTagged(ctx, controlRef(victim), h.id,
+		&terminateMsg{SessionID: h.id}, &terminateAckMsg{}); err != nil {
 		return err
 	}
 
-	for _, q := range remaining {
-		rl := &relinkMsg{
+	if _, err := callAll(ctx, h.ini.caller, h.id, newRoster, func(q Participant) wire.Msg {
+		return &relinkMsg{
 			SessionID: h.id,
 			Remove:    removesFor[q.Name],
 			Roster:    newRoster,
-			ReplyTo:   replyIn.Ref(),
 		}
-		if err := h.ini.d.SendDirect(controlRef(q), h.id, rl); err != nil {
-			return err
+	}, func() *relinkAckMsg { return &relinkAckMsg{} }); err != nil {
+		return err
+	}
+
+	h.mu.Lock()
+	delete(h.participants, name)
+	var kept []resolved
+	for _, l := range h.links {
+		if l.fromName != name && l.toName != name {
+			kept = append(kept, l)
 		}
 	}
-	return awaitAcks(replyIn, deadline, len(remaining), func(m wire.Msg) (string, bool) {
-		a, ok := m.(*relinkAckMsg)
-		if !ok || a.SessionID != h.id {
-			return "", false
-		}
-		return a.Name, true
-	})
+	h.links = kept
+	h.mu.Unlock()
+	return nil
 }

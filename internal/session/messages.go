@@ -53,7 +53,9 @@ type Spec struct {
 	Links []Link
 }
 
-// inviteMsg asks a dapplet to join a session.
+// inviteMsg asks a dapplet to join a session. It travels as an svc
+// request (the framework carries the correlation id and reply inbox);
+// the reply is an inviteRepMsg.
 type inviteMsg struct {
 	SessionID string          `json:"sid"`
 	Task      string          `json:"task,omitempty"`
@@ -67,8 +69,6 @@ type inviteMsg struct {
 	// Roster is the full participant list (names, addresses and roles),
 	// so behaviours can find their peers.
 	Roster []Participant `json:"roster"`
-	// ReplyTo is the initiator's response inbox.
-	ReplyTo wire.InboxRef `json:"re"`
 }
 
 func (*inviteMsg) Kind() string { return "session.invite" }
@@ -126,7 +126,6 @@ func (m *inviteMsg) AppendBinary(dst []byte) ([]byte, error) {
 	}
 	dst = wire.AppendStringSlice(dst, m.Inboxes)
 	dst = appendParticipants(dst, m.Roster)
-	dst = wire.AppendInboxRef(dst, m.ReplyTo)
 	return dst, nil
 }
 
@@ -148,45 +147,43 @@ func (m *inviteMsg) UnmarshalBinary(data []byte) error {
 	}
 	m.Inboxes = r.StringSlice()
 	m.Roster = readParticipants(r)
-	m.ReplyTo = r.InboxRef()
 	return r.Done()
 }
 
-// acceptMsg is a participant's positive response to an invitation.
-type acceptMsg struct {
+// inviteRepMsg is a participant's response to an invitation: an
+// acceptance, or a refusal with the reason. Refusals are ordinary
+// protocol outcomes the initiator aggregates per participant, so they
+// ride in the reply body rather than as svc errors.
+type inviteRepMsg struct {
 	SessionID string `json:"sid"`
 	Name      string `json:"n"`
+	Accepted  bool   `json:"ok"`
+	Reason    string `json:"why,omitempty"`
 }
 
-func (*acceptMsg) Kind() string { return "session.accept" }
+func (*inviteRepMsg) Kind() string { return "session.invite-rep" }
 
 // AppendBinary implements wire.BinaryMessage.
-func (m *acceptMsg) AppendBinary(dst []byte) ([]byte, error) {
+func (m *inviteRepMsg) AppendBinary(dst []byte) ([]byte, error) {
 	dst = wire.AppendString(dst, m.SessionID)
-	return wire.AppendString(dst, m.Name), nil
+	dst = wire.AppendString(dst, m.Name)
+	dst = wire.AppendBool(dst, m.Accepted)
+	return wire.AppendString(dst, m.Reason), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
-func (m *acceptMsg) UnmarshalBinary(data []byte) error {
+func (m *inviteRepMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
 	m.SessionID = r.String()
 	m.Name = r.String()
+	m.Accepted = r.Bool()
+	m.Reason = r.String()
 	return r.Done()
 }
 
-// rejectMsg is a participant's refusal, with the reason.
-type rejectMsg struct {
-	SessionID string `json:"sid"`
-	Name      string `json:"n"`
-	Reason    string `json:"why"`
-}
-
-func (*rejectMsg) Kind() string { return "session.reject" }
-
 // commitMsg tells an accepted participant to apply its bindings.
 type commitMsg struct {
-	SessionID string        `json:"sid"`
-	ReplyTo   wire.InboxRef `json:"re"`
+	SessionID string `json:"sid"`
 }
 
 func (*commitMsg) Kind() string { return "session.commit" }
@@ -210,8 +207,7 @@ func (*abortMsg) Kind() string { return "session.abort" }
 // terminateMsg ends a session: the participant unlinks its bindings and
 // releases its state access.
 type terminateMsg struct {
-	SessionID string        `json:"sid"`
-	ReplyTo   wire.InboxRef `json:"re"`
+	SessionID string `json:"sid"`
 }
 
 func (*terminateMsg) Kind() string { return "session.terminate" }
@@ -232,7 +228,6 @@ type relinkMsg struct {
 	Add       []Binding     `json:"add,omitempty"`
 	Remove    []Binding     `json:"rm,omitempty"`
 	Roster    []Participant `json:"roster,omitempty"`
-	ReplyTo   wire.InboxRef `json:"re"`
 }
 
 func (*relinkMsg) Kind() string { return "session.relink" }
@@ -247,8 +242,7 @@ func (*relinkAckMsg) Kind() string { return "session.relink-ack" }
 
 func init() {
 	wire.Register(&inviteMsg{})
-	wire.Register(&acceptMsg{})
-	wire.Register(&rejectMsg{})
+	wire.Register(&inviteRepMsg{})
 	wire.Register(&commitMsg{})
 	wire.Register(&commitAckMsg{})
 	wire.Register(&abortMsg{})

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/state"
+	"repro/internal/svc"
 	"repro/internal/wire"
 )
 
@@ -113,7 +114,15 @@ type Service struct {
 	members map[string]*Membership
 }
 
-// Attach equips a dapplet with the session service.
+// errUnknownSession answers a commit whose session this dapplet knows
+// nothing about — an abort raced ahead of the commit; the initiator has
+// already given the session up.
+var errUnknownSession = &svc.Error{Code: svc.CodeUser + 0, Msg: "unknown session"}
+
+// Attach equips a dapplet with the session service: the "@session" inbox
+// becomes an svc-served inbox whose handlers run the invite/commit/
+// relink/terminate protocol. Aborts arrive one-way (bare); everything
+// else is correlated and acknowledged through the framework.
 func Attach(d *core.Dapplet, policy Policy) *Service {
 	s := &Service{
 		d:       d,
@@ -121,7 +130,24 @@ func Attach(d *core.Dapplet, policy Policy) *Service {
 		pending: make(map[string]*inviteMsg),
 		members: make(map[string]*Membership),
 	}
-	d.Handle(ControlInbox, s.handle)
+	svc.Serve(d, ControlInbox, svc.Handlers{
+		"session.invite": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			return s.onInvite(c.From(), req.(*inviteMsg)), nil
+		},
+		"session.commit": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			return s.onCommit(req.(*commitMsg))
+		},
+		"session.abort": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			s.onAbort(req.(*abortMsg))
+			return nil, nil
+		},
+		"session.terminate": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			return s.onTerminate(req.(*terminateMsg)), nil
+		},
+		"session.relink": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			return s.onRelink(req.(*relinkMsg)), nil
+		},
+	})
 	return s
 }
 
@@ -148,36 +174,15 @@ func (s *Service) Membership(id string) (*Membership, bool) {
 	return m, ok
 }
 
-func (s *Service) reply(to wire.InboxRef, sid string, msg wire.Msg) {
-	// Control replies are point-to-point; delivery failures surface on
-	// the dapplet's Failures channel.
-	_ = s.d.SendDirect(to, sid, msg)
-}
-
-func (s *Service) handle(env *wire.Envelope) {
-	switch m := env.Body.(type) {
-	case *inviteMsg:
-		s.onInvite(env.FromDapplet, m)
-	case *commitMsg:
-		s.onCommit(m)
-	case *abortMsg:
-		s.onAbort(m)
-	case *terminateMsg:
-		s.onTerminate(m)
-	case *relinkMsg:
-		s.onRelink(m)
-	}
-}
-
-func (s *Service) onInvite(from netsim.Addr, inv *inviteMsg) {
+func (s *Service) onInvite(from netsim.Addr, inv *inviteMsg) *inviteRepMsg {
+	accept := &inviteRepMsg{SessionID: inv.SessionID, Name: s.d.Name(), Accepted: true}
 	s.mu.Lock()
 	_, already := s.pending[inv.SessionID]
 	_, member := s.members[inv.SessionID]
 	s.mu.Unlock()
 	if already || member {
 		// Idempotent re-accept: the initiator may retry.
-		s.reply(inv.ReplyTo, inv.SessionID, &acceptMsg{SessionID: inv.SessionID, Name: s.d.Name()})
-		return
+		return accept
 	}
 
 	if s.policy.ACL != nil {
@@ -189,11 +194,10 @@ func (s *Service) onInvite(from netsim.Addr, inv *inviteMsg) {
 			Roster:    inv.Roster,
 		})
 		if !ok {
-			s.reply(inv.ReplyTo, inv.SessionID, &rejectMsg{
+			return &inviteRepMsg{
 				SessionID: inv.SessionID, Name: s.d.Name(),
 				Reason: "access denied: requester not on access control list",
-			})
-			return
+			}
 		}
 	}
 
@@ -206,31 +210,28 @@ func (s *Service) onInvite(from netsim.Addr, inv *inviteMsg) {
 		} else {
 			reason = fmt.Sprintf("interference: %v", err)
 		}
-		s.reply(inv.ReplyTo, inv.SessionID, &rejectMsg{
-			SessionID: inv.SessionID, Name: s.d.Name(), Reason: reason,
-		})
-		return
+		return &inviteRepMsg{SessionID: inv.SessionID, Name: s.d.Name(), Reason: reason}
 	}
 
 	s.mu.Lock()
 	s.pending[inv.SessionID] = inv
 	s.mu.Unlock()
-	s.reply(inv.ReplyTo, inv.SessionID, &acceptMsg{SessionID: inv.SessionID, Name: s.d.Name()})
+	return accept
 }
 
-func (s *Service) onCommit(m *commitMsg) {
+func (s *Service) onCommit(m *commitMsg) (wire.Msg, error) {
 	s.mu.Lock()
 	if _, member := s.members[m.SessionID]; member {
 		s.mu.Unlock()
-		s.reply(m.ReplyTo, m.SessionID, &commitAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
-		return
+		return &commitAckMsg{SessionID: m.SessionID, Name: s.d.Name()}, nil
 	}
 	inv, ok := s.pending[m.SessionID]
 	delete(s.pending, m.SessionID)
 	s.mu.Unlock()
 	if !ok {
-		// Commit for an unknown session: ignore (abort raced ahead).
-		return
+		// Commit for an unknown session: an abort raced ahead, and the
+		// initiator has already given the session up.
+		return nil, errUnknownSession
 	}
 	for _, name := range inv.Inboxes {
 		s.d.Inbox(name)
@@ -253,54 +254,74 @@ func (s *Service) onCommit(m *commitMsg) {
 	s.members[m.SessionID] = mem
 	s.mu.Unlock()
 	s.persist(mem)
-	s.reply(m.ReplyTo, m.SessionID, &commitAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
 	if s.policy.OnJoin != nil {
 		s.policy.OnJoin(mem)
 	}
+	return &commitAckMsg{SessionID: m.SessionID, Name: s.d.Name()}, nil
 }
 
+// onAbort cancels a session at this participant, whether it is still
+// pending or already committed: an initiator that gave up mid-handshake
+// (rejection elsewhere, timeout, or a cancelled context) aborts every
+// participant, including ones whose commit had landed, and those must
+// unlink and release their state access or the dead session would block
+// future ones through interference control.
 func (s *Service) onAbort(m *abortMsg) {
 	s.mu.Lock()
-	_, ok := s.pending[m.SessionID]
+	_, wasPending := s.pending[m.SessionID]
 	delete(s.pending, m.SessionID)
+	mem, wasMember := s.members[m.SessionID]
+	delete(s.members, m.SessionID)
 	s.mu.Unlock()
-	if ok {
+	if wasMember {
+		s.unlink(mem)
+		s.unpersist(m.SessionID)
+	}
+	if wasPending || wasMember {
 		s.d.Store().Release(m.SessionID)
+	}
+	if wasMember && s.policy.OnLeave != nil {
+		s.policy.OnLeave(m.SessionID)
 	}
 }
 
-func (s *Service) onTerminate(m *terminateMsg) {
+// unlink drops a membership's outbox bindings.
+func (s *Service) unlink(mem *Membership) {
+	mem.mu.Lock()
+	for _, b := range mem.bindings {
+		ob := s.d.Outbox(b.Outbox)
+		_ = ob.Delete(b.To)
+		ob.SetSession("")
+	}
+	mem.bindings = nil
+	mem.mu.Unlock()
+}
+
+func (s *Service) onTerminate(m *terminateMsg) *terminateAckMsg {
 	s.mu.Lock()
 	mem, ok := s.members[m.SessionID]
 	delete(s.members, m.SessionID)
 	delete(s.pending, m.SessionID)
 	s.mu.Unlock()
 	if ok {
-		mem.mu.Lock()
-		for _, b := range mem.bindings {
-			ob := s.d.Outbox(b.Outbox)
-			_ = ob.Delete(b.To)
-			ob.SetSession("")
-		}
-		mem.bindings = nil
-		mem.mu.Unlock()
+		s.unlink(mem)
 	}
 	s.d.Store().Release(m.SessionID)
 	s.unpersist(m.SessionID)
-	s.reply(m.ReplyTo, m.SessionID, &terminateAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
 	if ok && s.policy.OnLeave != nil {
 		s.policy.OnLeave(m.SessionID)
 	}
+	return &terminateAckMsg{SessionID: m.SessionID, Name: s.d.Name()}
 }
 
-func (s *Service) onRelink(m *relinkMsg) {
+func (s *Service) onRelink(m *relinkMsg) *relinkAckMsg {
+	ack := &relinkAckMsg{SessionID: m.SessionID, Name: s.d.Name()}
 	s.mu.Lock()
 	mem, ok := s.members[m.SessionID]
 	s.mu.Unlock()
 	if !ok {
 		// Not a member: ack anyway so the initiator is not stuck.
-		s.reply(m.ReplyTo, m.SessionID, &relinkAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
-		return
+		return ack
 	}
 	mem.mu.Lock()
 	for _, b := range m.Remove {
@@ -334,5 +355,5 @@ func (s *Service) onRelink(m *relinkMsg) {
 	}
 	mem.mu.Unlock()
 	s.persist(mem)
-	s.reply(m.ReplyTo, m.SessionID, &relinkAckMsg{SessionID: m.SessionID, Name: s.d.Name()})
+	return ack
 }

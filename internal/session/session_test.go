@@ -1,6 +1,7 @@
 package session_test
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -40,7 +41,7 @@ func (w *sworld) add(host, name, typ string, policy session.Policy) *core.Dapple
 		core.WithTransportConfig(transport.Config{RTO: 20 * time.Millisecond}))
 	w.t.Cleanup(d.Stop)
 	w.services[name] = session.Attach(d, policy)
-	w.dir.Register(directory.Entry{Name: name, Type: typ, Addr: d.Addr()})
+	w.dir.Register(context.Background(), directory.Entry{Name: name, Type: typ, Addr: d.Addr()})
 	return d
 }
 
@@ -78,7 +79,7 @@ func TestStarSessionSetupAndMessageFlow(t *testing.T) {
 	m2 := w.add("tennessee", "jack", "calendar", session.Policy{})
 	ini := w.initiator("caltech", "director")
 
-	h, err := ini.Initiate(starSpec("s1", []string{"herb", "jack"}, "secretary"))
+	h, err := ini.Initiate(context.Background(), starSpec("s1", []string{"herb", "jack"}, "secretary"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestStarSessionSetupAndMessageFlow(t *testing.T) {
 	if err := m1.Outbox("up").Send(&wire.Text{S: "from-herb"}); err != nil {
 		t.Fatal(err)
 	}
-	msg, err := hub.Inbox("requests").ReceiveTimeout(5 * time.Second)
+	msg, err := hub.Inbox("requests").ReceiveContext(waitCtx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestStarSessionSetupAndMessageFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range []*core.Dapplet{m1, m2} {
-		got, err := m.Inbox("replies").ReceiveTimeout(5 * time.Second)
+		got, err := m.Inbox("replies").ReceiveContext(waitCtx(t))
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
@@ -134,7 +135,7 @@ func TestStarSessionSetupAndMessageFlow(t *testing.T) {
 	if err := m2.Outbox("up").Send(&wire.Text{S: "tagged"}); err != nil {
 		t.Fatal(err)
 	}
-	env, err := hub.Inbox("requests").ReceiveEnvelopeTimeout(5 * time.Second)
+	env, err := hub.Inbox("requests").ReceiveEnvelopeContext(waitCtx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestACLRejection(t *testing.T) {
 			{Name: "closed", Role: "b"},
 		},
 	}
-	_, err := ini.Initiate(spec)
+	_, err := ini.Initiate(context.Background(), spec)
 	var rej *session.RejectedError
 	if !errors.As(err, &rej) {
 		t.Fatalf("err = %v, want RejectedError", err)
@@ -189,7 +190,7 @@ func TestInterferenceRejection(t *testing.T) {
 
 	acc := state.AccessSet{Read: []string{"mon"}, Write: []string{"mon"}}
 	s1 := session.Spec{ID: "first", Participants: []session.Participant{{Name: "shared", Role: "x", Access: acc}}}
-	if _, err := ini.Initiate(s1); err != nil {
+	if _, err := ini.Initiate(context.Background(), s1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -197,7 +198,7 @@ func TestInterferenceRejection(t *testing.T) {
 	s2 := session.Spec{ID: "second", Participants: []session.Participant{
 		{Name: "shared", Role: "x", Access: state.AccessSet{Write: []string{"mon"}}},
 	}}
-	_, err := ini.Initiate(s2)
+	_, err := ini.Initiate(context.Background(), s2)
 	var rej *session.RejectedError
 	if !errors.As(err, &rej) {
 		t.Fatalf("err = %v, want RejectedError", err)
@@ -208,7 +209,7 @@ func TestInterferenceRejection(t *testing.T) {
 		{Name: "shared", Role: "x", Access: state.AccessSet{Write: []string{"doc"}}},
 		{Name: "other", Role: "y"},
 	}}
-	if _, err := ini.Initiate(s3); err != nil {
+	if _, err := ini.Initiate(context.Background(), s3); err != nil {
 		t.Fatalf("disjoint session rejected: %v", err)
 	}
 	if got := w.services["shared"].Sessions(); len(got) != 2 {
@@ -233,14 +234,14 @@ func TestTerminateUnlinksAndReleases(t *testing.T) {
 		},
 		Links: []session.Link{{From: "hub", Outbox: "out", To: "leaf", Inbox: "in"}},
 	}
-	h, err := ini.Initiate(spec)
+	h, err := ini.Initiate(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n := len(hub.Outbox("out").Destinations()); n != 1 {
 		t.Fatalf("hub bindings = %d", n)
 	}
-	if err := h.Terminate(); err != nil {
+	if err := h.Terminate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// "When a session terminates, component dapplets unlink themselves."
@@ -260,7 +261,7 @@ func TestTerminateUnlinksAndReleases(t *testing.T) {
 		t.Fatalf("OnLeave id = %q", left[0])
 	}
 	// Terminate is idempotent.
-	if err := h.Terminate(); err != nil {
+	if err := h.Terminate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -272,7 +273,7 @@ func TestOnJoinCallback(t *testing.T) {
 		OnJoin: func(m *session.Membership) { joined <- m },
 	})
 	ini := w.initiator("h", "director")
-	if _, err := ini.Initiate(session.Spec{
+	if _, err := ini.Initiate(context.Background(), session.Spec{
 		ID:           "join-test",
 		Task:         "watch joins",
 		Participants: []session.Participant{{Name: "j1", Role: "solo"}},
@@ -298,22 +299,23 @@ func TestInitiateTimeoutWhenParticipantSilent(t *testing.T) {
 	}
 	mute := core.NewDapplet("mute", "t", transport.NewSimConn(ep))
 	t.Cleanup(mute.Stop)
-	w.dir.Register(directory.Entry{Name: "mute", Type: "t", Addr: mute.Addr()})
+	w.dir.Register(context.Background(), directory.Entry{Name: "mute", Type: "t", Addr: mute.Addr()})
 
 	ini := w.initiator("h", "director")
-	ini.SetTimeout(200 * time.Millisecond)
-	_, err = ini.Initiate(session.Spec{
+	tctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	_, err = ini.Initiate(tctx, session.Spec{
 		Participants: []session.Participant{{Name: "mute", Role: "x"}},
 	})
-	if !errors.Is(err, session.ErrTimeout) {
-		t.Fatalf("err = %v, want ErrTimeout", err)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
 
 func TestInitiateUnknownParticipant(t *testing.T) {
 	w := newSWorld(t)
 	ini := w.initiator("h", "director")
-	_, err := ini.Initiate(session.Spec{
+	_, err := ini.Initiate(context.Background(), session.Spec{
 		Participants: []session.Participant{{Name: "ghost", Role: "x"}},
 	})
 	if err == nil {
@@ -325,14 +327,14 @@ func TestInitiateBadLinks(t *testing.T) {
 	w := newSWorld(t)
 	w.add("h", "real", "t", session.Policy{})
 	ini := w.initiator("h", "director")
-	_, err := ini.Initiate(session.Spec{
+	_, err := ini.Initiate(context.Background(), session.Spec{
 		Participants: []session.Participant{{Name: "real", Role: "x"}},
 		Links:        []session.Link{{From: "real", Outbox: "o", To: "phantom", Inbox: "i"}},
 	})
 	if err == nil {
 		t.Fatal("link to unknown participant accepted")
 	}
-	_, err = ini.Initiate(session.Spec{
+	_, err = ini.Initiate(context.Background(), session.Spec{
 		Participants: []session.Participant{
 			{Name: "real", Role: "x"}, {Name: "real", Role: "y"},
 		},
@@ -349,12 +351,12 @@ func TestGrowAddsParticipantAndLinks(t *testing.T) {
 	m2 := w.add("h3", "m2", "t", session.Policy{})
 	ini := w.initiator("h1", "director")
 
-	h, err := ini.Initiate(starSpec("grow-test", []string{"m1"}, "hub"))
+	h, err := ini.Initiate(context.Background(), starSpec("grow-test", []string{"m1"}, "hub"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Grow: m2 joins with links in both directions.
-	err = h.Grow(session.Participant{Name: "m2", Role: "member"}, []session.Link{
+	err = h.Grow(context.Background(), session.Participant{Name: "m2", Role: "member"}, []session.Link{
 		{From: "m2", Outbox: "up", To: "hub", Inbox: "requests"},
 		{From: "hub", Outbox: "down", To: "m2", Inbox: "replies"},
 	})
@@ -369,7 +371,7 @@ func TestGrowAddsParticipantAndLinks(t *testing.T) {
 	if err := m2.Outbox("up").Send(&wire.Text{S: "new-blood"}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := hub.Inbox("requests").ReceiveTimeout(5 * time.Second)
+	got, err := hub.Inbox("requests").ReceiveContext(waitCtx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +388,7 @@ func TestGrowAddsParticipantAndLinks(t *testing.T) {
 		t.Fatalf("m1 roster = %d entries", len(mem.Roster))
 	}
 	// Duplicate grow rejected.
-	if err := h.Grow(session.Participant{Name: "m2", Role: "member"}, nil); err == nil {
+	if err := h.Grow(context.Background(), session.Participant{Name: "m2", Role: "member"}, nil); err == nil {
 		t.Fatal("duplicate grow accepted")
 	}
 }
@@ -397,11 +399,11 @@ func TestShrinkRemovesParticipant(t *testing.T) {
 	m1 := w.add("h2", "m1", "t", session.Policy{})
 	w.add("h3", "m2", "t", session.Policy{})
 	ini := w.initiator("h1", "director")
-	h, err := ini.Initiate(starSpec("shrink-test", []string{"m1", "m2"}, "hub"))
+	h, err := ini.Initiate(context.Background(), starSpec("shrink-test", []string{"m1", "m2"}, "hub"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Shrink("m1"); err != nil {
+	if err := h.Shrink(context.Background(), "m1"); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(h.Participants()); got != 2 {
@@ -419,7 +421,7 @@ func TestShrinkRemovesParticipant(t *testing.T) {
 		t.Fatalf("victim still member of %v", got)
 	}
 	// Shrinking a non-member fails.
-	if err := h.Shrink("m1"); err == nil {
+	if err := h.Shrink(context.Background(), "m1"); err == nil {
 		t.Fatal("double shrink accepted")
 	}
 }
@@ -440,7 +442,7 @@ func TestRingTopologySession(t *testing.T) {
 		spec.Links = append(spec.Links, session.Link{From: n, Outbox: "succ", To: next, Inbox: "pred"})
 	}
 	ini := w.initiator("hub", "dealer")
-	if _, err := ini.Initiate(spec); err != nil {
+	if _, err := ini.Initiate(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
 	// Pass a token all the way around the ring.
@@ -449,7 +451,7 @@ func TestRingTopologySession(t *testing.T) {
 	}
 	for i := 1; i <= len(players); i++ {
 		p := players[i%len(players)]
-		got, err := p.Inbox("pred").ReceiveTimeout(5 * time.Second)
+		got, err := p.Inbox("pred").ReceiveContext(waitCtx(t))
 		if err != nil {
 			t.Fatalf("hop %d: %v", i, err)
 		}
@@ -470,11 +472,11 @@ func TestSessionOverWANWithLoss(t *testing.T) {
 	w.add("caltech", "hub", "t", session.Policy{})
 	w.add("rice", "remote", "t", session.Policy{})
 	ini := w.initiator("caltech", "director")
-	h, err := ini.Initiate(starSpec("lossy", []string{"remote"}, "hub"))
+	h, err := ini.Initiate(context.Background(), starSpec("lossy", []string{"remote"}, "hub"))
 	if err != nil {
 		t.Fatalf("session setup under 20%% loss failed: %v", err)
 	}
-	if err := h.Terminate(); err != nil {
+	if err := h.Terminate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -513,7 +515,7 @@ func TestReincarnateAfterCrashRestart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dir.Register(directory.Entry{Name: name, Type: "node", Addr: d.Addr()})
+		dir.Register(context.Background(), directory.Entry{Name: name, Type: "node", Addr: d.Addr()})
 	}
 
 	iniEp, err := net.Host("hq").BindAny()
@@ -539,7 +541,7 @@ func TestReincarnateAfterCrashRestart(t *testing.T) {
 			{From: "hub", Outbox: "loop", To: "hub", Inbox: "self"},
 		},
 	}
-	h, err := ini.Initiate(spec)
+	h, err := ini.Initiate(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -560,7 +562,7 @@ func TestReincarnateAfterCrashRestart(t *testing.T) {
 		if !ok {
 			t.Fatalf("dapplet %s gone", name)
 		}
-		m, err := d.Inbox(inbox).ReceiveTimeout(5 * time.Second)
+		m, err := d.Inbox(inbox).ReceiveContext(waitCtx(t))
 		if err != nil {
 			t.Fatalf("recv %s/%s: %v", name, inbox, err)
 		}
@@ -588,7 +590,7 @@ func TestReincarnateAfterCrashRestart(t *testing.T) {
 		t.Fatalf("restored membership corrupt: role=%q roster=%d", mem.Role, len(mem.Roster))
 	}
 
-	if err := h.Reincarnate("hub", hub2.Addr()); err != nil {
+	if err := h.ReincarnateAt(context.Background(), "hub", hub2.Addr()); err != nil {
 		t.Fatal(err)
 	}
 	// The survivor's channel into the hub now reaches the new
@@ -601,7 +603,7 @@ func TestReincarnateAfterCrashRestart(t *testing.T) {
 	recv("hub", "self", "note-to-self")
 
 	// Teardown still works end to end and clears the durable record.
-	if err := h.Terminate(); err != nil {
+	if err := h.Terminate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := hub2.Store().LiveSessions(); len(got) != 0 {
@@ -617,7 +619,7 @@ func TestPeerDownVerdictsFilterLivePeers(t *testing.T) {
 	w.add("rice", "herb", "calendar", session.Policy{})
 	w.add("tennessee", "jack", "calendar", session.Policy{})
 	ini := w.initiator("caltech", "director")
-	if _, err := ini.Initiate(starSpec("s-down", []string{"herb", "jack"}, "secretary")); err != nil {
+	if _, err := ini.Initiate(context.Background(), starSpec("s-down", []string{"herb", "jack"}, "secretary")); err != nil {
 		t.Fatal(err)
 	}
 	svc := w.services["secretary"]
@@ -644,4 +646,12 @@ func TestPeerDownVerdictsFilterLivePeers(t *testing.T) {
 	if got := len(mem.LivePeers("member")); got != 2 {
 		t.Fatalf("live members after recovery = %d, want 2", got)
 	}
+}
+
+// waitCtx bounds one receive in these tests.
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
 }

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,12 +57,13 @@ func (c *Coordinator) gatherReports(in *core.Inbox, snapID string) (*Global, err
 		Sent:     make(map[ChannelKey]uint64),
 		Recv:     make(map[ChannelKey]uint64),
 	}
-	deadline := time.Now().Add(c.timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
 	seen := make(map[string]bool)
 	for len(seen) < len(c.members) {
-		env, err := in.ReceiveEnvelopeTimeout(time.Until(deadline))
+		env, err := in.ReceiveEnvelopeContext(ctx)
 		if err != nil {
-			if errors.Is(err, core.ErrTimeout) {
+			if errors.Is(err, context.DeadlineExceeded) {
 				return nil, fmt.Errorf("%w (%d of %d)", ErrTimeout, len(seen), len(c.members))
 			}
 			return nil, err

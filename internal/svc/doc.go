@@ -1,0 +1,31 @@
+// Package svc is the typed, context-first request/response framework the
+// control planes are built on. The paper's model gives dapplets only
+// asynchronous channels ("Synchronous RPCs are implemented as pairwise
+// asynchronous RPCs", §3.2); every service that grew on top of it — rpc,
+// the session service, the "@dir" directory, the "@fail" detector — used
+// to hand-roll the same pairing loop with its own sequence numbers, reply
+// inboxes and deadline convention. svc factors that loop out once:
+//
+//   - Serve(d, inbox, handlers) consumes a service inbox and dispatches
+//     each request to the handler registered for its message kind. A
+//     correlated request arrives wrapped in an svc frame carrying the
+//     caller's sequence number and reply inbox; a bare registered message
+//     on the same inbox is dispatched one-way (heartbeats, aborts).
+//   - Caller owns a private reply inbox and matches responses to calls by
+//     correlation id. Call blocks under a context.Context — cancellation
+//     and deadlines work uniformly, returning context.Canceled or
+//     context.DeadlineExceeded rather than per-service timeout errors.
+//     Send/Await split one call into transmit-now/await-later, and
+//     CallFirst fans a request to replicas and returns on the first
+//     success (the replicated-directory write pattern).
+//   - Handler errors travel as typed values: an *Error's code survives
+//     the wire, so callers dispatch on errors.Is/errors.As instead of
+//     parsing strings. Codes at or above CodeUser are reserved for the
+//     application protocol riding on svc.
+//
+// The wire format nests the application message inside the svc frame via
+// wire.EncodeBody/DecodeBody (dense kind id + form flag + payload), so a
+// request type needs no svc-specific fields — see DESIGN.md's "Service
+// framework" section for the exact layout and the old→new migration
+// table.
+package svc

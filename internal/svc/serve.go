@@ -1,0 +1,132 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// NoReply, returned as a handler's error, suppresses the reply entirely:
+// the request is consumed but the caller hears nothing, and its context
+// — not the framework — decides when to give up. Services that answer
+// out-of-band (or deliberately drop a raced request) use it.
+var NoReply = errors.New("svc: no reply")
+
+// Ctx carries the delivery context of one request into its handler: the
+// full envelope (sender address, session tag, logical timestamp) and, for
+// correlated requests, the caller's reply inbox.
+type Ctx struct {
+	env     *wire.Envelope
+	replyTo wire.InboxRef
+}
+
+// Envelope returns the request's delivery envelope.
+func (c *Ctx) Envelope() *wire.Envelope { return c.env }
+
+// From returns the requesting dapplet's global address.
+func (c *Ctx) From() netsim.Addr { return c.env.FromDapplet }
+
+// Session returns the session tag the request travelled under.
+func (c *Ctx) Session() string { return c.env.Session }
+
+// ReplyTo returns the caller's reply inbox — the address replies and any
+// later pushes (e.g. directory watch events) reach the caller at. It is
+// zero for one-way requests.
+func (c *Ctx) ReplyTo() wire.InboxRef { return c.replyTo }
+
+// OneWay reports whether the request expects no reply (a bare message, or
+// a frame sent without a reply inbox); any handler response is dropped.
+func (c *Ctx) OneWay() bool { return c.replyTo.IsZero() }
+
+// Handler serves one request kind. The returned message (which may be nil
+// for requests that want only an empty acknowledgement) is marshalled
+// into the reply; a returned error travels as a typed *Error in its
+// place. Handlers run on the server's dispatch thread and should not
+// block indefinitely.
+type Handler func(c *Ctx, req wire.Msg) (wire.Msg, error)
+
+// Handlers maps request message kinds to their handlers: the typed
+// dispatch table of one served inbox.
+type Handlers map[string]Handler
+
+// Server is one serving inbox: a dispatch thread consuming requests and
+// answering through the svc reply protocol.
+type Server struct {
+	d     *core.Dapplet
+	inbox string
+	h     Handlers
+}
+
+// Serve consumes the named inbox on the dapplet and dispatches each
+// arriving request to the handler registered for its kind. Correlated
+// requests (svc frames) are answered with a reply carrying the handler's
+// response or typed error; bare registered messages are dispatched
+// one-way. Unknown kinds answer ErrNoHandler (correlated) or are dropped
+// (bare).
+func Serve(d *core.Dapplet, inbox string, h Handlers) *Server {
+	s := &Server{d: d, inbox: inbox, h: h}
+	d.Handle(inbox, s.dispatch)
+	return s
+}
+
+// Ref returns the global address of the serving inbox.
+func (s *Server) Ref() wire.InboxRef {
+	return wire.InboxRef{Dapplet: s.d.Addr(), Inbox: s.inbox}
+}
+
+// dispatch serves one arriving envelope.
+func (s *Server) dispatch(env *wire.Envelope) {
+	rm, ok := env.Body.(*reqMsg)
+	if !ok {
+		// A bare registered message: one-way dispatch by its own kind.
+		if h := s.h[env.Body.Kind()]; h != nil {
+			_, _ = h(&Ctx{env: env}, env.Body)
+		}
+		return
+	}
+	var (
+		resp wire.Msg
+		herr error
+	)
+	req, err := wire.DecodeBody(rm.BodyID, rm.BodyBin, rm.Body)
+	switch {
+	case err != nil:
+		herr = &Error{Code: CodeBadRequest, Msg: err.Error()}
+	default:
+		h := s.h[req.Kind()]
+		if h == nil {
+			herr = &Error{Code: CodeNoHandler, Msg: fmt.Sprintf("no handler for %q on %s", req.Kind(), s.inbox)}
+		} else {
+			resp, herr = h(&Ctx{env: env, replyTo: rm.ReplyTo}, req)
+		}
+	}
+	if rm.ReplyTo.IsZero() || errors.Is(herr, NoReply) {
+		return // one-way frame, or the handler elected silence
+	}
+	rep := &repMsg{Seq: rm.Seq}
+	if herr != nil {
+		se := asError(herr)
+		rep.Code, rep.Err = uint16(se.Code), se.Msg
+		_ = s.d.SendDirect(rm.ReplyTo, env.Session, rep)
+		return
+	}
+	if resp == nil {
+		_ = s.d.SendDirect(rm.ReplyTo, env.Session, rep)
+		return
+	}
+	body, err := wire.EncodeBody(resp)
+	if err != nil {
+		rep.Code, rep.Err = uint16(CodeApp), err.Error()
+		_ = s.d.SendDirect(rm.ReplyTo, env.Session, rep)
+		return
+	}
+	rep.BodyID, rep.BodyBin, rep.Body = body.ID(), body.Binary(), body.Bytes()
+	// SendDirect copies the reply (body bytes included) into its own
+	// transmit frame before returning, so the encode buffer can be
+	// released immediately after.
+	_ = s.d.SendDirect(rm.ReplyTo, env.Session, rep)
+	body.Release()
+}

@@ -104,6 +104,12 @@ func (b Body) Bytes() []byte {
 	return *b.buf
 }
 
+// ID returns the dense kind id the body was encoded under.
+func (b Body) ID() uint16 { return b.id }
+
+// Binary reports whether Bytes holds the binary form (else JSON).
+func (b Body) Binary() bool { return b.bin }
+
 // Len returns the encoded body length.
 func (b Body) Len() int { return len(b.Bytes()) }
 
@@ -144,6 +150,55 @@ func EncodeBody(m Msg) (Body, error) {
 	}
 	*bufp = append(b, data...)
 	return Body{id: e.id, bin: false, buf: bufp}, nil
+}
+
+// DecodeBody reconstructs a registered message from an encoded body — the
+// inverse of EncodeBody. The nested framing (dense kind id, form flag,
+// payload bytes) is how the svc request/response layer carries an
+// application message inside its own frames.
+func DecodeBody(id uint16, bin bool, data []byte) (Msg, error) {
+	e := entryByID(id)
+	if e == nil {
+		return nil, fmt.Errorf("wire: unknown message kind id %d", id)
+	}
+	m, err := NewOf(e.kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeBodyInto(e, bin, data, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeBodyInto decodes an encoded body into an existing message, whose
+// kind must match the one registered under id.
+func DecodeBodyInto(id uint16, bin bool, data []byte, into Msg) error {
+	e := entryByID(id)
+	if e == nil {
+		return fmt.Errorf("wire: unknown message kind id %d", id)
+	}
+	if into.Kind() != e.kind {
+		return fmt.Errorf("wire: body is %q, not %q", e.kind, into.Kind())
+	}
+	return decodeBodyInto(e, bin, data, into)
+}
+
+func decodeBodyInto(e *regEntry, bin bool, data []byte, m Msg) error {
+	if bin {
+		bm, ok := m.(BinaryMessage)
+		if !ok {
+			return fmt.Errorf("wire: binary body for kind %q, which has no binary decoder", e.kind)
+		}
+		if err := bm.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("wire: decode %q body: %w", e.kind, err)
+		}
+		return nil
+	}
+	if err := json.Unmarshal(data, m); err != nil {
+		return fmt.Errorf("wire: decode %q body: %w", e.kind, err)
+	}
+	return nil
 }
 
 // AppendEnvelopeBody appends the binary frame for header e around an

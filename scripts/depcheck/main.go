@@ -1,0 +1,143 @@
+// Command depcheck fails the build on new calls to the deprecated
+// timeout-era methods outside the packages that own them. The svc
+// redesign threaded context.Context through every blocking public call
+// (Inbox.ReceiveContext, rpc.Client.Call, Initiator.Initiate,
+// directory.Client lookups); the old timeout methods remain only as
+// deprecated wrappers, and this gate keeps new code off them. It runs in
+// CI next to scripts/doccheck.
+//
+// Rules:
+//   - ReceiveTimeout / ReceiveEnvelopeTimeout calls are flagged outside
+//     internal/core (their owner), CallTimeout outside internal/rpc.
+//   - SetTimeout is ambiguous (snapshot and calendar have legitimate
+//     knobs of the same name), so it is flagged only in files that
+//     import repro/internal/session, repro/internal/directory or
+//     repro/wwds — the packages whose SetTimeout is deprecated — and
+//     outside those owners.
+//   - A call whose line carries a "//depcheck:allow <reason>" comment is
+//     exempt; use it for same-named methods of other types.
+//
+// Usage: go run ./scripts/depcheck <root-dir>
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// owners maps each deprecated method to the package directories allowed
+// to keep calling it (the owner's implementation, wrappers and tests).
+var owners = map[string][]string{
+	"ReceiveTimeout":         {"internal/core"},
+	"ReceiveEnvelopeTimeout": {"internal/core"},
+	"CallTimeout":            {"internal/rpc"},
+	"SetTimeout":             {"internal/session", "internal/directory"},
+}
+
+// setTimeoutImports are the import paths whose presence makes a bare
+// SetTimeout call suspicious.
+var setTimeoutImports = []string{
+	"repro/internal/session",
+	"repro/internal/directory",
+	"repro/wwds",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	bad := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		return checkFile(root, path, &bad)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "depcheck: %d call(s) to deprecated timeout methods (use the context-first API; see DESIGN.md \"Service framework\")\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkFile(root, path string, bad *int) error {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	dir := filepath.ToSlash(filepath.Dir(rel))
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return err
+	}
+	importsSuspect := false
+	for _, imp := range f.Imports {
+		p, _ := strconv.Unquote(imp.Path.Value)
+		for _, s := range setTimeoutImports {
+			if p == s {
+				importsSuspect = true
+			}
+		}
+	}
+	// Lines carrying a depcheck:allow comment are exempt.
+	allowed := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "depcheck:allow") {
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		ownerDirs, deprecated := owners[name]
+		if !deprecated {
+			return true
+		}
+		if name == "SetTimeout" && !importsSuspect {
+			return true
+		}
+		for _, od := range ownerDirs {
+			if dir == od {
+				return true
+			}
+		}
+		pos := fset.Position(call.Pos())
+		if allowed[pos.Line] {
+			return true
+		}
+		*bad++
+		fmt.Printf("%s:%d: call to deprecated %s outside its package (use the context-first API)\n", rel, pos.Line, name)
+		return true
+	})
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/session"
 	"repro/internal/snapshot"
 	"repro/internal/state"
+	"repro/internal/svc"
 	"repro/internal/syncprim"
 	"repro/internal/tokens"
 	"repro/internal/transport"
@@ -111,6 +112,42 @@ type Envelope = wire.Envelope
 // RegisterMessage records a message prototype for wire reconstruction.
 func RegisterMessage(proto Msg) { wire.Register(proto) }
 
+// --- service framework ---
+
+// The svc layer is the typed, context-first request/response framework
+// every control plane (rpc, sessions, directory, failure probes) rides
+// on; applications can build their own services on it the same way.
+type (
+	// SvcHandler serves one request kind on a served inbox.
+	SvcHandler = svc.Handler
+	// SvcHandlers is the dispatch table of one served inbox.
+	SvcHandlers = svc.Handlers
+	// SvcCtx carries a request's delivery context into its handler.
+	SvcCtx = svc.Ctx
+	// SvcServer is one svc-served inbox.
+	SvcServer = svc.Server
+	// SvcCaller issues context-bounded requests to served inboxes.
+	SvcCaller = svc.Caller
+	// SvcPending is one transmitted, not-yet-awaited request.
+	SvcPending = svc.Pending
+	// SvcError is a typed service error whose code survives the wire.
+	SvcError = svc.Error
+	// SvcCode classifies a service error; codes >= SvcCodeUser are
+	// application-defined.
+	SvcCode = svc.Code
+)
+
+// SvcCodeUser is the first application-defined service error code.
+const SvcCodeUser = svc.CodeUser
+
+// ServeSvc consumes an inbox and dispatches its requests to typed
+// handlers.
+var ServeSvc = svc.Serve
+
+// NewSvcCaller attaches a request caller (private reply inbox plus
+// correlation ids) to a dapplet.
+var NewSvcCaller = svc.NewCaller
+
 // --- dapplets ---
 
 // Dapplet is a process in a collaborative distributed application.
@@ -192,6 +229,13 @@ var NewDirectoryCluster = directory.NewCluster
 
 // NewDirectoryClient attaches a caching directory client to a dapplet.
 var NewDirectoryClient = directory.NewClient
+
+// DirectoryClientOption configures a directory client at construction.
+type DirectoryClientOption = directory.ClientOption
+
+// WithDirectoryTimeout sets a directory client's per-replica request
+// timeout (the failover latency after a replica crash).
+var WithDirectoryTimeout = directory.WithClientTimeout
 
 // DirectoryShardOf returns the shard owning a name for a given shard
 // count (prefix partitioning of the hashed name space).

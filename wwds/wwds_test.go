@@ -1,6 +1,7 @@
 package wwds_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -38,7 +39,7 @@ func TestFacadeMessaging(t *testing.T) {
 	if err := out.Send(&wwds.Text{S: "via facade"}); err != nil {
 		t.Fatal(err)
 	}
-	msg, err := in.ReceiveTimeout(5 * time.Second)
+	msg, err := in.ReceiveContext(testCtx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestFacadeCustomMessage(t *testing.T) {
 	if err := out.Send(&facadeMsg{N: 42}); err != nil {
 		t.Fatal(err)
 	}
-	msg, err := in.ReceiveTimeout(5 * time.Second)
+	msg, err := in.ReceiveContext(testCtx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFacadeSessionLifecycle(t *testing.T) {
 		d := wwds.NewDapplet(fmt.Sprintf("m%d", i), "member", wwds.NewSimConn(ep), cfg)
 		t.Cleanup(d.Stop)
 		wwds.AttachSessions(d, wwds.SessionPolicy{})
-		dir.Register(wwds.DirEntry{Name: d.Name(), Type: "member", Addr: d.Addr()})
+		dir.Register(context.Background(), wwds.DirEntry{Name: d.Name(), Type: "member", Addr: d.Addr()})
 		members = append(members, d)
 	}
 	epI, err := net.Host("hq").BindAny()
@@ -107,17 +108,17 @@ func TestFacadeSessionLifecycle(t *testing.T) {
 		wwds.Link{From: "m0", Outbox: "out", To: "m1", Inbox: "in"},
 		wwds.Link{From: "m1", Outbox: "out", To: "m2", Inbox: "in"},
 	)
-	h, err := ini.Initiate(spec)
+	h, err := ini.Initiate(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := members[0].Outbox("out").Send(&wwds.Text{S: "chain"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := members[1].Inbox("in").ReceiveTimeout(5 * time.Second); err != nil {
+	if _, err := members[1].Inbox("in").ReceiveContext(testCtx(t)); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Terminate(); err != nil {
+	if err := h.Terminate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if n := len(members[0].Outbox("out").Destinations()); n != 0 {
@@ -163,7 +164,7 @@ func TestFacadeRPC(t *testing.T) {
 	})
 	cli := wwds.NewRPCClient(db)
 	var out int
-	if err := cli.Call(ref, "add2", 40, &out); err != nil {
+	if err := cli.Call(context.Background(), ref, "add2", 40, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out != 42 {
@@ -244,7 +245,7 @@ func TestFacadeClockStamps(t *testing.T) {
 	if err := out.Send(&wwds.Text{S: "x"}); err != nil {
 		t.Fatal(err)
 	}
-	env, err := in.ReceiveEnvelopeTimeout(5 * time.Second)
+	env, err := in.ReceiveEnvelopeContext(testCtx(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,27 +288,35 @@ func TestFacadeDirectoryService(t *testing.T) {
 
 	target := newDap("ht", "worker")
 	wwds.AttachSessions(target, wwds.SessionPolicy{})
-	if err := cli.Register(wwds.DirEntry{Name: "worker", Type: "t", Addr: target.Addr()}); err != nil {
+	if err := cli.Register(context.Background(), wwds.DirEntry{Name: "worker", Type: "t", Addr: target.Addr()}); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := cli.MustLookup("worker"); err != nil || got.Addr != target.Addr() {
+	if got, err := cli.MustLookup(context.Background(), "worker"); err != nil || got.Addr != target.Addr() {
 		t.Fatalf("lookup = %+v, %v", got, err)
 	}
 
 	// The initiator accepts the caching client as its DirResolver.
 	var _ wwds.DirResolver = cli
 	ini := wwds.NewInitiator(newDap("hq", "director"), cli)
-	h, err := ini.Initiate(wwds.SessionSpec{
+	h, err := ini.Initiate(context.Background(), wwds.SessionSpec{
 		ID:           "dir-facade",
 		Participants: []wwds.Participant{{Name: "worker", Role: "member"}},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Terminate(); err != nil {
+	if err := h.Terminate(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if st := cli.Stats(); st.Hits == 0 {
 		t.Fatalf("session setup did not use the cache: %+v", st)
 	}
+}
+
+// testCtx returns a context bounding one receive in these tests.
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
 }
