@@ -35,6 +35,8 @@ type Dapplet struct {
 	recvObs []func(*wire.Envelope)
 	sendObs []func(*wire.Envelope)
 
+	onStop []func() // guarded by mu; run once by Stop
+
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
@@ -44,13 +46,23 @@ type Dapplet struct {
 type DappletOption func(*dappletConfig)
 
 type dappletConfig struct {
-	relCfg transport.Config
-	store  *state.Store
+	relCfg   transport.Config
+	store    *state.Store
+	queueCap int
 }
 
 // WithTransportConfig tunes the dapplet's reliable layer.
 func WithTransportConfig(c transport.Config) DappletOption {
 	return func(dc *dappletConfig) { dc.relCfg = c }
+}
+
+// WithQueueCap sets the capacity of the dapplet's netsim receive queue.
+// It is honoured by Runtime.Launch, which binds the endpoint — a swarm
+// of mostly idle dapplets runs with small queues so per-dapplet memory
+// stays flat; NewDapplet itself ignores it (its socket is already
+// bound).
+func WithQueueCap(n int) DappletOption {
+	return func(dc *dappletConfig) { dc.queueCap = n }
 }
 
 // WithStore supplies a persistent state store (e.g. one opened from a
@@ -119,13 +131,28 @@ func (d *Dapplet) DeadLetters() uint64 { return d.deadLetters.Load() }
 // have inboxes called students and grades".
 func (d *Dapplet) Inbox(name string) *Inbox {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if in, ok := d.inboxes[name]; ok {
+		d.mu.Unlock()
 		return in
 	}
 	in := newInbox(d, name)
 	d.inboxes[name] = in
+	d.mu.Unlock()
+	d.closeIfStopped(in)
 	return in
+}
+
+// closeIfStopped closes an inbox created after Stop began: Stop's sweep
+// snapshotted the inbox map before this insert, so without the check a
+// late-created inbox (e.g. a lazily constructed svc caller's reply
+// inbox) would never close and its consumer thread would block Stop
+// forever.
+func (d *Dapplet) closeIfStopped(in *Inbox) {
+	select {
+	case <-d.stopped:
+		in.close()
+	default:
+	}
 }
 
 // NewInbox creates an inbox with a fresh auto-generated name, standing in
@@ -138,6 +165,7 @@ func (d *Dapplet) NewInbox() *Inbox {
 	in := newInbox(d, name)
 	d.inboxes[name] = in
 	d.mu.Unlock()
+	d.closeIfStopped(in)
 	return in
 }
 
@@ -213,6 +241,18 @@ func (d *Dapplet) Spawn(f func()) {
 // Stopped returns a channel closed when the dapplet stops; spawned threads
 // select on it to exit promptly.
 func (d *Dapplet) Stopped() <-chan struct{} { return d.stopped }
+
+// OnStop registers a cleanup callback run once by Stop, after the
+// socket closes (sends already fail fast) and before inboxes close and
+// threads are waited for. Services attached to the dapplet use it to
+// detach from shared machinery — a failure detector cancels its timers
+// on the shared timer host here — without parking a goroutine on
+// Stopped() per service.
+func (d *Dapplet) OnStop(f func()) {
+	d.mu.Lock()
+	d.onStop = append(d.onStop, f)
+	d.mu.Unlock()
+}
 
 // OnRecv registers an observer invoked for every arriving envelope, after
 // the clock merge and before the envelope is queued. Services such as
@@ -322,11 +362,19 @@ func (d *Dapplet) Stop() {
 		close(d.stopped)
 		d.rel.Close()
 		d.mu.Lock()
+		fns := d.onStop
 		boxes := make([]*Inbox, 0, len(d.inboxes))
 		for _, in := range d.inboxes {
 			boxes = append(boxes, in)
 		}
 		d.mu.Unlock()
+		// OnStop callbacks run after the socket closes (a callback still
+		// in a send fails fast instead of blocking on a full window) and
+		// before threads are waited for (a callback may wait out shared
+		// machinery that is itself running detector callbacks).
+		for _, f := range fns {
+			f()
+		}
 		for _, in := range boxes {
 			in.close()
 		}

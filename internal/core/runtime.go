@@ -175,7 +175,18 @@ func (rt *Runtime) Launch(host, typ, name string, opts ...DappletOption) (*Dappl
 	if err != nil {
 		return nil, err
 	}
-	ep, err := rt.net.Host(host).BindAny()
+	// Pre-scan the options for a per-dapplet queue capacity: the bind
+	// happens here, before NewDapplet ever sees the options.
+	var pre dappletConfig
+	for _, o := range opts {
+		o(&pre)
+	}
+	var ep *netsim.Endpoint
+	if pre.queueCap > 0 {
+		ep, err = rt.net.Host(host).BindAnyQueue(pre.queueCap)
+	} else {
+		ep, err = rt.net.Host(host).BindAny()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: bind on %q: %w", host, err)
 	}

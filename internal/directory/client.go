@@ -31,6 +31,29 @@ type ClientStats struct {
 	Evictions uint64
 }
 
+// Lookups returns the total number of lookups observed (hits + misses).
+func (s ClientStats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns the fraction of lookups answered from the cache, in
+// [0, 1]; zero lookups report 0.
+func (s ClientStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Add returns the element-wise sum of two stats snapshots; the swarm
+// harness aggregates its initiators' counters with it.
+func (s ClientStats) Add(o ClientStats) ClientStats {
+	return ClientStats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Failovers: s.Failovers + o.Failovers,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}
+
 // cached is one cache slot: the entry plus the version that stamped it at
 // the replica the client is subscribed to. Like the netsim route cache,
 // the slot stays valid until a higher version invalidates it — here the

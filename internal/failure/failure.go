@@ -74,6 +74,13 @@ type Config struct {
 	// can tell recovery from restart (core.Runtime.Incarnation supplies
 	// one).
 	Incarnation uint64
+	// Host, when set, is the shared timer loop the detector schedules
+	// its verdict checks and heartbeat rounds on; detectors across a
+	// whole runtime can share a handful of Hosts instead of running one
+	// loop goroutine each. When nil the detector runs a private Host
+	// ticking at Interval/4 (the old per-detector cadence) and stops it
+	// with the dapplet.
+	Host *Host
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +203,11 @@ type peerState struct {
 	// adaptive timeout; zero until two heartbeats have been observed.
 	meanIA time.Duration
 	devIA  time.Duration
+	// timer is this peer's slot on the detector host's wheel: it fires
+	// when the peer's verdict may need to advance (lazily re-armed from
+	// lastHeard, so a beacon never has to reschedule it) and, once the
+	// peer is Down, paces the slow probe cadence.
+	timer wheelTimer
 }
 
 // detectionTimeout is the Up->Suspect (and Suspect->Down) window for this
@@ -212,9 +224,22 @@ func (p *peerState) detectionTimeout(cfg Config) time.Duration {
 // Detector heartbeats the peers watching this dapplet and watches peers
 // in return. All methods are safe for concurrent use.
 type Detector struct {
-	d      *core.Dapplet
-	cfg    Config
-	caller *svc.Caller
+	d   *core.Dapplet
+	cfg Config
+
+	// host is the timer loop verdict checks and heartbeat rounds run on;
+	// ownHost marks a private one that stops with the dapplet. hb is the
+	// detector's heartbeat-round timer, firing once per Interval.
+	host    *Host
+	ownHost bool
+	hb      wheelTimer
+
+	// callerOnce creates the probe svc.Caller lazily: a detector that
+	// never holds a peer Down never pays the caller's reply inbox and
+	// demultiplex thread — at swarm scale that is one goroutine per
+	// dapplet saved.
+	callerOnce sync.Once
+	caller     *svc.Caller
 
 	// emitMu serializes each verdict transition with its observer
 	// delivery: it is taken before mu by every path that may emit, so
@@ -223,11 +248,15 @@ type Detector struct {
 	// emitMu but never under mu, so they may call Status etc.
 	emitMu sync.Mutex
 
-	mu     sync.Mutex
-	peers  map[string]*peerState
-	byAddr map[netsim.Addr]*peerState
-	seq    uint64
-	obs    []func(Event)
+	mu       sync.Mutex
+	peers    map[string]*peerState
+	byAddr   map[netsim.Addr]*peerState
+	seq      uint64
+	obs      []func(Event)
+	stopping bool
+	// scratchHB is the heartbeat round's reused target buffer, so the
+	// per-Interval fan-out does not allocate a fresh slice each round.
+	scratchHB []wire.InboxRef
 
 	hbSent   atomic.Uint64
 	implicit atomic.Uint64
@@ -247,22 +276,28 @@ type Stats struct {
 	ProbesSent uint64
 }
 
-// Attach equips a dapplet with a failure detector. The detector starts
-// its heartbeat and verdict threads immediately; they stop with the
-// dapplet. Any frame the dapplet exchanges with a watched peer doubles
-// as liveness evidence: received application traffic refreshes the
-// peer's deadline, and transmitted application traffic suppresses the
-// next explicit heartbeat to that peer, so heartbeats flow only on idle
-// channels. The "@fail" inbox is an svc-served inbox: heartbeats arrive
-// bare (one-way), and address-learning probes arrive correlated and are
+// Attach equips a dapplet with a failure detector. The detector
+// schedules its heartbeat rounds and per-peer verdict timers on a timer
+// Host — the shared one named by Config.Host, or a private loop ticking
+// at Interval/4 — and detaches when the dapplet stops. Any frame the
+// dapplet exchanges with a watched peer doubles as liveness evidence:
+// received application traffic refreshes the peer's deadline, and
+// transmitted application traffic suppresses the next explicit
+// heartbeat to that peer, so heartbeats flow only on idle channels. The
+// "@fail" inbox is an svc-served inbox: heartbeats arrive bare
+// (one-way), and address-learning probes arrive correlated and are
 // answered with this instance's name and incarnation.
 func Attach(d *core.Dapplet, cfg Config) *Detector {
 	det := &Detector{
 		d:      d,
 		cfg:    cfg.withDefaults(),
-		caller: svc.NewCaller(d),
 		peers:  make(map[string]*peerState),
 		byAddr: make(map[netsim.Addr]*peerState),
+	}
+	det.host = det.cfg.Host
+	if det.host == nil {
+		det.host = NewHost(det.cfg.Interval / 4)
+		det.ownHost = true
 	}
 	svc.Serve(d, ControlInbox, svc.Handlers{
 		"fail.hb": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
@@ -281,8 +316,57 @@ func Attach(d *core.Dapplet, cfg Config) *Detector {
 	})
 	d.OnRecv(det.onAppRecv)
 	d.OnSend(det.onAppSend)
-	d.Spawn(det.loop)
+	det.hb.fire = det.fireHeartbeats
+	// Stagger the first round within a quarter interval so co-hosted
+	// detectors sharing a Host do not all fan out on the same tick.
+	det.host.schedule(&det.hb, det.cfg.Interval+hbStagger(d.Name(), det.cfg.Interval/4))
+	d.OnStop(det.detach)
 	return det
+}
+
+// hbStagger derives a deterministic per-detector phase offset in [0, m).
+func hbStagger(name string, m time.Duration) time.Duration {
+	if m <= 0 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return time.Duration(h % uint64(m))
+}
+
+// probeCaller returns the detector's svc caller, creating it on first
+// use (the first probe to a Down peer).
+func (det *Detector) probeCaller() *svc.Caller {
+	det.callerOnce.Do(func() { det.caller = svc.NewCaller(det.d) })
+	return det.caller
+}
+
+// detach runs when the dapplet stops: it cancels every wheel timer so a
+// shared Host stops paying for this detector, and stops a private Host.
+// A callback already in flight observes stopping (or the generation
+// bump) and winds down without re-arming.
+func (det *Detector) detach() {
+	det.mu.Lock()
+	det.stopping = true
+	timers := make([]*wheelTimer, 0, len(det.peers)+1)
+	timers = append(timers, &det.hb)
+	for _, p := range det.peers {
+		timers = append(timers, &p.timer)
+	}
+	det.mu.Unlock()
+	for _, t := range timers {
+		det.host.cancel(t)
+	}
+	if det.ownHost {
+		det.host.Stop()
+	}
 }
 
 // Stats returns the detector's heartbeat-economy counters.
@@ -296,6 +380,13 @@ func (det *Detector) Stats() Stats {
 
 // Interval returns the configured heartbeat period.
 func (det *Detector) Interval() time.Duration { return det.cfg.Interval }
+
+// Watched returns the number of peers currently watched.
+func (det *Detector) Watched() int {
+	det.mu.Lock()
+	defer det.mu.Unlock()
+	return len(det.peers)
+}
 
 // Watch starts heartbeating and monitoring the named peer. The peer
 // starts Up with a fresh grace window, so watching a live peer does not
@@ -314,18 +405,27 @@ func (det *Detector) Watch(name string, addr netsim.Addr) {
 		return
 	}
 	p := &peerState{name: name, addr: addr, state: Up, lastHeard: time.Now()}
+	p.timer.fire = func(now time.Time) time.Duration { return det.firePeer(p, now) }
 	det.peers[name] = p
 	det.byAddr[addr] = p
+	if det.host != nil && !det.stopping {
+		det.host.schedule(&p.timer, p.detectionTimeout(det.cfg))
+	}
 }
 
 // Unwatch stops heartbeating and monitoring the named peer.
 func (det *Detector) Unwatch(name string) {
+	var t *wheelTimer
 	det.mu.Lock()
 	if p, ok := det.peers[name]; ok {
 		delete(det.byAddr, p.addr)
 		delete(det.peers, name)
+		t = &p.timer
 	}
 	det.mu.Unlock()
+	if t != nil && det.host != nil {
+		det.host.cancel(t)
+	}
 }
 
 // Status returns the current verdict for a watched peer.
@@ -419,6 +519,11 @@ func (det *Detector) applyBeacon(from string, inc uint64, addr netsim.Addr) {
 	}
 	recovered := p.state != Up
 	p.state = Up
+	if recovered && det.host != nil && !det.stopping {
+		// The peer's timer was pacing a Suspect escalation or the slow
+		// Down-probe cadence; re-arm it for a fresh detection window.
+		det.host.schedule(&p.timer, p.detectionTimeout(det.cfg))
+	}
 	ev := Event{Peer: p.name, Addr: p.addr, State: Up, Incarnation: p.lastInc}
 	det.mu.Unlock()
 	if recovered {
@@ -468,6 +573,9 @@ func (det *Detector) onAppRecv(env *wire.Envelope) {
 	if recovered {
 		p.meanIA, p.devIA = 0, 0
 		p.state = Up
+		if det.host != nil && !det.stopping {
+			det.host.schedule(&p.timer, p.detectionTimeout(det.cfg))
+		}
 	}
 	ev := Event{Peer: p.name, Addr: p.addr, State: Up, Incarnation: p.lastInc}
 	det.mu.Unlock()
@@ -491,88 +599,113 @@ func (det *Detector) onAppSend(env *wire.Envelope) {
 	det.mu.Unlock()
 }
 
-// loop is the detector's single periodic thread: each tick it advances
-// peer verdicts whose detection time has expired and transmits one
-// heartbeat to every peer not considered Down whose channel has been
-// idle for an interval (peers we sent application traffic more recently
-// are hearing from us anyway), floored at one explicit heartbeat per 8
-// intervals so a watcher holding us Down is guaranteed to eventually see
-// an incarnation-carrying beacon. Down peers are not heartbeated: they
-// receive a correlated address-learning probe at 1/8 the rate instead
-// (see probe). Ticking at a quarter interval bounds verdict latency
-// jitter to Interval/4.
-func (det *Detector) loop() {
-	tick := time.NewTicker(det.cfg.Interval / 4)
-	defer tick.Stop()
-	sendEvery := 4 // send heartbeats every 4th tick = every Interval
-	n := 0
-	for {
-		select {
-		case <-det.d.Stopped():
-			return
-		case <-tick.C:
-		}
-		now := time.Now()
-		var events []Event
-		var targets []wire.InboxRef
-		type probeTarget struct {
-			name string
-			addr netsim.Addr
-		}
-		var probes []probeTarget
-		det.emitMu.Lock()
-		det.mu.Lock()
-		n++
-		send := n%sendEvery == 0
-		// Down peers are probed at 1/8 the configured rate — enough for
-		// two detectors that declared each other Down across a healed
-		// partition to rediscover one another, without a dead peer's
-		// retransmission state growing at full heartbeat rate.
-		slowSend := n%(sendEvery*8) == 0
-		if send {
-			det.seq++
-		}
-		for _, p := range det.peers {
-			timeout := p.detectionTimeout(det.cfg)
-			elapsed := now.Sub(p.lastHeard)
-			switch {
-			case p.state == Up && elapsed > timeout:
-				p.state = Suspect
-				events = append(events, Event{Peer: p.name, Addr: p.addr, State: Suspect, Incarnation: p.lastInc})
-			case p.state == Suspect && elapsed > 2*timeout:
-				p.state = Down
-				events = append(events, Event{Peer: p.name, Addr: p.addr, State: Down, Incarnation: p.lastInc})
-			}
-			// A busy channel suppresses explicit heartbeats, but never all
-			// of them: one per 8 intervals still flows, because a watcher
-			// that declared us Down ignores our application frames and
-			// only a beacon's incarnation can lift its verdict.
-			idle := now.Sub(p.lastSent) >= det.cfg.Interval ||
-				now.Sub(p.lastHB) >= 8*det.cfg.Interval
-			switch {
-			case send && p.state != Down && idle:
-				p.lastHB = now
-				targets = append(targets, wire.InboxRef{Dapplet: p.addr, Inbox: ControlInbox})
-			case slowSend && p.state == Down && !p.probing:
-				p.probing = true
-				probes = append(probes, probeTarget{name: p.name, addr: p.addr})
-			}
-		}
-		seq, inc := det.seq, det.cfg.Incarnation
+// fireHeartbeats is the detector's per-Interval heartbeat round, run by
+// the timer Host: one pass over the watched peers transmits a heartbeat
+// to every peer not considered Down whose channel has been idle for an
+// interval (peers we sent application traffic more recently are hearing
+// from us anyway), floored at one explicit heartbeat per 8 intervals so
+// a watcher holding us Down is guaranteed to eventually see an
+// incarnation-carrying beacon. This is the only remaining O(peers) walk
+// — its cost is the fan-out the wire sees anyway — where the old loop
+// paid it four times per interval just to poll verdict deadlines; those
+// now fire as O(due) per-peer wheel timers (see firePeer).
+func (det *Detector) fireHeartbeats(now time.Time) time.Duration {
+	det.mu.Lock()
+	if det.stopping {
 		det.mu.Unlock()
-		for _, ev := range events {
-			det.emit(ev)
+		return -1
+	}
+	det.seq++
+	seq, inc := det.seq, det.cfg.Incarnation
+	// A busy channel suppresses explicit heartbeats, but never all of
+	// them: one per 8 intervals still flows, because a watcher that
+	// declared us Down ignores our application frames and only a
+	// beacon's incarnation can lift its verdict.
+	targets := det.scratchHB[:0]
+	for _, p := range det.peers {
+		if p.state == Down {
+			continue // Down peers get the slow probe instead (see firePeer)
 		}
-		det.emitMu.Unlock()
-		for _, to := range targets {
-			det.hbSent.Add(1)
-			_ = det.d.SendDirect(to, "", &heartbeatMsg{From: det.d.Name(), Seq: seq, Inc: inc})
-		}
-		for _, pt := range probes {
-			pt := pt
-			det.d.Spawn(func() { det.probe(pt.name, pt.addr) })
+		if now.Sub(p.lastSent) >= det.cfg.Interval || now.Sub(p.lastHB) >= 8*det.cfg.Interval {
+			p.lastHB = now
+			targets = append(targets, wire.InboxRef{Dapplet: p.addr, Inbox: ControlInbox})
 		}
 	}
+	det.scratchHB = targets
+	det.mu.Unlock()
+	if len(targets) > 0 {
+		hb := &heartbeatMsg{From: det.d.Name(), Seq: seq, Inc: inc}
+		for _, to := range targets {
+			det.hbSent.Add(1)
+			_ = det.d.SendDirect(to, "", hb)
+		}
+	}
+	return det.cfg.Interval
+}
+
+// firePeer is one peer's verdict timer, run by the timer Host when the
+// peer's detection window may have expired. The timer is armed lazily:
+// beacons refresh lastHeard without touching the wheel, so a firing
+// whose window turns out unexpired simply re-arms for the remainder.
+// Escalations emit Suspect, then Down; a Down peer's timer switches to
+// pacing the address-learning probe at 1/8 the heartbeat rate — enough
+// for two detectors that declared each other Down across a healed
+// partition to rediscover one another, without a dead peer's
+// retransmission state growing at full heartbeat rate.
+func (det *Detector) firePeer(p *peerState, now time.Time) time.Duration {
+	det.emitMu.Lock()
+	det.mu.Lock()
+	if det.stopping || det.peers[p.name] != p {
+		det.mu.Unlock()
+		det.emitMu.Unlock()
+		return -1
+	}
+	timeout := p.detectionTimeout(det.cfg)
+	elapsed := now.Sub(p.lastHeard)
+	var (
+		next time.Duration
+		ev   Event
+		emit bool
+	)
+	switch p.state {
+	case Up:
+		if elapsed > timeout {
+			p.state = Suspect
+			ev = Event{Peer: p.name, Addr: p.addr, State: Suspect, Incarnation: p.lastInc}
+			emit = true
+			next = 2*timeout - elapsed
+		} else {
+			next = timeout - elapsed
+		}
+	case Suspect:
+		if elapsed > 2*timeout {
+			p.state = Down
+			ev = Event{Peer: p.name, Addr: p.addr, State: Down, Incarnation: p.lastInc}
+			emit = true
+			next = det.cfg.Interval // first probe follows promptly
+		} else {
+			next = 2*timeout - elapsed
+		}
+	case Down:
+		if !p.probing {
+			p.probing = true
+			name, addr := p.name, p.addr
+			// Spawned under det.mu: the stopping check above then
+			// happens-before detach, so the thread is registered before
+			// the dapplet's Stop waits for threads.
+			det.d.Spawn(func() { det.probe(name, addr) })
+		}
+		next = 8 * det.cfg.Interval
+	}
+	if next < 0 {
+		next = 0 // overdue: the host clamps to its next tick
+	}
+	det.mu.Unlock()
+	if emit {
+		det.emit(ev)
+	}
+	det.emitMu.Unlock()
+	return next
 }
 
 // probe issues one address-learning probe to a Down peer: an svc call to
@@ -585,7 +718,7 @@ func (det *Detector) probe(name string, addr netsim.Addr) {
 	ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval)
 	defer cancel()
 	var rep probeRepMsg
-	err := det.caller.Call(ctx, wire.InboxRef{Dapplet: addr, Inbox: ControlInbox},
+	err := det.probeCaller().Call(ctx, wire.InboxRef{Dapplet: addr, Inbox: ControlInbox},
 		&probeMsg{From: det.d.Name(), Inc: det.cfg.Incarnation}, &rep)
 	det.mu.Lock()
 	if p, ok := det.peers[name]; ok {

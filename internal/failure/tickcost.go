@@ -1,0 +1,122 @@
+package failure
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// TickCost compares the per-tick bookkeeping cost of the pre-wheel
+// detector loop (a linear scan over every watched peer, four times per
+// interval) with the hashed timer wheel at the same peer count. The
+// comparison is quiescent-tick cost — what a tick costs when no verdict
+// is due, which is every tick but a handful on a healthy swarm: the
+// linear loop pays O(peers) regardless, the wheel pays O(peers /
+// wheelSlots) slot collisions. Heartbeat fan-out is excluded from both
+// sides; it is the same wire work either way.
+type TickCost struct {
+	// Peers is the watched-peer count both sides were measured at.
+	Peers int `json:"peers"`
+	// LinearNsPerTick is the linear scan's cost per tick, in nanoseconds.
+	LinearNsPerTick float64 `json:"linear_ns_per_tick"`
+	// WheelNsPerTick is the wheel advance's cost per tick, in nanoseconds.
+	WheelNsPerTick float64 `json:"wheel_ns_per_tick"`
+	// Speedup is LinearNsPerTick / WheelNsPerTick.
+	Speedup float64 `json:"speedup"`
+}
+
+// tickCostSink defeats dead-code elimination in MeasureTickCost.
+var tickCostSink int
+
+// MeasureTickCost benchmarks the old linear verdict scan against the
+// timer wheel at the given watched-peer count and returns both per-tick
+// costs. The swarm report carries the sample so every E11 run documents
+// the wheel's advantage at scale.
+func MeasureTickCost(peers int) TickCost {
+	cfg := Config{}.withDefaults()
+	now := time.Now()
+
+	// The linear baseline: the retired loop()'s per-tick body — verdict
+	// window and idle computation for every watched peer — minus the
+	// sends, run over the same peer map shape the detector uses.
+	m := make(map[string]*peerState, peers)
+	for i := 0; i < peers; i++ {
+		name := peerName(i)
+		m[name] = &peerState{
+			name:      name,
+			addr:      netsim.Addr{Host: "h", Port: uint16(i)},
+			state:     Up,
+			lastHeard: now,
+			lastSent:  now,
+			lastHB:    now,
+		}
+	}
+	const linearTicks = 64
+	start := time.Now()
+	for k := 0; k < linearTicks; k++ {
+		tick := time.Now()
+		n := 0
+		for _, p := range m {
+			timeout := p.detectionTimeout(cfg)
+			elapsed := tick.Sub(p.lastHeard)
+			switch {
+			case p.state == Up && elapsed > timeout:
+				p.state = Suspect
+			case p.state == Suspect && elapsed > 2*timeout:
+				p.state = Down
+			}
+			if tick.Sub(p.lastSent) >= cfg.Interval || tick.Sub(p.lastHB) >= 8*cfg.Interval {
+				n++
+			}
+		}
+		tickCostSink += n
+	}
+	linear := float64(time.Since(start)) / linearTicks
+
+	// The wheel: the same peer count scheduled as verdict timers spread
+	// across the slots, advanced one tick at a time for a full wheel
+	// revolution with nothing due (every timer's tick is ahead), so each
+	// timer is visited exactly once as a slot collision.
+	h := newWheel(cfg.Interval / 4)
+	timers := make([]wheelTimer, peers)
+	for i := range timers {
+		timers[i].fire = func(time.Time) time.Duration { return cfg.Interval }
+		h.schedule(&timers[i], time.Hour+time.Duration(i%wheelSlots)*h.gran)
+	}
+	start = time.Now()
+	for k := 1; k <= wheelSlots; k++ {
+		h.advance(h.start.Add(time.Duration(k) * h.gran))
+	}
+	wheel := float64(time.Since(start)) / wheelSlots
+
+	tc := TickCost{Peers: peers, LinearNsPerTick: linear, WheelNsPerTick: wheel}
+	if wheel > 0 {
+		tc.Speedup = linear / wheel
+	}
+	return tc
+}
+
+// peerName formats a synthetic peer name without fmt (MeasureTickCost
+// runs inside benchmarks where fmt's allocations would pollute timing).
+func peerName(i int) string {
+	buf := [12]byte{'p'}
+	n := 1
+	if i == 0 {
+		buf[n] = '0'
+		n++
+	} else {
+		var digits [10]byte
+		d := 0
+		for i > 0 {
+			digits[d] = byte('0' + i%10)
+			i /= 10
+			d++
+		}
+		for d > 0 {
+			d--
+			buf[n] = digits[d]
+			n++
+		}
+	}
+	return string(buf[:n])
+}

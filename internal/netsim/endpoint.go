@@ -39,6 +39,13 @@ func (h *Host) Network() *Network { return h.net }
 // Bind creates an endpoint on the given port. It fails with ErrPortInUse
 // if the port is taken and ErrClosed if the network is shut down.
 func (h *Host) Bind(port uint16) (*Endpoint, error) {
+	return h.bind(port, h.net.cfg.queueCap)
+}
+
+func (h *Host) bind(port uint16, queueCap int) (*Endpoint, error) {
+	if queueCap <= 0 {
+		queueCap = h.net.cfg.queueCap
+	}
 	h.shard.mu.Lock()
 	defer h.shard.mu.Unlock()
 	if h.net.closed.Load() {
@@ -51,7 +58,7 @@ func (h *Host) Bind(port uint16) (*Endpoint, error) {
 		net:    h.net,
 		host:   h,
 		addr:   Addr{Host: h.name, Port: port},
-		queue:  make(chan Datagram, h.net.cfg.queueCap),
+		queue:  make(chan Datagram, queueCap),
 		closed: make(chan struct{}),
 	}
 	h.ports[port] = e
@@ -60,6 +67,15 @@ func (h *Host) Bind(port uint16) (*Endpoint, error) {
 
 // BindAny binds the next free ephemeral port.
 func (h *Host) BindAny() (*Endpoint, error) {
+	return h.BindAnyQueue(0)
+}
+
+// BindAnyQueue is BindAny with a per-endpoint receive queue capacity
+// (0 selects the network's configured default). The queue backs each
+// endpoint with a preallocated channel, so at swarm scale — hundreds of
+// thousands of mostly idle endpoints — the default capacity dominates
+// per-dapplet memory; swarm members bind small queues.
+func (h *Host) BindAnyQueue(queueCap int) (*Endpoint, error) {
 	h.shard.mu.Lock()
 	var port uint16
 	for {
@@ -73,7 +89,7 @@ func (h *Host) BindAny() (*Endpoint, error) {
 		}
 	}
 	h.shard.mu.Unlock()
-	return h.Bind(port)
+	return h.bind(port, queueCap)
 }
 
 func (h *Host) closeAll() {

@@ -332,6 +332,29 @@ func (n *Network) Stats() Stats {
 	return s
 }
 
+// Counters returns the network counters without the virtual-time
+// aggregates: unlike Stats it never walks the endpoint tables, so it is
+// O(shards) and safe to sample at high frequency over a network with
+// hundreds of thousands of endpoints (the swarm harness snapshots it at
+// every phase boundary). MaxVirtual and MeanVirtual are left zero.
+func (n *Network) Counters() Stats {
+	var s Stats
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		s.Sent += sh.ctr.sent
+		s.LostLink += sh.ctr.lostLink
+		s.LostCut += sh.ctr.lostCut
+		s.LostCrash += sh.ctr.lostCrash
+		s.Duplicated += sh.ctr.duplicated
+		s.Reordered += sh.ctr.reordered
+		s.BytesSent += sh.ctr.bytesSent
+		sh.mu.Unlock()
+		s.Delivered += sh.ctr.delivered.Load()
+		s.LostQueue += sh.ctr.lostQueue.Load()
+	}
+	return s
+}
+
 // MaxVirtual returns the maximum endpoint virtual clock: the critical-path
 // completion time of everything simulated so far.
 func (n *Network) MaxVirtual() time.Duration { return n.Stats().MaxVirtual }

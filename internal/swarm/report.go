@@ -1,0 +1,176 @@
+package swarm
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// LatencyStats summarizes one latency population in milliseconds.
+type LatencyStats struct {
+	// Count is the number of samples the percentiles were computed over.
+	Count int `json:"count"`
+	// P50Ms, P95Ms and P99Ms are the percentile latencies in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// MaxMs is the worst sample in milliseconds.
+	MaxMs float64 `json:"max_ms"`
+}
+
+// summarize computes percentile stats over a sample set; it sorts the
+// slice in place.
+func summarize(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return float64(samples[i]) / float64(time.Millisecond)
+	}
+	return LatencyStats{
+		Count: len(samples),
+		P50Ms: at(0.50),
+		P95Ms: at(0.95),
+		P99Ms: at(0.99),
+		MaxMs: float64(samples[len(samples)-1]) / float64(time.Millisecond),
+	}
+}
+
+// PhaseStats is the activity delta over one harness phase (join, churn),
+// normalized by the phase's wall-clock length.
+type PhaseStats struct {
+	// Name is the phase label: "join" or "churn".
+	Name string `json:"name"`
+	// WallSeconds is the phase's wall-clock length.
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Delivered and BytesSent are the netsim datagrams delivered and
+	// payload bytes sent during the phase; the PerSec fields divide by
+	// the wall clock.
+	Delivered   uint64  `json:"delivered"`
+	BytesSent   uint64  `json:"bytes_sent"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	LostQueue   uint64  `json:"lost_queue"`
+
+	// Heartbeats, Implicit and Probes are the detector-layer counters:
+	// explicit heartbeats sent, application frames accepted as implicit
+	// liveness, and Down-peer probes.
+	Heartbeats       uint64  `json:"heartbeats"`
+	Implicit         uint64  `json:"implicit"`
+	Probes           uint64  `json:"probes"`
+	HeartbeatsPerSec float64 `json:"heartbeats_per_sec"`
+
+	// DirLookups/DirHits/DirHitRate/DirFailovers/DirEvictions aggregate
+	// the initiators' directory-client cache activity.
+	DirLookups   uint64  `json:"dir_lookups"`
+	DirHits      uint64  `json:"dir_hits"`
+	DirHitRate   float64 `json:"dir_hit_rate"`
+	DirFailovers uint64  `json:"dir_failovers"`
+	DirEvictions uint64  `json:"dir_evictions"`
+
+	// Downs and Ups count verdict transitions observed across every
+	// detector in the swarm during the phase.
+	Downs uint64 `json:"downs"`
+	Ups   uint64 `json:"ups"`
+
+	// Ops counts churn operations performed; Joins/Leaves/Crashes/
+	// Revives break them down.
+	Ops     uint64 `json:"ops"`
+	Joins   uint64 `json:"joins"`
+	Leaves  uint64 `json:"leaves"`
+	Crashes uint64 `json:"crashes"`
+	Revives uint64 `json:"revives"`
+
+	// Sessions and SessionErrs count initiator-driven lookup+echo
+	// sessions completed and failed.
+	Sessions    uint64 `json:"sessions"`
+	SessionErrs uint64 `json:"session_errs"`
+
+	// WheelTicks and WheelFired count timer-wheel activity summed over
+	// the shared detector Hosts; WheelBusyFrac is the fraction of the
+	// phase the wheel loops spent advancing and firing, and
+	// DetectorNsPerPeerSec divides that busy time by watched peers and
+	// wall seconds — the detector CPU cost of watching one peer for one
+	// second.
+	WheelTicks           uint64  `json:"wheel_ticks"`
+	WheelFired           uint64  `json:"wheel_fired"`
+	WheelBusyFrac        float64 `json:"wheel_busy_frac"`
+	DetectorNsPerPeerSec float64 `json:"detector_ns_per_peer_sec"`
+}
+
+// Report is the outcome of one swarm run: per-phase throughput and cost
+// deltas, verdict and session latency distributions, end-state memory
+// and goroutine footprints, and the measured tick-cost comparison
+// between the retired linear detector scan and the timer wheel.
+type Report struct {
+	// N, Hosts, Seed and Lockstep echo the run's configuration.
+	N        int   `json:"n"`
+	Hosts    int   `json:"hosts"`
+	Seed     int64 `json:"seed"`
+	Lockstep bool  `json:"lockstep"`
+
+	// Phases holds the join and churn phase deltas.
+	Phases []PhaseStats `json:"phases"`
+
+	// DownLatency and UpLatency are the verdict latency distributions:
+	// injected crash to a watcher's Down verdict, and restart to a
+	// watcher's Up verdict. SessionLatency covers initiator sessions
+	// (directory lookup plus echo round trip).
+	DownLatency    LatencyStats `json:"down_latency"`
+	UpLatency      LatencyStats `json:"up_latency"`
+	SessionLatency LatencyStats `json:"session_latency"`
+
+	// LiveMembers and CrashedMembers are the end-of-churn population;
+	// Joined/Left/Crashed/Revived are lifetime op totals.
+	LiveMembers    int    `json:"live_members"`
+	CrashedMembers int    `json:"crashed_members"`
+	Joined         uint64 `json:"joined"`
+	Left           uint64 `json:"left"`
+	Crashed        uint64 `json:"crashed"`
+	Revived        uint64 `json:"revived"`
+
+	// WatchedPeers is the number of (watcher, peer) edges across every
+	// live detector at the end of churn; WheelTimers the timers still
+	// scheduled on the shared Hosts.
+	WatchedPeers int `json:"watched_peers"`
+	WheelTimers  int `json:"wheel_timers"`
+
+	// HeapAllocBytes is the post-join, post-GC heap; HeapBytesPerDapplet
+	// divides it by the swarm population (members + replicas +
+	// initiators). Goroutines and GoroutinesPerDapplet are sampled at
+	// the same point.
+	HeapAllocBytes       uint64  `json:"heap_alloc_bytes"`
+	HeapBytesPerDapplet  float64 `json:"heap_bytes_per_dapplet"`
+	Goroutines           int     `json:"goroutines"`
+	GoroutinesPerDapplet float64 `json:"goroutines_per_dapplet"`
+
+	// TickCost is the measured linear-scan vs timer-wheel per-tick cost
+	// at Config.TickCostPeers watched peers.
+	TickCost failure.TickCost `json:"tick_cost"`
+
+	// EventLog is the ordered churn log of a lockstep run (empty
+	// otherwise): one line per op recording only awaited outcomes, so
+	// two runs with the same seed over a single-shard network produce
+	// identical logs.
+	EventLog []string `json:"event_log,omitempty"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Phase returns the named phase's stats, or a zero PhaseStats.
+func (r *Report) Phase(name string) PhaseStats {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p
+		}
+	}
+	return PhaseStats{}
+}

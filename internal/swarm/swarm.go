@@ -1,0 +1,844 @@
+package swarm
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/failure"
+	"repro/internal/netsim"
+	"repro/internal/svc"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// SessionInbox is the service inbox every swarm member answers echo
+// sessions on.
+const SessionInbox = "@swarm"
+
+// Dapplet type names the harness registers.
+const (
+	typeMember = "swarm-member"
+	typeDir    = "swarm-dir"
+	typeIni    = "swarm-ini"
+)
+
+// echoMsg is the one-request session a swarm initiator drives: the
+// member echoes the nonce back, so a completed call proves directory
+// resolution plus a request/reply round trip to the resolved address.
+type echoMsg struct {
+	Nonce uint64 `json:"n"`
+}
+
+// Kind implements wire.Msg.
+func (*echoMsg) Kind() string { return "swarm.echo" }
+
+func init() { wire.Register(&echoMsg{}) }
+
+// Config sizes and paces one swarm run. Zero values select defaults.
+type Config struct {
+	// N is the member population the join phase builds (default 1000).
+	N int
+	// Hosts is the number of simulated hosts members are spread over
+	// (default N/64, clamped to [4, 256]).
+	Hosts int
+	// Seed seeds the network and every workload RNG (default 1).
+	Seed int64
+	// NetShards overrides the netsim delivery shard count; 0 keeps the
+	// netsim default. Lockstep mode forces one shard regardless.
+	NetShards int
+	// DirShards and DirReplicas shape the directory deployment
+	// (defaults N/4096+1 clamped to [1, 16], and 1).
+	DirShards   int
+	DirReplicas int
+	// RingWatch is how many random live members each joiner watches
+	// (default 2); every watch edge is made symmetric because detection
+	// is bidirectional.
+	RingWatch int
+	// Initiators is the number of session-driving clients (default 4).
+	Initiators int
+	// Interval and Multiplier tune every detector in the swarm
+	// (defaults 250ms and 2).
+	Interval   time.Duration
+	Multiplier int
+	// ChurnRate is the target churn ops/sec and SessionRate the target
+	// sessions/sec, both in throughput mode (defaults 50 and 100).
+	ChurnRate   float64
+	SessionRate float64
+	// Duration is the throughput-mode churn phase length (default 5s).
+	Duration time.Duration
+	// Lockstep serializes churn: one op at a time, each awaited until
+	// every watcher's verdict lands, over a single-shard network — two
+	// runs with the same seed produce identical event logs.
+	Lockstep bool
+	// LockstepOps is the churn op count in lockstep mode (default 60).
+	LockstepOps int
+	// QueueCap is each member endpoint's netsim receive-queue capacity
+	// (default 64; the netsim default is sized for busy dapplets and is
+	// pure waste times 100k idle ones).
+	QueueCap int
+	// Wheels is the number of shared timer-wheel Hosts detectors are
+	// spread over (default GOMAXPROCS clamped to [1, 8]).
+	Wheels int
+	// TickCostPeers sizes the embedded linear-vs-wheel tick cost
+	// measurement (default 10000; negative skips it).
+	TickCostPeers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 1000
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = clampInt(c.N/64, 4, 256)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DirShards <= 0 {
+		c.DirShards = clampInt(c.N/4096+1, 1, 16)
+	}
+	if c.DirReplicas <= 0 {
+		c.DirReplicas = 1
+	}
+	if c.RingWatch <= 0 {
+		c.RingWatch = 2
+	}
+	if c.Initiators <= 0 {
+		c.Initiators = 4
+	}
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Multiplier <= 0 {
+		c.Multiplier = 2
+	}
+	if c.ChurnRate <= 0 {
+		c.ChurnRate = 50
+	}
+	if c.SessionRate <= 0 {
+		c.SessionRate = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.LockstepOps <= 0 {
+		c.LockstepOps = 60
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Wheels <= 0 {
+		c.Wheels = clampInt(runtime.GOMAXPROCS(0), 1, 8)
+	}
+	if c.TickCostPeers == 0 {
+		c.TickCostPeers = 10_000
+	}
+	return c
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// wheelGran picks the shared wheel tick: fine enough that heartbeat
+// stagger (a quarter interval) spreads rounds over many ticks, coarse
+// enough that an idle wheel costs nothing.
+func wheelGran(interval time.Duration) time.Duration {
+	g := interval / 4
+	if g > 25*time.Millisecond {
+		g = 25 * time.Millisecond
+	}
+	if g < 100*time.Microsecond {
+		g = 100 * time.Microsecond
+	}
+	return g
+}
+
+// member is the harness's bookkeeping for one swarm member across its
+// incarnations; d and det are replaced on every (re)start by the
+// behavior, edges is the symmetric watch set maintained by the churn
+// ops.
+type member struct {
+	name  string
+	host  string
+	d     *core.Dapplet
+	det   *failure.Detector
+	edges map[string]bool
+	live  bool
+	// liveIdx is the member's slot in Swarm.live while live, for O(1)
+	// swap-removal.
+	liveIdx int
+}
+
+// dirReplica is one directory replica: a dapplet hosting a directory
+// Service bound to a failure detector.
+type dirReplica struct {
+	name string
+	d    *core.Dapplet
+	det  *failure.Detector
+	svc  *directory.Service
+}
+
+// initiator is one session-driving client endpoint.
+type initiator struct {
+	d      *core.Dapplet
+	client *directory.Client
+	caller *svc.Caller
+}
+
+// maxSamples bounds every latency sample set so a long run's report
+// stays O(1) in memory.
+const maxSamples = 1 << 16
+
+// Swarm is one running harness instance; Run owns its lifecycle.
+type Swarm struct {
+	cfg       Config
+	net       *netsim.Network
+	rt        *core.Runtime
+	cluster   *directory.Cluster
+	wheels    []*failure.Host
+	memberRel transport.Config
+
+	dirs  [][]*dirReplica
+	inits []*initiator
+
+	mu          sync.Mutex
+	members     map[string]*member
+	dirByName   map[string]*dirReplica
+	live        []*member
+	crashedList []string
+	nextID      int
+	nextIni     int
+	crashedAt   map[string]time.Time
+	revivedAt   map[string]time.Time
+	retired     failure.Stats
+
+	downs, ups                      uint64
+	joins, leaves, crashes, revives uint64
+	ops, opErrs, sessions, sessErrs uint64
+	sessLat, downLat, upLat         []time.Duration
+	eventLog                        []string
+
+	stopOnce sync.Once
+}
+
+// Run executes one swarm harness run: launch the directory and
+// initiators, join N members, churn them (timed drivers or lockstep
+// ops), and return the measured report. The swarm is fully torn down —
+// every dapplet stopped, the network closed, the timer wheels stopped —
+// before Run returns, whatever the outcome.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	netOpts := []netsim.Option{netsim.WithSeed(cfg.Seed)}
+	switch {
+	case cfg.Lockstep:
+		netOpts = append(netOpts, netsim.WithShards(1))
+	case cfg.NetShards > 0:
+		netOpts = append(netOpts, netsim.WithShards(cfg.NetShards))
+	}
+	s := &Swarm{
+		cfg:       cfg,
+		net:       netsim.New(netOpts...),
+		members:   make(map[string]*member, cfg.N+cfg.N/4),
+		dirByName: make(map[string]*dirReplica),
+		crashedAt: make(map[string]time.Time),
+		revivedAt: make(map[string]time.Time),
+		memberRel: transport.Config{
+			RTO:        clampDur(cfg.Interval/2, 50*time.Millisecond, time.Second),
+			RecvBuf:    64,
+			FailureBuf: 4,
+		},
+	}
+	for i := 0; i < cfg.Wheels; i++ {
+		s.wheels = append(s.wheels, failure.NewHost(wheelGran(cfg.Interval)))
+	}
+	defer s.teardown()
+
+	reg := core.NewRegistry()
+	reg.Register(typeMember, func() core.Behavior { return core.BehaviorFunc(s.startMember) })
+	reg.Register(typeDir, func() core.Behavior { return core.BehaviorFunc(s.startDir) })
+	reg.Register(typeIni, func() core.Behavior { return core.BehaviorFunc(s.startIni) })
+	s.rt = core.NewRuntime(s.net, reg)
+
+	if err := s.launchDirectory(); err != nil {
+		return nil, err
+	}
+	if err := s.launchInitiators(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := s.cumulative()
+	if err := s.joinPhase(rng); err != nil {
+		return nil, err
+	}
+	// Post-join footprint: the marginal cost of an idle swarm. GC first
+	// so the sample is live bytes, not allocation history.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goro := runtime.NumGoroutine()
+	joinEnd := s.cumulative()
+
+	var err error
+	if cfg.Lockstep {
+		err = s.lockstepChurn(rng)
+	} else {
+		err = s.timedChurn()
+	}
+	if err != nil {
+		return nil, err
+	}
+	churnEnd := s.cumulative()
+
+	rep := s.buildReport(base, joinEnd, churnEnd, ms.HeapAlloc, goro)
+	s.teardown()
+	if cfg.TickCostPeers > 0 {
+		rep.TickCost = failure.MeasureTickCost(cfg.TickCostPeers)
+	}
+	return rep, nil
+}
+
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// teardown stops everything, once: drivers are already stopped by the
+// time it runs, so the order is dapplets (their detectors detach and
+// cancel their timers), then the network, then the shared wheels.
+func (s *Swarm) teardown() {
+	s.stopOnce.Do(func() {
+		if s.rt != nil {
+			s.rt.StopAll()
+		}
+		s.net.Close()
+		for _, h := range s.wheels {
+			h.Stop()
+		}
+	})
+}
+
+// wheelFor spreads detectors over the shared wheel Hosts by name hash.
+func (s *Swarm) wheelFor(name string) *failure.Host {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return s.wheels[int(h%uint32(len(s.wheels)))]
+}
+
+// detConfig is the detector configuration shared by every swarm
+// dapplet.
+func (s *Swarm) detConfig(name string) failure.Config {
+	return failure.Config{
+		Interval:    s.cfg.Interval,
+		Multiplier:  s.cfg.Multiplier,
+		Incarnation: uint64(s.rt.Incarnation(name)),
+		Host:        s.wheelFor(name),
+	}
+}
+
+// startMember is the swarm-member behavior: a detector on a shared
+// wheel and the echo service. The harness wires watch edges and
+// registers the member after launch.
+func (s *Swarm) startMember(d *core.Dapplet) error {
+	det := failure.Attach(d, s.detConfig(d.Name()))
+	det.OnEvent(s.observeVerdict)
+	svc.Serve(d, SessionInbox, svc.Handlers{
+		"swarm.echo": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
+			return req, nil
+		},
+	})
+	s.mu.Lock()
+	m := s.members[d.Name()]
+	if m == nil {
+		m = &member{name: d.Name(), edges: make(map[string]bool)}
+		s.members[d.Name()] = m
+	}
+	m.d, m.det = d, det
+	s.mu.Unlock()
+	return nil
+}
+
+// startDir is the swarm-dir behavior: a directory replica whose entries
+// are watched by (and expired through) its own detector.
+func (s *Swarm) startDir(d *core.Dapplet) error {
+	det := failure.Attach(d, s.detConfig(d.Name()))
+	det.OnEvent(s.observeVerdict)
+	dir := directory.Serve(d)
+	failure.BindDirectory(det, dir)
+	s.mu.Lock()
+	s.dirByName[d.Name()] = &dirReplica{name: d.Name(), d: d, det: det, svc: dir}
+	s.mu.Unlock()
+	return nil
+}
+
+// startIni is the swarm-ini behavior: a caching directory client plus a
+// caller for the echo sessions.
+func (s *Swarm) startIni(d *core.Dapplet) error {
+	ini := &initiator{
+		d:      d,
+		client: directory.NewClient(d, s.cluster),
+		caller: svc.NewCaller(d),
+	}
+	s.mu.Lock()
+	s.inits = append(s.inits, ini)
+	s.mu.Unlock()
+	return nil
+}
+
+// observeVerdict is the swarm-wide verdict observer: it counts
+// transitions and samples verdict latency against the harness's injected
+// crash and revive timestamps. It runs on detector threads under their
+// emit locks, so it only touches s.mu (never a detector's).
+func (s *Swarm) observeVerdict(ev failure.Event) {
+	switch ev.State {
+	case failure.Down:
+		s.mu.Lock()
+		s.downs++
+		if at, ok := s.crashedAt[ev.Peer]; ok && len(s.downLat) < maxSamples {
+			s.downLat = append(s.downLat, time.Since(at))
+		}
+		s.mu.Unlock()
+	case failure.Up:
+		s.mu.Lock()
+		s.ups++
+		if at, ok := s.revivedAt[ev.Peer]; ok && len(s.upLat) < maxSamples {
+			s.upLat = append(s.upLat, time.Since(at))
+		}
+		s.mu.Unlock()
+	}
+}
+
+// launchDirectory brings up DirShards x DirReplicas replicas, each on
+// its own host, and builds the client-side cluster map.
+func (s *Swarm) launchDirectory() error {
+	refs := make([][]wire.InboxRef, s.cfg.DirShards)
+	s.dirs = make([][]*dirReplica, s.cfg.DirShards)
+	for sh := 0; sh < s.cfg.DirShards; sh++ {
+		for r := 0; r < s.cfg.DirReplicas; r++ {
+			host := fmt.Sprintf("dh-%d-%d", sh, r)
+			name := fmt.Sprintf("dir-%d-%d", sh, r)
+			if err := s.rt.Install(host, typeDir); err != nil {
+				return err
+			}
+			if _, err := s.rt.Launch(host, typeDir, name); err != nil {
+				return fmt.Errorf("swarm: launch %s: %w", name, err)
+			}
+			s.mu.Lock()
+			rep := s.dirByName[name]
+			s.mu.Unlock()
+			s.dirs[sh] = append(s.dirs[sh], rep)
+			refs[sh] = append(refs[sh], rep.svc.Ref())
+		}
+	}
+	var err error
+	s.cluster, err = directory.NewCluster(refs)
+	return err
+}
+
+// launchInitiators brings up the session-driving clients; they launch
+// after the cluster map exists and before any member joins.
+func (s *Swarm) launchInitiators() error {
+	for i := 0; i < s.cfg.Initiators; i++ {
+		host := fmt.Sprintf("ih%02d", i)
+		if err := s.rt.Install(host, typeIni); err != nil {
+			return err
+		}
+		if _, err := s.rt.Launch(host, typeIni, fmt.Sprintf("ini%02d", i)); err != nil {
+			return fmt.Errorf("swarm: launch initiator %d: %w", i, err)
+		}
+	}
+	// Member hosts are installed up front too, so joins never race
+	// Install.
+	for i := 0; i < s.cfg.Hosts; i++ {
+		if err := s.rt.Install(memberHost(i), typeMember); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func memberHost(i int) string { return fmt.Sprintf("mh%03d", i) }
+
+// joinPhase grows the population to N: sequentially in lockstep mode,
+// else with a small worker pool (launches are cheap; the await is the
+// directory registration round trip).
+func (s *Swarm) joinPhase(rng *rand.Rand) error {
+	if s.cfg.Lockstep {
+		for i := 0; i < s.cfg.N; i++ {
+			if _, err := s.opJoin(rng); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := clampInt(s.cfg.Hosts, 8, 64)
+	if workers > s.cfg.N {
+		workers = s.cfg.N
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	take := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= s.cfg.N {
+			return false
+		}
+		next++
+		return true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		wrng := rand.New(rand.NewSource(s.cfg.Seed + int64(w)*7919 + 1))
+		go func(wrng *rand.Rand) {
+			defer wg.Done()
+			for take() {
+				if _, err := s.opJoin(wrng); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(wrng)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// timedChurn runs the throughput-mode churn and session drivers for the
+// configured duration.
+func (s *Swarm) timedChurn() error {
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.churnDriver(rand.New(rand.NewSource(s.cfg.Seed^0x5eed)), stop, errc)
+	}()
+	for i := range s.inits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.sessionDriver(i, rand.New(rand.NewSource(s.cfg.Seed+0x1000+int64(i))), stop)
+		}(i)
+	}
+
+	timer := time.NewTimer(s.cfg.Duration)
+	var err error
+	select {
+	case <-timer.C:
+	case err = <-errc:
+	}
+	timer.Stop()
+	close(stop)
+	wg.Wait()
+	return err
+}
+
+// churnDriver performs churn ops at the configured rate until stopped.
+func (s *Swarm) churnDriver(rng *rand.Rand, stop <-chan struct{}, errc chan<- error) {
+	gap := time.Duration(float64(time.Second) / s.cfg.ChurnRate)
+	if gap < 200*time.Microsecond {
+		gap = 200 * time.Microsecond
+	}
+	tick := time.NewTicker(gap)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if err := s.churnOp(rng); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				return
+			}
+		}
+	}
+}
+
+// churnOp performs one randomly chosen churn operation; ops whose guard
+// fails (population floor, empty crash pool) fall back to a join so
+// every tick does work.
+func (s *Swarm) churnOp(rng *rand.Rand) error {
+	r := rng.Float64()
+	var (
+		done bool
+		err  error
+	)
+	switch {
+	case r < 0.30:
+		_, err = s.opJoin(rng)
+		done = true
+	case r < 0.40:
+		done, err = s.opLeave(rng)
+	case r < 0.70:
+		done, err = s.opCrash(rng)
+	default:
+		done, err = s.opRevive(rng)
+	}
+	if err == nil && !done {
+		_, err = s.opJoin(rng)
+	}
+	return err
+}
+
+// sessionDriver drives this initiator's share of the session rate until
+// stopped.
+func (s *Swarm) sessionDriver(idx int, rng *rand.Rand, stop <-chan struct{}) {
+	gap := time.Duration(float64(s.cfg.Initiators) / s.cfg.SessionRate * float64(time.Second))
+	if gap < 200*time.Microsecond {
+		gap = 200 * time.Microsecond
+	}
+	tick := time.NewTicker(gap)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			s.opSession(idx, rng)
+		}
+	}
+}
+
+// lockstepChurn performs LockstepOps churn operations one at a time,
+// each awaited to its observable outcome before the next begins.
+func (s *Swarm) lockstepChurn(rng *rand.Rand) error {
+	for i := 0; i < s.cfg.LockstepOps; i++ {
+		r := rng.Float64()
+		var (
+			done bool
+			err  error
+		)
+		switch {
+		case r < 0.20:
+			_, err = s.opJoin(rng)
+			done = true
+		case r < 0.30:
+			done, err = s.opLeave(rng)
+		case r < 0.50:
+			done, err = s.opCrash(rng)
+		case r < 0.75:
+			done, err = s.opRevive(rng)
+		default:
+			s.opSession(-1, rng)
+			done = true
+		}
+		if err != nil {
+			return err
+		}
+		if !done {
+			if _, err = s.opJoin(rng); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// counters is one cumulative activity sample; phase stats are deltas
+// between two of them.
+type counters struct {
+	at                  time.Time
+	delivered, bytes    uint64
+	lostQueue           uint64
+	hb, implicit, probe uint64
+	dir                 directory.ClientStats
+	downs, ups          uint64
+	sessions, sessErrs  uint64
+	ops, opErrs         uint64
+	joins, leaves       uint64
+	crashes, revives    uint64
+	wheelTicks          uint64
+	wheelFired          uint64
+	wheelBusy           time.Duration
+}
+
+// cumulative samples every counter the report is built from.
+func (s *Swarm) cumulative() counters {
+	c := counters{at: time.Now()}
+	ns := s.net.Counters()
+	c.delivered, c.bytes, c.lostQueue = ns.Delivered, ns.BytesSent, ns.LostQueue
+
+	s.mu.Lock()
+	st := s.retired
+	for _, m := range s.live {
+		if m.det != nil {
+			ds := m.det.Stats()
+			st.HeartbeatsSent += ds.HeartbeatsSent
+			st.ImplicitRefreshes += ds.ImplicitRefreshes
+			st.ProbesSent += ds.ProbesSent
+		}
+	}
+	for _, shard := range s.dirs {
+		for _, r := range shard {
+			ds := r.det.Stats()
+			st.HeartbeatsSent += ds.HeartbeatsSent
+			st.ImplicitRefreshes += ds.ImplicitRefreshes
+			st.ProbesSent += ds.ProbesSent
+		}
+	}
+	c.hb, c.implicit, c.probe = st.HeartbeatsSent, st.ImplicitRefreshes, st.ProbesSent
+	for _, ini := range s.inits {
+		c.dir = c.dir.Add(ini.client.Stats())
+	}
+	c.downs, c.ups = s.downs, s.ups
+	c.sessions, c.sessErrs = s.sessions, s.sessErrs
+	c.ops, c.opErrs = s.ops, s.opErrs
+	c.joins, c.leaves, c.crashes, c.revives = s.joins, s.leaves, s.crashes, s.revives
+	s.mu.Unlock()
+
+	for _, h := range s.wheels {
+		hs := h.Stats()
+		c.wheelTicks += hs.Ticks
+		c.wheelFired += hs.Fired
+		c.wheelBusy += hs.Busy
+	}
+	return c
+}
+
+// watchedPeers counts every (watcher, peer) edge across live detectors.
+func (s *Swarm) watchedPeers() int {
+	s.mu.Lock()
+	dets := make([]*failure.Detector, 0, len(s.live)+len(s.dirs)*s.cfg.DirReplicas)
+	for _, m := range s.live {
+		if m.det != nil {
+			dets = append(dets, m.det)
+		}
+	}
+	for _, shard := range s.dirs {
+		for _, r := range shard {
+			dets = append(dets, r.det)
+		}
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, det := range dets {
+		n += det.Watched()
+	}
+	return n
+}
+
+// phaseStats turns two cumulative samples into one phase's deltas.
+func (s *Swarm) phaseStats(name string, a, b counters, watched int) PhaseStats {
+	wall := b.at.Sub(a.at).Seconds()
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	p := PhaseStats{
+		Name:         name,
+		WallSeconds:  wall,
+		Delivered:    b.delivered - a.delivered,
+		BytesSent:    b.bytes - a.bytes,
+		LostQueue:    b.lostQueue - a.lostQueue,
+		Heartbeats:   b.hb - a.hb,
+		Implicit:     b.implicit - a.implicit,
+		Probes:       b.probe - a.probe,
+		DirLookups:   b.dir.Lookups() - a.dir.Lookups(),
+		DirHits:      b.dir.Hits - a.dir.Hits,
+		DirFailovers: b.dir.Failovers - a.dir.Failovers,
+		DirEvictions: b.dir.Evictions - a.dir.Evictions,
+		Downs:        b.downs - a.downs,
+		Ups:          b.ups - a.ups,
+		Ops:          b.ops - a.ops,
+		Joins:        b.joins - a.joins,
+		Leaves:       b.leaves - a.leaves,
+		Crashes:      b.crashes - a.crashes,
+		Revives:      b.revives - a.revives,
+		Sessions:     b.sessions - a.sessions,
+		SessionErrs:  b.sessErrs - a.sessErrs,
+		WheelTicks:   b.wheelTicks - a.wheelTicks,
+		WheelFired:   b.wheelFired - a.wheelFired,
+	}
+	p.MsgsPerSec = float64(p.Delivered) / wall
+	p.BytesPerSec = float64(p.BytesSent) / wall
+	p.HeartbeatsPerSec = float64(p.Heartbeats) / wall
+	if lk := p.DirLookups; lk > 0 {
+		p.DirHitRate = float64(p.DirHits) / float64(lk)
+	}
+	busy := float64(b.wheelBusy - a.wheelBusy)
+	p.WheelBusyFrac = busy / (wall * float64(time.Second) * float64(len(s.wheels)))
+	if watched > 0 {
+		p.DetectorNsPerPeerSec = busy / float64(watched) / wall
+	}
+	return p
+}
+
+// buildReport assembles the final report from the three cumulative
+// samples and the post-join footprint.
+func (s *Swarm) buildReport(base, joinEnd, churnEnd counters, heap uint64, goro int) *Report {
+	watched := s.watchedPeers()
+	rep := &Report{
+		N:        s.cfg.N,
+		Hosts:    s.cfg.Hosts,
+		Seed:     s.cfg.Seed,
+		Lockstep: s.cfg.Lockstep,
+		Phases: []PhaseStats{
+			s.phaseStats("join", base, joinEnd, watched),
+			s.phaseStats("churn", joinEnd, churnEnd, watched),
+		},
+		WatchedPeers: watched,
+	}
+	for _, h := range s.wheels {
+		rep.WheelTimers += h.Stats().Timers
+	}
+
+	s.mu.Lock()
+	rep.DownLatency = summarize(s.downLat)
+	rep.UpLatency = summarize(s.upLat)
+	rep.SessionLatency = summarize(s.sessLat)
+	rep.LiveMembers = len(s.live)
+	rep.CrashedMembers = len(s.crashedList)
+	rep.Joined, rep.Left = s.joins, s.leaves
+	rep.Crashed, rep.Revived = s.crashes, s.revives
+	rep.EventLog = s.eventLog
+	s.mu.Unlock()
+
+	pop := rep.LiveMembers + s.cfg.DirShards*s.cfg.DirReplicas + s.cfg.Initiators
+	rep.HeapAllocBytes = heap
+	rep.Goroutines = goro
+	if pop > 0 {
+		rep.HeapBytesPerDapplet = float64(heap) / float64(pop)
+		rep.GoroutinesPerDapplet = float64(goro) / float64(pop)
+	}
+	return rep
+}
+
+// logf appends one lockstep event-log line.
+func (s *Swarm) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.eventLog = append(s.eventLog, line)
+	s.mu.Unlock()
+}

@@ -1,0 +1,175 @@
+package swarm
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lockstepConfig is the shared shape of the determinism runs: small
+// enough to finish quickly, churny enough that the log exercises every
+// op including awaited crash and revive verdicts.
+func lockstepConfig(seed int64) Config {
+	return Config{
+		N:           32,
+		Hosts:       4,
+		Seed:        seed,
+		DirShards:   2,
+		Initiators:  2,
+		Interval:    40 * time.Millisecond,
+		Multiplier:  3,
+		Lockstep:    true,
+		LockstepOps: 40,
+		// The embedded tick-cost benchmark is covered elsewhere; skip it
+		// here so the test time is all churn.
+		TickCostPeers: -1,
+	}
+}
+
+// TestLockstepDeterminism runs the same seeded lockstep swarm twice over
+// a single-shard network and requires bit-identical event logs: the log
+// records only awaited outcomes (which member joined, who reached Down,
+// who lifted to Up), so any divergence means churn handling leaked
+// scheduling nondeterminism into observable state.
+func TestLockstepDeterminism(t *testing.T) {
+	run := func() []string {
+		rep, err := Run(lockstepConfig(42))
+		if err != nil {
+			t.Fatalf("lockstep run: %v", err)
+		}
+		if len(rep.EventLog) < 32+40 {
+			t.Fatalf("event log has %d lines, want at least %d", len(rep.EventLog), 32+40)
+		}
+		return rep.EventLog
+	}
+	a := run()
+	b := run()
+	if len(a) != len(b) {
+		t.Fatalf("event logs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event logs diverge at line %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+		}
+	}
+	// The log must actually contain awaited verdicts, or determinism is
+	// vacuous.
+	var crashes, revives int
+	for _, line := range a {
+		if strings.HasPrefix(line, "crash ") {
+			crashes++
+		}
+		if strings.HasPrefix(line, "revive ") {
+			revives++
+		}
+	}
+	if crashes == 0 || revives == 0 {
+		t.Fatalf("log exercised %d crashes and %d revives, want both nonzero", crashes, revives)
+	}
+}
+
+// TestSwarmChurnUnderRace is the satellite race fence: a ~500-member
+// swarm under aggressive churn and session load. Run under -race in CI,
+// it sweeps the detector wheel, symmetric watch wiring, directory
+// expiry and the harness's own bookkeeping for data races; afterwards
+// the goroutine fence checks the teardown chain leaks nothing.
+func TestSwarmChurnUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm churn test is several seconds long")
+	}
+	baseline := runtime.NumGoroutine()
+
+	rep, err := Run(Config{
+		N:           500,
+		Seed:        7,
+		Initiators:  4,
+		Interval:    60 * time.Millisecond,
+		Multiplier:  2,
+		ChurnRate:   120,
+		SessionRate: 200,
+		Duration:    4 * time.Second,
+		// Tick-cost measurement under -race measures the race detector,
+		// not the wheel; skip it.
+		TickCostPeers: -1,
+	})
+	if err != nil {
+		t.Fatalf("swarm run: %v", err)
+	}
+
+	churn := rep.Phase("churn")
+	if churn.Ops == 0 {
+		t.Fatal("churn phase performed no ops")
+	}
+	if churn.Sessions == 0 {
+		t.Fatal("churn phase drove no sessions")
+	}
+	if churn.Crashes > 0 && rep.DownLatency.Count == 0 {
+		t.Fatalf("%d crashes produced no Down verdict samples", churn.Crashes)
+	}
+	if rep.LiveMembers < 250 {
+		t.Fatalf("population melted to %d live members", rep.LiveMembers)
+	}
+	t.Logf("churn: %d ops (%d joins %d leaves %d crashes %d revives), %d sessions (%d errs), %d downs %d ups",
+		churn.Ops, churn.Joins, churn.Leaves, churn.Crashes, churn.Revives,
+		churn.Sessions, churn.SessionErrs, churn.Downs, churn.Ups)
+
+	// Goroutine-leak fence: after Run's teardown everything the swarm
+	// started — dapplet pumps, svc dispatchers, probe threads, wheel
+	// loops, netsim shards — must be gone. Poll briefly: runtime
+	// bookkeeping for exiting goroutines is asynchronous.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= baseline+10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after teardown: %d now vs %d baseline\n%s",
+				now, baseline, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSwarmReportShape pins the report contract a tiny throughput run
+// must fill in: both phases present, watch edges counted, per-dapplet
+// footprint computed, and the embedded tick-cost sample showing the
+// wheel ahead of the linear scan.
+func TestSwarmReportShape(t *testing.T) {
+	rep, err := Run(Config{
+		N:             64,
+		Seed:          3,
+		Interval:      50 * time.Millisecond,
+		ChurnRate:     40,
+		SessionRate:   80,
+		Duration:      1500 * time.Millisecond,
+		TickCostPeers: 2000,
+	})
+	if err != nil {
+		t.Fatalf("swarm run: %v", err)
+	}
+	join := rep.Phase("join")
+	if join.Joins != 64 {
+		t.Fatalf("join phase recorded %d joins, want 64", join.Joins)
+	}
+	if rep.WatchedPeers == 0 {
+		t.Fatal("no watch edges counted")
+	}
+	if rep.HeapBytesPerDapplet <= 0 || rep.GoroutinesPerDapplet <= 0 {
+		t.Fatalf("footprint not computed: %f B/dapplet, %f goroutines/dapplet",
+			rep.HeapBytesPerDapplet, rep.GoroutinesPerDapplet)
+	}
+	if rep.TickCost.Peers != 2000 || rep.TickCost.Speedup <= 1 {
+		t.Fatalf("tick cost sample missing or not showing wheel advantage: %+v", rep.TickCost)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	sess := join.Sessions + rep.Phase("churn").Sessions
+	if sess == 0 {
+		t.Fatal("no sessions recorded")
+	}
+}

@@ -57,6 +57,11 @@ type Config struct {
 	// withheld waiting to coalesce with later ones (default RTO/8). An
 	// ack is sent after AckEvery messages or AckDelay, whichever first.
 	AckDelay time.Duration
+	// FailureBuf is the capacity of the asynchronous failure channel
+	// (default 64); failures beyond an unread buffer are dropped. Swarm
+	// members shrink it — the preallocated channel is pure per-dapplet
+	// memory for endpoints that rarely fail.
+	FailureBuf int
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AckDelay <= 0 {
 		c.AckDelay = c.RTO / 8
+	}
+	if c.FailureBuf <= 0 {
+		c.FailureBuf = 64
 	}
 	return c
 }
@@ -250,7 +258,7 @@ func NewReliable(pc PacketConn, cfg Config) *Reliable {
 		cfg:       cfg.withDefaults(),
 		timerWake: make(chan struct{}, 1),
 		incoming:  make(chan inMsg, cfg.withDefaults().RecvBuf),
-		failures:  make(chan SendFailure, 64),
+		failures:  make(chan SendFailure, cfg.withDefaults().FailureBuf),
 		closed:    make(chan struct{}),
 	}
 	r.wg.Add(2)
