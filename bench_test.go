@@ -866,3 +866,124 @@ func BenchmarkE7Interference(b *testing.B) {
 	b.Run("disjoint", func(b *testing.B) { run(b, false) })
 	b.Run("overlapping", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkE12FrameCoalescing measures transport-level frame coalescing
+// (experiment E12 in DESIGN.md) on a busy bidirectional netsim pair: with
+// Coalesce on, small frames share datagrams and acks piggyback on reverse
+// traffic, so the pair emits several times fewer datagrams than logical
+// frames. The frames/dgram metric is the coalescing factor.
+func BenchmarkE12FrameCoalescing(b *testing.B) {
+	for _, coalesce := range []bool{false, true} {
+		b.Run(fmt.Sprintf("coalesce=%v", coalesce), func(b *testing.B) {
+			net := netsim.New(netsim.WithSeed(12))
+			defer net.Close()
+			epA, _ := net.Host("a").Bind(1)
+			epB, _ := net.Host("b").Bind(1)
+			cfg := transport.Config{RTO: 50 * time.Millisecond, MaxRetries: 100, Window: 1024, Coalesce: coalesce}
+			ra := transport.NewReliable(transport.NewSimConn(epA), cfg)
+			rb := transport.NewReliable(transport.NewSimConn(epB), cfg)
+			defer ra.Close()
+			defer rb.Close()
+			payload := make([]byte, 64)
+			b.SetBytes(64)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, 4)
+			for _, pair := range [][2]*transport.Reliable{{ra, rb}, {rb, ra}} {
+				snd, rcv := pair[0], pair[1]
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := rcv.Recv(); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					to := rcv.LocalAddr()
+					for i := 0; i < b.N; i++ {
+						if err := snd.Send(to, payload); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+			sa, sb := ra.Stats(), rb.Stats()
+			frames := sa.DataSent + sa.Retransmits + sa.AcksSent +
+				sb.DataSent + sb.Retransmits + sb.AcksSent
+			dgrams := sa.DatagramsOut + sb.DatagramsOut
+			if dgrams > 0 {
+				b.ReportMetric(float64(frames)/float64(dgrams), "frames/dgram")
+			}
+		})
+	}
+}
+
+// BenchmarkE12UDPLoopback measures syscall batching over real loopback
+// UDP (experiment E12): batched mode coalesces frames into datagrams and
+// moves datagrams with sendmmsg/recvmmsg, so syscalls per frame collapse
+// relative to the one-write-one-read-per-frame baseline.
+func BenchmarkE12UDPLoopback(b *testing.B) {
+	for _, batched := range []bool{false, true} {
+		b.Run(fmt.Sprintf("batch=%v", batched), func(b *testing.B) {
+			ucfg := transport.UDPConfig{}
+			if batched {
+				ucfg.Batch = 16
+			}
+			pcA, err := transport.ListenUDPConfig("127.0.0.1:0", ucfg)
+			if err != nil {
+				b.Skipf("loopback UDP unavailable: %v", err)
+			}
+			pcB, err := transport.ListenUDPConfig("127.0.0.1:0", ucfg)
+			if err != nil {
+				pcA.Close()
+				b.Skipf("loopback UDP unavailable: %v", err)
+			}
+			cfg := transport.Config{RTO: 100 * time.Millisecond, MaxRetries: 100, Window: 1024, Coalesce: batched}
+			ra := transport.NewReliable(pcA, cfg)
+			rb := transport.NewReliable(pcB, cfg)
+			defer ra.Close()
+			defer rb.Close()
+			payload := make([]byte, 64)
+			b.SetBytes(64)
+			b.ResetTimer()
+			done := make(chan error, 1)
+			go func() {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := rb.Recv(); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- nil
+			}()
+			to := rb.LocalAddr()
+			for i := 0; i < b.N; i++ {
+				if err := ra.Send(to, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			sa, sb := ra.Stats(), rb.Stats()
+			calls := sa.IO.ReadCalls + sa.IO.WriteCalls + sb.IO.ReadCalls + sb.IO.WriteCalls
+			frames := sa.DataSent + sa.Retransmits + sa.AcksSent +
+				sb.DataSent + sb.Retransmits + sb.AcksSent
+			if frames > 0 {
+				b.ReportMetric(float64(calls)/float64(frames), "syscalls/frame")
+			}
+		})
+	}
+}

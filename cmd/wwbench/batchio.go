@@ -1,0 +1,274 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+var (
+	flagE12Frames = flag.Int("e12frames", 20000,
+		"E12 frames moved per direction in each cell of the batching matrix")
+	flagE12Out = flag.String("e12out", "",
+		"write the full E12 batching report as JSON to this path")
+)
+
+// E12Row is one cell of the E12 batching matrix: a (medium, frame size,
+// fan-out, batching on/off) combination and its measured throughput and
+// per-frame costs.
+type E12Row struct {
+	// Medium is "netsim" or "udp"; Batched says whether coalescing (and,
+	// for udp, mmsg syscall batching) was enabled.
+	Medium  string `json:"medium"`
+	Batched bool   `json:"batched"`
+	// FrameSize is the payload size in bytes, Fanout the number of
+	// receivers the sender round-robins over, Frames the number of data
+	// frames moved per direction.
+	FrameSize int `json:"frame_size"`
+	Fanout    int `json:"fanout"`
+	Frames    int `json:"frames"`
+	// NsPerFrame and FramesPerSec are wall-clock throughput; the
+	// remaining fields are the transport's own accounting: logical
+	// frames per physical datagram, standalone-ack fraction, syscalls
+	// per frame (udp only) and wire bytes per frame (netsim only,
+	// including the modelled per-datagram overhead).
+	NsPerFrame        float64 `json:"ns_per_frame"`
+	FramesPerSec      float64 `json:"frames_per_sec"`
+	FramesPerDatagram float64 `json:"frames_per_datagram"`
+	StandaloneAckPct  float64 `json:"standalone_ack_pct"`
+	SyscallsPerFrame  float64 `json:"syscalls_per_frame,omitempty"`
+	WireBytesPerFrame float64 `json:"wire_bytes_per_frame,omitempty"`
+}
+
+// e12Transport builds the reliable-layer config for one E12 cell.
+func e12Transport(batched bool) transport.Config {
+	return transport.Config{
+		RTO:        100 * time.Millisecond,
+		MaxRetries: 100,
+		Window:     1024,
+		Coalesce:   batched,
+	}
+}
+
+// e12Relay pumps frames through an already-wired sender/receiver set:
+// the sender round-robins frames across the receivers while every
+// receiver drains and a mirror goroutine on receiver 0 sends the same
+// volume back, keeping the first pair busy bidirectionally so ack
+// piggybacking has reverse traffic to ride.
+func e12Relay(snd *transport.Reliable, rcvs []*transport.Reliable, frames, size int) (time.Duration, error) {
+	payload := make([]byte, size)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(rcvs)+2)
+	counts := make([]int, len(rcvs))
+	for i := range rcvs {
+		counts[i] = frames / len(rcvs)
+		if i < frames%len(rcvs) {
+			counts[i]++
+		}
+	}
+	start := time.Now()
+	for i, r := range rcvs {
+		wg.Add(1)
+		go func(r *transport.Reliable, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if _, _, err := r.Recv(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r, counts[i])
+	}
+	// Mirror traffic: receiver 0 echoes the same frame count back.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		to := snd.LocalAddr()
+		for j := 0; j < counts[0]; j++ {
+			if err := rcvs[0].Send(to, payload); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for j := 0; j < counts[0]; j++ {
+			if _, _, err := snd.Recv(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		if err := snd.Send(rcvs[i%len(rcvs)].LocalAddr(), payload); err != nil {
+			return 0, err
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
+}
+
+// e12Accounting folds the endpoints' transport stats into the row's
+// coalescing and ack columns.
+func e12Accounting(row *E12Row, rels ...*transport.Reliable) (frames, calls uint64) {
+	var st transport.Stats
+	for _, r := range rels {
+		s := r.Stats()
+		st.DataSent += s.DataSent
+		st.Retransmits += s.Retransmits
+		st.AcksSent += s.AcksSent
+		st.AcksPiggybacked += s.AcksPiggybacked
+		st.DatagramsOut += s.DatagramsOut
+		st.IO.ReadCalls += s.IO.ReadCalls
+		st.IO.WriteCalls += s.IO.WriteCalls
+	}
+	frames = st.DataSent + st.Retransmits + st.AcksSent
+	calls = st.IO.ReadCalls + st.IO.WriteCalls
+	if st.DatagramsOut > 0 {
+		row.FramesPerDatagram = float64(frames) / float64(st.DatagramsOut)
+	}
+	if t := st.AcksSent + st.AcksPiggybacked; t > 0 {
+		row.StandaloneAckPct = 100 * float64(st.AcksSent) / float64(t)
+	}
+	return frames, calls
+}
+
+// e12Netsim runs one netsim cell: a busy sender fanning frames out over
+// the simulated network with coalescing on or off.
+func e12Netsim(batched bool, size, fanout, frames int) (E12Row, error) {
+	row := E12Row{Medium: "netsim", Batched: batched, FrameSize: size, Fanout: fanout, Frames: frames}
+	net := newNet(12)
+	defer net.Close()
+	epS, err := net.Host("s").Bind(1)
+	if err != nil {
+		return row, err
+	}
+	snd := transport.NewReliable(transport.NewSimConn(epS), e12Transport(batched))
+	defer snd.Close()
+	rcvs := make([]*transport.Reliable, fanout)
+	for i := range rcvs {
+		ep, err := net.Host(fmt.Sprintf("r%d", i)).Bind(1)
+		if err != nil {
+			return row, err
+		}
+		rcvs[i] = transport.NewReliable(transport.NewSimConn(ep), e12Transport(batched))
+		defer rcvs[i].Close()
+	}
+	elapsed, err := e12Relay(snd, rcvs, frames, size)
+	if err != nil {
+		return row, err
+	}
+	moved := frames + frames/fanout // forward plus mirrored traffic
+	row.NsPerFrame = float64(elapsed.Nanoseconds()) / float64(moved)
+	row.FramesPerSec = float64(moved) / elapsed.Seconds()
+	e12Accounting(&row, append(rcvs, snd)...)
+	row.WireBytesPerFrame = float64(net.Stats().WireBytes) / float64(moved)
+	return row, nil
+}
+
+// e12UDP runs one real-UDP loopback cell: the same workload over
+// 127.0.0.1 sockets, with mmsg syscall batching following the coalescing
+// switch.
+func e12UDP(batched bool, size, fanout, frames int) (E12Row, error) {
+	row := E12Row{Medium: "udp", Batched: batched, FrameSize: size, Fanout: fanout, Frames: frames}
+	ucfg := transport.UDPConfig{}
+	if batched {
+		ucfg.Batch = 16
+	}
+	listen := func() (*transport.Reliable, error) {
+		pc, err := transport.ListenUDPConfig("127.0.0.1:0", ucfg)
+		if err != nil {
+			return nil, err
+		}
+		return transport.NewReliable(pc, e12Transport(batched)), nil
+	}
+	snd, err := listen()
+	if err != nil {
+		return row, err
+	}
+	defer snd.Close()
+	rcvs := make([]*transport.Reliable, fanout)
+	for i := range rcvs {
+		if rcvs[i], err = listen(); err != nil {
+			return row, err
+		}
+		defer rcvs[i].Close()
+	}
+	elapsed, err := e12Relay(snd, rcvs, frames, size)
+	if err != nil {
+		return row, err
+	}
+	moved := frames + frames/fanout
+	row.NsPerFrame = float64(elapsed.Nanoseconds()) / float64(moved)
+	row.FramesPerSec = float64(moved) / elapsed.Seconds()
+	logical, calls := e12Accounting(&row, append(rcvs, snd)...)
+	if logical > 0 {
+		row.SyscallsPerFrame = float64(calls) / float64(logical)
+	}
+	return row, nil
+}
+
+// runE12 sweeps the batched-I/O matrix: frame coalescing over netsim
+// (datagram and wire-byte reduction) and over real loopback UDP sockets
+// (sendmmsg/recvmmsg syscall reduction), each at several frame sizes and
+// fan-outs with batching on and off. -e12frames sizes each cell;
+// -e12out dumps the matrix as JSON.
+func runE12() {
+	type cell struct{ size, fanout int }
+	cells := []cell{{32, 1}, {256, 1}, {1024, 1}, {32, 8}}
+	var rows []E12Row
+	run := func(medium string, f func(bool, int, int, int) (E12Row, error)) {
+		for _, c := range cells {
+			var on, off E12Row
+			var err error
+			if off, err = f(false, c.size, c.fanout, *flagE12Frames); err != nil {
+				log.Printf("  %s %dB fan%d unbatched: %v", medium, c.size, c.fanout, err)
+				continue
+			}
+			if on, err = f(true, c.size, c.fanout, *flagE12Frames); err != nil {
+				log.Printf("  %s %dB fan%d batched: %v", medium, c.size, c.fanout, err)
+				continue
+			}
+			rows = append(rows, off, on)
+			extra := fmt.Sprintf("%.0f wireB/frm -> %.0f", off.WireBytesPerFrame, on.WireBytesPerFrame)
+			if medium == "udp" {
+				extra = fmt.Sprintf("%.2f sys/frm -> %.3f", off.SyscallsPerFrame, on.SyscallsPerFrame)
+			}
+			row(medium,
+				fmt.Sprintf("%dB", c.size),
+				fmt.Sprintf("fan%d", c.fanout),
+				fmt.Sprintf("%.0f -> %.0f frm/s", off.FramesPerSec, on.FramesPerSec),
+				fmt.Sprintf("%.1fx", on.FramesPerSec/off.FramesPerSec),
+				fmt.Sprintf("%.2f -> %.2f frm/dgram", off.FramesPerDatagram, on.FramesPerDatagram),
+				fmt.Sprintf("%.0f%% -> %.0f%% sa-ack", off.StandaloneAckPct, on.StandaloneAckPct),
+				extra)
+		}
+	}
+	row("medium", "frame", "fanout", "throughput off -> on", "speedup", "coalescing", "acks", "cost")
+	run("netsim", e12Netsim)
+	run("udp", e12UDP)
+
+	if *flagE12Out != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal report: %v", err)
+		}
+		if err := os.WriteFile(*flagE12Out, data, 0o644); err != nil {
+			log.Fatalf("write report: %v", err)
+		}
+		fmt.Printf("  (report written to %s)\n", *flagE12Out)
+	}
+}

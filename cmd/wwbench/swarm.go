@@ -21,6 +21,8 @@ var (
 		"E11 churn phase length")
 	flagE11Out = flag.String("e11out", "",
 		"write the full E11 swarm report as JSON to this path")
+	flagCoalesce = flag.Bool("coalesce", true,
+		"E11 transport frame coalescing (false reverts to one datagram per frame for an A/B baseline)")
 )
 
 // e11SwarmConfig derives the swarm config from the E11 flags, scaling
@@ -35,6 +37,7 @@ func e11SwarmConfig() swarm.Config {
 		ChurnRate:   *flagChurn,
 		SessionRate: *flagSessRate,
 		Duration:    *flagSwarmDur,
+		NoCoalesce:  !*flagCoalesce,
 	}
 	if *flagShards > 0 {
 		cfg.NetShards = *flagShards
@@ -53,10 +56,11 @@ func e11SwarmConfig() swarm.Config {
 
 // runE11 drives the swarm-scale churn harness: a member population under
 // continuous join/leave/crash/reincarnate churn with directory-routed
-// sessions, reporting per-phase throughput, detector cost per watched
-// peer, verdict latency and per-dapplet footprint. -swarm, -churn,
-// -sessrate and -swarmdur size the run; -e11out dumps the full report
-// as JSON.
+// sessions, reporting per-phase throughput, transport coalescing factor,
+// detector cost per watched peer, verdict latency and per-dapplet
+// footprint. -swarm, -churn, -sessrate and -swarmdur size the run;
+// -coalesce=false reverts the transport to one datagram per frame for an
+// A/B baseline; -e11out dumps the full report as JSON.
 func runE11() {
 	cfg := e11SwarmConfig()
 	rep, err := swarm.Run(cfg)
@@ -64,12 +68,14 @@ func runE11() {
 		log.Fatalf("swarm run: %v", err)
 	}
 
-	row("phase", "wall-s", "msgs/s", "hb/s", "dirhit%", "ops", "sessions", "downs", "ups", "det-ns/peer/s")
+	row("phase", "wall-s", "msgs/s", "hb/s", "frm/dgram", "sa-ack%", "dirhit%", "ops", "sessions", "downs", "ups", "det-ns/peer/s")
 	for _, p := range rep.Phases {
 		row(p.Name,
 			fmt.Sprintf("%.1f", p.WallSeconds),
 			fmt.Sprintf("%.0f", p.MsgsPerSec),
 			fmt.Sprintf("%.0f", p.HeartbeatsPerSec),
+			fmt.Sprintf("%.2f", p.FramesPerDatagram),
+			fmt.Sprintf("%.0f", p.StandaloneAckRatio*100),
 			fmt.Sprintf("%.0f", p.DirHitRate*100),
 			p.Ops, p.Sessions, p.Downs, p.Ups,
 			fmt.Sprintf("%.0f", p.DetectorNsPerPeerSec))

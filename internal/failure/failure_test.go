@@ -236,3 +236,51 @@ func TestProbeRecoversOneSidedWatch(t *testing.T) {
 		t.Fatal("verdict lifted without any probe")
 	}
 }
+
+func TestDetectorUnderCoalescedTransport(t *testing.T) {
+	// With frame coalescing on, heartbeats are staged and must be
+	// flushed after each fan-out round (the detector calls FlushAll);
+	// otherwise the flush deadline would jitter heartbeat interarrival
+	// and inflate adaptive timeouts. The detector must hold a steady Up
+	// verdict and still detect a real crash promptly.
+	net := netsim.New(netsim.WithSeed(7))
+	defer net.Close()
+	mk := func(host, name string) *core.Dapplet {
+		ep, err := net.Host(host).BindAny()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := core.NewDapplet(name, "test", transport.NewSimConn(ep),
+			core.WithTransportConfig(transport.Config{RTO: 10 * time.Millisecond, Coalesce: true}))
+		t.Cleanup(d.Stop)
+		return d
+	}
+	a := mk("ha", "a")
+	b := mk("hb", "b")
+	events, da, _ := watchPair(a, b, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
+
+	// Let a round of heartbeats establish Up.
+	time.Sleep(50 * time.Millisecond)
+	if st, ok := da.Status("b"); !ok || st != failure.Up {
+		t.Fatalf("status(b) = %v, %v; want up", st, ok)
+	}
+	// Steady state: several heartbeat rounds with no Suspect wobble.
+	deadline := time.After(300 * time.Millisecond)
+steady:
+	for {
+		select {
+		case ev := <-events:
+			if ev.State != failure.Up {
+				t.Fatalf("verdict wobbled to %v under coalescing", ev.State)
+			}
+		case <-deadline:
+			break steady
+		}
+	}
+	st := a.Transport().Stats()
+	if st.BatchesOut == 0 {
+		t.Fatalf("heartbeats never rode a coalesced datagram: %+v", st)
+	}
+	net.Crash("hb")
+	awaitState(t, events, failure.Down, 5*time.Second)
+}

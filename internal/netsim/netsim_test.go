@@ -661,3 +661,35 @@ func TestCrashDropsReorderStashedDatagram(t *testing.T) {
 		t.Fatalf("LostCrash = %d, want 1 (the discarded stash)", st.LostCrash)
 	}
 }
+
+func TestWireBytesCountsDatagramOverhead(t *testing.T) {
+	// WireBytes models the on-the-wire cost of every datagram: payload
+	// plus the configured per-datagram header overhead. Two datagrams of
+	// 10 bytes at the default 28-byte overhead cost 76 wire bytes; with
+	// a custom overhead the charge follows.
+	for _, tc := range []struct {
+		overhead []Option
+		per      int
+	}{
+		{nil, DefaultDatagramOverhead},
+		{[]Option{WithDatagramOverhead(100)}, 100},
+		{[]Option{WithDatagramOverhead(0)}, 0},
+	} {
+		n := New(tc.overhead...)
+		a, _ := n.Host("x").Bind(1)
+		b, _ := n.Host("y").Bind(1)
+		for i := 0; i < 2; i++ {
+			if err := a.Send(b.Addr(), make([]byte, 10)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Recv(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := uint64(2 * (10 + tc.per))
+		if st := n.Stats(); st.WireBytes != want {
+			t.Fatalf("overhead %d: WireBytes = %d, want %d", tc.per, st.WireBytes, want)
+		}
+		n.Close()
+	}
+}

@@ -29,7 +29,14 @@ type config struct {
 	timeScale    float64 // real delay = virtual delay * timeScale
 	queueCap     int
 	shards       int // 0 means GOMAXPROCS
+	overhead     int // modelled per-datagram wire overhead bytes
 }
+
+// DefaultDatagramOverhead is the modelled per-datagram wire overhead:
+// a UDP header over IPv4 (28 bytes). Stats.WireBytes adds it to every
+// datagram's payload, so transports that coalesce many small frames
+// into one datagram show their on-wire byte saving.
+const DefaultDatagramOverhead = 28
 
 // Option configures a Network at construction time.
 type Option func(*config)
@@ -50,6 +57,18 @@ func WithTimeScale(s float64) Option { return func(c *config) { c.timeScale = s 
 // WithQueueCap sets the per-endpoint receive queue capacity; datagrams
 // arriving at a full queue are dropped, like a full UDP socket buffer.
 func WithQueueCap(n int) Option { return func(c *config) { c.queueCap = n } }
+
+// WithDatagramOverhead sets the modelled per-datagram wire overhead in
+// bytes added to Stats.WireBytes (default DefaultDatagramOverhead;
+// negative clamps to 0, counting payload bytes only).
+func WithDatagramOverhead(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.overhead = n
+	}
+}
 
 // WithShards sets the number of delivery shards hosts are partitioned
 // across. Each shard has its own lock, its own seeded random stream and
@@ -93,6 +112,7 @@ type Stats struct {
 	Duplicated  uint64 // extra copies delivered
 	Reordered   uint64 // datagrams deferred behind a successor
 	BytesSent   uint64
+	WireBytes   uint64        // payload bytes plus modelled per-datagram overhead (see WithDatagramOverhead)
 	MaxVirtual  time.Duration // max endpoint virtual clock
 	MeanVirtual time.Duration // mean endpoint virtual clock
 }
@@ -122,6 +142,7 @@ func New(opts ...Option) *Network {
 		defaultDelay: LAN(),
 		timeScale:    0,
 		queueCap:     DefaultQueueCap,
+		overhead:     DefaultDatagramOverhead,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -307,6 +328,7 @@ func (n *Network) Stats() Stats {
 		s.Duplicated += sh.ctr.duplicated
 		s.Reordered += sh.ctr.reordered
 		s.BytesSent += sh.ctr.bytesSent
+		s.WireBytes += sh.ctr.wireBytes
 		eps := make([]*Endpoint, 0, 8)
 		for _, h := range sh.hosts {
 			for _, e := range h.ports {
@@ -348,6 +370,7 @@ func (n *Network) Counters() Stats {
 		s.Duplicated += sh.ctr.duplicated
 		s.Reordered += sh.ctr.reordered
 		s.BytesSent += sh.ctr.bytesSent
+		s.WireBytes += sh.ctr.wireBytes
 		sh.mu.Unlock()
 		s.Delivered += sh.ctr.delivered.Load()
 		s.LostQueue += sh.ctr.lostQueue.Load()
@@ -450,6 +473,7 @@ func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
 	}
 	s.ctr.sent++
 	s.ctr.bytesSent += uint64(len(payload))
+	s.ctr.wireBytes += uint64(len(payload) + n.cfg.overhead)
 
 	// Crash check: a crashed machine neither sends nor receives. The
 	// check reads the destination shard's copy of the crash view, the

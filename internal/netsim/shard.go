@@ -75,6 +75,7 @@ type shardCounters struct {
 	duplicated uint64 // guarded by shard.mu
 	reordered  uint64 // guarded by shard.mu
 	bytesSent  uint64 // guarded by shard.mu
+	wireBytes  uint64 // guarded by shard.mu
 
 	delivered atomic.Uint64
 	lostQueue atomic.Uint64

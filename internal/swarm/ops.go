@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/failure"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -211,9 +212,10 @@ func (s *Swarm) opLeave(rng *rand.Rand) (bool, error) {
 		return true, fmt.Errorf("swarm: leave %s: %w", m.name, cerr)
 	}
 	st := m.det.Stats()
+	rs := m.d.Transport().Stats()
 
 	s.mu.Lock()
-	s.retire(st)
+	s.retire(st, rs)
 	delete(s.members, m.name)
 	s.leaves++
 	s.ops++
@@ -249,9 +251,10 @@ func (s *Swarm) opCrash(rng *rand.Rand) (bool, error) {
 		return true, fmt.Errorf("swarm: crash %s: %w", m.name, err)
 	}
 	st := m.det.Stats()
+	rs := m.d.Transport().Stats()
 
 	s.mu.Lock()
-	s.retire(st)
+	s.retire(st, rs)
 	// Stamped after the crash completed: a verdict cannot land before
 	// the process is actually dead, so the latency sample starts here.
 	s.crashedAt[m.name] = time.Now()
@@ -397,10 +400,24 @@ func (s *Swarm) opSession(idx int, rng *rand.Rand) {
 	}
 }
 
-// retire folds a stopped detector's counters into the running total so
-// phase deltas stay monotonic across churn. Caller holds s.mu.
-func (s *Swarm) retire(st failure.Stats) {
+// retire folds a stopped member's detector and transport counters into
+// the running totals so phase deltas stay monotonic across churn.
+// Caller holds s.mu.
+func (s *Swarm) retire(st failure.Stats, rs transport.Stats) {
 	s.retired.HeartbeatsSent += st.HeartbeatsSent
 	s.retired.ImplicitRefreshes += st.ImplicitRefreshes
 	s.retired.ProbesSent += st.ProbesSent
+	s.retiredRel = addRelStats(s.retiredRel, rs)
+}
+
+// addRelStats sums the transport counters the report tracks.
+func addRelStats(a, b transport.Stats) transport.Stats {
+	a.DataSent += b.DataSent
+	a.Retransmits += b.Retransmits
+	a.AcksSent += b.AcksSent
+	a.AcksPiggybacked += b.AcksPiggybacked
+	a.DatagramsOut += b.DatagramsOut
+	a.BatchesOut += b.BatchesOut
+	a.FramesCoalesced += b.FramesCoalesced
+	return a
 }

@@ -57,6 +57,21 @@ type PhaseStats struct {
 	BytesPerSec float64 `json:"bytes_per_sec"`
 	LostQueue   uint64  `json:"lost_queue"`
 
+	// Frames and Datagrams are the reliable layer's logical
+	// transmissions (data frames, retransmits and standalone acks) vs
+	// the physical datagrams they left in, summed over every member,
+	// replica and initiator transport (stopped incarnations included);
+	// FramesPerDatagram is their ratio — the transport coalescing
+	// factor. AcksStandalone vs AcksPiggybacked split acknowledgements
+	// by whether they needed their own packet, and StandaloneAckRatio is
+	// the standalone fraction — coalescing health at a glance.
+	Frames             uint64  `json:"frames"`
+	Datagrams          uint64  `json:"datagrams"`
+	FramesPerDatagram  float64 `json:"frames_per_datagram"`
+	AcksStandalone     uint64  `json:"acks_standalone"`
+	AcksPiggybacked    uint64  `json:"acks_piggybacked"`
+	StandaloneAckRatio float64 `json:"standalone_ack_ratio"`
+
 	// Heartbeats, Implicit and Probes are the detector-layer counters:
 	// explicit heartbeats sent, application frames accepted as implicit
 	// liveness, and Down-peer probes.

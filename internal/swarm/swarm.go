@@ -87,6 +87,12 @@ type Config struct {
 	// TickCostPeers sizes the embedded linear-vs-wheel tick cost
 	// measurement (default 10000; negative skips it).
 	TickCostPeers int
+	// NoCoalesce disables transport frame coalescing. The swarm runs
+	// with coalescing on by default — heartbeats, acks and session
+	// frames to the same peer share datagrams — and the per-phase report
+	// tracks frames-per-datagram and the standalone-ack ratio; this
+	// switch is the A/B foil.
+	NoCoalesce bool
 }
 
 func (c Config) withDefaults() Config {
@@ -223,6 +229,7 @@ type Swarm struct {
 	crashedAt   map[string]time.Time
 	revivedAt   map[string]time.Time
 	retired     failure.Stats
+	retiredRel  transport.Stats
 
 	downs, ups                      uint64
 	joins, leaves, crashes, revives uint64
@@ -258,6 +265,7 @@ func Run(cfg Config) (*Report, error) {
 			RTO:        clampDur(cfg.Interval/2, 50*time.Millisecond, time.Second),
 			RecvBuf:    64,
 			FailureBuf: 4,
+			Coalesce:   !cfg.NoCoalesce,
 		},
 	}
 	for i := 0; i < cfg.Wheels; i++ {
@@ -270,6 +278,10 @@ func Run(cfg Config) (*Report, error) {
 	reg.Register(typeDir, func() core.Behavior { return core.BehaviorFunc(s.startDir) })
 	reg.Register(typeIni, func() core.Behavior { return core.BehaviorFunc(s.startIni) })
 	s.rt = core.NewRuntime(s.net, reg)
+	// Directory replicas and initiators keep the default transport
+	// sizing but share the coalescing setting, so the whole fabric's
+	// datagram accounting is measured under one policy.
+	s.rt.SetTransportConfig(transport.Config{Coalesce: !cfg.NoCoalesce})
 
 	if err := s.launchDirectory(); err != nil {
 		return nil, err
@@ -674,6 +686,8 @@ type counters struct {
 	delivered, bytes    uint64
 	lostQueue           uint64
 	hb, implicit, probe uint64
+	frames, datagrams   uint64
+	acksSA, acksPB      uint64
 	dir                 directory.ClientStats
 	downs, ups          uint64
 	sessions, sessErrs  uint64
@@ -693,12 +707,16 @@ func (s *Swarm) cumulative() counters {
 
 	s.mu.Lock()
 	st := s.retired
+	rel := s.retiredRel
 	for _, m := range s.live {
 		if m.det != nil {
 			ds := m.det.Stats()
 			st.HeartbeatsSent += ds.HeartbeatsSent
 			st.ImplicitRefreshes += ds.ImplicitRefreshes
 			st.ProbesSent += ds.ProbesSent
+		}
+		if m.d != nil {
+			rel = addRelStats(rel, m.d.Transport().Stats())
 		}
 	}
 	for _, shard := range s.dirs {
@@ -707,12 +725,17 @@ func (s *Swarm) cumulative() counters {
 			st.HeartbeatsSent += ds.HeartbeatsSent
 			st.ImplicitRefreshes += ds.ImplicitRefreshes
 			st.ProbesSent += ds.ProbesSent
+			rel = addRelStats(rel, r.d.Transport().Stats())
 		}
 	}
 	c.hb, c.implicit, c.probe = st.HeartbeatsSent, st.ImplicitRefreshes, st.ProbesSent
 	for _, ini := range s.inits {
 		c.dir = c.dir.Add(ini.client.Stats())
+		rel = addRelStats(rel, ini.d.Transport().Stats())
 	}
+	c.frames = rel.DataSent + rel.Retransmits + rel.AcksSent
+	c.datagrams = rel.DatagramsOut
+	c.acksSA, c.acksPB = rel.AcksSent, rel.AcksPiggybacked
 	c.downs, c.ups = s.downs, s.ups
 	c.sessions, c.sessErrs = s.sessions, s.sessErrs
 	c.ops, c.opErrs = s.ops, s.opErrs
@@ -762,9 +785,13 @@ func (s *Swarm) phaseStats(name string, a, b counters, watched int) PhaseStats {
 		Delivered:    b.delivered - a.delivered,
 		BytesSent:    b.bytes - a.bytes,
 		LostQueue:    b.lostQueue - a.lostQueue,
-		Heartbeats:   b.hb - a.hb,
-		Implicit:     b.implicit - a.implicit,
-		Probes:       b.probe - a.probe,
+		Frames:          b.frames - a.frames,
+		Datagrams:       b.datagrams - a.datagrams,
+		AcksStandalone:  b.acksSA - a.acksSA,
+		AcksPiggybacked: b.acksPB - a.acksPB,
+		Heartbeats:      b.hb - a.hb,
+		Implicit:        b.implicit - a.implicit,
+		Probes:          b.probe - a.probe,
 		DirLookups:   b.dir.Lookups() - a.dir.Lookups(),
 		DirHits:      b.dir.Hits - a.dir.Hits,
 		DirFailovers: b.dir.Failovers - a.dir.Failovers,
@@ -784,6 +811,12 @@ func (s *Swarm) phaseStats(name string, a, b counters, watched int) PhaseStats {
 	p.MsgsPerSec = float64(p.Delivered) / wall
 	p.BytesPerSec = float64(p.BytesSent) / wall
 	p.HeartbeatsPerSec = float64(p.Heartbeats) / wall
+	if p.Datagrams > 0 {
+		p.FramesPerDatagram = float64(p.Frames) / float64(p.Datagrams)
+	}
+	if total := p.AcksStandalone + p.AcksPiggybacked; total > 0 {
+		p.StandaloneAckRatio = float64(p.AcksStandalone) / float64(total)
+	}
 	if lk := p.DirLookups; lk > 0 {
 		p.DirHitRate = float64(p.DirHits) / float64(lk)
 	}

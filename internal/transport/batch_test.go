@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	f := func(cum uint64, sel uint64, hasSel bool, seqs []uint64, payloads [][]byte) bool {
+		if len(seqs) > len(payloads) {
+			seqs = seqs[:len(payloads)]
+		} else {
+			payloads = payloads[:len(seqs)]
+		}
+		dgram := appendBatchHeader(nil, cum, sel, hasSel)
+		for i := range seqs {
+			dgram = appendBatchFrame(dgram, seqs[i], payloads[i])
+		}
+		if dgram[0] != magic[0] || dgram[1] != magic[1] || dgram[2] != pktBatch {
+			return false
+		}
+		body := dgram[3:] // recvLoop strips magic+type before parsing
+		gc, hasCum, gs, gh, off, ok := parseBatchHeader(body)
+		if !ok || !hasCum || gc != cum || gh != hasSel || (hasSel && gs != sel) {
+			return false
+		}
+		for i := range seqs {
+			seq, payload, next, ok := nextBatchFrame(body, off)
+			if !ok || seq != seqs[i] || !bytes.Equal(payload, payloads[i]) {
+				return false
+			}
+			off = next
+		}
+		return off == len(body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchCodecRejectsTruncation(t *testing.T) {
+	full := appendBatchHeader(nil, 41, 0, false)
+	full = appendBatchFrame(full, 1, []byte("hello"))
+	full = appendBatchFrame(full, 2, []byte("world"))
+	dgram := full[3:] // body after magic+type, as recvLoop hands it over
+	// A truncated tail must stop the frame walk, never over-read.
+	for cut := len(dgram) - 1; cut > 0; cut-- {
+		short := dgram[:cut]
+		_, _, _, _, off, ok := parseBatchHeader(short)
+		if !ok {
+			continue // header itself truncated: fine
+		}
+		for off < len(short) {
+			_, _, next, ok := nextBatchFrame(short, off)
+			if !ok {
+				break
+			}
+			if next <= off {
+				t.Fatalf("cut=%d: walk did not advance", cut)
+			}
+			off = next
+		}
+	}
+	// Garbage headers must be rejected.
+	if _, _, _, _, _, ok := parseBatchHeader(nil); ok {
+		t.Fatal("parseBatchHeader(nil) accepted")
+	}
+	if _, _, _, _, _, ok := parseBatchHeader([]byte{batchFlagCum}); ok {
+		t.Fatal("truncated cum field accepted")
+	}
+}
+
+// busyPair drives total frames in both directions at once over a
+// coalescing pair and waits until everything is delivered.
+func busyPair(t *testing.T, ra, rb *Reliable, total, size int) {
+	t.Helper()
+	payload := make([]byte, size)
+	var wg sync.WaitGroup
+	for _, pair := range [][2]*Reliable{{ra, rb}, {rb, ra}} {
+		snd, rcv := pair[0], pair[1]
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total; i++ {
+				if _, _, err := rcv.RecvTimeout(10 * time.Second); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			to := rcv.LocalAddr()
+			for i := 0; i < total; i++ {
+				if err := snd.Send(to, payload); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCoalescingBusyPairDatagramRatio(t *testing.T) {
+	cfg := Config{RTO: 100 * time.Millisecond, MaxRetries: 100, Window: 512, Coalesce: true}
+	_, ra, rb := pairOn(t, "a", "b", cfg)
+	const total = 4000
+	busyPair(t, ra, rb, total, 32)
+	sa, sb := ra.Stats(), rb.Stats()
+	frames := sa.DataSent + sa.Retransmits + sa.AcksSent + sb.DataSent + sb.Retransmits + sb.AcksSent
+	dgrams := sa.DatagramsOut + sb.DatagramsOut
+	if dgrams == 0 || frames < 2*total {
+		t.Fatalf("implausible accounting: frames=%d datagrams=%d", frames, dgrams)
+	}
+	// The acceptance bar: a busy pair coalesces at least 4 frames into
+	// each datagram on average.
+	if float64(frames) < 4*float64(dgrams) {
+		t.Fatalf("frames=%d datagrams=%d: coalescing factor %.2f < 4",
+			frames, dgrams, float64(frames)/float64(dgrams))
+	}
+	if sa.BatchesOut == 0 || sa.FramesCoalesced == 0 {
+		t.Fatalf("batch counters flat: %+v", sa)
+	}
+}
+
+func TestPiggybackedAckEquivalence(t *testing.T) {
+	// The same bidirectional workload must deliver the same payload
+	// sequence with coalescing on and off; the coalesced run should
+	// piggyback most acks instead of sending them standalone.
+	run := func(coalesce bool) ([]string, Stats) {
+		cfg := Config{RTO: 100 * time.Millisecond, MaxRetries: 100, Window: 256, Coalesce: coalesce}
+		_, ra, rb := pairOn(t, "a", "b", cfg)
+		const total = 300
+		var got []string
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total; i++ {
+				p, _, err := rb.RecvTimeout(10 * time.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got = append(got, string(p))
+			}
+		}()
+		go func() { // reverse traffic for acks to ride on
+			defer wg.Done()
+			to := ra.LocalAddr()
+			for i := 0; i < total; i++ {
+				if err := rb.Send(to, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := ra.RecvTimeout(10 * time.Second); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		to := rb.LocalAddr()
+		for i := 0; i < total; i++ {
+			if err := ra.Send(to, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Wait()
+		return got, rb.Stats()
+	}
+	plain, _ := run(false)
+	coalesced, st := run(true)
+	if len(plain) != len(coalesced) {
+		t.Fatalf("delivery counts differ: %d vs %d", len(plain), len(coalesced))
+	}
+	for i := range plain {
+		if plain[i] != coalesced[i] {
+			t.Fatalf("delivery %d differs: %q vs %q", i, plain[i], coalesced[i])
+		}
+	}
+	if st.AcksPiggybacked == 0 {
+		t.Fatalf("no piggybacked acks on a busy bidirectional pair: %+v", st)
+	}
+}
+
+func TestFlushDeadlineLatencyBound(t *testing.T) {
+	// A frame staged behind an unacked predecessor must still arrive
+	// within the flush deadline, even with no further traffic to push
+	// it out on the size threshold.
+	cfg := Config{RTO: 400 * time.Millisecond, MaxRetries: 100, Window: 64,
+		Coalesce: true, FlushDelay: 5 * time.Millisecond, AckEvery: 64, AckDelay: 300 * time.Millisecond}
+	_, ra, rb := pairOn(t, "a", "b", cfg)
+	to := rb.LocalAddr()
+	// First send goes out on the idle fast path and stays unacked for a
+	// while (AckEvery=64, AckDelay=300ms), so the second is staged.
+	if err := ra.Send(to, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rb.RecvTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := ra.Send(to, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rb.RecvTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Generous upper bound: well under the 300ms ack delay and 400ms
+	// RTO, so only the 5ms flush deadline can explain a prompt arrival.
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("staged frame took %v; flush deadline not honored", d)
+	}
+	if st := ra.Stats(); st.FlushDeadline == 0 {
+		t.Fatalf("expected a deadline flush: %+v", st)
+	}
+}
+
+func TestExplicitFlush(t *testing.T) {
+	cfg := Config{RTO: time.Second, MaxRetries: 100, Window: 64,
+		Coalesce: true, FlushDelay: time.Second, AckEvery: 64, AckDelay: time.Second}
+	_, ra, rb := pairOn(t, "a", "b", cfg)
+	to := rb.LocalAddr()
+	if err := ra.Send(to, []byte("one")); err != nil { // idle fast path
+		t.Fatal(err)
+	}
+	if _, _, err := rb.RecvTimeout(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Send(to, []byte("two")); err != nil { // staged
+		t.Fatal(err)
+	}
+	if err := ra.Flush(to); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rb.RecvTimeout(time.Second); err != nil {
+		t.Fatalf("staged frame not delivered after Flush: %v", err)
+	}
+	if st := ra.Stats(); st.FlushExplicit == 0 {
+		t.Fatalf("FlushExplicit not counted: %+v", st)
+	}
+	ra.FlushAll() // empty stage: must be a no-op, not a crash
+}
+
+func TestAckEveryAckDelayInterplayWithCoalescing(t *testing.T) {
+	// One-way traffic with coalescing: the receiver has no reverse data,
+	// so acks still flow standalone under the AckEvery/AckDelay policy
+	// and the sender's window keeps draining.
+	cfg := Config{RTO: 200 * time.Millisecond, MaxRetries: 100, Window: 16,
+		Coalesce: true, AckEvery: 4, AckDelay: 10 * time.Millisecond}
+	_, ra, rb := pairOn(t, "a", "b", cfg)
+	to := rb.LocalAddr()
+	const total = 200 // far more than the window: progress needs acks
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			if _, _, err := rb.RecvTimeout(10 * time.Second); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < total; i++ {
+		if err := ra.Send(to, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := rb.Stats()
+	if st.AcksSent == 0 {
+		t.Fatal("no standalone acks on a one-way stream")
+	}
+	// AckEvery=4 coalesces acknowledgements roughly 4:1; allow slack for
+	// delay-triggered acks but reject one-ack-per-message behavior.
+	if st.AcksSent > total/2 {
+		t.Fatalf("AcksSent = %d for %d one-way messages; ack coalescing regressed", st.AcksSent, total)
+	}
+	if sa := ra.Stats(); sa.Retransmits > total/10 {
+		t.Fatalf("Retransmits = %d; ack policy starving the window", sa.Retransmits)
+	}
+}
+
+func TestOversizeFrameBypassesCoalescing(t *testing.T) {
+	cfg := Config{RTO: 200 * time.Millisecond, MaxRetries: 100, Window: 16, Coalesce: true}
+	_, ra, rb := pairOn(t, "a", "b", cfg)
+	big := make([]byte, maxBatchPayload+100)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := ra.Send(rb.LocalAddr(), big); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := rb.RecvTimeout(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("oversize frame corrupted")
+	}
+}

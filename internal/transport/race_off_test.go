@@ -1,0 +1,7 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-bytes guards are meaningless under its shadow allocations.
+const raceEnabled = false

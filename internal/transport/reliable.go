@@ -14,8 +14,9 @@ import (
 
 // Packet types on the wire.
 const (
-	pktData = 1
-	pktAck  = 2
+	pktData  = 1
+	pktAck   = 2
+	pktBatch = 3 // coalesced frames + piggybacked ack; see batch.go
 )
 
 // headerLen is: magic(2) + type(1) + seq(8). For data packets seq is the
@@ -62,6 +63,23 @@ type Config struct {
 	// members shrink it — the preallocated channel is pure per-dapplet
 	// memory for endpoints that rarely fail.
 	FailureBuf int
+	// Coalesce enables per-peer frame coalescing: small frames to the
+	// same peer are packed into one batch datagram, and every batch
+	// piggybacks the pending cumulative/selective acknowledgement for
+	// the reverse direction, so a busy bidirectional pair sends almost
+	// no standalone ack packets. A frame to an idle channel (nothing in
+	// flight, nothing staged) still transmits immediately — Nagle's
+	// algorithm with a deadline — so request/reply latency is
+	// unaffected. Off by default: single-frame datagrams, byte-for-byte
+	// the pre-coalescing wire traffic.
+	Coalesce bool
+	// FlushDelay bounds how long a staged frame may wait for companions
+	// before its batch is flushed (default RTO/16).
+	FlushDelay time.Duration
+	// FlushBytes is the staged-payload size that forces an immediate
+	// flush (default 1200 — within one Ethernet MTU; capped so a batch
+	// never exceeds MaxDatagram).
+	FlushBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +104,15 @@ func (c Config) withDefaults() Config {
 	if c.FailureBuf <= 0 {
 		c.FailureBuf = 64
 	}
+	if c.FlushDelay <= 0 {
+		c.FlushDelay = c.RTO / 16
+	}
+	if c.FlushBytes <= 0 {
+		c.FlushBytes = 1200
+	}
+	if c.FlushBytes > maxBatchPayload {
+		c.FlushBytes = maxBatchPayload
+	}
 	return c
 }
 
@@ -99,13 +126,56 @@ type SendFailure struct {
 
 // Stats counts reliable-layer events.
 type Stats struct {
-	DataSent    uint64 // first transmissions
+	DataSent    uint64 // first transmissions (logical frames, coalesced or not)
 	Retransmits uint64
-	AcksSent    uint64 // ack packets (cumulative: usually fewer than messages)
-	AcksRecv    uint64
+	AcksSent    uint64 // standalone ack packets (cumulative: usually fewer than messages)
+	AcksRecv    uint64 // ack-carrying packets received (standalone or batch headers)
 	DupsDropped uint64 // duplicate data packets discarded
 	Delivered   uint64 // messages handed to Recv in order
 	Failures    uint64
+
+	// Coalescing counters (all zero with Config.Coalesce off except
+	// DatagramsOut, which always counts physical writes).
+	DatagramsOut    uint64 // physical datagrams written (data, acks, batches)
+	BatchesOut      uint64 // coalesced datagrams among DatagramsOut
+	FramesCoalesced uint64 // data frames carried inside coalesced datagrams
+	AcksPiggybacked uint64 // acks that rode a batch header instead of a standalone packet
+
+	// Flush reasons: why each coalesced datagram left the staging
+	// buffer. FlushIdle is the Nagle fast path (channel idle, frame sent
+	// at once); FlushSize the staged-bytes threshold; FlushDeadline the
+	// latency bound; FlushAck a receive-path ack folded into staged
+	// data; FlushExplicit a Flush/FlushAll call.
+	FlushIdle     uint64
+	FlushSize     uint64
+	FlushDeadline uint64
+	FlushAck      uint64
+	FlushExplicit uint64
+
+	// IO is the underlying socket's syscall-level activity, when the
+	// PacketConn tracks it (the UDP transport does; netsim makes no
+	// syscalls and reports zeros).
+	IO IOStats
+}
+
+// FramesPerDatagram is the mean number of logical frames (first
+// transmissions, retransmissions and standalone acks) each physical
+// datagram carried — the transport-level batching factor.
+func (s Stats) FramesPerDatagram() float64 {
+	if s.DatagramsOut == 0 {
+		return 0
+	}
+	return float64(s.DataSent+s.Retransmits+s.AcksSent) / float64(s.DatagramsOut)
+}
+
+// StandaloneAckRatio is the fraction of acknowledgements that needed
+// their own packet rather than riding a batch header.
+func (s Stats) StandaloneAckRatio() float64 {
+	total := s.AcksSent + s.AcksPiggybacked
+	if total == 0 {
+		return 0
+	}
+	return float64(s.AcksSent) / float64(total)
 }
 
 // statCounters is the lock-free internal form of Stats: counters are
@@ -118,6 +188,17 @@ type statCounters struct {
 	dupsDropped atomic.Uint64
 	delivered   atomic.Uint64
 	failures    atomic.Uint64
+
+	datagramsOut    atomic.Uint64
+	batchesOut      atomic.Uint64
+	framesCoalesced atomic.Uint64
+	acksPiggybacked atomic.Uint64
+
+	flushIdle     atomic.Uint64
+	flushSize     atomic.Uint64
+	flushDeadline atomic.Uint64
+	flushAck      atomic.Uint64
+	flushExplicit atomic.Uint64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -129,6 +210,17 @@ func (c *statCounters) snapshot() Stats {
 		DupsDropped: c.dupsDropped.Load(),
 		Delivered:   c.delivered.Load(),
 		Failures:    c.failures.Load(),
+
+		DatagramsOut:    c.datagramsOut.Load(),
+		BatchesOut:      c.batchesOut.Load(),
+		FramesCoalesced: c.framesCoalesced.Load(),
+		AcksPiggybacked: c.acksPiggybacked.Load(),
+
+		FlushIdle:     c.flushIdle.Load(),
+		FlushSize:     c.flushSize.Load(),
+		FlushDeadline: c.flushDeadline.Load(),
+		FlushAck:      c.flushAck.Load(),
+		FlushExplicit: c.flushExplicit.Load(),
 	}
 }
 
@@ -165,6 +257,14 @@ type peerState struct {
 	ackPending  int
 	ackTimerSet bool
 	retxArmed   bool
+
+	// Frame coalescing (Config.Coalesce): stage holds encoded batch
+	// sub-frames awaiting a flush (the backing array is reused across
+	// batches), stageN counts them, and flushArmed records that a
+	// flush-deadline event is in the timer queue.
+	stage      []byte
+	stageN     int
+	flushArmed bool
 }
 
 func newPeerState(addr netsim.Addr) *peerState {
@@ -188,14 +288,15 @@ type inMsg struct {
 // Timer events: one goroutine per Reliable sleeps until the earliest
 // deadline in a min-heap and processes only the peers that are due —
 // retransmission work is proportional to peers with expired packets, not
-// to all unacked packets across all peers — and delayed acks ride the
-// same queue. Each peer keeps at most one retransmit event live
+// to all unacked packets across all peers — and delayed acks and
+// coalescing flush deadlines ride the same queue. Each peer keeps at most one retransmit event live
 // (retxArmed), armed at its next packet deadline; a fire whose packets
 // were acked in the meantime just re-arms or lapses, so the fault-free
 // send path performs no timer work per message.
 const (
 	evRetx = iota
 	evAck
+	evFlush
 )
 
 type timerEvent struct {
@@ -275,8 +376,15 @@ func (r *Reliable) LocalAddr() netsim.Addr { return r.pc.LocalAddr() }
 // are dropped.
 func (r *Reliable) Failures() <-chan SendFailure { return r.failures }
 
-// Stats returns a snapshot of the layer's counters.
-func (r *Reliable) Stats() Stats { return r.stats.snapshot() }
+// Stats returns a snapshot of the layer's counters, including the
+// underlying socket's syscall counters when the transport tracks them.
+func (r *Reliable) Stats() Stats {
+	s := r.stats.snapshot()
+	if io, ok := IOStatsOf(r.pc); ok {
+		s.IO = io
+	}
+	return s
+}
 
 // peer returns the state for a peer, creating it on first contact. The
 // fast path is a lock-free sync.Map load; creation synchronizes with
@@ -327,11 +435,54 @@ func (r *Reliable) schedule(ev timerEvent) {
 	}
 }
 
+// writeDatagram writes one single-frame datagram, counting the physical
+// write.
+func (r *Reliable) writeDatagram(to netsim.Addr, frame []byte) error {
+	r.stats.datagramsOut.Add(1)
+	return r.pc.WriteTo(to, frame)
+}
+
+// writeBatch writes one coalesced datagram, counting the physical write
+// and the batch.
+func (r *Reliable) writeBatch(to netsim.Addr, dgram []byte) error {
+	r.stats.datagramsOut.Add(1)
+	r.stats.batchesOut.Add(1)
+	return r.pc.WriteTo(to, dgram)
+}
+
+// buildBatchLocked drains p's staging buffer into one coalesced
+// datagram, piggybacking the cumulative acknowledgement for the reverse
+// direction (and a selective one when hasSel). ackReplaces marks a
+// flush that substitutes for a standalone ack the receive path was
+// about to send. Caller holds p.mu.
+func (r *Reliable) buildBatchLocked(p *peerState, sel uint64, hasSel bool, ackReplaces bool) []byte {
+	if ackReplaces || p.ackPending > 0 || p.ackTimerSet {
+		// This batch's header delivers an ack that would otherwise have
+		// gone out (now or at the delayed-ack deadline) as its own
+		// packet. A still-queued evAck finds ackPending == 0 and lapses.
+		r.stats.acksPiggybacked.Add(1)
+	}
+	p.ackPending = 0
+	dgram := make([]byte, 0, batchHdrMax+len(p.stage))
+	dgram = appendBatchHeader(dgram, p.expected-1, sel, hasSel)
+	dgram = append(dgram, p.stage...)
+	r.stats.framesCoalesced.Add(uint64(p.stageN))
+	p.stage = p.stage[:0]
+	p.stageN = 0
+	return dgram
+}
+
 // Send transmits payload to the peer with FIFO, exactly-once semantics.
 // It blocks while the peer's send window is full and returns ErrClosed if
 // the layer shuts down first. Delivery failure after retries is reported
 // asynchronously on Failures. Send copies payload into the retransmission
 // frame before returning, so the caller may reuse the slice immediately.
+//
+// With Config.Coalesce the frame may be staged rather than transmitted:
+// it leaves in a batch datagram when the stage reaches FlushBytes, when
+// FlushDelay expires, on an explicit Flush, or immediately if the
+// channel was idle. The retransmission deadline starts at Send time
+// either way, so a delayed flush never weakens the delivery guarantee.
 func (r *Reliable) Send(to netsim.Addr, payload []byte) error {
 	p := r.peer(to)
 	p.mu.Lock()
@@ -346,17 +497,98 @@ func (r *Reliable) Send(to netsim.Addr, payload []byte) error {
 	p.nextSeq++
 	frame := encodeFrame(pktData, seq, payload)
 	pkt := &outPkt{seq: seq, frame: frame, deadline: time.Now().Add(r.cfg.RTO)}
+	idle := len(p.unacked) == 0 && len(p.stage) == 0
 	p.unacked[seq] = pkt
 	arm := !p.retxArmed
 	if arm {
 		p.retxArmed = true
+	}
+	if !r.cfg.Coalesce || batchFrameLen(seq, payload) > maxBatchPayload {
+		// Coalescing off, or a frame too large to share a datagram:
+		// the classic one-datagram-per-frame path.
+		p.mu.Unlock()
+		r.stats.dataSent.Add(1)
+		if arm {
+			r.schedule(timerEvent{due: pkt.deadline, p: p, kind: evRetx})
+		}
+		return r.writeDatagram(to, frame)
+	}
+
+	// Coalescing: stage the frame, then decide what leaves now. An idle
+	// channel has no companions coming, so its frame transmits at once
+	// (the Nagle fast path keeps request/reply latency flat); a full
+	// stage flushes on the spot; otherwise a flush-deadline timer bounds
+	// the wait.
+	var overflow, dgram []byte
+	if len(p.stage) > 0 && len(p.stage)+batchFrameLen(seq, payload) > maxBatchPayload {
+		overflow = r.buildBatchLocked(p, 0, false, false)
+		r.stats.flushSize.Add(1)
+	}
+	p.stage = appendBatchFrame(p.stage, seq, payload)
+	p.stageN++
+	armFlush := false
+	switch {
+	case idle:
+		dgram = r.buildBatchLocked(p, 0, false, false)
+		r.stats.flushIdle.Add(1)
+	case len(p.stage) >= r.cfg.FlushBytes:
+		dgram = r.buildBatchLocked(p, 0, false, false)
+		r.stats.flushSize.Add(1)
+	case !p.flushArmed:
+		p.flushArmed = true
+		armFlush = true
 	}
 	p.mu.Unlock()
 	r.stats.dataSent.Add(1)
 	if arm {
 		r.schedule(timerEvent{due: pkt.deadline, p: p, kind: evRetx})
 	}
-	return r.pc.WriteTo(to, frame)
+	if armFlush {
+		r.schedule(timerEvent{due: time.Now().Add(r.cfg.FlushDelay), p: p, kind: evFlush})
+	}
+	if overflow != nil {
+		if err := r.writeBatch(to, overflow); err != nil {
+			return err
+		}
+	}
+	if dgram != nil {
+		return r.writeBatch(to, dgram)
+	}
+	return nil
+}
+
+// Flush transmits any frames staged for the peer immediately rather
+// than waiting for the flush deadline. It is a no-op without
+// Config.Coalesce or when nothing is staged.
+func (r *Reliable) Flush(to netsim.Addr) error {
+	v, ok := r.peers.Load(to)
+	if !ok {
+		return nil
+	}
+	return r.flushPeer(v.(*peerState))
+}
+
+// FlushAll flushes every peer's staged frames; heartbeat fan-out loops
+// call it after a round so beacons never wait out the flush deadline.
+func (r *Reliable) FlushAll() {
+	r.peers.Range(func(_, v any) bool {
+		_ = r.flushPeer(v.(*peerState))
+		return true
+	})
+}
+
+func (r *Reliable) flushPeer(p *peerState) error {
+	var dgram []byte
+	p.mu.Lock()
+	if len(p.stage) > 0 && !p.closed {
+		dgram = r.buildBatchLocked(p, 0, false, false)
+		r.stats.flushExplicit.Add(1)
+	}
+	p.mu.Unlock()
+	if dgram == nil {
+		return nil
+	}
+	return r.writeBatch(p.addr, dgram)
 }
 
 // Recv blocks until the next in-order message from any peer arrives.
@@ -418,6 +650,10 @@ func (r *Reliable) recvLoop() {
 		if err != nil {
 			return
 		}
+		if len(frame) >= 3 && frame[0] == magic[0] && frame[1] == magic[1] && frame[2] == pktBatch {
+			r.handleBatch(from, frame[3:])
+			continue
+		}
 		typ, seq, payload, err := decodeFrame(frame)
 		if err != nil {
 			continue // ignore garbage, like a real UDP service
@@ -431,10 +667,44 @@ func (r *Reliable) recvLoop() {
 	}
 }
 
-// handleAck processes a cumulative acknowledgement (plus an optional
-// selective seq in the payload), releasing window space.
+// handleBatch unpacks one coalesced datagram: the piggybacked ack in
+// its header, then each data frame in order. The frame payloads are
+// subslices of the datagram buffer — safe because ReadFrom hands this
+// layer exclusive ownership of it.
+func (r *Reliable) handleBatch(from netsim.Addr, body []byte) {
+	cum, hasCum, sel, hasSel, off, ok := parseBatchHeader(body)
+	if !ok {
+		return
+	}
+	if hasCum {
+		r.stats.acksRecv.Add(1)
+		r.applyAck(from, cum, sel, hasSel)
+	}
+	for {
+		seq, payload, next, ok := nextBatchFrame(body, off)
+		if !ok {
+			return
+		}
+		off = next
+		r.handleData(from, seq, payload)
+	}
+}
+
+// handleAck processes a standalone cumulative acknowledgement packet
+// (plus an optional selective seq in the payload).
 func (r *Reliable) handleAck(from netsim.Addr, cum uint64, payload []byte) {
 	r.stats.acksRecv.Add(1)
+	var sel uint64
+	hasSel := len(payload) == ackSelLen
+	if hasSel {
+		sel = binary.BigEndian.Uint64(payload)
+	}
+	r.applyAck(from, cum, sel, hasSel)
+}
+
+// applyAck releases window space for an acknowledgement, however it
+// arrived.
+func (r *Reliable) applyAck(from netsim.Addr, cum uint64, sel uint64, hasSel bool) {
 	p := r.peer(from)
 	p.mu.Lock()
 	if cum >= p.nextSeq {
@@ -450,8 +720,7 @@ func (r *Reliable) handleAck(from netsim.Addr, cum uint64, payload []byte) {
 	if cum > p.ackedTo {
 		p.ackedTo = cum
 	}
-	if len(payload) == ackSelLen {
-		sel := binary.BigEndian.Uint64(payload)
+	if hasSel {
 		if _, ok := p.unacked[sel]; ok {
 			delete(p.unacked, sel)
 			freed = true
@@ -463,8 +732,8 @@ func (r *Reliable) handleAck(from netsim.Addr, cum uint64, payload []byte) {
 	p.mu.Unlock()
 }
 
-// sendAck transmits one cumulative ack, optionally carrying a selective
-// seq for an out-of-order arrival.
+// sendAck transmits one standalone cumulative ack, optionally carrying
+// a selective seq for an out-of-order arrival.
 func (r *Reliable) sendAck(to netsim.Addr, cum uint64, sel uint64, hasSel bool) {
 	var payload []byte
 	if hasSel {
@@ -473,7 +742,7 @@ func (r *Reliable) sendAck(to netsim.Addr, cum uint64, sel uint64, hasSel bool) 
 		payload = b[:]
 	}
 	r.stats.acksSent.Add(1)
-	_ = r.pc.WriteTo(to, encodeFrame(pktAck, cum, payload))
+	_ = r.writeDatagram(to, encodeFrame(pktAck, cum, payload))
 }
 
 // handleData sequences one arriving data packet. In-order arrivals are
@@ -536,10 +805,22 @@ func (r *Reliable) handleData(from netsim.Addr, seq uint64, payload []byte) {
 		p.ackPending = 0
 		ackNow, ackCum, ackSel, hasSel = true, p.expected-1, seq, true
 	}
+	var dgram []byte
+	if r.cfg.Coalesce && ackNow && len(p.stage) > 0 {
+		// Staged data is headed back to this peer anyway: fold the ack
+		// into its batch header and flush now instead of sending a
+		// standalone ack packet.
+		dgram = r.buildBatchLocked(p, ackSel, hasSel, true)
+		r.stats.flushAck.Add(1)
+		ackNow = false
+	}
 	p.mu.Unlock()
 
 	if armTimer {
 		r.schedule(timerEvent{due: time.Now().Add(r.cfg.AckDelay), p: p, kind: evAck})
+	}
+	if dgram != nil {
+		_ = r.writeBatch(from, dgram)
 	}
 	if ackNow {
 		r.sendAck(from, ackCum, ackSel, hasSel)
@@ -610,6 +891,19 @@ func (r *Reliable) fire(ev timerEvent, now time.Time) {
 			r.sendAck(p.addr, cum, 0, false)
 		}
 
+	case evFlush:
+		var dgram []byte
+		p.mu.Lock()
+		p.flushArmed = false
+		if len(p.stage) > 0 && !p.closed {
+			dgram = r.buildBatchLocked(p, 0, false, false)
+			r.stats.flushDeadline.Add(1)
+		}
+		p.mu.Unlock()
+		if dgram != nil {
+			_ = r.writeBatch(p.addr, dgram)
+		}
+
 	case evRetx:
 		var (
 			resend [][]byte
@@ -652,7 +946,7 @@ func (r *Reliable) fire(ev timerEvent, now time.Time) {
 		p.mu.Unlock()
 		r.stats.retransmits.Add(uint64(len(resend)))
 		for _, frame := range resend {
-			_ = r.pc.WriteTo(p.addr, frame)
+			_ = r.writeDatagram(p.addr, frame)
 		}
 		if len(failed) > 0 {
 			r.stats.failures.Add(uint64(len(failed)))

@@ -1,0 +1,31 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package transport
+
+import "net"
+
+// mmsgState is empty off Linux: batch mode keeps its queueing and
+// pooling but every syscall moves one datagram.
+type mmsgState struct{}
+
+func newMmsgState(conn *net.UDPConn, batch int) (*mmsgState, error) {
+	return &mmsgState{}, nil
+}
+
+// fillBatch degrades to a single-datagram read on platforms without
+// recvmmsg.
+func (c *udpConn) fillBatch() error { return c.fillSingle() }
+
+// flushTx degrades to one syscall per datagram on platforms without
+// sendmmsg.
+func (c *udpConn) flushTx(batch []txDatagram) {
+	c.flushSerial(batch)
+	recycleTx(batch)
+}
+
+// recycleTx returns a transmitted batch's pooled buffers.
+func recycleTx(batch []txDatagram) {
+	for _, d := range batch {
+		udpBufPool.Put(d.buf)
+	}
+}

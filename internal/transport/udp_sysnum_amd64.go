@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// mmsg syscall numbers for linux/amd64; the stdlib defines recvmmsg's
+// but not sendmmsg's, so both are pinned here.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

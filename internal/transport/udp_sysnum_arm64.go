@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// mmsg syscall numbers for linux/arm64 (the asm-generic table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// udpPair binds two loopback sockets with the given config, skipping the
+// test when the environment forbids UDP.
+func udpPair(t *testing.T, cfg UDPConfig) (PacketConn, PacketConn) {
+	t.Helper()
+	pa, err := ListenUDPConfig("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Skipf("no loopback UDP available: %v", err)
+	}
+	pb, err := ListenUDPConfig("127.0.0.1:0", cfg)
+	if err != nil {
+		pa.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pa.Close(); pb.Close() })
+	return pa, pb
+}
+
+func TestUDPBatchRoundTrip(t *testing.T) {
+	pa, pb := udpPair(t, UDPConfig{Batch: 16})
+	const total = 400
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < total; i++ {
+			got, _, err := pb.ReadFrom()
+			if err != nil {
+				done <- err
+				return
+			}
+			if len(got) != 3+i%32 {
+				done <- fmt.Errorf("datagram %d: got %d bytes, want %d", i, len(got), 3+i%32)
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < total; i++ {
+		if err := pa.WriteTo(pb.LocalAddr(), make([]byte, 3+i%32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch round trip stalled")
+	}
+	ioA, okA := IOStatsOf(pa)
+	ioB, okB := IOStatsOf(pb)
+	if !okA || !okB {
+		t.Fatal("udp conns do not expose IOStats")
+	}
+	if ioA.DatagramsOut != total || ioB.DatagramsIn != total {
+		t.Fatalf("datagram accounting: out=%d in=%d want %d", ioA.DatagramsOut, ioB.DatagramsIn, total)
+	}
+	// sendmmsg batching engaged iff fewer write syscalls than datagrams;
+	// when it did, the recvmmsg side must batch too. On linux/amd64 and
+	// linux/arm64 (where the syscall numbers are wired up) batching is
+	// required to engage.
+	if ioA.WriteCalls < ioA.DatagramsOut && ioB.ReadCalls >= ioB.DatagramsIn {
+		t.Fatalf("send batched (%d calls / %d dgrams) but reads did not (%d / %d)",
+			ioA.WriteCalls, ioA.DatagramsOut, ioB.ReadCalls, ioB.DatagramsIn)
+	}
+	if runtime.GOOS == "linux" && (runtime.GOARCH == "amd64" || runtime.GOARCH == "arm64") {
+		if ioA.WriteCalls >= ioA.DatagramsOut {
+			t.Fatalf("sendmmsg did not batch: %d calls for %d datagrams", ioA.WriteCalls, ioA.DatagramsOut)
+		}
+	}
+}
+
+func TestUDPResolveCacheBounded(t *testing.T) {
+	pa, _ := udpPair(t, UDPConfig{ResolveCache: 4})
+	c := pa.(*udpConn)
+	for port := 1; port <= 20; port++ {
+		if err := pa.WriteTo(netsim.Addr{Host: "127.0.0.1", Port: uint16(40000 + port)}, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	n, fifo := len(c.cache), len(c.cacheFIFO)
+	c.mu.Unlock()
+	if n > 4 || fifo > 4 {
+		t.Fatalf("resolve cache grew past its bound: map=%d fifo=%d cap=4", n, fifo)
+	}
+	// Eviction must not break resolution: a re-sent evicted peer works.
+	if err := pa.WriteTo(netsim.Addr{Host: "127.0.0.1", Port: 40001}, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPReadFromAllocBounded(t *testing.T) {
+	// Regression guard for the old per-read 60KB allocation: the single-
+	// datagram read path recycles its oversized receive buffer and hands
+	// the caller an exact-size copy, so bytes allocated per read stay
+	// near the datagram size, not MaxDatagram.
+	if testing.Short() {
+		t.Skip("allocation benchmark in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race detector shadow allocations break byte accounting")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		pa, err := ListenUDP("127.0.0.1:0")
+		if err != nil {
+			b.Skip("no loopback UDP")
+		}
+		pb, err := ListenUDP("127.0.0.1:0")
+		if err != nil {
+			pa.Close()
+			b.Skip("no loopback UDP")
+		}
+		defer pa.Close()
+		defer pb.Close()
+		payload := make([]byte, 100)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := pa.WriteTo(pb.LocalAddr(), payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := pb.ReadFrom(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if res.N == 0 {
+		t.Skip("benchmark did not run")
+	}
+	if per := res.AllocedBytesPerOp(); per > 4096 {
+		t.Fatalf("write+read allocates %d B/op; receive buffer is not being recycled", per)
+	}
+}
