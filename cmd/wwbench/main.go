@@ -2,7 +2,7 @@
 // the paper's three figures as runnable scenarios (F1-F3), the
 // traditional-vs-session comparison its introduction argues for (T1), and
 // a characterization experiment per mechanism the paper specifies
-// (E1-E12). Run all experiments or select one with -exp.
+// (E1-E13). Run all experiments or select one with -exp.
 //
 // Latencies labelled "vlat" are critical-path virtual latencies under the
 // configured WAN/LAN delay models (see internal/netsim); wall-clock
@@ -58,7 +58,7 @@ func newNet(defaultSeed int64, extra ...netsim.Option) *netsim.Network {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: f1,f2,f3,t1,e1,...,e12 or all")
+	exp := flag.String("exp", "all", "experiment to run: f1,f2,f3,t1,e1,...,e13 or all")
 	flag.Parse()
 
 	experiments := []experiment{
@@ -78,6 +78,7 @@ func main() {
 		{"e10", "Replicated directory service: lookup scaling, caching, replica failover", runE10},
 		{"e11", "Swarm-scale churn harness: join/leave/crash churn, detector cost, footprint", runE11},
 		{"e12", "Batched I/O: frame coalescing, ack piggybacking, mmsg syscall batching", runE12},
+		{"e13", "Gossip substrate: verdict-quorum false-positive A/B, directory anti-entropy convergence", runE13},
 	}
 
 	ran := false

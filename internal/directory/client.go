@@ -26,6 +26,9 @@ type ClientStats struct {
 	Misses uint64
 	// Failovers counts replica switches after a request timeout.
 	Failovers uint64
+	// Rotations counts returns to a shard's home replica after it came
+	// back (see WithRotateBack).
+	Rotations uint64
 	// Evictions counts cache entries dropped by invalidation events or
 	// failover flushes.
 	Evictions uint64
@@ -50,6 +53,7 @@ func (s ClientStats) Add(o ClientStats) ClientStats {
 		Hits:      s.Hits + o.Hits,
 		Misses:    s.Misses + o.Misses,
 		Failovers: s.Failovers + o.Failovers,
+		Rotations: s.Rotations + o.Rotations,
 		Evictions: s.Evictions + o.Evictions,
 	}
 }
@@ -78,15 +82,24 @@ type Client struct {
 	cluster *Cluster
 	caller  *svc.Caller
 
+	// writer is this client's identity for write stamping — the dapplet
+	// name qualified by the caller's reply inbox, so two clients on one
+	// dapplet never share a per-writer sequence. wseq numbers its writes.
+	writer string
+	wseq   atomic.Uint64
+
 	mu         sync.Mutex
 	timeout    time.Duration
+	rotateBack time.Duration
 	cache      map[string]cached
-	pref       []int    // per-shard index of the preferred replica
-	subbed     []bool   // per-shard: watch subscription acked by the preferred replica
-	subPending []bool   // per-shard: a watch ack is being awaited
-	subGen     []uint64 // per-shard: bumped by failover, so a stale ack cannot mark the new replica subscribed
+	pref       []int       // per-shard index of the preferred replica
+	subbed     []bool      // per-shard: watch subscription acked by the preferred replica
+	subPending []bool      // per-shard: a watch ack is being awaited
+	subGen     []uint64    // per-shard: bumped by failover, so a stale ack cannot mark the new replica subscribed
+	awaySince  []time.Time // per-shard: when the client left the home replica (zero while home)
+	rotating   []bool      // per-shard: a rotate-back probe is in flight
 
-	hits, misses, failovers, evictions atomic.Uint64
+	hits, misses, failovers, rotations, evictions atomic.Uint64
 }
 
 // ClientOption configures a Client at construction.
@@ -97,6 +110,19 @@ type ClientOption func(*Client)
 func WithClientTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.timeout = d }
 }
+
+// WithRotateBack sets how long a failed-over shard waits before probing
+// its home replica (index 0) again; once the home replica answers, the
+// client rotates back to it, which is how load returns to a replica that
+// recovered and converged through anti-entropy. The default is
+// DefaultRotateBack; zero or negative disables rotation.
+func WithRotateBack(d time.Duration) ClientOption {
+	return func(c *Client) { c.rotateBack = d }
+}
+
+// DefaultRotateBack is how long a failed-over client stays away from a
+// shard's home replica before probing it again.
+const DefaultRotateBack = 10 * time.Second
 
 // NewClient attaches a directory client to a dapplet and subscribes it to
 // invalidation events from the preferred replica of every shard. The
@@ -111,12 +137,16 @@ func NewClient(d *core.Dapplet, cluster *Cluster, opts ...ClientOption) *Client 
 		cluster:    cluster,
 		caller:     svc.NewCaller(d),
 		timeout:    DefaultTimeout,
+		rotateBack: DefaultRotateBack,
 		cache:      make(map[string]cached),
 		pref:       make([]int, cluster.NumShards()),
 		subbed:     make([]bool, cluster.NumShards()),
 		subPending: make([]bool, cluster.NumShards()),
 		subGen:     make([]uint64, cluster.NumShards()),
+		awaySince:  make([]time.Time, cluster.NumShards()),
+		rotating:   make([]bool, cluster.NumShards()),
 	}
+	c.writer = d.Name() + "/" + c.caller.ReplyRef().Inbox
 	for _, o := range opts {
 		o(c)
 	}
@@ -151,6 +181,7 @@ func (c *Client) Stats() ClientStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Failovers: c.failovers.Load(),
+		Rotations: c.rotations.Load(),
 		Evictions: c.evictions.Load(),
 	}
 }
@@ -236,8 +267,14 @@ func (c *Client) preferred(shard int) wire.InboxRef {
 // resubscribes to the new replica's watch channel.
 func (c *Client) failover(shard int) {
 	c.mu.Lock()
-	abandoned := c.cluster.shards[shard][c.pref[shard]%len(c.cluster.shards[shard])]
-	c.pref[shard] = (c.pref[shard] + 1) % len(c.cluster.shards[shard])
+	rs := c.cluster.shards[shard]
+	abandoned := rs[c.pref[shard]%len(rs)]
+	c.pref[shard] = (c.pref[shard] + 1) % len(rs)
+	if c.pref[shard]%len(rs) == 0 {
+		c.awaySince[shard] = time.Time{} // wrapped around: home again
+	} else if c.awaySince[shard].IsZero() {
+		c.awaySince[shard] = time.Now()
+	}
 	// Retire any in-flight subscription: its ack (if it ever arrives)
 	// belongs to the abandoned replica's generation.
 	c.subGen[shard]++
@@ -297,6 +334,77 @@ func (c *Client) subscribe(shard int) {
 	})
 }
 
+// maybeRotateBack probes a failed-over shard's home replica once the
+// rotate-back window has elapsed. The probe is a watch request: its ack
+// proves the home replica is answering again and doubles as the new
+// event subscription, so the flip back — preferred index to home,
+// generation bump, shard cache flush — needs no separate resubscribe.
+// At most one probe is in flight per shard, and a failover that lands
+// while the probe is pending wins: its generation bump voids the probe.
+func (c *Client) maybeRotateBack(shard int) {
+	c.mu.Lock()
+	rs := c.cluster.shards[shard]
+	if c.rotateBack <= 0 || len(rs) < 2 || c.pref[shard]%len(rs) == 0 || c.rotating[shard] ||
+		c.awaySince[shard].IsZero() || time.Since(c.awaySince[shard]) < c.rotateBack {
+		c.mu.Unlock()
+		return
+	}
+	c.rotating[shard] = true
+	gen := c.subGen[shard]
+	timeout := c.timeout
+	c.mu.Unlock()
+	pend, err := c.caller.Send(rs[0], "", &watchMsg{})
+	if err != nil {
+		c.mu.Lock()
+		c.rotating[shard] = false
+		c.awaySince[shard] = time.Now()
+		c.mu.Unlock()
+		return
+	}
+	c.d.Spawn(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err := pend.Await(ctx, nil)
+		cancel()
+		c.mu.Lock()
+		c.rotating[shard] = false
+		if c.subGen[shard] != gen {
+			c.mu.Unlock()
+			return // a failover raced the probe; its state governs now
+		}
+		if err != nil {
+			c.awaySince[shard] = time.Now() // home still silent; wait out another window
+			c.mu.Unlock()
+			return
+		}
+		abandoned := rs[c.pref[shard]%len(rs)]
+		c.pref[shard] = 0
+		c.subGen[shard]++
+		c.subbed[shard] = true
+		c.subPending[shard] = false
+		c.awaySince[shard] = time.Time{}
+		dropped := 0
+		for name := range c.cache {
+			if c.cluster.ShardOf(name) == shard {
+				delete(c.cache, name)
+				dropped++
+			}
+		}
+		c.mu.Unlock()
+		c.rotations.Add(1)
+		c.evictions.Add(uint64(dropped))
+		_ = c.caller.Cast(abandoned, "", &unwatchMsg{ReplyTo: c.caller.ReplyRef()})
+	})
+}
+
+// stampWrite issues this client's next write stamp: the Lamport tick
+// orders it after everything the client has witnessed, and the
+// per-writer sequence is what replica version vectors track. One stamp
+// covers a whole fan-out — every replica must order the write
+// identically.
+func (c *Client) stampWrite() (lam uint64, writer string, seq uint64) {
+	return c.d.Clock().Tick(), c.writer, c.wseq.Add(1)
+}
+
 // mutate fans one mutation (built per replica by mk) to every replica of
 // the owning shard and returns once the first replica acks — or every
 // replica fails, or ctx ends first. The straggling acks are collected on
@@ -341,8 +449,9 @@ func (c *Client) mutate(ctx context.Context, shard int, mk func(i int) wire.Msg,
 // when they return.
 func (c *Client) Register(ctx context.Context, e Entry) error {
 	shard := c.cluster.ShardOf(e.Name)
+	lam, writer, seq := c.stampWrite()
 	err := c.mutate(ctx, shard, func(int) wire.Msg {
-		return &registerMsg{Name: e.Name, Typ: e.Type, Addr: e.Addr}
+		return &registerMsg{Name: e.Name, Typ: e.Type, Addr: e.Addr, Lam: lam, Writer: writer, Seq: seq}
 	}, func(version uint64) {
 		// Prime the cache from the subscribed replica's ack, whenever it
 		// arrives, with the same staleness guard as lookupRemote: a
@@ -368,8 +477,9 @@ func (c *Client) Register(ctx context.Context, e Entry) error {
 func (c *Client) Remove(ctx context.Context, name string) error {
 	shard := c.cluster.ShardOf(name)
 	c.Invalidate(name)
+	lam, writer, seq := c.stampWrite()
 	err := c.mutate(ctx, shard, func(int) wire.Msg {
-		return &removeMsg{Name: name}
+		return &removeMsg{Name: name, Lam: lam, Writer: writer, Seq: seq}
 	}, nil)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -456,6 +566,7 @@ func (c *Client) lookupRemote(ctx context.Context, name string) (Entry, uint64, 
 		if needSub {
 			c.subscribe(shard)
 		}
+		c.maybeRotateBack(shard)
 		if !rep.Found {
 			return Entry{}, rep.Version, false, nil
 		}

@@ -13,11 +13,17 @@ import (
 // carry only directory payload. Watch events are pushed bare to the
 // subscribed caller's reply inbox, outside any request/reply pair.
 
-// registerMsg adds or replaces one entry on a replica.
+// registerMsg adds or replaces one entry on a replica. Lam/Writer/Seq are
+// the client's write stamp: the same stamp fans out to every replica of
+// the shard, so they all order this write identically for
+// last-writer-wins reconciliation (see wstamp).
 type registerMsg struct {
-	Name string      `json:"n"`
-	Typ  string      `json:"t"`
-	Addr netsim.Addr `json:"a"`
+	Name   string      `json:"n"`
+	Typ    string      `json:"t"`
+	Addr   netsim.Addr `json:"a"`
+	Lam    uint64      `json:"l"`
+	Writer string      `json:"w"`
+	Seq    uint64      `json:"s"`
 }
 
 // Kind implements wire.Msg.
@@ -28,7 +34,10 @@ func (m *registerMsg) AppendBinary(dst []byte) ([]byte, error) {
 	dst = wire.AppendString(dst, m.Name)
 	dst = wire.AppendString(dst, m.Typ)
 	dst = wire.AppendString(dst, m.Addr.Host)
-	return wire.AppendUvarint(dst, uint64(m.Addr.Port)), nil
+	dst = wire.AppendUvarint(dst, uint64(m.Addr.Port))
+	dst = wire.AppendUvarint(dst, m.Lam)
+	dst = wire.AppendString(dst, m.Writer)
+	return wire.AppendUvarint(dst, m.Seq), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
@@ -38,12 +47,19 @@ func (m *registerMsg) UnmarshalBinary(data []byte) error {
 	m.Typ = r.String()
 	m.Addr.Host = r.String()
 	m.Addr.Port = r.Port()
+	m.Lam = r.Uvarint()
+	m.Writer = r.String()
+	m.Seq = r.Uvarint()
 	return r.Done()
 }
 
-// removeMsg deletes one entry by name.
+// removeMsg deletes one entry by name, under the client's write stamp
+// (same role as in registerMsg).
 type removeMsg struct {
-	Name string `json:"n"`
+	Name   string `json:"n"`
+	Lam    uint64 `json:"l"`
+	Writer string `json:"w"`
+	Seq    uint64 `json:"s"`
 }
 
 // Kind implements wire.Msg.
@@ -51,13 +67,19 @@ func (*removeMsg) Kind() string { return "dir.rm" }
 
 // AppendBinary implements wire.BinaryMessage.
 func (m *removeMsg) AppendBinary(dst []byte) ([]byte, error) {
-	return wire.AppendString(dst, m.Name), nil
+	dst = wire.AppendString(dst, m.Name)
+	dst = wire.AppendUvarint(dst, m.Lam)
+	dst = wire.AppendString(dst, m.Writer)
+	return wire.AppendUvarint(dst, m.Seq), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
 func (m *removeMsg) UnmarshalBinary(data []byte) error {
 	r := wire.NewReader(data)
 	m.Name = r.String()
+	m.Lam = r.Uvarint()
+	m.Writer = r.String()
+	m.Seq = r.Uvarint()
 	return r.Done()
 }
 

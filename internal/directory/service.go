@@ -30,14 +30,45 @@ type Update struct {
 	Expired bool
 }
 
+// wstamp orders one mutation across replicas: lam is the writer's
+// Lamport time when it issued the write, writer its endpoint identity,
+// seq its per-writer mutation sequence number. The triple totally orders
+// all writes — lam first (causally later writes carry larger times, since
+// every message merges clocks), then writer and seq as tie-breaks — which
+// is what lets two replicas that applied the same writes in different
+// orders settle on the same record (last-writer-wins).
+type wstamp struct {
+	lam    uint64
+	writer string
+	seq    uint64
+}
+
+// isZero reports an absent stamp (a process-local mutation that the
+// replica stamps itself).
+func (st wstamp) isZero() bool { return st.writer == "" }
+
+// less reports whether st orders strictly before o.
+func (st wstamp) less(o wstamp) bool {
+	if st.lam != o.lam {
+		return st.lam < o.lam
+	}
+	if st.writer != o.writer {
+		return st.writer < o.writer
+	}
+	return st.seq < o.seq
+}
+
 // record is one name's slot in a replica, alive or tombstoned. Tombstones
 // retain the last entry (type, address) so a failure-driven expiry can be
-// undone by Reincarnate when the dapplet is heard from again.
+// undone by Reincarnate when the dapplet is heard from again. The stamp
+// of the write that produced the current state rides along for
+// anti-entropy reconciliation.
 type record struct {
 	entry   Entry
 	version uint64
 	dead    bool
 	expired bool // dead via ExpireOwner, not Remove
+	stamp   wstamp
 }
 
 // Service is one replica of the dapplet-hosted directory: a versioned
@@ -55,6 +86,17 @@ type Service struct {
 	entries  map[string]*record
 	watchers []wire.InboxRef
 	obs      []func(Update)
+	// vec is the replica's version vector: for each writer, the highest
+	// mutation sequence number applied here. The invariant anti-entropy
+	// maintains (see antientropy.go) is that vec[w] ≥ s implies no record
+	// whose latest write is (w, s' ≤ s) is missing from entries — so a
+	// peer's digest of its vector is enough to compute exactly the
+	// records it lacks.
+	vec map[string]uint64
+	// selfSeq numbers this replica's own writes (handler-less API calls,
+	// expiries, reincarnations), making the replica a writer like any
+	// client.
+	selfSeq uint64
 }
 
 // Serve hosts a directory replica on the dapplet, consuming its "@dir"
@@ -62,15 +104,17 @@ type Service struct {
 // and reply routing are svc's; the handlers below only apply directory
 // mutations and shape their payloads.
 func Serve(d *core.Dapplet) *Service {
-	s := &Service{d: d, entries: make(map[string]*record)}
+	s := &Service{d: d, entries: make(map[string]*record), vec: make(map[string]uint64)}
 	svc.Serve(d, ServiceInbox, svc.Handlers{
 		"dir.reg": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
 			m := req.(*registerMsg)
-			v := s.Register(Entry{Name: m.Name, Type: m.Typ, Addr: m.Addr})
+			v := s.register(Entry{Name: m.Name, Type: m.Typ, Addr: m.Addr},
+				wstamp{lam: m.Lam, writer: m.Writer, seq: m.Seq})
 			return &ackMsg{Version: v, OK: true}, nil
 		},
 		"dir.rm": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
-			v, ok := s.Remove(req.(*removeMsg).Name)
+			m := req.(*removeMsg)
+			v, ok := s.remove(m.Name, wstamp{lam: m.Lam, writer: m.Writer, seq: m.Seq})
 			return &ackMsg{Version: v, OK: ok}, nil
 		},
 		"dir.lookup": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
@@ -157,12 +201,55 @@ func (s *Service) OnUpdate(f func(Update)) {
 	s.mu.Unlock()
 }
 
+// selfStampLocked issues a fresh write stamp in this replica's own name:
+// the clock tick makes it causally later than everything the replica has
+// witnessed, so a local write always wins last-writer-wins against the
+// state it observed. Caller holds s.mu.
+func (s *Service) selfStampLocked() wstamp {
+	s.selfSeq++
+	st := wstamp{lam: s.d.Clock().Tick(), writer: s.d.Name(), seq: s.selfSeq}
+	s.vec[st.writer] = st.seq
+	return st
+}
+
+// witnessLocked folds an externally stamped write into the version
+// vector and the replica's clock. The vector only advances on the
+// contiguous next sequence for the writer: per-writer delivery is FIFO
+// but not loss-free (the transport gives up after MaxRetries during an
+// outage), and jumping the vector over a lost write would vouch for a
+// record this replica never saw — masking it from anti-entropy forever.
+// Held back, the digest under-reports and the next pull refetches the
+// gap along with everything above it, after which the peer's merged
+// vector re-covers the writer. Caller holds s.mu.
+func (s *Service) witnessLocked(st wstamp) {
+	if st.seq == s.vec[st.writer]+1 {
+		s.vec[st.writer] = st.seq
+	}
+	s.d.Clock().ObserveRecv(st.lam)
+}
+
 // Register adds or replaces an entry, returning the replica version after
 // the mutation. Registering over a tombstone revives the name.
-func (s *Service) Register(e Entry) uint64 {
+func (s *Service) Register(e Entry) uint64 { return s.register(e, wstamp{}) }
+
+// register applies one registration under the given write stamp (zero for
+// a process-local write, which is stamped here). A record carrying a
+// later stamp than the write is left untouched — the write already lost
+// last-writer-wins, on this replica and deterministically on every other.
+func (s *Service) register(e Entry, st wstamp) uint64 {
 	s.mu.Lock()
+	if st.isZero() {
+		st = s.selfStampLocked()
+	} else {
+		s.witnessLocked(st)
+	}
+	if rec, ok := s.entries[e.Name]; ok && !rec.stamp.less(st) {
+		v := s.version
+		s.mu.Unlock()
+		return v
+	}
 	s.version++
-	s.entries[e.Name] = &record{entry: e, version: s.version}
+	s.entries[e.Name] = &record{entry: e, version: s.version, stamp: st}
 	up := Update{Entry: e, Version: s.version}
 	s.mu.Unlock()
 	s.notify(up)
@@ -171,18 +258,53 @@ func (s *Service) Register(e Entry) uint64 {
 
 // Remove deletes an entry by name, returning the replica version and
 // whether the name was live. Removing an unknown or dead name is a no-op.
-func (s *Service) Remove(name string) (uint64, bool) {
+func (s *Service) Remove(name string) (uint64, bool) { return s.remove(name, wstamp{}) }
+
+// remove applies one removal under the given write stamp (zero for a
+// process-local remove). A stamped remove of an unknown name still lays
+// down a tombstone: the register it raced may reach this replica — or
+// another — afterwards, and only a stamped tombstone orders the two the
+// same way everywhere.
+func (s *Service) remove(name string, st wstamp) (uint64, bool) {
 	s.mu.Lock()
+	external := !st.isZero()
+	if external {
+		s.witnessLocked(st)
+	}
 	rec, ok := s.entries[name]
-	if !ok || rec.dead {
+	if ok && external && !rec.stamp.less(st) {
 		v := s.version
 		s.mu.Unlock()
 		return v, false
+	}
+	if !ok {
+		v := s.version
+		if external {
+			s.entries[name] = &record{entry: Entry{Name: name}, version: v, dead: true, stamp: st}
+		}
+		s.mu.Unlock()
+		return v, false
+	}
+	if rec.dead {
+		if external {
+			// Already dead, but the newer stamp must govern the tombstone
+			// or a concurrent register with an in-between stamp would
+			// revive the name here and not elsewhere.
+			rec.stamp = st
+			rec.expired = false
+		}
+		v := s.version
+		s.mu.Unlock()
+		return v, false
+	}
+	if !external {
+		st = s.selfStampLocked()
 	}
 	s.version++
 	rec.dead = true
 	rec.expired = false
 	rec.version = s.version
+	rec.stamp = st
 	up := Update{Entry: rec.entry, Version: s.version, Removed: true}
 	s.mu.Unlock()
 	s.notify(up)
@@ -215,6 +337,7 @@ func (s *Service) ExpireOwner(name string) bool {
 	rec.dead = true
 	rec.expired = true
 	rec.version = s.version
+	rec.stamp = s.selfStampLocked()
 	up := Update{Entry: rec.entry, Version: s.version, Removed: true, Expired: true}
 	s.mu.Unlock()
 	s.notify(up)
@@ -240,6 +363,7 @@ func (s *Service) Reincarnate(name string, addr netsim.Addr) bool {
 	rec.dead = false
 	rec.expired = false
 	rec.version = s.version
+	rec.stamp = s.selfStampLocked()
 	up := Update{Entry: rec.entry, Version: s.version}
 	s.mu.Unlock()
 	s.notify(up)

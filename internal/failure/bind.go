@@ -1,6 +1,12 @@
 package failure
 
-import "repro/internal/session"
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/session"
+)
 
 // BindSession forwards detector verdicts into a dapplet's session
 // service: a Down verdict marks the peer dead in every membership whose
@@ -15,5 +21,68 @@ func BindSession(det *Detector, svc *session.Service) {
 		case Up:
 			svc.MarkPeerUp(ev.Peer)
 		}
+	})
+}
+
+// AutoRepair closes the crash-recovery loop without manual intervention:
+// when the detector commits a Down verdict for one of the session's
+// participants, a repair thread retries Handle.Reincarnate — resolving
+// the restarted incarnation's address through the initiator's directory —
+// until the session is actually relinked off the dead address. With a
+// quorum-configured detector the trigger is a quorum-confirmed verdict,
+// so a partitioned watcher cannot start a split-brain repair. At most one
+// repair thread runs per participant; it winds down with the initiator's
+// dapplet, and a success is only a Reincarnate that moved the participant
+// off the crashed address (a stale directory entry that still resolves to
+// it reports success without repairing, so the loop keeps going).
+func AutoRepair(det *Detector, h *session.Handle) {
+	var mu sync.Mutex
+	repairing := make(map[string]bool)
+	det.OnEvent(func(ev Event) {
+		if ev.State != Down {
+			return
+		}
+		name, downAddr := ev.Peer, ev.Addr
+		inRoster := false
+		for _, p := range h.Participants() {
+			if p.Name == name {
+				inRoster = true
+				break
+			}
+		}
+		if !inRoster {
+			return
+		}
+		mu.Lock()
+		if repairing[name] {
+			mu.Unlock()
+			return
+		}
+		repairing[name] = true
+		mu.Unlock()
+		det.d.Spawn(func() {
+			defer func() {
+				mu.Lock()
+				delete(repairing, name)
+				mu.Unlock()
+			}()
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval)
+				err := h.Reincarnate(ctx, name)
+				cancel()
+				if err == nil {
+					for _, p := range h.Participants() {
+						if p.Name == name && p.Addr != downAddr {
+							return // relinked to the restarted incarnation
+						}
+					}
+				}
+				select {
+				case <-det.d.Stopped():
+					return
+				case <-time.After(2 * det.cfg.Interval):
+				}
+			}
+		})
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/netsim"
 	"repro/internal/svc"
 	"repro/internal/wire"
@@ -81,6 +82,22 @@ type Config struct {
 	// ticking at Interval/4 (the old per-detector cadence) and stops it
 	// with the dapplet.
 	Host *Host
+	// Quorum is the number of distinct confirmers — this watcher, relays
+	// whose indirect probes failed, gossip origins suspecting the same
+	// incarnation — required before a Suspect verdict escalates to Down
+	// (default 1: this watcher's clock alone, the pre-quorum behavior).
+	// With a quorum above one, a watcher partitioned away from a live
+	// peer stays at Suspect forever instead of committing a false Down
+	// (see quorum.go).
+	Quorum int
+	// IndirectProbes is how many live peers are asked to probe a freshly
+	// suspected peer on this watcher's behalf (default 2; only used when
+	// Quorum > 1).
+	IndirectProbes int
+	// Gossip, when set, spreads suspicions, Down verdicts and alive
+	// refutations as rumors on the engine's "fail" topic, and counts
+	// other origins' suspicions toward this watcher's quorum.
+	Gossip *gossip.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +106,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Multiplier <= 0 {
 		c.Multiplier = 3
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = 1
+	}
+	if c.IndirectProbes <= 0 {
+		c.IndirectProbes = 2
 	}
 	return c
 }
@@ -208,6 +231,14 @@ type peerState struct {
 	// lastHeard, so a beacon never has to reschedule it) and, once the
 	// peer is Down, paces the slow probe cadence.
 	timer wheelTimer
+	// confirms collects the distinct confirmers of the current suspicion
+	// (this watcher, failed indirect-probe relays, gossip origins);
+	// non-nil only while Suspect under a quorum above one.
+	confirms map[string]bool
+	// suspInc is the incarnation the current suspicion was raised
+	// against; confirmations and refutations about older incarnations
+	// are discarded.
+	suspInc uint64
 }
 
 // detectionTimeout is the Up->Suspect (and Suspect->Down) window for this
@@ -313,7 +344,12 @@ func Attach(d *core.Dapplet, cfg Config) *Detector {
 			det.applyBeacon(p.From, p.Inc, c.From())
 			return &probeRepMsg{Name: d.Name(), Inc: det.cfg.Incarnation}, nil
 		},
+		"fail.iprobe":     det.handleIProbe,
+		"fail.iprobe-rep": det.handleIProbeRep,
 	})
+	if det.cfg.Gossip != nil {
+		det.cfg.Gossip.OnRumor(GossipTopic, det.onVerdictRumor)
+	}
 	d.OnRecv(det.onAppRecv)
 	d.OnSend(det.onAppSend)
 	det.hb.fire = det.fireHeartbeats
@@ -519,6 +555,7 @@ func (det *Detector) applyBeacon(from string, inc uint64, addr netsim.Addr) {
 	}
 	recovered := p.state != Up
 	p.state = Up
+	p.confirms = nil
 	if recovered && det.host != nil && !det.stopping {
 		// The peer's timer was pacing a Suspect escalation or the slow
 		// Down-probe cadence; re-arm it for a fresh detection window.
@@ -667,15 +704,29 @@ func (det *Detector) firePeer(p *peerState, now time.Time) time.Duration {
 	}
 	timeout := p.detectionTimeout(det.cfg)
 	elapsed := now.Sub(p.lastHeard)
+	quorum := det.quorum()
 	var (
 		next time.Duration
 		ev   Event
 		emit bool
+		// Quorum side effects resolved under the locks, performed after
+		// det.mu releases (they send).
+		askRelays bool
+		rumor     uint8
+		haveRumor bool
 	)
 	switch p.state {
 	case Up:
 		if elapsed > timeout {
 			p.state = Suspect
+			p.suspInc = p.lastInc
+			if quorum > 1 {
+				// This watcher is the suspicion's first confirmer; the
+				// rest must come from relays or gossip before Down.
+				p.confirms = map[string]bool{det.d.Name(): true}
+				askRelays = true
+				rumor, haveRumor = rumorSuspect, true
+			}
 			ev = Event{Peer: p.name, Addr: p.addr, State: Suspect, Incarnation: p.lastInc}
 			emit = true
 			next = 2*timeout - elapsed
@@ -683,13 +734,24 @@ func (det *Detector) firePeer(p *peerState, now time.Time) time.Duration {
 			next = timeout - elapsed
 		}
 	case Suspect:
-		if elapsed > 2*timeout {
+		switch {
+		case elapsed <= 2*timeout:
+			next = 2*timeout - elapsed
+		case quorum > 1 && len(p.confirms) < quorum:
+			// Window expired but the quorum has not: hold at Suspect (a
+			// partitioned watcher holds here forever), nudge the relays
+			// again in case their outcomes were lost, and recheck.
+			askRelays = true
+			next = timeout
+		default:
 			p.state = Down
+			p.confirms = nil
 			ev = Event{Peer: p.name, Addr: p.addr, State: Down, Incarnation: p.lastInc}
 			emit = true
+			if quorum > 1 {
+				rumor, haveRumor = rumorDown, true
+			}
 			next = det.cfg.Interval // first probe follows promptly
-		} else {
-			next = 2*timeout - elapsed
 		}
 	case Down:
 		if !p.probing {
@@ -705,9 +767,16 @@ func (det *Detector) firePeer(p *peerState, now time.Time) time.Duration {
 	if next < 0 {
 		next = 0 // overdue: the host clamps to its next tick
 	}
+	name, addr, suspInc := p.name, p.addr, p.suspInc
 	det.mu.Unlock()
 	if emit {
 		det.emit(ev)
+	}
+	if askRelays {
+		det.launchIndirect(name, addr, suspInc)
+	}
+	if haveRumor {
+		det.spreadVerdict(name, addr, suspInc, rumor)
 	}
 	det.emitMu.Unlock()
 	return next

@@ -1,0 +1,305 @@
+package failure_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/failure"
+	"repro/internal/gossip"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// quorumMesh builds a full watch mesh over the given dapplets with the
+// shared quorum config, optionally attaching gossip engines fed by each
+// detector's live-peer view. It returns the detectors in dapplet order.
+func quorumMesh(t *testing.T, daps []*core.Dapplet, cfg failure.Config, withGossip bool) []*failure.Detector {
+	t.Helper()
+	dets := make([]*failure.Detector, len(daps))
+	for i, d := range daps {
+		c := cfg
+		var g *gossip.Engine
+		if withGossip {
+			g = gossip.Attach(d, gossip.Config{Interval: 20 * time.Millisecond})
+			c.Gossip = g
+		}
+		dets[i] = failure.Attach(d, c)
+		if g != nil {
+			g.SetPeerSource(dets[i].GossipPeers)
+		}
+	}
+	for i, d := range daps {
+		for j, p := range daps {
+			if i != j {
+				dets[i].Watch(p.Name(), p.Addr())
+			}
+		}
+		_ = d
+	}
+	return dets
+}
+
+func waitAllUp(t *testing.T, dets []*failure.Detector, daps []*core.Dapplet) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for i := range dets {
+			for j := range daps {
+				if i == j {
+					continue
+				}
+				if st, have := dets[i].Status(daps[j].Name()); !have || st != failure.Up {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("mesh never fully Up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPartitionedWatcherHoldsSuspect is the split-brain regression: a
+// single watcher cut off from its target — while relays still reach both
+// sides — must never commit a Down verdict, because its indirect probes
+// come back "reachable" and refute the suspicion. After the partition
+// heals, direct heartbeats settle the peer back to Up.
+func TestPartitionedWatcherHoldsSuspect(t *testing.T) {
+	for _, withGossip := range []bool{false, true} {
+		name := "probes-only"
+		if withGossip {
+			name = "with-gossip"
+		}
+		t.Run(name, func(t *testing.T) {
+			net := netsim.New(netsim.WithSeed(21))
+			defer net.Close()
+			w := newDapplet(t, net, "hw", "w")
+			tgt := newDapplet(t, net, "ht", "tgt")
+			r1 := newDapplet(t, net, "h1", "r1")
+			r2 := newDapplet(t, net, "h2", "r2")
+			daps := []*core.Dapplet{w, tgt, r1, r2}
+			// The no-false-positive guarantee is conditional on relays
+			// answering "reachable" within the watcher's detection window.
+			// A 50ms interval gives the refutation chain (iprobe relay ->
+			// probe RTT -> iprobe-rep) a 100ms window, so scheduling
+			// stalls on a loaded single-core runner don't let a relay's
+			// own transient suspicion rumor fill the quorum first.
+			cfg := failure.Config{Interval: 50 * time.Millisecond, Multiplier: 2, Quorum: 2, IndirectProbes: 2}
+			dets := quorumMesh(t, daps, cfg, withGossip)
+			dw := dets[0]
+
+			downs := 0
+			done := make(chan struct{})
+			dw.OnEvent(func(ev failure.Event) {
+				if ev.Peer == "tgt" && ev.State == failure.Down {
+					select {
+					case <-done:
+					default:
+						downs++
+					}
+				}
+			})
+			waitAllUp(t, dets, daps)
+
+			// Cut only the watcher <-> target link, both directions; the
+			// relays keep full connectivity.
+			net.SetLoss("hw", "ht", 1)
+			time.Sleep(1500 * time.Millisecond)
+			if downs != 0 {
+				t.Fatalf("partitioned watcher committed %d Down verdicts", downs)
+			}
+
+			// Heal: the direct heartbeats resume and the suspicion clears
+			// for good.
+			net.SetLoss("hw", "ht", 0)
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if st, ok := dw.Status("tgt"); ok && st == failure.Up {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("suspicion never cleared after heal")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			close(done)
+			if downs != 0 {
+				t.Fatalf("Down verdicts after heal: %d", downs)
+			}
+		})
+	}
+}
+
+// TestQuorumConfirmsRealCrash proves the quorum rule still detects true
+// positives: when the target actually dies, the relays' indirect probes
+// fail too, the quorum fills, and every watcher reaches Down.
+func TestQuorumConfirmsRealCrash(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(22))
+	defer net.Close()
+	w := newDapplet(t, net, "hw", "w")
+	tgt := newDapplet(t, net, "ht", "tgt")
+	r1 := newDapplet(t, net, "h1", "r1")
+	r2 := newDapplet(t, net, "h2", "r2")
+	daps := []*core.Dapplet{w, tgt, r1, r2}
+	cfg := failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2, Quorum: 2, IndirectProbes: 2}
+	dets := quorumMesh(t, daps, cfg, false)
+
+	events := make(chan failure.Event, 64)
+	dets[0].OnEvent(func(ev failure.Event) {
+		if ev.Peer == "tgt" {
+			select {
+			case events <- ev:
+			default:
+			}
+		}
+	})
+	waitAllUp(t, dets, daps)
+
+	net.Crash("ht")
+	awaitState(t, events, failure.Down, 10*time.Second)
+	if st, _ := dets[0].Status("tgt"); st != failure.Down {
+		t.Fatalf("watcher status = %v, want Down", st)
+	}
+}
+
+// TestPartitionedReplicaNoSpuriousExpiry wires the quorum detector to a
+// live directory replica: cutting the replica off from one registered
+// member must not expire that member's entry nor reincarnate it at a
+// stale address, because the replica's suspicion is refuted by relays
+// that still reach the member.
+func TestPartitionedReplicaNoSpuriousExpiry(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(23))
+	defer net.Close()
+	dr := newDapplet(t, net, "hd", "dir-0-0")
+	// 50ms as in TestPartitionedWatcherHoldsSuspect: the no-spurious-
+	// expiry guarantee needs the relays' refutations to land inside the
+	// replica's detection window even when the runner stalls.
+	cfg := failure.Config{Interval: 50 * time.Millisecond, Multiplier: 2, Quorum: 2, IndirectProbes: 2}
+	det := failure.Attach(dr, cfg)
+	dir := directory.Serve(dr)
+	failure.BindDirectory(det, dir)
+
+	m := newDapplet(t, net, "hm", "m")
+	r1 := newDapplet(t, net, "h1", "r1")
+	r2 := newDapplet(t, net, "h2", "r2")
+	// Every member heartbeats the replica; the replica watches them via
+	// the directory binding once they register.
+	for _, d := range []*core.Dapplet{m, r1, r2} {
+		md := failure.Attach(d, failure.Config{Interval: 50 * time.Millisecond, Multiplier: 2})
+		md.Watch(dr.Name(), dr.Addr())
+	}
+
+	cl, err := directory.NewCluster([][]wire.InboxRef{{dir.Ref()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliD := newDapplet(t, net, "hc", "cli")
+	cli := directory.NewClient(cliD, cl)
+	ctx := context.Background()
+	for _, d := range []*core.Dapplet{m, r1, r2} {
+		if err := cli.Register(ctx, directory.Entry{Name: d.Name(), Type: "t", Addr: d.Addr()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mAddr := m.Addr()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, ok := det.Status("m"); ok && st == failure.Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never saw m Up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Cut replica <-> member only. The relays and the client keep full
+	// connectivity, so the replica's indirect probes reach m and refute.
+	net.SetLoss("hd", "hm", 1)
+	time.Sleep(1500 * time.Millisecond)
+
+	e, _, found := dir.Lookup("m")
+	if !found {
+		t.Fatal("partitioned replica expired a live member's entry")
+	}
+	if e.Addr != mAddr {
+		t.Fatalf("entry reincarnated to %v during partition (was %v)", e.Addr, mAddr)
+	}
+
+	net.SetLoss("hd", "hm", 0)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if st, ok := det.Status("m"); ok && st == failure.Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica's suspicion of m never cleared after heal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQuorumCrashExpiresEntry is the true-positive half of the directory
+// binding: a real crash of a registered member fills the quorum and the
+// replica expires the entry.
+func TestQuorumCrashExpiresEntry(t *testing.T) {
+	net := netsim.New(netsim.WithSeed(24))
+	defer net.Close()
+	dr := newDapplet(t, net, "hd", "dir-0-0")
+	cfg := failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2, Quorum: 2, IndirectProbes: 2}
+	det := failure.Attach(dr, cfg)
+	dir := directory.Serve(dr)
+	failure.BindDirectory(det, dir)
+
+	m := newDapplet(t, net, "hm", "m")
+	r1 := newDapplet(t, net, "h1", "r1")
+	r2 := newDapplet(t, net, "h2", "r2")
+	for _, d := range []*core.Dapplet{m, r1, r2} {
+		md := failure.Attach(d, failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2})
+		md.Watch(dr.Name(), dr.Addr())
+	}
+	cl, err := directory.NewCluster([][]wire.InboxRef{{dir.Ref()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliD := newDapplet(t, net, "hc", "cli")
+	cli := directory.NewClient(cliD, cl)
+	ctx := context.Background()
+	for _, d := range []*core.Dapplet{m, r1, r2} {
+		if err := cli.Register(ctx, directory.Entry{Name: d.Name(), Type: "t", Addr: d.Addr()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, ok := det.Status("m"); ok && st == failure.Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never saw m Up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	net.Crash("hm")
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if _, _, found := dir.Lookup("m"); !found {
+			return // expired
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("crashed member's entry never expired under quorum")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

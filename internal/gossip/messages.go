@@ -1,0 +1,126 @@
+package gossip
+
+import (
+	"repro/internal/wire"
+)
+
+// The gossip wire protocol: three kinds carried on the "@gossip" service
+// inbox. Anti-entropy travels as a correlated pull/delta pair (the
+// requester offers its digest, the responder answers with what the
+// requester is missing); rumors travel bare and one-way, forwarded
+// epidemic-style with a decrementing hop budget. All three nest their
+// consumer payload as an encoded body — the same BodyID/BodyBin/Body
+// triple the svc request frame uses — so the substrate never needs to
+// know what a digest, delta or rumor means to its topic.
+
+// pullMsg asks a peer for the entries this node is missing: Body is the
+// requesting node's digest (a topic-defined summary of its state, e.g.
+// the directory's per-writer version vector).
+type pullMsg struct {
+	Topic   string `json:"t"`
+	BodyID  uint16 `json:"k"`
+	BodyBin bool   `json:"bb,omitempty"`
+	Body    []byte `json:"b,omitempty"`
+}
+
+// Kind implements wire.Msg.
+func (*pullMsg) Kind() string { return "gsp.pull" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *pullMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.Topic)
+	dst = wire.AppendUvarint(dst, uint64(m.BodyID))
+	dst = wire.AppendBool(dst, m.BodyBin)
+	return wire.AppendBytes(dst, m.Body), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *pullMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Topic = r.String()
+	m.BodyID = uint16(r.Uvarint())
+	m.BodyBin = r.Bool()
+	m.Body = r.Bytes()
+	return r.Done()
+}
+
+// deltaMsg answers a pull: Body is the topic-defined delta bringing the
+// requester up to date. Empty reports that the requester's digest already
+// covers everything the responder holds (no body travels).
+type deltaMsg struct {
+	Topic   string `json:"t"`
+	Empty   bool   `json:"e,omitempty"`
+	BodyID  uint16 `json:"k,omitempty"`
+	BodyBin bool   `json:"bb,omitempty"`
+	Body    []byte `json:"b,omitempty"`
+}
+
+// Kind implements wire.Msg.
+func (*deltaMsg) Kind() string { return "gsp.delta" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *deltaMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.Topic)
+	dst = wire.AppendBool(dst, m.Empty)
+	dst = wire.AppendUvarint(dst, uint64(m.BodyID))
+	dst = wire.AppendBool(dst, m.BodyBin)
+	return wire.AppendBytes(dst, m.Body), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *deltaMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Topic = r.String()
+	m.Empty = r.Bool()
+	m.BodyID = uint16(r.Uvarint())
+	m.BodyBin = r.Bool()
+	m.Body = r.Bytes()
+	return r.Done()
+}
+
+// rumorMsg is one epidemic payload in flight: originated by Origin under
+// its per-origin sequence number (the pair is the rumor's identity for
+// duplicate suppression) and forwarded peer-to-peer until TTL hops are
+// spent.
+type rumorMsg struct {
+	Topic   string `json:"t"`
+	Origin  string `json:"o"`
+	Seq     uint64 `json:"s"`
+	TTL     uint8  `json:"l"`
+	BodyID  uint16 `json:"k"`
+	BodyBin bool   `json:"bb,omitempty"`
+	Body    []byte `json:"b,omitempty"`
+}
+
+// Kind implements wire.Msg.
+func (*rumorMsg) Kind() string { return "gsp.rumor" }
+
+// AppendBinary implements wire.BinaryMessage.
+func (m *rumorMsg) AppendBinary(dst []byte) ([]byte, error) {
+	dst = wire.AppendString(dst, m.Topic)
+	dst = wire.AppendString(dst, m.Origin)
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendUvarint(dst, uint64(m.TTL))
+	dst = wire.AppendUvarint(dst, uint64(m.BodyID))
+	dst = wire.AppendBool(dst, m.BodyBin)
+	return wire.AppendBytes(dst, m.Body), nil
+}
+
+// UnmarshalBinary implements wire.BinaryMessage.
+func (m *rumorMsg) UnmarshalBinary(data []byte) error {
+	r := wire.NewReader(data)
+	m.Topic = r.String()
+	m.Origin = r.String()
+	m.Seq = r.Uvarint()
+	m.TTL = uint8(r.Uvarint())
+	m.BodyID = uint16(r.Uvarint())
+	m.BodyBin = r.Bool()
+	m.Body = r.Bytes()
+	return r.Done()
+}
+
+func init() {
+	wire.Register(&pullMsg{})
+	wire.Register(&deltaMsg{})
+	wire.Register(&rumorMsg{})
+}

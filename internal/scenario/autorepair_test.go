@@ -1,0 +1,146 @@
+package scenario_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/directory"
+	"repro/internal/failure"
+	"repro/internal/scenario"
+	"repro/internal/session"
+)
+
+// TestAutoRepairRelinksCrashedSecretary closes the carry-over gap from
+// the manual recovery scenario: with failure.AutoRepair subscribed to
+// the coordinator's detector, a crashed secretary's restart is relinked
+// into the session by the detector's Down verdict alone — the test
+// restarts the dapplet, restores its membership and re-registers the
+// new incarnation in the directory, but never calls Reincarnate itself.
+// The repair loop must keep retrying through the window where the
+// directory still resolves the dead address, flip the roster to the new
+// incarnation, and leave the session schedulable.
+func TestAutoRepairRelinksCrashedSecretary(t *testing.T) {
+	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+		Sites: 3, MembersPerSite: 2, Hierarchical: true,
+		Slots: 64, BusyProb: 0.9, CommonSlot: 40, Seed: 9, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	detCfg := failure.Config{Interval: 10 * time.Millisecond, Multiplier: 2}
+	coordDet := failure.Attach(w.Coordinator, detCfg)
+	failure.BindSession(coordDet, w.Sessions[w.Coordinator.Name()])
+	for _, site := range w.Sites {
+		d, ok := w.RT.Dapplet(site.Secretary)
+		if !ok {
+			t.Fatalf("secretary %q not launched", site.Secretary)
+		}
+		coordDet.Watch(site.Secretary, d.Addr())
+		secDet := failure.Attach(d, detCfg)
+		secDet.Watch(w.Coordinator.Name(), w.Coordinator.Addr())
+	}
+
+	// The subsystem under test: wired before anything goes wrong, like a
+	// production deployment would.
+	failure.AutoRepair(coordDet, w.Handle)
+
+	victim := w.Sites[0].Secretary
+	victimD, ok := w.RT.Dapplet(victim)
+	if !ok {
+		t.Fatalf("victim %q not launched", victim)
+	}
+	downAddr := victimD.Addr()
+	downs := make(chan failure.Event, 8)
+	coordDet.OnEvent(func(ev failure.Event) {
+		if ev.Peer == victim && ev.State == failure.Down {
+			select {
+			case downs <- ev:
+			default:
+			}
+		}
+	})
+
+	if err := w.RT.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-downs:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never committed a Down verdict for the crashed secretary")
+	}
+
+	// Restart and restore the secretary — everything an external
+	// supervisor would do — but leave the session relink entirely to
+	// AutoRepair. The re-register lands after a deliberate pause so the
+	// repair loop demonstrably survives rounds where the directory still
+	// serves the dead address.
+	time.Sleep(50 * time.Millisecond)
+	ctx := context.Background()
+	d2, err := w.RT.Restart(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := session.Attach(d2, session.Policy{})
+	w.Sessions[victim] = svc
+	if _, err := svc.RestoreSessions(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Dir.Register(ctx, directory.Entry{Name: d2.Name(), Type: d2.Type(), Addr: d2.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	secDet := failure.Attach(d2, failure.Config{
+		Interval:    detCfg.Interval,
+		Multiplier:  detCfg.Multiplier,
+		Incarnation: uint64(w.RT.Incarnation(victim)),
+	})
+	secDet.Watch(w.Coordinator.Name(), w.Coordinator.Addr())
+	coordDet.Watch(victim, d2.Addr())
+
+	// AutoRepair must move the roster entry off the crashed address on
+	// its own.
+	newAddr := d2.Addr()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		relinked := false
+		for _, p := range w.Handle.Participants() {
+			if p.Name == victim && p.Addr != downAddr {
+				if p.Addr != newAddr {
+					t.Fatalf("roster moved %s to %v, want the new incarnation at %v", victim, p.Addr, newAddr)
+				}
+				relinked = true
+			}
+		}
+		if relinked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("AutoRepair never relinked %s off %v", victim, downAddr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The repaired session must be schedulable end to end; tolerate
+	// rounds racing the Up verdict right after the relink.
+	w.Scheduler.SetTimeout(500 * time.Millisecond) //depcheck:allow calendar scheduler gather knob, not a deprecated session/directory timeout
+	schedDeadline := time.Now().Add(15 * time.Second)
+	for {
+		res, err := w.Scheduler.Schedule(0, 64, 64)
+		if err == nil {
+			if res.Slot != 40 {
+				t.Fatalf("scheduled slot %d, want the forced common slot 40", res.Slot)
+			}
+			return
+		}
+		if !errors.Is(err, calendar.ErrSchedTimeout) {
+			t.Fatal(err)
+		}
+		if time.Now().After(schedDeadline) {
+			t.Fatal("session never schedulable after auto-repair")
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/failure"
+	"repro/internal/gossip"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -213,9 +214,10 @@ func (s *Swarm) opLeave(rng *rand.Rand) (bool, error) {
 	}
 	st := m.det.Stats()
 	rs := m.d.Transport().Stats()
+	gs := gossipStats(m)
 
 	s.mu.Lock()
-	s.retire(st, rs)
+	s.retire(st, rs, gs)
 	delete(s.members, m.name)
 	s.leaves++
 	s.ops++
@@ -252,9 +254,10 @@ func (s *Swarm) opCrash(rng *rand.Rand) (bool, error) {
 	}
 	st := m.det.Stats()
 	rs := m.d.Transport().Stats()
+	gs := gossipStats(m)
 
 	s.mu.Lock()
-	s.retire(st, rs)
+	s.retire(st, rs, gs)
 	// Stamped after the crash completed: a verdict cannot land before
 	// the process is actually dead, so the latency sample starts here.
 	s.crashedAt[m.name] = time.Now()
@@ -400,14 +403,89 @@ func (s *Swarm) opSession(idx int, rng *rand.Rand) {
 	}
 }
 
-// retire folds a stopped member's detector and transport counters into
-// the running totals so phase deltas stay monotonic across churn.
-// Caller holds s.mu.
-func (s *Swarm) retire(st failure.Stats, rs transport.Stats) {
+// retire folds a stopped member's detector, transport and gossip
+// counters into the running totals so phase deltas stay monotonic
+// across churn. Caller holds s.mu.
+func (s *Swarm) retire(st failure.Stats, rs transport.Stats, gs gossip.Stats) {
 	s.retired.HeartbeatsSent += st.HeartbeatsSent
 	s.retired.ImplicitRefreshes += st.ImplicitRefreshes
 	s.retired.ProbesSent += st.ProbesSent
 	s.retiredRel = addRelStats(s.retiredRel, rs)
+	s.retiredGsp = s.retiredGsp.Add(gs)
+}
+
+// gossipStats snapshots a member's gossip counters (zero when the swarm
+// runs without gossip).
+func gossipStats(m *member) gossip.Stats {
+	if m.gsp == nil {
+		return gossip.Stats{}
+	}
+	return m.gsp.Stats()
+}
+
+// partitionDriver injects host partitions at the configured rate until
+// stopped: each op isolates one live member's host from every other
+// host, holds the cut for PartitionDur, then heals it.
+func (s *Swarm) partitionDriver(rng *rand.Rand, stop <-chan struct{}) {
+	gap := time.Duration(float64(time.Second) / s.cfg.PartitionRate)
+	if gap < time.Millisecond {
+		gap = time.Millisecond
+	}
+	tick := time.NewTicker(gap)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			s.opPartition(rng, stop)
+		}
+	}
+}
+
+// opPartition cuts one random live member's host off, waits out
+// PartitionDur (or the stop signal), and heals. The cut is applied
+// through applyPartitionsLocked so overlapping injections compose.
+func (s *Swarm) opPartition(rng *rand.Rand, stop <-chan struct{}) {
+	s.mu.Lock()
+	if len(s.live) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	host := s.live[rng.Intn(len(s.live))].host
+	if s.parted[host] {
+		s.mu.Unlock()
+		return
+	}
+	s.parted[host] = true
+	s.partitions++
+	s.applyPartitionsLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-stop:
+	case <-time.After(s.cfg.PartitionDur):
+	}
+
+	s.mu.Lock()
+	delete(s.parted, host)
+	s.applyPartitionsLocked()
+	s.mu.Unlock()
+}
+
+// applyPartitionsLocked pushes the current isolated-host set to the
+// network: every isolated host becomes its own partition group and the
+// unnamed rest form the implicit majority group. Caller holds s.mu.
+func (s *Swarm) applyPartitionsLocked() {
+	if len(s.parted) == 0 {
+		s.net.Heal()
+		return
+	}
+	groups := make([][]string, 0, len(s.parted))
+	for h := range s.parted {
+		groups = append(groups, []string{h})
+	}
+	s.net.Partition(groups...)
 }
 
 // addRelStats sums the transport counters the report tracks.

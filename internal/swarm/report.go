@@ -89,9 +89,24 @@ type PhaseStats struct {
 	DirEvictions uint64  `json:"dir_evictions"`
 
 	// Downs and Ups count verdict transitions observed across every
-	// detector in the swarm during the phase.
-	Downs uint64 `json:"downs"`
-	Ups   uint64 `json:"ups"`
+	// detector in the swarm during the phase. FalseDowns is the subset
+	// of Down verdicts for members the harness never crashed —
+	// partition- or load-induced false positives. Partitions counts
+	// injected host isolations.
+	Downs      uint64 `json:"downs"`
+	Ups        uint64 `json:"ups"`
+	FalseDowns uint64 `json:"false_downs"`
+	Partitions uint64 `json:"partitions"`
+
+	// GossipRounds/GossipPulls/GossipDeltas count anti-entropy activity
+	// (rounds run, digest pulls issued, deltas applied) and RumorsSent/
+	// RumorsRecv the verdict rumor traffic, summed over every engine in
+	// the swarm. All zero when the run has gossip disabled.
+	GossipRounds uint64 `json:"gossip_rounds"`
+	GossipPulls  uint64 `json:"gossip_pulls"`
+	GossipDeltas uint64 `json:"gossip_deltas"`
+	RumorsSent   uint64 `json:"rumors_sent"`
+	RumorsRecv   uint64 `json:"rumors_recv"`
 
 	// Ops counts churn operations performed; Joins/Leaves/Crashes/
 	// Revives break them down.
@@ -148,6 +163,15 @@ type Report struct {
 	Left           uint64 `json:"left"`
 	Crashed        uint64 `json:"crashed"`
 	Revived        uint64 `json:"revived"`
+
+	// FalseDowns and Partitions are the lifetime totals of the per-phase
+	// columns of the same name. DirConvergeRounds is the number of
+	// post-churn gossip rounds until every shard's replicas agreed on
+	// one resolvable view (-1: never within the probe's bound; 0 also
+	// when gossip or replication is off).
+	FalseDowns        uint64 `json:"false_downs"`
+	Partitions        uint64 `json:"partitions"`
+	DirConvergeRounds int    `json:"dir_converge_rounds"`
 
 	// WatchedPeers is the number of (watcher, peer) edges across every
 	// live detector at the end of churn; WheelTimers the timers still

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/failure"
+	"repro/internal/gossip"
 	"repro/internal/netsim"
 	"repro/internal/svc"
 	"repro/internal/transport"
@@ -93,6 +94,23 @@ type Config struct {
 	// tracks frames-per-datagram and the standalone-ack ratio; this
 	// switch is the A/B foil.
 	NoCoalesce bool
+	// Quorum is every detector's Down quorum (default 1, the
+	// single-watcher rule); above one, Suspect escalates to Down only
+	// with confirmations from indirect probes and gossip rumors
+	// (failure.Config.Quorum), so a partitioned watcher alone cannot
+	// produce a false Down.
+	Quorum int
+	// GossipInterval, when positive, attaches a gossip engine to every
+	// member and directory replica: members spread verdict rumors over
+	// their detector's live-peer view, and each shard's replicas
+	// reconcile the directory by anti-entropy at this round period.
+	GossipInterval time.Duration
+	// PartitionRate is the partition-injection rate (ops/sec) in timed
+	// churn: each op isolates one random live member's host from the
+	// rest of the network for PartitionDur (default 1s), then heals it.
+	// Zero disables injection. Lockstep mode ignores it.
+	PartitionRate float64
+	PartitionDur  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +162,9 @@ func (c Config) withDefaults() Config {
 	if c.TickCostPeers == 0 {
 		c.TickCostPeers = 10_000
 	}
+	if c.PartitionDur <= 0 {
+		c.PartitionDur = time.Second
+	}
 	return c
 }
 
@@ -180,6 +201,7 @@ type member struct {
 	host  string
 	d     *core.Dapplet
 	det   *failure.Detector
+	gsp   *gossip.Engine
 	edges map[string]bool
 	live  bool
 	// liveIdx is the member's slot in Swarm.live while live, for O(1)
@@ -193,6 +215,7 @@ type dirReplica struct {
 	name string
 	d    *core.Dapplet
 	det  *failure.Detector
+	gsp  *gossip.Engine
 	svc  *directory.Service
 }
 
@@ -230,8 +253,11 @@ type Swarm struct {
 	revivedAt   map[string]time.Time
 	retired     failure.Stats
 	retiredRel  transport.Stats
+	retiredGsp  gossip.Stats
+	parted      map[string]bool
 
 	downs, ups                      uint64
+	falseDowns, partitions          uint64
 	joins, leaves, crashes, revives uint64
 	ops, opErrs, sessions, sessErrs uint64
 	sessLat, downLat, upLat         []time.Duration
@@ -254,11 +280,19 @@ func Run(cfg Config) (*Report, error) {
 	case cfg.NetShards > 0:
 		netOpts = append(netOpts, netsim.WithShards(cfg.NetShards))
 	}
+	// Directory replicas absorb heartbeat fan-in from every registered
+	// member, so their receive queues see O(N) sustained arrivals; the
+	// default cap holds only ~150ms of burst at 500-member scale and
+	// overflow there drops anti-entropy pulls along with the heartbeats.
+	if qc := 8 * cfg.N; qc > netsim.DefaultQueueCap {
+		netOpts = append(netOpts, netsim.WithQueueCap(qc))
+	}
 	s := &Swarm{
 		cfg:       cfg,
 		net:       netsim.New(netOpts...),
 		members:   make(map[string]*member, cfg.N+cfg.N/4),
 		dirByName: make(map[string]*dirReplica),
+		parted:    make(map[string]bool),
 		crashedAt: make(map[string]time.Time),
 		revivedAt: make(map[string]time.Time),
 		memberRel: transport.Config{
@@ -313,8 +347,10 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	churnEnd := s.cumulative()
+	conv := s.measureConvergence()
 
 	rep := s.buildReport(base, joinEnd, churnEnd, ms.HeapAlloc, goro)
+	rep.DirConvergeRounds = conv
 	s.teardown()
 	if cfg.TickCostPeers > 0 {
 		rep.TickCost = failure.MeasureTickCost(cfg.TickCostPeers)
@@ -365,15 +401,35 @@ func (s *Swarm) detConfig(name string) failure.Config {
 		Multiplier:  s.cfg.Multiplier,
 		Incarnation: uint64(s.rt.Incarnation(name)),
 		Host:        s.wheelFor(name),
+		Quorum:      s.cfg.Quorum,
 	}
+}
+
+// attachGossip attaches a gossip engine when the swarm runs with one,
+// threading it into the detector config so suspicions ride the rumor
+// mill. Engines are created inside the behaviors — a restarted dapplet
+// gets a fresh engine, like a fresh detector.
+func (s *Swarm) attachGossip(d *core.Dapplet, cfg *failure.Config) *gossip.Engine {
+	if s.cfg.GossipInterval <= 0 {
+		return nil
+	}
+	g := gossip.Attach(d, gossip.Config{Interval: s.cfg.GossipInterval, Seed: s.cfg.Seed})
+	cfg.Gossip = g
+	return g
 }
 
 // startMember is the swarm-member behavior: a detector on a shared
 // wheel and the echo service. The harness wires watch edges and
 // registers the member after launch.
 func (s *Swarm) startMember(d *core.Dapplet) error {
-	det := failure.Attach(d, s.detConfig(d.Name()))
+	cfg := s.detConfig(d.Name())
+	g := s.attachGossip(d, &cfg)
+	det := failure.Attach(d, cfg)
 	det.OnEvent(s.observeVerdict)
+	if g != nil {
+		// Verdict rumors spread over the detector's own live-peer view.
+		g.SetPeerSource(det.GossipPeers)
+	}
 	svc.Serve(d, SessionInbox, svc.Handlers{
 		"swarm.echo": func(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
 			return req, nil
@@ -385,20 +441,28 @@ func (s *Swarm) startMember(d *core.Dapplet) error {
 		m = &member{name: d.Name(), edges: make(map[string]bool)}
 		s.members[d.Name()] = m
 	}
-	m.d, m.det = d, det
+	m.d, m.det, m.gsp = d, det, g
 	s.mu.Unlock()
 	return nil
 }
 
 // startDir is the swarm-dir behavior: a directory replica whose entries
-// are watched by (and expired through) its own detector.
+// are watched by (and expired through) its own detector. With gossip
+// enabled the replica also runs directory anti-entropy; its peer set is
+// pinned to its shard siblings by launchDirectory, so digests never
+// land on members (which serve no "dir" exchange).
 func (s *Swarm) startDir(d *core.Dapplet) error {
-	det := failure.Attach(d, s.detConfig(d.Name()))
+	cfg := s.detConfig(d.Name())
+	g := s.attachGossip(d, &cfg)
+	det := failure.Attach(d, cfg)
 	det.OnEvent(s.observeVerdict)
 	dir := directory.Serve(d)
 	failure.BindDirectory(det, dir)
+	if g != nil {
+		directory.BindGossip(g, dir)
+	}
 	s.mu.Lock()
-	s.dirByName[d.Name()] = &dirReplica{name: d.Name(), d: d, det: det, svc: dir}
+	s.dirByName[d.Name()] = &dirReplica{name: d.Name(), d: d, det: det, gsp: g, svc: dir}
 	s.mu.Unlock()
 	return nil
 }
@@ -426,8 +490,14 @@ func (s *Swarm) observeVerdict(ev failure.Event) {
 	case failure.Down:
 		s.mu.Lock()
 		s.downs++
-		if at, ok := s.crashedAt[ev.Peer]; ok && len(s.downLat) < maxSamples {
-			s.downLat = append(s.downLat, time.Since(at))
+		if at, ok := s.crashedAt[ev.Peer]; ok {
+			if len(s.downLat) < maxSamples {
+				s.downLat = append(s.downLat, time.Since(at))
+			}
+		} else if m := s.members[ev.Peer]; m != nil && m.live {
+			// Down verdict for a member the harness never crashed: a
+			// false positive (partition- or load-induced).
+			s.falseDowns++
 		}
 		s.mu.Unlock()
 	case failure.Up:
@@ -460,6 +530,21 @@ func (s *Swarm) launchDirectory() error {
 			s.mu.Unlock()
 			s.dirs[sh] = append(s.dirs[sh], rep)
 			refs[sh] = append(refs[sh], rep.svc.Ref())
+		}
+	}
+	// Anti-entropy runs within a shard: each replica's gossip peers are
+	// its shard siblings (the engine never pulls from itself).
+	for sh := range s.dirs {
+		var grefs []wire.InboxRef
+		for _, rep := range s.dirs[sh] {
+			if rep.gsp != nil {
+				grefs = append(grefs, gossip.Ref(rep.d.Addr()))
+			}
+		}
+		for _, rep := range s.dirs[sh] {
+			if rep.gsp != nil {
+				rep.gsp.SetPeers(grefs)
+			}
 		}
 	}
 	var err error
@@ -561,6 +646,13 @@ func (s *Swarm) timedChurn() error {
 			defer wg.Done()
 			s.sessionDriver(i, rand.New(rand.NewSource(s.cfg.Seed+0x1000+int64(i))), stop)
 		}(i)
+	}
+	if s.cfg.PartitionRate > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.partitionDriver(rand.New(rand.NewSource(s.cfg.Seed^0x9a57)), stop)
+		}()
 	}
 
 	timer := time.NewTimer(s.cfg.Duration)
@@ -689,7 +781,10 @@ type counters struct {
 	frames, datagrams   uint64
 	acksSA, acksPB      uint64
 	dir                 directory.ClientStats
+	gsp                 gossip.Stats
 	downs, ups          uint64
+	falseDowns          uint64
+	partitions          uint64
 	sessions, sessErrs  uint64
 	ops, opErrs         uint64
 	joins, leaves       uint64
@@ -708,6 +803,7 @@ func (s *Swarm) cumulative() counters {
 	s.mu.Lock()
 	st := s.retired
 	rel := s.retiredRel
+	gs := s.retiredGsp
 	for _, m := range s.live {
 		if m.det != nil {
 			ds := m.det.Stats()
@@ -718,6 +814,9 @@ func (s *Swarm) cumulative() counters {
 		if m.d != nil {
 			rel = addRelStats(rel, m.d.Transport().Stats())
 		}
+		if m.gsp != nil {
+			gs = gs.Add(m.gsp.Stats())
+		}
 	}
 	for _, shard := range s.dirs {
 		for _, r := range shard {
@@ -726,8 +825,12 @@ func (s *Swarm) cumulative() counters {
 			st.ImplicitRefreshes += ds.ImplicitRefreshes
 			st.ProbesSent += ds.ProbesSent
 			rel = addRelStats(rel, r.d.Transport().Stats())
+			if r.gsp != nil {
+				gs = gs.Add(r.gsp.Stats())
+			}
 		}
 	}
+	c.gsp = gs
 	c.hb, c.implicit, c.probe = st.HeartbeatsSent, st.ImplicitRefreshes, st.ProbesSent
 	for _, ini := range s.inits {
 		c.dir = c.dir.Add(ini.client.Stats())
@@ -737,6 +840,7 @@ func (s *Swarm) cumulative() counters {
 	c.datagrams = rel.DatagramsOut
 	c.acksSA, c.acksPB = rel.AcksSent, rel.AcksPiggybacked
 	c.downs, c.ups = s.downs, s.ups
+	c.falseDowns, c.partitions = s.falseDowns, s.partitions
 	c.sessions, c.sessErrs = s.sessions, s.sessErrs
 	c.ops, c.opErrs = s.ops, s.opErrs
 	c.joins, c.leaves, c.crashes, c.revives = s.joins, s.leaves, s.crashes, s.revives
@@ -798,6 +902,13 @@ func (s *Swarm) phaseStats(name string, a, b counters, watched int) PhaseStats {
 		DirEvictions: b.dir.Evictions - a.dir.Evictions,
 		Downs:        b.downs - a.downs,
 		Ups:          b.ups - a.ups,
+		FalseDowns:   b.falseDowns - a.falseDowns,
+		Partitions:   b.partitions - a.partitions,
+		GossipRounds: b.gsp.Rounds - a.gsp.Rounds,
+		GossipPulls:  b.gsp.Pulls - a.gsp.Pulls,
+		GossipDeltas: b.gsp.DeltasApplied - a.gsp.DeltasApplied,
+		RumorsSent:   b.gsp.RumorsSent - a.gsp.RumorsSent,
+		RumorsRecv:   b.gsp.RumorsReceived - a.gsp.RumorsReceived,
 		Ops:          b.ops - a.ops,
 		Joins:        b.joins - a.joins,
 		Leaves:       b.leaves - a.leaves,
@@ -855,6 +966,7 @@ func (s *Swarm) buildReport(base, joinEnd, churnEnd counters, heap uint64, goro 
 	rep.CrashedMembers = len(s.crashedList)
 	rep.Joined, rep.Left = s.joins, s.leaves
 	rep.Crashed, rep.Revived = s.crashes, s.revives
+	rep.FalseDowns, rep.Partitions = s.falseDowns, s.partitions
 	rep.EventLog = s.eventLog
 	s.mu.Unlock()
 
@@ -866,6 +978,42 @@ func (s *Swarm) buildReport(base, joinEnd, churnEnd counters, heap uint64, goro 
 		rep.GoroutinesPerDapplet = float64(goro) / float64(pop)
 	}
 	return rep
+}
+
+// measureConvergence is the post-churn anti-entropy probe: it polls
+// once per gossip round until every shard's replicas agree on their
+// resolvable view, and returns the number of rounds waited (0 when they
+// already agree, -1 when they never converged within the bound). Runs
+// only when gossip is on and shards are actually replicated.
+func (s *Swarm) measureConvergence() int {
+	if s.cfg.GossipInterval <= 0 || s.cfg.DirReplicas < 2 {
+		return 0
+	}
+	const maxRounds = 64
+	for r := 0; r <= maxRounds; r++ {
+		if s.dirsConverged() {
+			return r
+		}
+		time.Sleep(s.cfg.GossipInterval)
+	}
+	return -1
+}
+
+// dirsConverged reports whether every shard's replicas currently share
+// one resolvable-entry fingerprint.
+func (s *Swarm) dirsConverged() bool {
+	for _, shard := range s.dirs {
+		if len(shard) < 2 {
+			continue
+		}
+		fp := shard[0].svc.Fingerprint()
+		for _, r := range shard[1:] {
+			if r.svc.Fingerprint() != fp {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // logf appends one lockstep event-log line.

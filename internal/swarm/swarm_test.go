@@ -31,41 +31,62 @@ func lockstepConfig(seed int64) Config {
 // a single-shard network and requires bit-identical event logs: the log
 // records only awaited outcomes (which member joined, who reached Down,
 // who lifted to Up), so any divergence means churn handling leaked
-// scheduling nondeterminism into observable state.
+// scheduling nondeterminism into observable state. The gossip variant
+// repeats the check with rumor spread, verdict quorums and directory
+// anti-entropy all active — the new background traffic must not leak
+// into awaited outcomes either.
 func TestLockstepDeterminism(t *testing.T) {
-	run := func() []string {
-		rep, err := Run(lockstepConfig(42))
-		if err != nil {
-			t.Fatalf("lockstep run: %v", err)
-		}
-		if len(rep.EventLog) < 32+40 {
-			t.Fatalf("event log has %d lines, want at least %d", len(rep.EventLog), 32+40)
-		}
-		return rep.EventLog
+	variants := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"base", func(*Config) {}},
+		{"gossip", func(c *Config) {
+			c.GossipInterval = 50 * time.Millisecond
+			c.Quorum = 2
+			c.DirReplicas = 2
+		}},
 	}
-	a := run()
-	b := run()
-	if len(a) != len(b) {
-		t.Fatalf("event logs differ in length: %d vs %d", len(a), len(b))
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("event logs diverge at line %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
-		}
-	}
-	// The log must actually contain awaited verdicts, or determinism is
-	// vacuous.
-	var crashes, revives int
-	for _, line := range a {
-		if strings.HasPrefix(line, "crash ") {
-			crashes++
-		}
-		if strings.HasPrefix(line, "revive ") {
-			revives++
-		}
-	}
-	if crashes == 0 || revives == 0 {
-		t.Fatalf("log exercised %d crashes and %d revives, want both nonzero", crashes, revives)
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			run := func() []string {
+				cfg := lockstepConfig(42)
+				v.mod(&cfg)
+				rep, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("lockstep run: %v", err)
+				}
+				if len(rep.EventLog) < 32+40 {
+					t.Fatalf("event log has %d lines, want at least %d", len(rep.EventLog), 32+40)
+				}
+				return rep.EventLog
+			}
+			a := run()
+			b := run()
+			if len(a) != len(b) {
+				t.Fatalf("event logs differ in length: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("event logs diverge at line %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+				}
+			}
+			// The log must actually contain awaited verdicts, or
+			// determinism is vacuous.
+			var crashes, revives int
+			for _, line := range a {
+				if strings.HasPrefix(line, "crash ") {
+					crashes++
+				}
+				if strings.HasPrefix(line, "revive ") {
+					revives++
+				}
+			}
+			if crashes == 0 || revives == 0 {
+				t.Fatalf("log exercised %d crashes and %d revives, want both nonzero", crashes, revives)
+			}
+		})
 	}
 }
 
@@ -118,6 +139,82 @@ func TestSwarmChurnUnderRace(t *testing.T) {
 	// started — dapplet pumps, svc dispatchers, probe threads, wheel
 	// loops, netsim shards — must be gone. Poll briefly: runtime
 	// bookkeeping for exiting goroutines is asynchronous.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= baseline+10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after teardown: %d now vs %d baseline\n%s",
+				now, baseline, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSwarmPartitionChurnUnderRace is the gossip-era race fence: a
+// ~500-member swarm with verdict quorums, rumor spread, replicated
+// directory anti-entropy AND partition injection layered over the same
+// churn and session load as TestSwarmChurnUnderRace. Run under -race in
+// CI it sweeps the gossip engine, the quorum state machine and the
+// partition driver for data races; the goroutine fence then proves
+// every gossip loop and indirect-probe thread stopped with its dapplet.
+func TestSwarmPartitionChurnUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("swarm partition churn test is several seconds long")
+	}
+	baseline := runtime.NumGoroutine()
+
+	rep, err := Run(Config{
+		N:           500,
+		Seed:        13,
+		DirShards:   2,
+		DirReplicas: 2,
+		Initiators:  4,
+		// Four replicated directory detectors each watch the whole
+		// membership, so heartbeat volume scales with N; a 150ms probe
+		// interval keeps the run feasible on small CI machines where
+		// overload-dropped heartbeats would flap verdicts (and thus
+		// expiry writes) faster than anti-entropy can settle them.
+		Interval:       150 * time.Millisecond,
+		Multiplier:     2,
+		Quorum:         2,
+		GossipInterval: 100 * time.Millisecond,
+		PartitionRate:  2,
+		PartitionDur:   400 * time.Millisecond,
+		ChurnRate:      60,
+		SessionRate:    100,
+		Duration:       4 * time.Second,
+		TickCostPeers:  -1,
+	})
+	if err != nil {
+		t.Fatalf("swarm run: %v", err)
+	}
+
+	churn := rep.Phase("churn")
+	if churn.Ops == 0 {
+		t.Fatal("churn phase performed no ops")
+	}
+	if churn.Partitions == 0 {
+		t.Fatal("no partitions were injected")
+	}
+	if churn.GossipRounds == 0 || churn.GossipPulls == 0 {
+		t.Fatalf("anti-entropy never ran: rounds=%d pulls=%d", churn.GossipRounds, churn.GossipPulls)
+	}
+	if rep.LiveMembers < 250 {
+		t.Fatalf("population melted to %d live members", rep.LiveMembers)
+	}
+	if rep.DirConvergeRounds < 0 {
+		t.Fatal("directory replicas never converged after churn")
+	}
+	t.Logf("churn: %d ops, %d partitions, %d downs (%d false), gossip %d rounds %d pulls %d deltas, rumors %d/%d, converged in %d rounds",
+		churn.Ops, churn.Partitions, churn.Downs, churn.FalseDowns,
+		churn.GossipRounds, churn.GossipPulls, churn.GossipDeltas,
+		churn.RumorsSent, churn.RumorsRecv, rep.DirConvergeRounds)
+
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		now := runtime.NumGoroutine()

@@ -81,6 +81,48 @@ func BenchmarkE11Swarm(b *testing.B) {
 	}
 }
 
+// BenchmarkE13GossipSmoke is the CI-sized gossip-substrate run (E13): a
+// few hundred members with verdict quorums, rumor spread, replicated
+// directory anti-entropy and partition injection all active. The
+// headline metrics are the false-Down count under partitions and the
+// post-churn replica convergence lag in gossip rounds.
+func BenchmarkE13GossipSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := swarm.Run(swarm.Config{
+			N:              200,
+			Seed:           int64(13 + i),
+			DirShards:      2,
+			DirReplicas:    2,
+			Initiators:     2,
+			Interval:       150 * time.Millisecond,
+			Multiplier:     2,
+			Quorum:         2,
+			GossipInterval: 100 * time.Millisecond,
+			PartitionRate:  2,
+			PartitionDur:   400 * time.Millisecond,
+			ChurnRate:      25,
+			SessionRate:    50,
+			Duration:       2 * time.Second,
+			TickCostPeers:  -1,
+		})
+		if err != nil {
+			b.Fatalf("gossip smoke run melted: %v", err)
+		}
+		if i == b.N-1 {
+			churn := rep.Phase("churn")
+			b.ReportMetric(float64(churn.Downs), "downs")
+			b.ReportMetric(float64(churn.FalseDowns), "false-downs")
+			b.ReportMetric(float64(churn.Partitions), "partitions")
+			b.ReportMetric(float64(churn.GossipRounds), "rounds")
+			b.ReportMetric(float64(churn.GossipDeltas), "deltas")
+			b.ReportMetric(float64(rep.DirConvergeRounds), "conv-rounds")
+			if rep.DownLatency.Count > 0 {
+				b.ReportMetric(rep.DownLatency.P50Ms, "down-p50-ms")
+			}
+		}
+	}
+}
+
 // BenchmarkE11SwarmSmoke is the CI-sized E11 run: a few hundred members
 // and a short churn window, just enough to prove the harness end to end
 // on a small machine.

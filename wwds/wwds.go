@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/failure"
+	"repro/internal/gossip"
 	"repro/internal/lclock"
 	"repro/internal/netsim"
 	"repro/internal/rpc"
@@ -378,6 +379,49 @@ var AttachFailureDetector = failure.Attach
 // BindSessionFailures forwards detector verdicts into a dapplet's
 // session service, so Membership.LivePeers reflects peer liveness.
 var BindSessionFailures = failure.BindSession
+
+// AutoRepairSessions subscribes a session handle to a detector: a Down
+// verdict for a session participant starts a repair thread that retries
+// Reincarnate until the roster points at the peer's new incarnation.
+var AutoRepairSessions = failure.AutoRepair
+
+// Gossip substrate (see internal/gossip): periodic anti-entropy pulls
+// and rumor mongering over one svc-served protocol. The replicated
+// directory's convergence and the failure detector's verdict quorums
+// both ride it.
+type (
+	// GossipEngine runs a dapplet's gossip rounds and rumor forwarding.
+	GossipEngine = gossip.Engine
+	// GossipConfig tunes an engine (interval, fanout, TTL, dedup window).
+	GossipConfig = gossip.Config
+	// GossipExchanger is one topic's anti-entropy contract: digest out,
+	// delta back, delta applied.
+	GossipExchanger = gossip.Exchanger
+	// GossipRumorHandler receives each new rumor on a topic exactly once.
+	GossipRumorHandler = gossip.RumorHandler
+	// GossipStats counts rounds, pulls, deltas and rumor traffic.
+	GossipStats = gossip.Stats
+)
+
+// AttachGossip equips a dapplet with a gossip engine.
+var AttachGossip = gossip.Attach
+
+// GossipRef addresses a peer engine's rumor inbox.
+var GossipRef = gossip.Ref
+
+// DirectoryGossipTopic is the anti-entropy topic directory replicas
+// exchange their version-vector digests on.
+const DirectoryGossipTopic = directory.GossipTopic
+
+// BindDirectoryGossip registers a directory replica's anti-entropy
+// exchanger on an engine, so replicas of the same shard reconcile
+// missed writes (including tombstones) within bounded gossip rounds.
+var BindDirectoryGossip = directory.BindGossip
+
+// WithDirectoryRotateBack makes a directory client retry its preferred
+// replica after the given backoff instead of pinning to a failover
+// target forever.
+var WithDirectoryRotateBack = directory.WithRotateBack
 
 // RPC over inboxes: global pointers, async and sync calls.
 type (
