@@ -1,0 +1,39 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// benchE14 runs one E14 broadcast cell and surfaces its headline numbers
+// as benchmark metrics.
+func benchE14(b *testing.B, tree bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.RunBroadcast(scenario.BroadcastOptions{
+			Participants: 128,
+			Messages:     16,
+			Tree:         tree,
+			Seed:         int64(14 + i),
+		})
+		if err != nil {
+			b.Fatalf("broadcast run melted: %v", err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.SenderNsPerMsg, "send-ns/msg")
+			b.ReportMetric(float64(res.RootBytesOut), "root-B")
+			b.ReportMetric(float64(res.P99.Microseconds())/1000, "p99-ms")
+			b.ReportMetric(float64(res.MaxQueueDepth), "maxq")
+		}
+	}
+}
+
+// BenchmarkE14BroadcastSmoke is the CI-sized large-group broadcast A/B
+// (E14): 128 participants, flat per-destination fan-out vs relay-tree
+// multicast, asserting full in-order delivery in both modes. wwbench
+// -exp e14 prints the full table at 100/1k/10k.
+func BenchmarkE14BroadcastSmoke(b *testing.B) {
+	b.Run("flat", func(b *testing.B) { benchE14(b, false) })
+	b.Run("tree", func(b *testing.B) { benchE14(b, true) })
+}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,6 +32,10 @@ var (
 		"delivery shard count for every experiment's network (0 = GOMAXPROCS); 1 makes single-driver runs bit-reproducible per seed")
 	flagSeed = flag.Int64("seed", 0,
 		"seed override for every experiment's network and workload (0 = per-experiment default)")
+	flagCPUProfile = flag.String("cpuprofile", "",
+		"write a CPU profile of the selected experiments to this file (go tool pprof)")
+	flagMemProfile = flag.String("memprofile", "",
+		"write a heap profile taken after the selected experiments to this file (go tool pprof)")
 )
 
 // seedOr resolves an experiment's default seed against the -seed flag.
@@ -79,6 +85,36 @@ func main() {
 		{"e11", "Swarm-scale churn harness: join/leave/crash churn, detector cost, footprint", runE11},
 		{"e12", "Batched I/O: frame coalescing, ack piggybacking, mmsg syscall batching", runE12},
 		{"e13", "Gossip substrate: verdict-quorum false-positive A/B, directory anti-entropy convergence", runE13},
+		{"e14", "Relay-tree multicast: flat vs tree broadcast fan-out at 100/1k/10k participants", runE14},
+	}
+
+	if *flagCPUProfile != "" {
+		f, err := os.Create(*flagCPUProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *flagMemProfile != "" {
+		defer func() {
+			f, err := os.Create(*flagMemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(2)
+			}
+		}()
 	}
 
 	ran := false

@@ -308,6 +308,46 @@ func (d *Dapplet) sendEncoded(env *wire.Envelope, body wire.Body) error {
 	return err
 }
 
+// SendEncoded sends an already-encoded body to an inbox reference outside
+// any outbox binding, stamping the clock per send. The relay layer uses
+// it to encode a forwarded frame once and transmit the same bytes to all
+// of its tree neighbors; checkpoint replay paths use it likewise.
+func (d *Dapplet) SendEncoded(to wire.InboxRef, session string, msg wire.Msg, body wire.Body) error {
+	env := &wire.Envelope{
+		To:          to,
+		FromDapplet: d.Addr(),
+		FromOutbox:  "",
+		Session:     session,
+		Lamport:     d.clock.StampSend(),
+		Body:        msg,
+	}
+	return d.sendEncoded(env, body)
+}
+
+// DeliverLocal queues an envelope into this dapplet's inboxes exactly as
+// if it had arrived off the wire: the clock observes the stamp, receive
+// observers (snapshots) see it, and it lands in env.To.Inbox or the
+// dead-letter count. The relay layer delivers tree-multicast payloads
+// through it, and checkpoint channel replay re-queues in-flight messages
+// with it, so both stay inside the §4.2 clock discipline.
+func (d *Dapplet) DeliverLocal(env *wire.Envelope) {
+	d.clock.ObserveRecv(env.Lamport)
+	d.obsMu.RLock()
+	obs := d.recvObs
+	d.obsMu.RUnlock()
+	for _, f := range obs {
+		f(env)
+	}
+	d.mu.Lock()
+	in, ok := d.inboxes[env.To.Inbox]
+	d.mu.Unlock()
+	if !ok {
+		d.deadLetters.Add(1)
+		return
+	}
+	in.push(env)
+}
+
 // SendDirect sends msg to an inbox reference outside any outbox binding.
 // Services use it for point-to-point control traffic (invitations, acks);
 // application traffic should flow through outboxes.
@@ -337,21 +377,7 @@ func (d *Dapplet) pump() {
 			d.deadLetters.Add(1)
 			continue
 		}
-		d.clock.ObserveRecv(env.Lamport)
-		d.obsMu.RLock()
-		obs := d.recvObs
-		d.obsMu.RUnlock()
-		for _, f := range obs {
-			f(env)
-		}
-		d.mu.Lock()
-		in, ok := d.inboxes[env.To.Inbox]
-		d.mu.Unlock()
-		if !ok {
-			d.deadLetters.Add(1)
-			continue
-		}
-		in.push(env)
+		d.DeliverLocal(env)
 	}
 }
 

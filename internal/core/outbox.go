@@ -24,6 +24,17 @@ type Outbox struct {
 	dests   []wire.InboxRef
 	session string // session tag applied to outgoing envelopes
 	sent    uint64
+	mcast   Multicaster // when set, Send delegates instead of flat fan-out
+}
+
+// Multicaster dispatches one stamped message to a session's membership by
+// some strategy other than the outbox's flat per-destination loop — the
+// relay tree (internal/relay) implements it. Multicast receives the
+// sending outbox's name, the session tag, and the already-taken Lamport
+// stamp; it must encode the body at most once and is responsible for
+// reaching every participant.
+type Multicaster interface {
+	Multicast(outbox, session string, lamport uint64, msg wire.Msg) error
 }
 
 func newOutbox(d *Dapplet, name string) *Outbox {
@@ -89,6 +100,17 @@ func (o *Outbox) Sent() uint64 {
 	return o.sent
 }
 
+// SetMulticast installs (or, with nil, removes) a multicast strategy.
+// While set, Send hands each message to the strategy instead of fanning
+// out to the binding list; SendTo and the binding list itself are
+// unaffected, so point-to-point replies still work on a tree-bound
+// outbox.
+func (o *Outbox) SetMulticast(m Multicaster) {
+	o.mu.Lock()
+	o.mcast = m
+	o.mu.Unlock()
+}
+
 // Send transmits a copy of msg along every channel connected to the
 // outbox. The message is stamped with the dapplet's logical clock (§4.2).
 // Send blocks only on flow control (a peer's full send window), never on
@@ -96,6 +118,15 @@ func (o *Outbox) Sent() uint64 {
 // reported asynchronously on the dapplet's Failures channel.
 func (o *Outbox) Send(msg wire.Msg) error {
 	o.mu.Lock()
+	if m := o.mcast; m != nil {
+		session := o.session
+		o.sent++
+		// Stamp under the lock so concurrent sends through this outbox
+		// reach the multicaster with stamps in a definite order.
+		lamport := o.d.clock.StampSend()
+		o.mu.Unlock()
+		return m.Multicast(o.name, session, lamport, msg)
+	}
 	dests := append([]wire.InboxRef(nil), o.dests...)
 	session := o.session
 	o.sent++
@@ -133,6 +164,9 @@ func (o *Outbox) Send(msg wire.Msg) error {
 // the binding list; it is a convenience for point-to-point replies over a
 // multicast outbox.
 func (o *Outbox) SendTo(ref wire.InboxRef, msg wire.Msg) error {
+	// The bound check and the stamp must be one atomic step: with the
+	// lock dropped in between, a concurrent Delete(ref) would let this
+	// send race onto a channel the session has already torn down.
 	o.mu.Lock()
 	bound := false
 	for _, d := range o.dests {
@@ -141,21 +175,19 @@ func (o *Outbox) SendTo(ref wire.InboxRef, msg wire.Msg) error {
 			break
 		}
 	}
-	session := o.session
-	if bound {
-		o.sent++
-	}
-	o.mu.Unlock()
 	if !bound {
+		o.mu.Unlock()
 		return ErrNotBound
 	}
+	o.sent++
 	env := &wire.Envelope{
 		To:          ref,
 		FromDapplet: o.d.Addr(),
 		FromOutbox:  o.name,
-		Session:     session,
+		Session:     o.session,
 		Lamport:     o.d.clock.StampSend(),
 		Body:        msg,
 	}
+	o.mu.Unlock()
 	return o.d.sendEnvelope(env)
 }

@@ -86,3 +86,70 @@ func AutoRepair(det *Detector, h *session.Handle) {
 		})
 	})
 }
+
+// BindTreeRepair closes the relay-tree repair loop: when the detector
+// commits a Down verdict for a participant of the tree session, a repair
+// thread runs Handle.RepairTree — evicting the dead relay from the
+// roster so every survivor rebuilds its tree (the orphaned subtree
+// re-parents) and redrives its replay ring. At most one repair thread
+// runs per participant; it retries until the participant is off the
+// roster and winds down with the initiator's dapplet. Combine with
+// AutoRepair when crashed members should also be reincarnated and
+// re-grown rather than just evicted.
+func BindTreeRepair(det *Detector, h *session.Handle) {
+	var mu sync.Mutex
+	repairing := make(map[string]bool)
+	det.OnEvent(func(ev Event) {
+		if ev.State != Down {
+			return
+		}
+		name := ev.Peer
+		inRoster := false
+		for _, p := range h.Participants() {
+			if p.Name == name {
+				inRoster = true
+				break
+			}
+		}
+		if !inRoster {
+			return
+		}
+		mu.Lock()
+		if repairing[name] {
+			mu.Unlock()
+			return
+		}
+		repairing[name] = true
+		mu.Unlock()
+		det.d.Spawn(func() {
+			defer func() {
+				mu.Lock()
+				delete(repairing, name)
+				mu.Unlock()
+			}()
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval)
+				err := h.RepairTree(ctx, name)
+				cancel()
+				if err == nil {
+					return
+				}
+				still := false
+				for _, p := range h.Participants() {
+					if p.Name == name {
+						still = true
+						break
+					}
+				}
+				if !still {
+					return // another path already evicted it
+				}
+				select {
+				case <-det.d.Stopped():
+					return
+				case <-time.After(2 * det.cfg.Interval):
+				}
+			}
+		})
+	})
+}

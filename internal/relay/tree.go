@@ -1,0 +1,97 @@
+package relay
+
+import "repro/internal/netsim"
+
+// Member is one participant in a session tree: the dapplet's instance
+// name (stable across reincarnation) and its current address.
+type Member struct {
+	Name string      `json:"n"`
+	Addr netsim.Addr `json:"a"`
+}
+
+// Tree is a fanout-k spanning tree over a session roster, laid out as a
+// heap: the member at roster index i has parent (i-1)/k and children
+// k*i+1 .. k*i+k. The layout is a pure function of (roster order, k), so
+// every participant derives the identical tree from the relink it
+// received — no coordination, and lockstep replay stays bit-identical.
+type Tree struct {
+	members []Member
+	fanout  int
+	index   map[string]int
+}
+
+// DefaultFanout is the tree fanout used when a binding does not specify
+// one. Four children per relay keeps depth log4(N) (1k participants in 5
+// hops) while each node's forwarding work stays constant.
+const DefaultFanout = 4
+
+// NewTree builds the heap tree over members in the given order. A fanout
+// below 1 selects DefaultFanout.
+func NewTree(members []Member, fanout int) *Tree {
+	if fanout < 1 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{
+		members: append([]Member(nil), members...),
+		fanout:  fanout,
+		index:   make(map[string]int, len(members)),
+	}
+	for i, m := range t.members {
+		t.index[m.Name] = i
+	}
+	return t
+}
+
+// Size returns the number of members.
+func (t *Tree) Size() int { return len(t.members) }
+
+// Fanout returns the tree's fanout k.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Members returns the roster in tree order.
+func (t *Tree) Members() []Member { return append([]Member(nil), t.members...) }
+
+// Contains reports whether name is on the roster.
+func (t *Tree) Contains(name string) bool {
+	_, ok := t.index[name]
+	return ok
+}
+
+// Neighbors returns self's tree neighbors — its parent (unless self is
+// the root) followed by its children, in roster order. It returns nil if
+// self is not on the roster.
+func (t *Tree) Neighbors(self string) []Member {
+	i, ok := t.index[self]
+	if !ok {
+		return nil
+	}
+	var out []Member
+	if i > 0 {
+		out = append(out, t.members[(i-1)/t.fanout])
+	}
+	for c := t.fanout*i + 1; c <= t.fanout*i+t.fanout && c < len(t.members); c++ {
+		out = append(out, t.members[c])
+	}
+	return out
+}
+
+// Depth returns the number of hops from the root to the deepest leaf
+// (0 for a single-member tree).
+func (t *Tree) Depth() int {
+	if len(t.members) <= 1 {
+		return 0
+	}
+	d, i := 0, len(t.members)-1
+	for i > 0 {
+		i = (i - 1) / t.fanout
+		d++
+	}
+	return d
+}
+
+// ttlFor returns the hop budget for a frame flooding t: the longest
+// cycle-free flood path is leaf→root→leaf (2×depth), plus slack for the
+// transient window where tree views disagree mid-reconfiguration.
+func ttlFor(t *Tree) uint32 {
+	return uint32(2*t.Depth() + 4)
+}

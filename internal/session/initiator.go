@@ -178,6 +178,9 @@ func (ini *Initiator) Initiate(ctx context.Context, spec Spec) (*Handle, error) 
 	if spec.ID == "" {
 		spec.ID = fmt.Sprintf("sess-%s-%d", ini.d.Name(), sessionSeq.Add(1))
 	}
+	if spec.Tree != nil && (spec.Tree.Outbox == "" || spec.Tree.Inbox == "") {
+		return nil, errors.New("session: tree spec needs both an outbox and an inbox name")
+	}
 	parts, links, err := ini.resolveSpec(ctx, &spec)
 	if err != nil {
 		return nil, err
@@ -194,9 +197,11 @@ func (ini *Initiator) Initiate(ctx context.Context, spec Spec) (*Handle, error) 
 		inboxesOf[l.toName] = append(inboxesOf[l.toName], l.binding.To.Inbox)
 	}
 
-	// Phase 1: invite, and collect every response.
+	// Phase 1: invite, and collect every response. A tree session's
+	// first epoch is 1; the roster order carried here is the tree order
+	// at every participant.
 	invites, err := callAll(ctx, ini.caller, spec.ID, spec.Participants, func(p Participant) wire.Msg {
-		return &inviteMsg{
+		m := &inviteMsg{
 			SessionID: spec.ID,
 			Task:      spec.Task,
 			Role:      p.Role,
@@ -205,6 +210,10 @@ func (ini *Initiator) Initiate(ctx context.Context, spec Spec) (*Handle, error) 
 			Inboxes:   inboxesOf[p.Name],
 			Roster:    roster,
 		}
+		if spec.Tree != nil {
+			m.Tree, m.Epoch = spec.Tree, 1
+		}
+		return m
 	}, func() *inviteRepMsg { return &inviteRepMsg{} })
 	if err != nil {
 		ini.abort(parts, spec.ID, "initiator gave up: "+err.Error())
@@ -237,6 +246,10 @@ func (ini *Initiator) Initiate(ctx context.Context, spec Spec) (*Handle, error) 
 		task:         spec.Task,
 		participants: parts,
 		links:        links,
+		tree:         spec.Tree,
+	}
+	if spec.Tree != nil {
+		h.epoch = 1
 	}
 	return h, nil
 }
@@ -263,10 +276,30 @@ type Handle struct {
 	participants map[string]*Participant
 	links        []resolved
 	terminated   bool
+	tree         *TreeSpec
+	epoch        uint64 // current tree version; bumped per reconfiguration
 }
 
 // ID returns the session id.
 func (h *Handle) ID() string { return h.id }
+
+// Tree returns the session's tree spec (nil on flat sessions) and the
+// current tree epoch.
+func (h *Handle) Tree() (*TreeSpec, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tree, h.epoch
+}
+
+// bumpEpochLocked advances the tree version for a reconfiguration,
+// returning the new epoch (0 on flat sessions). Callers hold h.mu.
+func (h *Handle) bumpEpochLocked() uint64 {
+	if h.tree == nil {
+		return 0
+	}
+	h.epoch++
+	return h.epoch
+}
 
 // Participants returns the current roster, sorted by name.
 func (h *Handle) Participants() []Participant {
@@ -369,6 +402,8 @@ func (h *Handle) Grow(ctx context.Context, p Participant, newLinks []Link) error
 	newRoster := append(h.rosterLocked(), p)
 	sortParticipants(newRoster)
 	existing := h.rosterLocked()
+	tree := h.tree
+	epoch := h.bumpEpochLocked()
 	h.mu.Unlock()
 
 	// Bindings and inboxes for the newcomer.
@@ -408,6 +443,8 @@ func (h *Handle) Grow(ctx context.Context, p Participant, newLinks []Link) error
 		Bindings:  pBindings,
 		Inboxes:   pInboxes,
 		Roster:    newRoster,
+		Tree:      tree,
+		Epoch:     epoch,
 	}, &inviteRep)
 	if err != nil {
 		abortNewcomer("initiator gave up growing: " + err.Error())
@@ -421,12 +458,16 @@ func (h *Handle) Grow(ctx context.Context, p Participant, newLinks []Link) error
 		return err
 	}
 
-	// Relink existing participants: new bindings plus the fresh roster.
+	// Relink existing participants: new bindings plus the fresh roster
+	// (on tree sessions the new roster order and epoch rebuild the tree
+	// to include the newcomer).
 	if _, err := callAll(ctx, h.ini.caller, h.id, existing, func(q Participant) wire.Msg {
 		return &relinkMsg{
 			SessionID: h.id,
 			Add:       addsFor[q.Name],
 			Roster:    newRoster,
+			Tree:      tree,
+			Epoch:     epoch,
 		}
 	}, func() *relinkAckMsg { return &relinkAckMsg{} }); err != nil {
 		abortNewcomer("initiator gave up growing mid-relink: " + err.Error())
@@ -508,19 +549,34 @@ func (h *Handle) ReincarnateAt(ctx context.Context, name string, newAddr netsim.
 			roster[i].Addr = newAddr
 		}
 	}
+	tree := h.tree
+	epoch := h.bumpEpochLocked()
 	h.mu.Unlock()
 
 	ctx, cancel := h.ini.withDeadline(ctx)
 	defer cancel()
+	// On tree sessions the relink also rebuilds every member's tree with
+	// the reincarnation's new address, so frames the dead incarnation
+	// swallowed can reach its subtree.
 	if _, err := callAll(ctx, h.ini.caller, h.id, roster, func(q Participant) wire.Msg {
 		return &relinkMsg{
 			SessionID: h.id,
 			Remove:    removesFor[q.Name],
 			Add:       addsFor[q.Name],
 			Roster:    roster,
+			Tree:      tree,
+			Epoch:     epoch,
 		}
 	}, func() *relinkAckMsg { return &relinkAckMsg{} }); err != nil {
 		return err
+	}
+	// Redrive replay rings only after every member has acknowledged the
+	// rebind: a relay still on the old epoch would forward redriven
+	// frames toward the dead incarnation's address and lose them.
+	if tree != nil {
+		if err := h.redriveAll(ctx, roster, tree, epoch); err != nil {
+			return err
+		}
 	}
 
 	h.mu.Lock()
@@ -572,6 +628,8 @@ func (h *Handle) Shrink(ctx context.Context, name string) error {
 			newRoster = append(newRoster, q)
 		}
 	}
+	tree := h.tree
+	epoch := h.bumpEpochLocked()
 	h.mu.Unlock()
 
 	ctx, cancel := h.ini.withDeadline(ctx)
@@ -588,6 +646,8 @@ func (h *Handle) Shrink(ctx context.Context, name string) error {
 			SessionID: h.id,
 			Remove:    removesFor[q.Name],
 			Roster:    newRoster,
+			Tree:      tree,
+			Epoch:     epoch,
 		}
 	}, func() *relinkAckMsg { return &relinkAckMsg{} }); err != nil {
 		return err
@@ -604,4 +664,96 @@ func (h *Handle) Shrink(ctx context.Context, name string) error {
 	h.links = kept
 	h.mu.Unlock()
 	return nil
+}
+
+// RepairTree evicts a dead participant from a tree session after a
+// failure detector's Down verdict. Unlike Shrink it never contacts the
+// victim: every survivor is relinked with the shrunk roster at a new
+// epoch — the orphaned subtree re-parents when each member rebuilds the
+// tree from that roster — and redrives its replay ring, so messages the
+// dead relay swallowed reach the re-parented members (per-origin
+// sequence dedup keeps the re-flood idempotent). Bindings toward the
+// victim's inboxes are dropped like a Shrink. Detector wiring lives in
+// failure.BindTreeRepair. If the participant later reincarnates, Grow
+// re-admits it.
+func (h *Handle) RepairTree(ctx context.Context, name string) error {
+	h.mu.Lock()
+	if h.terminated {
+		h.mu.Unlock()
+		return errors.New("session: terminated")
+	}
+	if h.tree == nil {
+		h.mu.Unlock()
+		return fmt.Errorf("session: %s is not a tree session", h.id)
+	}
+	if _, ok := h.participants[name]; !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("session: no participant %q", name)
+	}
+	removesFor := make(map[string][]Binding)
+	for _, l := range h.links {
+		if l.toName == name && l.fromName != name {
+			removesFor[l.fromName] = append(removesFor[l.fromName], l.binding)
+		}
+	}
+	roster := h.rosterLocked()
+	newRoster := roster[:0:0]
+	for _, q := range roster {
+		if q.Name != name {
+			newRoster = append(newRoster, q)
+		}
+	}
+	tree := h.tree
+	epoch := h.bumpEpochLocked()
+	h.mu.Unlock()
+
+	ctx, cancel := h.ini.withDeadline(ctx)
+	defer cancel()
+	if _, err := callAll(ctx, h.ini.caller, h.id, newRoster, func(q Participant) wire.Msg {
+		return &relinkMsg{
+			SessionID: h.id,
+			Remove:    removesFor[q.Name],
+			Roster:    newRoster,
+			Tree:      tree,
+			Epoch:     epoch,
+		}
+	}, func() *relinkAckMsg { return &relinkAckMsg{} }); err != nil {
+		return err
+	}
+	// Two-phase for the same reason as ReincarnateAt: redrive only once
+	// every survivor runs the repaired tree, or frames chase the dead
+	// relay.
+	if err := h.redriveAll(ctx, newRoster, tree, epoch); err != nil {
+		return err
+	}
+
+	h.mu.Lock()
+	delete(h.participants, name)
+	var kept []resolved
+	for _, l := range h.links {
+		if l.fromName != name && l.toName != name {
+			kept = append(kept, l)
+		}
+	}
+	h.links = kept
+	h.mu.Unlock()
+	return nil
+}
+
+// redriveAll asks every rostered member to redrive its relay replay ring
+// on the current tree epoch. It is the second phase of a tree repair:
+// the first relink round rebuilds every member's tree, and this round
+// re-floods the frames the failure may have stranded. Repeating the same
+// epoch is deliberate — members rebind idempotently, then redrive.
+func (h *Handle) redriveAll(ctx context.Context, roster []Participant, tree *TreeSpec, epoch uint64) error {
+	_, err := callAll(ctx, h.ini.caller, h.id, roster, func(Participant) wire.Msg {
+		return &relinkMsg{
+			SessionID: h.id,
+			Roster:    roster,
+			Tree:      tree,
+			Epoch:     epoch,
+			Redrive:   true,
+		}
+	}, func() *relinkAckMsg { return &relinkAckMsg{} })
+	return err
 }

@@ -41,6 +41,24 @@ type Link struct {
 	Inbox  string `json:"ti"` // inbox name at To
 }
 
+// TreeSpec selects relay-tree multicast for a session: every participant
+// gets the named outbox bound to the session's spanning tree (fanout-k
+// over the roster order, see internal/relay) and the named inbox created
+// to receive the multicast. Send on that outbox then costs O(k) at the
+// sender regardless of group size, with each participant re-forwarding
+// the marshal-once bytes to its own tree neighbors.
+type TreeSpec struct {
+	// Outbox is the tree-bound outbox name at every participant.
+	Outbox string `json:"o"`
+	// Inbox is the delivery inbox name at every participant.
+	Inbox string `json:"i"`
+	// Fanout is the tree fanout k (default relay.DefaultFanout).
+	Fanout int `json:"k,omitempty"`
+	// Replay is the per-participant replay ring capacity used for
+	// post-repair redrive (default relay.DefaultReplay).
+	Replay int `json:"rp,omitempty"`
+}
+
 // Spec is a complete session description handed to an initiator.
 type Spec struct {
 	// ID is the session identifier; Initiate generates one if empty.
@@ -51,6 +69,9 @@ type Spec struct {
 	Participants []Participant
 	// Links wires the members' outboxes to inboxes.
 	Links []Link
+	// Tree, when non-nil, additionally wires every participant into a
+	// relay multicast tree.
+	Tree *TreeSpec
 }
 
 // inviteMsg asks a dapplet to join a session. It travels as an svc
@@ -69,9 +90,39 @@ type inviteMsg struct {
 	// Roster is the full participant list (names, addresses and roles),
 	// so behaviours can find their peers.
 	Roster []Participant `json:"roster"`
+	// Tree, when non-nil, wires this participant into the session's
+	// relay multicast tree at commit time.
+	Tree *TreeSpec `json:"tree,omitempty"`
+	// Epoch is the tree version this invite installs (1 at Initiate).
+	Epoch uint64 `json:"e,omitempty"`
 }
 
 func (*inviteMsg) Kind() string { return "session.invite" }
+
+// appendTreeSpec / readTreeSpec encode an optional TreeSpec for the
+// binary path.
+func appendTreeSpec(dst []byte, t *TreeSpec) []byte {
+	dst = wire.AppendBool(dst, t != nil)
+	if t == nil {
+		return dst
+	}
+	dst = wire.AppendString(dst, t.Outbox)
+	dst = wire.AppendString(dst, t.Inbox)
+	dst = wire.AppendVarint(dst, int64(t.Fanout))
+	return wire.AppendVarint(dst, int64(t.Replay))
+}
+
+func readTreeSpec(r *wire.Reader) *TreeSpec {
+	if !r.Bool() {
+		return nil
+	}
+	return &TreeSpec{
+		Outbox: r.String(),
+		Inbox:  r.String(),
+		Fanout: int(r.Varint()),
+		Replay: int(r.Varint()),
+	}
+}
 
 // appendAccess / readAccess encode a state.AccessSet for the binary path.
 func appendAccess(dst []byte, a state.AccessSet) []byte {
@@ -126,7 +177,8 @@ func (m *inviteMsg) AppendBinary(dst []byte) ([]byte, error) {
 	}
 	dst = wire.AppendStringSlice(dst, m.Inboxes)
 	dst = appendParticipants(dst, m.Roster)
-	return dst, nil
+	dst = appendTreeSpec(dst, m.Tree)
+	return wire.AppendUvarint(dst, m.Epoch), nil
 }
 
 // UnmarshalBinary implements wire.BinaryMessage.
@@ -147,6 +199,8 @@ func (m *inviteMsg) UnmarshalBinary(data []byte) error {
 	}
 	m.Inboxes = r.StringSlice()
 	m.Roster = readParticipants(r)
+	m.Tree = readTreeSpec(r)
+	m.Epoch = r.Uvarint()
 	return r.Done()
 }
 
@@ -228,6 +282,16 @@ type relinkMsg struct {
 	Add       []Binding     `json:"add,omitempty"`
 	Remove    []Binding     `json:"rm,omitempty"`
 	Roster    []Participant `json:"roster,omitempty"`
+	// Tree re-ships the session's tree spec on tree-bound sessions so a
+	// reconfiguration rebuilds the tree from the new roster.
+	Tree *TreeSpec `json:"tree,omitempty"`
+	// Epoch is the tree version this relink installs; participants
+	// ignore relinks older than the tree they already hold.
+	Epoch uint64 `json:"e,omitempty"`
+	// Redrive asks the participant to re-flood its replay ring after
+	// rebinding — set on repair relinks so frames a failed relay
+	// swallowed reach the re-parented subtree.
+	Redrive bool `json:"rd,omitempty"`
 }
 
 func (*relinkMsg) Kind() string { return "session.relink" }

@@ -25,6 +25,8 @@ type persistedMembership struct {
 	Roster   []Participant   `json:"roster"`
 	Bindings []Binding       `json:"b,omitempty"`
 	Inboxes  []string        `json:"in,omitempty"`
+	Tree     *TreeSpec       `json:"tree,omitempty"`
+	Epoch    uint64          `json:"e,omitempty"`
 }
 
 // persist writes the membership's durable record. Callers must not hold
@@ -38,6 +40,8 @@ func (s *Service) persist(mem *Membership) {
 		Roster:   append([]Participant(nil), mem.Roster...),
 		Bindings: append([]Binding(nil), mem.bindings...),
 		Inboxes:  append([]string(nil), mem.inboxes...),
+		Tree:     mem.tree,
+		Epoch:    mem.epoch,
 	}
 	id := mem.ID
 	mem.mu.Unlock()
@@ -91,6 +95,14 @@ func (s *Service) RestoreSessions() ([]string, error) {
 			ob.SetSession(id)
 			ob.Add(b.To)
 		}
+		if rec.Tree != nil {
+			// The persisted roster still names this incarnation (by
+			// name), so the tree rebinds; the initiator's repair relink
+			// then refreshes every member's view of our new address.
+			if err := s.bindTree(id, rec.Tree, rec.Roster, rec.Epoch); err != nil {
+				return restored, fmt.Errorf("session: restore %s tree: %w", id, err)
+			}
+		}
 		mem := &Membership{
 			ID:       id,
 			Task:     rec.Task,
@@ -99,6 +111,8 @@ func (s *Service) RestoreSessions() ([]string, error) {
 			access:   rec.Access,
 			inboxes:  rec.Inboxes,
 			bindings: append([]Binding(nil), rec.Bindings...),
+			tree:     rec.Tree,
+			epoch:    rec.Epoch,
 		}
 		s.mu.Lock()
 		s.members[id] = mem

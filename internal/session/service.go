@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/relay"
 	"repro/internal/state"
 	"repro/internal/svc"
 	"repro/internal/wire"
@@ -35,6 +36,8 @@ type Membership struct {
 	inboxes  []string
 	bindings []Binding
 	down     map[string]bool // peers a failure detector declared dead
+	tree     *TreeSpec       // non-nil on tree-multicast sessions
+	epoch    uint64          // installed tree version
 }
 
 // Bindings returns the outbox bindings this participant currently holds
@@ -43,6 +46,14 @@ func (m *Membership) Bindings() []Binding {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return append([]Binding(nil), m.bindings...)
+}
+
+// Tree returns the session's tree spec (nil on flat sessions) and the
+// installed tree epoch.
+func (m *Membership) Tree() (*TreeSpec, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tree, m.epoch
 }
 
 // Peer finds a roster entry by role, returning the first match.
@@ -112,6 +123,58 @@ type Service struct {
 	mu      sync.Mutex
 	pending map[string]*inviteMsg
 	members map[string]*Membership
+
+	relayOnce sync.Once
+	relay     *relay.Relay
+}
+
+// Relay returns the dapplet's tree-multicast engine, attaching it on
+// first use (tree-free dapplets never spawn the "@relay" consumer).
+func (s *Service) Relay() *relay.Relay {
+	s.relayOnce.Do(func() { s.relay = relay.Attach(s.d) })
+	return s.relay
+}
+
+// treeMembers projects a roster into relay members, preserving order —
+// the roster order IS the tree order, identical at every participant.
+func treeMembers(roster []Participant) []relay.Member {
+	out := make([]relay.Member, len(roster))
+	for i, p := range roster {
+		out[i] = relay.Member{Name: p.Name, Addr: p.Addr}
+	}
+	return out
+}
+
+// bindTree installs (or refreshes) a session's relay tree on this
+// dapplet and routes the tree outbox's Send through it.
+func (s *Service) bindTree(sid string, t *TreeSpec, roster []Participant, epoch uint64) error {
+	r := s.Relay()
+	s.d.Inbox(t.Inbox)
+	err := r.Bind(sid, relay.Binding{
+		Members: treeMembers(roster),
+		Self:    s.d.Name(),
+		Fanout:  t.Fanout,
+		Inbox:   t.Inbox,
+		Epoch:   epoch,
+		Replay:  t.Replay,
+	})
+	if err != nil {
+		return err
+	}
+	ob := s.d.Outbox(t.Outbox)
+	ob.SetSession(sid)
+	ob.SetMulticast(r)
+	return nil
+}
+
+// unbindTree detaches a session's tree: the outbox falls back to flat
+// sends and the relay forgets the session.
+func (s *Service) unbindTree(sid string, t *TreeSpec) {
+	if t == nil {
+		return
+	}
+	s.d.Outbox(t.Outbox).SetMulticast(nil)
+	s.Relay().Unbind(sid)
 }
 
 // errUnknownSession answers a commit whose session this dapplet knows
@@ -241,6 +304,12 @@ func (s *Service) onCommit(m *commitMsg) (wire.Msg, error) {
 		ob.SetSession(m.SessionID)
 		ob.Add(b.To)
 	}
+	if inv.Tree != nil {
+		if err := s.bindTree(m.SessionID, inv.Tree, inv.Roster, inv.Epoch); err != nil {
+			s.d.Store().Release(m.SessionID)
+			return nil, err
+		}
+	}
 	mem := &Membership{
 		ID:       m.SessionID,
 		Task:     inv.Task,
@@ -249,6 +318,8 @@ func (s *Service) onCommit(m *commitMsg) (wire.Msg, error) {
 		access:   inv.Access,
 		inboxes:  append([]string(nil), inv.Inboxes...),
 		bindings: append([]Binding(nil), inv.Bindings...),
+		tree:     inv.Tree,
+		epoch:    inv.Epoch,
 	}
 	s.mu.Lock()
 	s.members[m.SessionID] = mem
@@ -285,7 +356,7 @@ func (s *Service) onAbort(m *abortMsg) {
 	}
 }
 
-// unlink drops a membership's outbox bindings.
+// unlink drops a membership's outbox bindings and tree attachment.
 func (s *Service) unlink(mem *Membership) {
 	mem.mu.Lock()
 	for _, b := range mem.bindings {
@@ -294,7 +365,10 @@ func (s *Service) unlink(mem *Membership) {
 		ob.SetSession("")
 	}
 	mem.bindings = nil
+	tree := mem.tree
+	mem.tree = nil
 	mem.mu.Unlock()
+	s.unbindTree(mem.ID, tree)
 }
 
 func (s *Service) onTerminate(m *terminateMsg) *terminateAckMsg {
@@ -353,7 +427,23 @@ func (s *Service) onRelink(m *relinkMsg) *relinkAckMsg {
 	if m.Roster != nil {
 		mem.Roster = m.Roster
 	}
+	var rebind *TreeSpec
+	if m.Tree != nil && m.Roster != nil && m.Epoch >= mem.epoch {
+		mem.tree, mem.epoch = m.Tree, m.Epoch
+		rebind = m.Tree
+	}
 	mem.mu.Unlock()
+	if rebind != nil {
+		// Rebuild the tree from the new roster; a failed rebind (this
+		// member dropped from the roster) just leaves the old tree until
+		// the terminate arrives.
+		if err := s.bindTree(m.SessionID, rebind, m.Roster, m.Epoch); err == nil && m.Redrive {
+			// Re-flood the replay ring so frames a failed relay
+			// swallowed reach the re-parented subtree; per-origin
+			// sequence dedup makes this idempotent everywhere else.
+			_ = s.Relay().Redrive(m.SessionID)
+		}
+	}
 	s.persist(mem)
 	return ack
 }

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"encoding/json"
+	"fmt"
 	"sync"
 
 	"repro/internal/core"
@@ -29,6 +30,32 @@ type Checkpoint struct {
 	State json.RawMessage `json:"st"`
 	// Lamport is the participant's logical clock at the record point.
 	Lamport uint64 `json:"lam"`
+	// Channels holds the in-flight messages captured on this
+	// participant's inbound channels after the record point — the
+	// channel states of §4. They carry everything a restarted
+	// incarnation needs to re-queue them (ReplayChannels).
+	Channels []ChannelMsg `json:"ch,omitempty"`
+}
+
+// ChannelMsg is one in-flight message captured as channel state: a
+// message sent before the cut that arrived after this participant's
+// record point. The original envelope metadata is kept so a replay is
+// indistinguishable from the original arrival.
+type ChannelMsg struct {
+	// Peer names the sending participant.
+	Peer string `json:"p"`
+	// Inbox is the destination inbox on the capturing dapplet.
+	Inbox string `json:"in"`
+	// From is the sender's address at capture time.
+	From netsim.Addr `json:"fa"`
+	// FromOutbox names the sender's outbox.
+	FromOutbox string `json:"fo,omitempty"`
+	// Session is the session id the message traveled under, if any.
+	Session string `json:"s,omitempty"`
+	// Lamport is the message's original logical stamp.
+	Lamport uint64 `json:"lam"`
+	// Body is the kind-tagged message payload (wire.Marshal form).
+	Body json.RawMessage `json:"b"`
 }
 
 // LastCheckpoint reads the most recent local checkpoint from a store
@@ -37,6 +64,35 @@ func LastCheckpoint(st *state.Store) (Checkpoint, bool) {
 	var cp Checkpoint
 	ok, err := st.Get(CheckpointVar, &cp)
 	return cp, ok && err == nil
+}
+
+// ReplayChannels re-queues the in-flight messages recorded as channel
+// state in the dapplet's last durable checkpoint into its inboxes,
+// preserving each message's original sender identity and Lamport stamp —
+// the recovery half of §4's channel states, mirroring the relay layer's
+// replay redrive. Call it on a restarted incarnation after the local
+// state has been rolled back to the checkpoint, before resuming message
+// processing. It returns the number of messages re-queued.
+func ReplayChannels(d *core.Dapplet) (int, error) {
+	cp, ok := LastCheckpoint(d.Store())
+	if !ok {
+		return 0, nil
+	}
+	for i, r := range cp.Channels {
+		msg, err := wire.Unmarshal(r.Body)
+		if err != nil {
+			return i, fmt.Errorf("snapshot: replay channel msg %d from %q: %w", i, r.Peer, err)
+		}
+		d.DeliverLocal(&wire.Envelope{
+			To:          wire.InboxRef{Dapplet: d.Addr(), Inbox: r.Inbox},
+			FromDapplet: r.From,
+			FromOutbox:  r.FromOutbox,
+			Session:     r.Session,
+			Lamport:     r.Lamport,
+			Body:        msg,
+		})
+	}
+	return len(cp.Channels), nil
 }
 
 // markerSnap is the per-snapshot state of a marker (Chandy–Lamport) run.
@@ -162,12 +218,22 @@ func (s *Service) onRecv(env *wire.Envelope) {
 		return
 	}
 	body, _ := wire.Marshal(env.Body)
+	rec := ChannelMsg{
+		Peer:       peer,
+		Inbox:      env.To.Inbox,
+		From:       env.FromDapplet,
+		FromOutbox: env.FromOutbox,
+		Session:    env.Session,
+		Lamport:    env.Lamport,
+		Body:       body,
+	}
 
 	// Marker snapshots: channel recording between record point and the
 	// channel's marker arrival.
-	for _, ms := range s.markers {
+	for id, ms := range s.markers {
 		if ms.recorded && ms.recording[peer] {
 			ms.channels[peer] = append(ms.channels[peer], body)
+			s.persistChannelMsgLocked(id, rec)
 		}
 	}
 	// Clock checkpoints: trigger on the first post-T message, and capture
@@ -178,6 +244,7 @@ func (s *Service) onRecv(env *wire.Envelope) {
 		}
 		if cs.recorded && env.Lamport < cs.t {
 			cs.channels[peer] = append(cs.channels[peer], body)
+			s.persistChannelMsgLocked(id, rec)
 		}
 	}
 	s.recv[peer]++
@@ -312,6 +379,22 @@ func (s *Service) recordClockLocked(id string, cs *clockSnap) {
 // CheckpointVar). Caller holds s.mu; the store has its own lock.
 func (s *Service) persistCheckpoint(id string, st json.RawMessage) {
 	_ = s.d.Store().Set(CheckpointVar, Checkpoint{ID: id, State: st, Lamport: s.d.Clock().Now()})
+}
+
+// persistChannelMsgLocked appends one captured channel message to the
+// durable checkpoint record, write-through so the channel state survives
+// a crash at any point during recording. Only the snapshot currently in
+// CheckpointVar accumulates channels; a concurrent run with a different
+// id leaves the durable record alone (its report still carries the full
+// channel state in memory). Caller holds s.mu.
+func (s *Service) persistChannelMsgLocked(id string, rec ChannelMsg) {
+	var cp Checkpoint
+	ok, err := s.d.Store().Get(CheckpointVar, &cp)
+	if !ok || err != nil || cp.ID != id {
+		return
+	}
+	cp.Channels = append(cp.Channels, rec)
+	_ = s.d.Store().Set(CheckpointVar, cp)
 }
 
 // armClockLocked creates (or returns) the checkpoint state for a snapshot

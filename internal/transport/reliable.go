@@ -135,7 +135,8 @@ type Stats struct {
 	Failures    uint64
 
 	// Coalescing counters (all zero with Config.Coalesce off except
-	// DatagramsOut, which always counts physical writes).
+	// DatagramsOut and BytesOut, which always count physical writes).
+	BytesOut        uint64 // payload bytes across all physical datagrams written
 	DatagramsOut    uint64 // physical datagrams written (data, acks, batches)
 	BatchesOut      uint64 // coalesced datagrams among DatagramsOut
 	FramesCoalesced uint64 // data frames carried inside coalesced datagrams
@@ -189,6 +190,7 @@ type statCounters struct {
 	delivered   atomic.Uint64
 	failures    atomic.Uint64
 
+	bytesOut        atomic.Uint64
 	datagramsOut    atomic.Uint64
 	batchesOut      atomic.Uint64
 	framesCoalesced atomic.Uint64
@@ -211,6 +213,7 @@ func (c *statCounters) snapshot() Stats {
 		Delivered:   c.delivered.Load(),
 		Failures:    c.failures.Load(),
 
+		BytesOut:        c.bytesOut.Load(),
 		DatagramsOut:    c.datagramsOut.Load(),
 		BatchesOut:      c.batchesOut.Load(),
 		FramesCoalesced: c.framesCoalesced.Load(),
@@ -386,6 +389,23 @@ func (r *Reliable) Stats() Stats {
 	return s
 }
 
+// QueueDepth returns the number of frames this endpoint is currently
+// holding for transmission across all peers: unacknowledged in-flight
+// packets plus staged (coalesced, not yet written) frames. It is a
+// sender-side load signal; a broadcast hot spot shows up as one node's
+// depth growing with group size.
+func (r *Reliable) QueueDepth() int {
+	total := 0
+	r.peers.Range(func(_, v any) bool {
+		p := v.(*peerState)
+		p.mu.Lock()
+		total += len(p.unacked) + p.stageN
+		p.mu.Unlock()
+		return true
+	})
+	return total
+}
+
 // peer returns the state for a peer, creating it on first contact. The
 // fast path is a lock-free sync.Map load; creation synchronizes with
 // Close through peersMu so a peer can never miss the close broadcast.
@@ -439,6 +459,7 @@ func (r *Reliable) schedule(ev timerEvent) {
 // write.
 func (r *Reliable) writeDatagram(to netsim.Addr, frame []byte) error {
 	r.stats.datagramsOut.Add(1)
+	r.stats.bytesOut.Add(uint64(len(frame)))
 	return r.pc.WriteTo(to, frame)
 }
 
@@ -447,6 +468,7 @@ func (r *Reliable) writeDatagram(to netsim.Addr, frame []byte) error {
 func (r *Reliable) writeBatch(to netsim.Addr, dgram []byte) error {
 	r.stats.datagramsOut.Add(1)
 	r.stats.batchesOut.Add(1)
+	r.stats.bytesOut.Add(uint64(len(dgram)))
 	return r.pc.WriteTo(to, dgram)
 }
 

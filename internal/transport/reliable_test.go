@@ -457,3 +457,49 @@ func TestUDPOversizeRejected(t *testing.T) {
 		t.Fatal("oversize datagram accepted")
 	}
 }
+
+func TestBytesOutAndQueueDepth(t *testing.T) {
+	net, ra, rb := pairOn(t, "a", "b", Config{})
+	if got := ra.QueueDepth(); got != 0 {
+		t.Fatalf("idle QueueDepth = %d", got)
+	}
+	const total = 5
+	for i := 0; i < total; i++ {
+		if err := ra.Send(rb.LocalAddr(), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if _, _, err := rb.RecvTimeout(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every physical write carries header bytes plus payload: BytesOut
+	// must cover at least the data frames.
+	sa := ra.Stats()
+	if want := uint64(total * (headerLen + len("payload"))); sa.BytesOut < want {
+		t.Fatalf("BytesOut = %d, want >= %d", sa.BytesOut, want)
+	}
+	if sa.BytesOut < sa.DatagramsOut*headerLen {
+		t.Fatalf("BytesOut = %d below header floor for %d datagrams", sa.BytesOut, sa.DatagramsOut)
+	}
+
+	// Partition the pair: unacked sends pile up in the queue.
+	net.Partition([]string{"a"}, []string{"b"})
+	for i := 0; i < 3; i++ {
+		if err := ra.Send(rb.LocalAddr(), []byte("stuck")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ra.QueueDepth(); got < 3 {
+		t.Fatalf("partitioned QueueDepth = %d, want >= 3", got)
+	}
+	net.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for ra.QueueDepth() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueueDepth stuck at %d after heal", ra.QueueDepth())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,116 @@
+package wire
+
+import "repro/internal/netsim"
+
+// RelayFrame is the relay-tree multicast carrier (kind "relay.fwd"): one
+// application message travelling hop-by-hop along a session's spanning
+// tree instead of over a flat per-destination fan-out. The originating
+// dapplet encodes the application body exactly once (EncodeBody) and
+// nests the shared bytes here; every relay re-forwards those bytes to its
+// own tree neighbors without re-marshalling them. The original sender's
+// identity and Lamport stamp ride along, so the envelope synthesized at
+// each delivery point is indistinguishable from a directly sent one —
+// FIFO-per-channel and the clock's snapshot criterion are unchanged.
+type RelayFrame struct {
+	// SessionID names the session whose tree carries the frame.
+	SessionID string `json:"sid"`
+	// Origin is the originating dapplet's instance name; receivers key
+	// their per-origin ordered-delivery state by it (names survive
+	// reincarnation, addresses do not).
+	Origin string `json:"o"`
+	// OriginAddr is the originating dapplet's address at send time; the
+	// synthesized delivery envelope carries it as FromDapplet.
+	OriginAddr netsim.Addr `json:"oa"`
+	// OriginOutbox is the tree-bound outbox the message left through.
+	OriginOutbox string `json:"oo"`
+	// Inbox is the destination inbox name at every member.
+	Inbox string `json:"in"`
+	// Lamport is the origin's logical stamp at Send time (§4.2); relays
+	// advance their clocks past it transitively via the carrier
+	// envelopes, and the delivery envelope presents it to the
+	// application.
+	Lamport uint64 `json:"lt"`
+	// Seq is the per-(session, origin) sequence number, starting at 1;
+	// receivers deliver in Seq order and drop duplicates, which makes
+	// post-repair replay idempotent.
+	Seq uint64 `json:"q"`
+	// Epoch is the origin's tree epoch when the frame was sent; it is
+	// diagnostic (forwarding always uses the relay's current view).
+	Epoch uint64 `json:"e"`
+	// TTL is the remaining hop budget, decremented per forward. It only
+	// binds while tree views disagree mid-reconfiguration: on a
+	// consistent tree the flood is cycle-free by construction.
+	TTL uint32 `json:"ttl"`
+	// BodyID, BodyBin and Body are the nested application message in
+	// EncodeBody form: dense kind id, binary-vs-JSON flag, encoded
+	// bytes.
+	BodyID  uint16 `json:"bid"`
+	BodyBin bool   `json:"bb"`
+	Body    []byte `json:"b"`
+}
+
+// Kind implements Msg.
+func (*RelayFrame) Kind() string { return "relay.fwd" }
+
+// AppendBinary implements BinaryMessage: relay frames are the unit of
+// large-group broadcast cost, so they take the binary fast path.
+func (m *RelayFrame) AppendBinary(dst []byte) ([]byte, error) {
+	dst = AppendString(dst, m.SessionID)
+	dst = AppendString(dst, m.Origin)
+	dst = AppendString(dst, m.OriginAddr.Host)
+	dst = AppendUvarint(dst, uint64(m.OriginAddr.Port))
+	dst = AppendString(dst, m.OriginOutbox)
+	dst = AppendString(dst, m.Inbox)
+	dst = AppendUvarint(dst, m.Lamport)
+	dst = AppendUvarint(dst, m.Seq)
+	dst = AppendUvarint(dst, m.Epoch)
+	dst = AppendUvarint(dst, uint64(m.TTL))
+	dst = AppendUvarint(dst, uint64(m.BodyID))
+	dst = AppendBool(dst, m.BodyBin)
+	return AppendBytes(dst, m.Body), nil
+}
+
+// UnmarshalBinary implements BinaryMessage. The decoded Body aliases the
+// input buffer; callers that retain the frame past the buffer's lifetime
+// must copy it (see CopyBody).
+func (m *RelayFrame) UnmarshalBinary(data []byte) error {
+	r := NewReader(data)
+	m.SessionID = r.String()
+	m.Origin = r.String()
+	m.OriginAddr.Host = r.String()
+	m.OriginAddr.Port = r.Port()
+	m.OriginOutbox = r.String()
+	m.Inbox = r.String()
+	m.Lamport = r.Uvarint()
+	m.Seq = r.Uvarint()
+	m.Epoch = r.Uvarint()
+	ttl := r.Uvarint()
+	if ttl > 0xFFFFFFFF {
+		ttl = 0xFFFFFFFF
+	}
+	m.TTL = uint32(ttl)
+	id := r.Uvarint()
+	if id > 0xFFFF {
+		if err := r.Err(); err != nil {
+			return err
+		}
+		return ErrTruncated
+	}
+	m.BodyID = uint16(id)
+	m.BodyBin = r.Bool()
+	m.Body = r.Bytes()
+	return r.Done()
+}
+
+// CopyBody replaces the frame's Body with its own copy, detaching it from
+// the decode buffer so the frame can be retained (replay and reorder
+// buffers do this).
+func (m *RelayFrame) CopyBody() {
+	if m.Body != nil {
+		m.Body = append([]byte(nil), m.Body...)
+	}
+}
+
+func init() {
+	Register(&RelayFrame{})
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/lclock"
 	"repro/internal/netsim"
+	"repro/internal/relay"
 	"repro/internal/rpc"
 	"repro/internal/session"
 	"repro/internal/snapshot"
@@ -267,6 +268,10 @@ type (
 	Initiator = session.Initiator
 	// Membership is a dapplet's live participation in a session.
 	Membership = session.Membership
+	// SessionTreeSpec selects relay-tree multicast for a session: every
+	// participant gets the named outbox bound to the session's spanning
+	// tree and the named inbox created to receive broadcasts.
+	SessionTreeSpec = session.TreeSpec
 )
 
 // AttachSessions equips a dapplet with the session service.
@@ -274,6 +279,34 @@ var AttachSessions = session.Attach
 
 // NewInitiator creates a session initiator.
 var NewInitiator = session.NewInitiator
+
+// Relay multicast (see internal/relay): per-session fanout-k spanning
+// trees so one Outbox.Send reaches any group size at O(k) sender cost,
+// with every participant re-forwarding the marshal-once bytes to its
+// own tree neighbors.
+type (
+	// Relay is the per-dapplet tree-multicast forwarder.
+	Relay = relay.Relay
+	// RelayTree is a fanout-k spanning tree over a session roster.
+	RelayTree = relay.Tree
+	// RelayMember is one participant in a session tree.
+	RelayMember = relay.Member
+	// RelayBinding installs one session's tree at a participant.
+	RelayBinding = relay.Binding
+	// RelayStats counts a relay's forwarding and delivery activity.
+	RelayStats = relay.Stats
+)
+
+// AttachRelay equips a dapplet with the relay-multicast service
+// (session.Attach does this automatically for tree sessions).
+var AttachRelay = relay.Attach
+
+// NewRelayTree builds the deterministic heap tree over a roster.
+var NewRelayTree = relay.NewTree
+
+// DefaultRelayFanout is the tree fanout used when a session's tree spec
+// does not specify one.
+const DefaultRelayFanout = relay.DefaultFanout
 
 // --- persistent state ---
 
@@ -334,6 +367,9 @@ type (
 	GlobalSnapshot = snapshot.Global
 	// Checkpoint is a participant's durable local checkpoint record.
 	Checkpoint = snapshot.Checkpoint
+	// ChannelMsg is one in-flight message captured as channel state in a
+	// checkpoint, replayable into a recovering dapplet's inboxes.
+	ChannelMsg = snapshot.ChannelMsg
 )
 
 // AttachSnapshots equips a dapplet with the snapshot service.
@@ -345,6 +381,10 @@ var NewSnapshotCoordinator = snapshot.NewCoordinator
 // LastCheckpoint reads the most recent durable local checkpoint from a
 // store that survived a crash.
 var LastCheckpoint = snapshot.LastCheckpoint
+
+// ReplayChannels re-queues the channel-state messages of a dapplet's
+// last durable checkpoint into its inboxes after a crash-restart.
+var ReplayChannels = snapshot.ReplayChannels
 
 // Failure detection (see internal/failure): BFD-style heartbeats with
 // per-peer adaptive timeouts and a suspect -> down state machine.
