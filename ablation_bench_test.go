@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func BenchmarkAblationHierarchy(b *testing.B) {
 		b.Run(mode, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+				w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 					Sites: 4, MembersPerSite: 4, Hierarchical: mode == "hierarchical",
 					Slots: 64, BusyProb: 0.5, CommonSlot: 40, Seed: int64(i + 1),
 				})
@@ -28,7 +29,7 @@ func BenchmarkAblationHierarchy(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if _, err := w.Scheduler.Schedule(0, 64, 64); err != nil {
+				if _, err := w.Scheduler.Schedule(context.Background(), 0, 64, 64); err != nil {
 					b.Fatal(err)
 				}
 				b.StopTimer()
@@ -51,7 +52,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+				w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 					Sites: 6, MembersPerSite: 1, Hierarchical: false,
 					Slots: 64, BusyProb: 1.0, CommonSlot: 60, Seed: int64(i + 1),
 				})
@@ -59,7 +60,7 @@ func BenchmarkAblationWindow(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				res, err := w.Scheduler.Schedule(0, 64, window)
+				res, err := w.Scheduler.Schedule(context.Background(), 0, 64, window)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -199,7 +199,7 @@ func benchDirectory(b *testing.B, net *netsim.Network, n int) *directory.Directo
 func BenchmarkFig1CalendarThreeSites(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+		w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 			Sites: 3, MembersPerSite: 3, Hierarchical: true,
 			Slots: 112, BusyProb: 0.6, CommonSlot: 77, Seed: int64(i + 1),
 		})
@@ -207,7 +207,7 @@ func BenchmarkFig1CalendarThreeSites(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, err := w.Scheduler.Schedule(0, 112, 28); err != nil {
+		if _, err := w.Scheduler.Schedule(context.Background(), 0, 112, 28); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -226,7 +226,7 @@ func BenchmarkT1TraditionalVsSession(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/members=%d", mode, members), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
-					w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+					w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 						Sites: members, MembersPerSite: 1, Hierarchical: false,
 						Slots: 64, BusyProb: 0.4, CommonSlot: 50, Seed: int64(i + 1),
 					})
@@ -235,9 +235,9 @@ func BenchmarkT1TraditionalVsSession(b *testing.B) {
 					}
 					b.StartTimer()
 					if mode == "session" {
-						_, err = w.Scheduler.Schedule(0, 64, 64)
+						_, err = w.Scheduler.Schedule(context.Background(), 0, 64, 64)
 					} else {
-						_, err = w.Traditional.Schedule(0, 64, 64)
+						_, err = w.Traditional.Schedule(context.Background(), 0, 64, 64)
 					}
 					if err != nil {
 						b.Fatal(err)
@@ -466,7 +466,7 @@ func BenchmarkE4Snapshot(b *testing.B) {
 		defer net.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			g, err := coord.SnapshotMarker()
+			g, err := coord.SnapshotMarker(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -480,7 +480,7 @@ func BenchmarkE4Snapshot(b *testing.B) {
 		defer net.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			g, err := coord.SnapshotClock(1000)
+			g, err := coord.SnapshotClock(context.Background(), 1000)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/scenario"
@@ -11,7 +12,7 @@ import (
 func benchE14(b *testing.B, tree bool) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := scenario.RunBroadcast(scenario.BroadcastOptions{
+		res, err := scenario.RunBroadcast(context.Background(), scenario.BroadcastOptions{
 			Participants: 128,
 			Messages:     16,
 			Tree:         tree,

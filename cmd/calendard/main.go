@@ -95,7 +95,7 @@ func main() {
 
 	sched := calendar.NewHeadScheduler(coord, *slots)
 	start := time.Now()
-	res, err := sched.Schedule(0, *slots, *slots/4)
+	res, err := sched.Schedule(context.Background(), 0, *slots, *slots/4)
 	if err != nil {
 		log.Fatalf("scheduling: %v", err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -65,7 +66,7 @@ func runE14() {
 		}
 		var flat, tree *scenario.BroadcastResult
 		for _, mode := range []bool{false, true} {
-			res, err := scenario.RunBroadcast(scenario.BroadcastOptions{
+			res, err := scenario.RunBroadcast(context.Background(), scenario.BroadcastOptions{
 				Participants: n,
 				Messages:     msgs,
 				PayloadBytes: *flagE14Payload,

@@ -31,7 +31,7 @@ func newDapplet(net *netsim.Network, host, name string) *core.Dapplet {
 func runF1() {
 	row("scheduler", "slot", "rounds", "proposals", "calls", "datagrams", "vlat")
 	for _, mode := range []string{"session", "traditional"} {
-		w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+		w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 			Sites: 3, MembersPerSite: 3, Hierarchical: mode == "session",
 			Slots: 112, BusyProb: 0.65, CommonSlot: 90,
 			Seed: seedOr(1996), Shards: *flagShards,
@@ -46,13 +46,13 @@ func runF1() {
 		_ = res
 		var slot, rounds, props, calls int
 		if mode == "session" {
-			r, err := w.Scheduler.Schedule(0, 112, 28)
+			r, err := w.Scheduler.Schedule(context.Background(), 0, 112, 28)
 			if err != nil {
 				log.Fatal(err)
 			}
 			slot, rounds, props, calls = r.Slot, r.Rounds, r.Proposals, r.Calls
 		} else {
-			r, err := w.Traditional.Schedule(0, 112, 28)
+			r, err := w.Traditional.Schedule(context.Background(), 0, 112, 28)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -188,7 +188,7 @@ func runT1() {
 	row("members", "scheduler", "slot", "calls", "datagrams", "vlat")
 	for _, members := range []int{3, 6, 12, 24, 48} {
 		for _, mode := range []string{"session", "traditional"} {
-			w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+			w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 				Sites: members, MembersPerSite: 1, Hierarchical: false,
 				Slots: 64, BusyProb: 0.4, CommonSlot: 50,
 				Seed: seedOr(77), Shards: *flagShards,
@@ -199,13 +199,13 @@ func runT1() {
 			before := w.Net.Stats()
 			var slot, calls int
 			if mode == "session" {
-				r, err := w.Scheduler.Schedule(0, 64, 64)
+				r, err := w.Scheduler.Schedule(context.Background(), 0, 64, 64)
 				if err != nil {
 					log.Fatal(err)
 				}
 				slot, calls = r.Slot, r.Calls
 			} else {
-				r, err := w.Traditional.Schedule(0, 64, 64)
+				r, err := w.Traditional.Schedule(context.Background(), 0, 64, 64)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -26,7 +27,7 @@ func runE9() {
 
 	fmt.Println()
 	row("scenario", "detection", "repair", "retries", "slot")
-	res, err := scenario.RunSecretaryCrashRecovery(scenario.RecoveryOptions{
+	res, err := scenario.RunSecretaryCrashRecovery(context.Background(), scenario.RecoveryOptions{
 		Calendar: scenario.CalendarOptions{
 			Sites: 3, MembersPerSite: 3, Slots: 112,
 			BusyProb: 0.6, CommonSlot: 77,

@@ -254,9 +254,9 @@ func runE4() {
 			var g *snapshot.Global
 			var err error
 			if algo == "marker" {
-				g, err = coord.SnapshotMarker()
+				g, err = coord.SnapshotMarker(context.Background())
 			} else {
-				g, err = coord.SnapshotClock(1_000_000)
+				g, err = coord.SnapshotClock(context.Background(), 1_000_000)
 			}
 			if err != nil {
 				log.Fatal(err)

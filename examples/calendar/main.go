@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,12 +27,12 @@ func main() {
 	}
 
 	fmt.Println("== session-based scheduler (Figure 1 wiring) ==")
-	w, err := scenario.BuildCalendar(opts)
+	w, err := scenario.BuildCalendar(context.Background(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	before := w.Net.Stats()
-	res, err := w.Scheduler.Schedule(0, slots, 28)
+	res, err := w.Scheduler.Schedule(context.Background(), 0, slots, 28)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,13 +51,13 @@ func main() {
 
 	fmt.Println()
 	fmt.Println("== traditional sequential baseline (director phones each member) ==")
-	w2, err := scenario.BuildCalendar(opts) // identical calendars (same seed)
+	w2, err := scenario.BuildCalendar(context.Background(), opts) // identical calendars (same seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer w2.Close()
 	before = w2.Net.Stats()
-	tres, err := w2.Traditional.Schedule(0, slots, 28)
+	tres, err := w2.Traditional.Schedule(context.Background(), 0, slots, 28)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,7 +12,7 @@ import (
 )
 
 func main() {
-	w, err := scenario.BuildCardGame(scenario.CardOptions{
+	w, err := scenario.BuildCardGame(context.Background(), scenario.CardOptions{
 		Players:  5,
 		HandSize: 6,
 		Ranks:    4,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -15,7 +16,7 @@ import (
 )
 
 func main() {
-	w, err := scenario.BuildDesign(scenario.DesignOptions{
+	w, err := scenario.BuildDesign(context.Background(), scenario.DesignOptions{
 		Designers: 4,
 		Parts:     []string{"frame", "engine", "ui"},
 		UseTokens: true,

@@ -24,7 +24,7 @@ import (
 // links, scheduling twice (persistent state across sessions), with token
 // and interference services live on the same dapplets.
 func TestFullStackCalendarOverLossyWAN(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 3, MembersPerSite: 2, Hierarchical: true,
 		Slots: 48, BusyProb: 0.4, CommonSlot: 30, Seed: 99,
 		InterSite: netsim.WAN(),
@@ -41,11 +41,11 @@ func TestFullStackCalendarOverLossyWAN(t *testing.T) {
 		}
 	}
 
-	r1, err := w.Scheduler.Schedule(0, 48, 16)
+	r1, err := w.Scheduler.Schedule(context.Background(), 0, 48, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := w.Scheduler.Schedule(0, 48, 16)
+	r2, err := w.Scheduler.Schedule(context.Background(), 0, 48, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestFullStackCalendarOverLossyWAN(t *testing.T) {
 // new calendar dapplet and verifies the next scheduling round includes it
 // (its busy slots constrain the outcome).
 func TestSessionGrowIntoRunningCalendar(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 2, MembersPerSite: 1, Hierarchical: false,
 		Slots: 32, BusyProb: 0, CommonSlot: -1, Seed: 5,
 	})
@@ -97,7 +97,7 @@ func TestSessionGrowIntoRunningCalendar(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := w.Scheduler.Schedule(0, 32, 32)
+	res, err := w.Scheduler.Schedule(context.Background(), 0, 32, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestSessionGrowIntoRunningCalendar(t *testing.T) {
 // TestSnapshotOfCalendarSession checkpoints the member dapplets of a live
 // calendar world and validates the cut.
 func TestSnapshotOfCalendarSession(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 2, MembersPerSite: 2, Hierarchical: false,
 		Slots: 32, BusyProb: 0.3, CommonSlot: 20, Seed: 13,
 	})
@@ -143,8 +143,8 @@ func TestSnapshotOfCalendarSession(t *testing.T) {
 	}
 	coord := snapshot.NewCoordinator(w.Coordinator, members)
 	coord.SetSettle(30 * time.Millisecond)
-	coord.SetTimeout(10 * time.Second) //depcheck:allow snapshot.Coordinator knob, not a deprecated session/directory timeout
-	g, err := coord.SnapshotClock(1_000_000)
+	coord.SetTimeout(10 * time.Second)
+	g, err := coord.SnapshotClock(context.Background(), 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestSnapshotOfCalendarSession(t *testing.T) {
 // member's busy-calendar variable is guarded by a token; two directors
 // contend for it.
 func TestTokensGuardSharedCalendarVariable(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 1, MembersPerSite: 2, Hierarchical: false,
 		Slots: 16, BusyProb: 0, CommonSlot: -1, Seed: 3,
 	})
@@ -200,7 +200,7 @@ func TestTokensGuardSharedCalendarVariable(t *testing.T) {
 // second scheduling session over the same calendars is rejected while the
 // first is live, and admitted after termination.
 func TestInterferingCalendarSessionsAreRejected(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 1, MembersPerSite: 2, Hierarchical: false,
 		Slots: 16, BusyProb: 0, CommonSlot: -1, Seed: 4,
 	})
@@ -228,7 +228,7 @@ func TestInterferingCalendarSessionsAreRejected(t *testing.T) {
 // TestEnvelopeSessionTagsEndToEnd checks that application messages inside
 // a scenario-built session carry the session id.
 func TestEnvelopeSessionTagsEndToEnd(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 1, MembersPerSite: 1, Hierarchical: false,
 		Slots: 16, BusyProb: 0, CommonSlot: -1, Seed: 6,
 	})
@@ -252,7 +252,7 @@ func TestEnvelopeSessionTagsEndToEnd(t *testing.T) {
 // TestStateAccessSetsEnforcedInSession verifies that a member's store
 // enforces the declared access set during a live session.
 func TestStateAccessSetsEnforcedInSession(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 1, MembersPerSite: 1, Hierarchical: false,
 		Slots: 16, BusyProb: 0, CommonSlot: -1, Seed: 8,
 	})

@@ -1,6 +1,7 @@
 package calendar_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -95,7 +96,7 @@ func TestSlotSetIntersectionProperty(t *testing.T) {
 
 func buildWorld(t *testing.T, opts scenario.CalendarOptions) *scenario.CalendarWorld {
 	t.Helper()
-	w, err := scenario.BuildCalendar(opts)
+	w, err := scenario.BuildCalendar(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFlatSessionScheduling(t *testing.T) {
 		Sites: 2, MembersPerSite: 2, Hierarchical: false,
 		Slots: 64, BusyProb: 0.5, CommonSlot: 40, Seed: 5,
 	})
-	res, err := w.Scheduler.Schedule(0, 64, 16)
+	res, err := w.Scheduler.Schedule(context.Background(), 0, 64, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestHierarchicalFigure1Scheduling(t *testing.T) {
 		Sites: 3, MembersPerSite: 3, Hierarchical: true,
 		Slots: 112, BusyProb: 0.6, CommonSlot: 77, Seed: 11,
 	})
-	res, err := w.Scheduler.Schedule(0, 112, 28)
+	res, err := w.Scheduler.Schedule(context.Background(), 0, 112, 28)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestSchedulersAgreeOnEarliestSlot(t *testing.T) {
 		Sites: 2, MembersPerSite: 3, Hierarchical: false,
 		Slots: 96, BusyProb: 0.55, CommonSlot: 60, Seed: 21,
 	})
-	sres, err := w.Scheduler.Schedule(0, 96, 24)
+	sres, err := w.Scheduler.Schedule(context.Background(), 0, 96, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestSchedulersAgreeOnEarliestSlot(t *testing.T) {
 		Sites: 2, MembersPerSite: 3, Hierarchical: false,
 		Slots: 96, BusyProb: 0.55, CommonSlot: 60, Seed: 21,
 	})
-	tres, err := w2.Traditional.Schedule(0, 96, 24)
+	tres, err := w2.Traditional.Schedule(context.Background(), 0, 96, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,10 +193,10 @@ func TestNoCommonSlotFails(t *testing.T) {
 		Sites: 1, MembersPerSite: 2, Hierarchical: false,
 		Slots: 16, BusyProb: 1.0, CommonSlot: -1, Seed: 2,
 	})
-	if _, err := w2.Scheduler.Schedule(0, 16, 8); !errors.Is(err, calendar.ErrNoSlot) {
+	if _, err := w2.Scheduler.Schedule(context.Background(), 0, 16, 8); !errors.Is(err, calendar.ErrNoSlot) {
 		t.Fatalf("err = %v, want ErrNoSlot", err)
 	}
-	if _, err := w2.Traditional.Schedule(0, 16, 8); !errors.Is(err, calendar.ErrNoSlot) {
+	if _, err := w2.Traditional.Schedule(context.Background(), 0, 16, 8); !errors.Is(err, calendar.ErrNoSlot) {
 		t.Fatalf("traditional err = %v, want ErrNoSlot", err)
 	}
 }
@@ -207,11 +208,11 @@ func TestRepeatedSchedulingFillsCalendar(t *testing.T) {
 		Sites: 1, MembersPerSite: 3, Hierarchical: false,
 		Slots: 32, BusyProb: 0, CommonSlot: -1, Seed: 3,
 	})
-	r1, err := w.Scheduler.Schedule(0, 32, 32)
+	r1, err := w.Scheduler.Schedule(context.Background(), 0, 32, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := w.Scheduler.Schedule(0, 32, 32)
+	r2, err := w.Scheduler.Schedule(context.Background(), 0, 32, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestWindowedNegotiationUsesMultipleRounds(t *testing.T) {
 		Sites: 1, MembersPerSite: 4, Hierarchical: false,
 		Slots: 64, BusyProb: 1.0, CommonSlot: 60, Seed: 9,
 	})
-	res, err := w.Scheduler.Schedule(0, 64, 8)
+	res, err := w.Scheduler.Schedule(context.Background(), 0, 64, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,8 +58,10 @@ func NewHeadScheduler(d *core.Dapplet, slots int) *HeadScheduler {
 // SetTimeout bounds each gather phase.
 func (h *HeadScheduler) SetTimeout(d time.Duration) { h.timeout = d }
 
-// roundTrip multicasts one request down and aggregates all replies.
-func (h *HeadScheduler) roundTrip(req *schedReq) (*schedRep, error) {
+// roundTrip multicasts one request down and aggregates all replies. The
+// gather phase is bounded by the scheduler timeout or the caller's ctx,
+// whichever ends first.
+func (h *HeadScheduler) roundTrip(ctx context.Context, req *schedReq) (*schedRep, error) {
 	n := len(h.d.Outbox(HeadDown).Destinations())
 	if n == 0 {
 		return nil, errors.New("calendar: scheduler has no downstream links")
@@ -72,7 +74,7 @@ func (h *HeadScheduler) roundTrip(req *schedReq) (*schedRep, error) {
 	if req.RKind == kindAvail {
 		agg.Free = NewAllFree(h.slots).Slice(req.Lo, req.Hi)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), h.timeout)
+	ctx, cancel := context.WithTimeout(ctx, h.timeout)
 	defer cancel()
 	for got := 0; got < n; {
 		env, err := in.ReceiveEnvelopeContext(ctx)
@@ -98,8 +100,9 @@ func (h *HeadScheduler) roundTrip(req *schedReq) (*schedRep, error) {
 
 // Schedule finds the earliest slot in [lo, hi) that every member is free
 // for, examining `window` slots per availability round, and books it
-// two-phase (propose, then commit).
-func (h *HeadScheduler) Schedule(lo, hi, window int) (Result, error) {
+// two-phase (propose, then commit). ctx bounds the whole negotiation;
+// each gather phase is additionally bounded by the scheduler timeout.
+func (h *HeadScheduler) Schedule(ctx context.Context, lo, hi, window int) (Result, error) {
 	if window <= 0 {
 		window = hi - lo
 	}
@@ -112,7 +115,7 @@ func (h *HeadScheduler) Schedule(lo, hi, window int) (Result, error) {
 		res.Rounds++
 		id := schedID.Add(1)
 		res.Calls++
-		avail, err := h.roundTrip(&schedReq{ID: id, RKind: kindAvail, Lo: wLo, Hi: wHi})
+		avail, err := h.roundTrip(ctx, &schedReq{ID: id, RKind: kindAvail, Lo: wLo, Hi: wHi})
 		if err != nil {
 			return res, err
 		}
@@ -125,7 +128,7 @@ func (h *HeadScheduler) Schedule(lo, hi, window int) (Result, error) {
 			res.Proposals++
 			pid := schedID.Add(1)
 			res.Calls++
-			conf, err := h.roundTrip(&schedReq{ID: pid, RKind: kindPropose, Slot: slot})
+			conf, err := h.roundTrip(ctx, &schedReq{ID: pid, RKind: kindPropose, Slot: slot})
 			if err != nil {
 				return res, err
 			}
@@ -133,14 +136,14 @@ func (h *HeadScheduler) Schedule(lo, hi, window int) (Result, error) {
 				// Somebody's calendar changed under us: abort the holds
 				// and try the next candidate.
 				res.Calls++
-				if _, err := h.roundTrip(&schedReq{ID: pid, RKind: kindAbort}); err != nil {
+				if _, err := h.roundTrip(ctx, &schedReq{ID: pid, RKind: kindAbort}); err != nil {
 					return res, err
 				}
 				cand.SetBusy(slot)
 				continue
 			}
 			res.Calls++
-			conf, err = h.roundTrip(&schedReq{ID: pid, RKind: kindCommit, Slot: slot})
+			conf, err = h.roundTrip(ctx, &schedReq{ID: pid, RKind: kindCommit, Slot: slot})
 			if err != nil {
 				return res, err
 			}
@@ -175,13 +178,14 @@ func NewTraditional(d *core.Dapplet, members []wire.InboxRef, slots int) *Tradit
 // SetTimeout bounds each phone call.
 func (t *Traditional) SetTimeout(d time.Duration) { t.timeout = d }
 
-// call performs one sequential phone call to a member.
-func (t *Traditional) call(member wire.InboxRef, req *schedReq, replyIn *core.Inbox) (*schedRep, error) {
+// call performs one sequential phone call to a member, bounded by the
+// director timeout or the caller's ctx, whichever ends first.
+func (t *Traditional) call(ctx context.Context, member wire.InboxRef, req *schedReq, replyIn *core.Inbox) (*schedRep, error) {
 	req.ReplyTo = replyIn.Ref()
 	if err := t.d.SendDirect(member, "", req); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), t.timeout)
+	ctx, cancel := context.WithTimeout(ctx, t.timeout)
 	defer cancel()
 	for {
 		env, err := replyIn.ReceiveEnvelopeContext(ctx)
@@ -200,7 +204,8 @@ func (t *Traditional) call(member wire.InboxRef, req *schedReq, replyIn *core.In
 }
 
 // Schedule negotiates a meeting slot sequentially, window by window.
-func (t *Traditional) Schedule(lo, hi, window int) (Result, error) {
+// ctx bounds the whole negotiation.
+func (t *Traditional) Schedule(ctx context.Context, lo, hi, window int) (Result, error) {
 	if window <= 0 {
 		window = hi - lo
 	}
@@ -217,7 +222,7 @@ func (t *Traditional) Schedule(lo, hi, window int) (Result, error) {
 		feasible := true
 		for _, m := range t.members {
 			res.Calls++
-			rep, err := t.call(m, &schedReq{ID: schedID.Add(1), RKind: kindAvail, Lo: wLo, Hi: wHi}, replyIn)
+			rep, err := t.call(ctx, m, &schedReq{ID: schedID.Add(1), RKind: kindAvail, Lo: wLo, Hi: wHi}, replyIn)
 			if err != nil {
 				return res, err
 			}
@@ -241,7 +246,7 @@ func (t *Traditional) Schedule(lo, hi, window int) (Result, error) {
 			var accepted []wire.InboxRef
 			for _, m := range t.members {
 				res.Calls++
-				rep, err := t.call(m, &schedReq{ID: pid, RKind: kindPropose, Slot: slot}, replyIn)
+				rep, err := t.call(ctx, m, &schedReq{ID: pid, RKind: kindPropose, Slot: slot}, replyIn)
 				if err != nil {
 					return res, err
 				}
@@ -254,7 +259,7 @@ func (t *Traditional) Schedule(lo, hi, window int) (Result, error) {
 			if !allOK {
 				for _, m := range accepted {
 					res.Calls++
-					if _, err := t.call(m, &schedReq{ID: pid, RKind: kindAbort}, replyIn); err != nil {
+					if _, err := t.call(ctx, m, &schedReq{ID: pid, RKind: kindAbort}, replyIn); err != nil {
 						return res, err
 					}
 				}
@@ -263,7 +268,7 @@ func (t *Traditional) Schedule(lo, hi, window int) (Result, error) {
 			}
 			for _, m := range t.members {
 				res.Calls++
-				rep, err := t.call(m, &schedReq{ID: pid, RKind: kindCommit, Slot: slot}, replyIn)
+				rep, err := t.call(ctx, m, &schedReq{ID: pid, RKind: kindCommit, Slot: slot}, replyIn)
 				if err != nil {
 					return res, err
 				}

@@ -1,6 +1,7 @@
 package cardgame_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -10,7 +11,7 @@ import (
 
 func build(t *testing.T, opts scenario.CardOptions) *scenario.CardWorld {
 	t.Helper()
-	w, err := scenario.BuildCardGame(opts)
+	w, err := scenario.BuildCardGame(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

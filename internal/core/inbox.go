@@ -103,7 +103,7 @@ func (in *Inbox) Receive() (wire.Msg, error) {
 // ReceiveEnvelope is Receive but returns the full envelope, exposing the
 // sender's address and outbox, the session tag and the logical timestamp.
 func (in *Inbox) ReceiveEnvelope() (*wire.Envelope, error) {
-	return in.ReceiveEnvelopeContext(context.Background())
+	return in.ReceiveEnvelopeContext(context.Background()) //wwlint:allow ctxcheck unbounded receive by contract; ReceiveEnvelopeContext is the bounded form
 }
 
 // ReceiveContext is Receive bounded by a context: it returns ctx.Err()
@@ -166,7 +166,7 @@ func (in *Inbox) ReceiveTimeout(d time.Duration) (wire.Msg, error) {
 //
 // Deprecated: use ReceiveEnvelopeContext with a deadline context.
 func (in *Inbox) ReceiveEnvelopeTimeout(d time.Duration) (*wire.Envelope, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), d)
+	ctx, cancel := context.WithTimeout(context.Background(), d) //wwlint:allow ctxcheck deprecated shim with no caller context; bounded by d
 	defer cancel()
 	env, err := in.ReceiveEnvelopeContext(ctx)
 	if errors.Is(err, context.DeadlineExceeded) {

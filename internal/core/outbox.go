@@ -21,10 +21,10 @@ type Outbox struct {
 	name string
 
 	mu      sync.Mutex
-	dests   []wire.InboxRef
-	session string // session tag applied to outgoing envelopes
-	sent    uint64
-	mcast   Multicaster // when set, Send delegates instead of flat fan-out
+	dests   []wire.InboxRef // guarded by mu
+	session string          // guarded by mu; session tag applied to outgoing envelopes
+	sent    uint64          // guarded by mu
+	mcast   Multicaster     // guarded by mu; when set, Send delegates instead of flat fan-out
 }
 
 // Multicaster dispatches one stamped message to a session's membership by

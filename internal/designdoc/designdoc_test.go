@@ -1,6 +1,7 @@
 package designdoc_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,7 +14,7 @@ import (
 
 func build(t *testing.T, opts scenario.DesignOptions) *scenario.DesignWorld {
 	t.Helper()
-	w, err := scenario.BuildDesign(opts)
+	w, err := scenario.BuildDesign(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

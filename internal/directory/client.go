@@ -328,7 +328,7 @@ func (c *Client) subscribe(shard int) {
 		return
 	}
 	c.d.Spawn(func() {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout) //wwlint:allow ctxcheck detached resubscribe probe spawned on the dapplet; bounded by the client timeout
 		defer cancel()
 		settle(pend.Await(ctx, nil) == nil)
 	})
@@ -362,7 +362,7 @@ func (c *Client) maybeRotateBack(shard int) {
 		return
 	}
 	c.d.Spawn(func() {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout) //wwlint:allow ctxcheck detached rotate-back probe spawned on the dapplet; bounded by the client timeout
 		err := pend.Await(ctx, nil)
 		cancel()
 		c.mu.Lock()

@@ -67,7 +67,7 @@ func AutoRepair(det *Detector, h *session.Handle) {
 				mu.Unlock()
 			}()
 			for {
-				ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval)
+				ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval) //wwlint:allow ctxcheck detached repair thread; each attempt bounded by 8 intervals, winds down with d.Stopped
 				err := h.Reincarnate(ctx, name)
 				cancel()
 				if err == nil {
@@ -128,7 +128,7 @@ func BindTreeRepair(det *Detector, h *session.Handle) {
 				mu.Unlock()
 			}()
 			for {
-				ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval)
+				ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval) //wwlint:allow ctxcheck detached repair thread; each attempt bounded by 8 intervals, retries until the roster drops the peer
 				err := h.RepairTree(ctx, name)
 				cancel()
 				if err == nil {

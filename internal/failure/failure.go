@@ -789,7 +789,7 @@ func (det *Detector) firePeer(p *peerState, now time.Time) time.Duration {
 // call is bounded by one detection-ish window (8 intervals).
 func (det *Detector) probe(name string, addr netsim.Addr) {
 	det.probes.Add(1)
-	ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval)
+	ctx, cancel := context.WithTimeout(context.Background(), 8*det.cfg.Interval) //wwlint:allow ctxcheck detector-initiated probe with no caller; bounded by 8 intervals
 	defer cancel()
 	var rep probeRepMsg
 	err := det.probeCaller().Call(ctx, wire.InboxRef{Dapplet: addr, Inbox: ControlInbox},

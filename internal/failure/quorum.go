@@ -218,7 +218,7 @@ func (det *Detector) handleIProbe(c *svc.Ctx, req wire.Msg) (wire.Msg, error) {
 	}
 	det.d.Spawn(func() {
 		det.probes.Add(1)
-		ctx, cancel := context.WithTimeout(context.Background(), 4*det.cfg.Interval)
+		ctx, cancel := context.WithTimeout(context.Background(), 4*det.cfg.Interval) //wwlint:allow ctxcheck detached relay probe outlives the handler reply by design; bounded by 4 intervals
 		defer cancel()
 		var pr probeRepMsg
 		err := det.probeCaller().Call(ctx, wire.InboxRef{Dapplet: addr, Inbox: ControlInbox},

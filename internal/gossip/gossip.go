@@ -375,7 +375,7 @@ func (e *Engine) pull(topic string, peer wire.InboxRef) {
 	// A generous deadline: under load a delta that arrives late is still
 	// worth applying (one applied delta is a full catch-up), and a pull in
 	// flight blocks only this engine's own round loop.
-	ctx, cancel := context.WithTimeout(context.Background(), 8*e.cfg.Interval)
+	ctx, cancel := context.WithTimeout(context.Background(), 8*e.cfg.Interval) //wwlint:allow ctxcheck engine round-loop pull with no caller; bounded by 8 intervals
 	defer cancel()
 	var rep deltaMsg
 	// Pulls address the peer's anti-entropy inbox; peer refs name the

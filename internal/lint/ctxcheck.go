@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerCtxcheck enforces the context-first service API that PR 5
+// threaded through the repo: exported blocking functions take a
+// context.Context as their first parameter, and code paths that already
+// have a context propagate it instead of minting context.Background().
+var AnalyzerCtxcheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "exported blocking functions must take context.Context first; " +
+		"context.Background()/TODO() are banned outside package main and tests " +
+		"(annotate detached background work with a reason)",
+	Run: runCtxcheck,
+}
+
+// ctxExemptMethods are conventional shutdown entry points that stay
+// context-free: they must not block on the caller's schedule.
+var ctxExemptMethods = map[string]bool{
+	"Close": true,
+	"Stop":  true,
+}
+
+func runCtxcheck(p *Pass) error {
+	isMain := p.Pkg.Name() == "main"
+	for _, f := range p.Files {
+		inTest := p.InTestFile(f.Pos())
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !inTest && !isMain {
+				p.checkCtxSignature(fd)
+			}
+			if fd.Body == nil {
+				continue
+			}
+			if isMain || inTest {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkgPath, name := p.pkgFuncCall(call); pkgPath == "context" && (name == "Background" || name == "TODO") {
+					p.Reportf(call.Pos(), "context.%s outside main/tests: propagate the caller's ctx, or annotate genuinely detached background work with its lifetime", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCtxSignature flags an exported function whose context parameter
+// is not first, and an exported blocking function with no context at
+// all.
+func (p *Pass) checkCtxSignature(fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	if fd.Recv != nil && !exportedRecv(fd.Recv) {
+		return
+	}
+	ctxAt := -1
+	idx := 0
+	for _, fld := range fd.Type.Params.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(p.Info.Types[fld.Type].Type) && ctxAt < 0 {
+			ctxAt = idx
+		}
+		idx += n
+	}
+	if ctxAt > 0 {
+		p.Reportf(fd.Pos(), "%s takes context.Context at position %d; the context parameter comes first", fd.Name.Name, ctxAt)
+		return
+	}
+	if ctxAt < 0 && !ctxExemptMethods[fd.Name.Name] && fd.Body != nil && blocksDirectly(fd.Body) {
+		p.Reportf(fd.Pos(), "exported %s blocks on a channel but takes no context.Context; blocking public APIs are context-first (see DESIGN.md \"Service framework\")", fd.Name.Name)
+	}
+}
+
+// isCtxType reports the context.Context interface type.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// blocksDirectly reports whether a function body performs an unbounded
+// blocking channel operation on the caller's goroutine: a receive or
+// send outside any select with a default, or a select without default.
+// Work inside nested function literals and go statements belongs to
+// other goroutines and does not count.
+func blocksDirectly(body *ast.BlockStmt) bool {
+	blocking := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if blocking {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocking = true
+				return false
+			}
+			// Non-blocking poll: the comm clauses don't block, but
+			// their bodies may.
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						ast.Inspect(s, walk)
+					}
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocking = true
+				return false
+			}
+		case *ast.SendStmt:
+			blocking = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return blocking
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// deprecatedOwners maps each deprecated timeout-era method to the
+// packages (by import-path suffix) still allowed to call it: the
+// owner's implementation, wrappers and tests.
+var deprecatedOwners = map[string][]string{
+	"ReceiveTimeout":         {"internal/core"},
+	"ReceiveEnvelopeTimeout": {"internal/core"},
+	"CallTimeout":            {"internal/rpc"},
+	"SetTimeout":             {"internal/session", "internal/directory"},
+}
+
+// deprecatedRecvPkgs are the packages whose SetTimeout (and friends)
+// are the deprecated ones; a method of the same name on an unrelated
+// type is ignored because its receiver resolves elsewhere.
+var deprecatedRecvPkgs = []string{"internal/core", "internal/rpc", "internal/session", "internal/directory", "wwds"}
+
+// AnalyzerDepcheck bans new calls to the deprecated timeout-era
+// methods, ported from the standalone scripts/depcheck walker onto the
+// shared driver. Where the old AST gate guessed by imports, this one
+// resolves the receiver's type, so same-named methods of other types
+// no longer need an annotation.
+var AnalyzerDepcheck = &Analyzer{
+	Name: "depcheck",
+	Doc: "calls to the deprecated timeout methods (ReceiveTimeout, " +
+		"ReceiveEnvelopeTimeout, CallTimeout, session/directory SetTimeout) are " +
+		"banned outside their owning packages; use the context-first API " +
+		"(DESIGN.md \"Service framework\")",
+	Run: runDepcheck,
+}
+
+func runDepcheck(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			owners, deprecated := deprecatedOwners[sel.Sel.Name]
+			if !deprecated {
+				return true
+			}
+			for _, od := range owners {
+				if strings.HasSuffix(p.Path, od) {
+					return true
+				}
+			}
+			// Resolve the method: only methods declared in the
+			// deprecated packages count.
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			declPkg := obj.Pkg().Path()
+			match := false
+			for _, dp := range deprecatedRecvPkgs {
+				if strings.HasSuffix(declPkg, dp) {
+					match = true
+					break
+				}
+			}
+			if !match {
+				return true
+			}
+			p.Reportf(call.Pos(), "call to deprecated %s.%s outside its package; use the context-first API (DESIGN.md \"Service framework\")", pathBase(declPkg), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededPackages are the packages whose behaviour must be a pure
+// function of the seed: the sharded netsim engine, the relay tree, the
+// swarm lockstep paths, and the scenario digests. Inside them,
+// wall-clock reads, global math/rand state, real sleeps, and map
+// iteration feeding sends or digests all break bit-identical
+// WithShards(1) replay.
+var seededPackages = map[string]bool{
+	"netsim":   true,
+	"relay":    true,
+	"swarm":    true,
+	"scenario": true,
+	"lclock":   true,
+}
+
+// sendishNames are method names whose call inside a map-range makes the
+// iteration order observable on the wire or in a digest.
+var sendishNames = map[string]bool{
+	"Send":      true,
+	"SendTo":    true,
+	"Multicast": true,
+	"Broadcast": true,
+	"Redrive":   true,
+	"Deliver":   true,
+}
+
+// AnalyzerDeterminism flags nondeterminism sources in the seeded/replay
+// packages: time.Now and time.Sleep, package-level math/rand calls
+// (per-stream *rand.Rand values are fine — they are seeded), and map
+// iteration whose body sends messages or feeds a hash digest.
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag time.Now/time.Sleep, global math/rand, and map-order-dependent " +
+		"sends or digests in the seeded/replay packages (netsim, relay, swarm, " +
+		"scenario, lclock); these break bit-identical WithShards(1) replay",
+	Run: runDeterminism,
+}
+
+func runDeterminism(p *Pass) error {
+	if !seededPackages[p.Pkg.Name()] || p.XTest {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue // tests measure real time freely
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				p.checkDeterminismCall(n)
+			case *ast.RangeStmt:
+				p.checkMapRange(n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFuncCall resolves a call of the form pkg.Func to its package path
+// and function name; it returns "" paths for method calls and locals.
+func (p *Pass) pkgFuncCall(call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+func (p *Pass) checkDeterminismCall(call *ast.CallExpr) {
+	pkgPath, name := p.pkgFuncCall(call)
+	switch pkgPath {
+	case "time":
+		switch name {
+		case "Now":
+			p.Reportf(call.Pos(), "time.Now in seeded package %s: wall-clock reads diverge between replays; use the simulated clock or derive from the seed", p.Pkg.Name())
+		case "Sleep":
+			p.Reportf(call.Pos(), "time.Sleep in seeded package %s: real sleeps race with simulated time; block on a channel or the simulated clock instead", p.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the shared global source;
+		// constructors and types (rand.New, rand.NewSource) are how
+		// seeded streams are made and stay legal.
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return
+		}
+		p.Reportf(call.Pos(), "global %s.%s in seeded package %s: the process-wide source is unseeded and shared; draw from a per-stream rand.New(rand.NewSource(seed))", pathBase(pkgPath), name, p.Pkg.Name())
+	}
+}
+
+// checkMapRange flags `for ... := range m` over a map when the body
+// sends messages or writes into a hash digest: map order is random per
+// run, so the wire traffic or digest it feeds cannot replay.
+func (p *Pass) checkMapRange(rng *ast.RangeStmt) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if sendishNames[name] {
+			// Method calls only: a package-level helper named Send
+			// would resolve to a PkgName receiver.
+			if _, isPkg := p.Info.Uses[firstIdent(sel.X)].(*types.PkgName); !isPkg {
+				p.Reportf(rng.Pos(), "map iteration calls %s: map order is nondeterministic, so send order differs between replays; iterate a sorted key slice", name)
+				return false
+			}
+		}
+		if name == "Write" || name == "Sum" {
+			if recvImplementsHash(p, sel) {
+				p.Reportf(rng.Pos(), "map iteration feeds a hash digest via %s: map order is nondeterministic, so the digest differs between replays; iterate a sorted key slice", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// recvImplementsHash reports whether the receiver of sel has both
+// Write and Sum methods — the hash.Hash shape — so writes to it inside
+// a map range accumulate order-dependent digests.
+func recvImplementsHash(p *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	return hasMethod(recv, "Write") && hasMethod(recv, "Sum")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	for _, tt := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(tt)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// firstIdent returns the leftmost identifier of a selector chain.
+func firstIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

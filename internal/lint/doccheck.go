@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerDoccheck is the godoc-discipline gate, ported from the
+// standalone scripts/doccheck walker onto the shared driver: every
+// exported top-level symbol needs a doc comment. It implements the
+// same core rule as revive's `exported` check without pulling a tool
+// dependency into the build.
+var AnalyzerDoccheck = &Analyzer{
+	Name: "doccheck",
+	Doc: "every exported func, type, var and const needs a doc comment; in a " +
+		"grouped declaration each exported spec needs its own; methods are " +
+		"checked only on exported receiver types",
+	Run: runDoccheck,
+}
+
+func runDoccheck(p *Pass) error {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			p.checkDocDecl(decl)
+		}
+	}
+	return nil
+}
+
+func (p *Pass) checkDocDecl(decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return
+		}
+		p.Reportf(d.Pos(), "missing doc comment on func %s", d.Name.Name)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			// A lone spec may ride on the block comment; in a group,
+			// every exported spec needs its own.
+			grouped := len(d.Specs) > 1
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && (grouped || d.Doc == nil) && s.Doc == nil && s.Comment == nil {
+					p.Reportf(s.Pos(), "missing doc comment on type %s", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if n.IsExported() && (grouped || d.Doc == nil) && s.Doc == nil && s.Comment == nil {
+						p.Reportf(n.Pos(), "missing doc comment on var/const %s", n.Name)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package lintest drives analyzers over fixture source trees and
+// checks the emitted diagnostics against expectations written in the
+// fixtures themselves, in the style of go/analysis's analysistest but
+// built on the repo's own loader (internal/lint has no tool
+// dependencies).
+//
+// An expectation is a comment on the line the diagnostic lands on:
+//
+//	time.Sleep(d) // want determinism:"real sleeps race with simulated time"
+//
+// Each token is <analyzer>:"<regexp>"; several may share one comment.
+// The regexp is unanchored and matched against the diagnostic message.
+// Only expectations for the analyzers under test (plus the "annotation"
+// pseudo-analyzer, which the driver always runs) are enforced, so one
+// fixture module can serve per-analyzer subtests without cross-talk.
+// Within that set the match is exact both ways: every diagnostic needs
+// an expectation on its line, and every expectation needs a diagnostic.
+// A line that carries a //wwlint:allow suppression therefore gets no
+// want comment — if the suppression ever stops being honored, the
+// surplus diagnostic fails the test.
+package lintest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantTokenRe matches one <analyzer>:"<regexp>" expectation token. The
+// regexp body uses Go string syntax, so \" embeds a quote.
+var wantTokenRe = regexp.MustCompile(`([A-Za-z0-9_-]+):("(?:[^"\\]|\\.)*")`)
+
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+// Run loads patterns from the fixture directory dir, executes the
+// analyzers, and fails t on any mismatch between the diagnostics and
+// the fixtures' want comments.
+func Run(t *testing.T, dir string, patterns []string, analyzers []*lint.Analyzer) {
+	t.Helper()
+	w, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	diags, err := lint.Run(w, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	enforced := map[string]bool{"annotation": true}
+	for _, az := range analyzers {
+		enforced[az.Name] = true
+	}
+	wants := collectWants(t, w, enforced)
+
+	for _, d := range diags {
+		if !enforced[d.Analyzer] {
+			continue // driver-wide noise outside this subtest's scope
+		}
+		if ww := matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message); ww == nil {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for _, ww := range wants {
+		if !ww.matched {
+			t.Errorf("%s:%d: no %s diagnostic matched %q", ww.file, ww.line, ww.analyzer, ww.re)
+		}
+	}
+}
+
+// matchWant finds the first unmatched expectation on the diagnostic's
+// line whose pattern accepts the message, consuming it.
+func matchWant(wants []*want, file string, line int, analyzer, message string) *want {
+	for _, ww := range wants {
+		if ww.matched || ww.file != file || ww.line != line || ww.analyzer != analyzer {
+			continue
+		}
+		if ww.re.MatchString(message) {
+			ww.matched = true
+			return ww
+		}
+	}
+	return nil
+}
+
+// collectWants scans every loaded fixture file once (files are shared
+// between a package and its test variant) for want comments naming an
+// enforced analyzer.
+func collectWants(t *testing.T, w *lint.World, enforced map[string]bool) []*want {
+	t.Helper()
+	var wants []*want
+	seen := make(map[string]bool)
+	for _, pkg := range w.Packages {
+		for _, f := range pkg.Files {
+			file := w.Fset.Position(f.Pos()).Filename
+			if seen[file] {
+				continue
+			}
+			seen[file] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := w.Fset.Position(c.Pos())
+					for _, m := range wantTokenRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+						if !enforced[m[1]] {
+							continue
+						}
+						pat, err := strconv.Unquote(m[2])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, m[2], err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, analyzer: m[1], re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,8 @@
+// Package badnote carries a reasonless suppression, which the driver
+// reports under the "annotation" pseudo-analyzer.
+package badnote
+
+//wwlint:allow determinism
+var stale = 0
+
+var _ = stale

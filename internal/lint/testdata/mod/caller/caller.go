@@ -1,0 +1,11 @@
+// Package caller exercises depcheck from outside the owning package.
+package caller
+
+import "fixmod/internal/core"
+
+// Use calls the deprecated receive from the wrong package, once
+// flagged and once under a suppression.
+func Use(i *core.Inbox) {
+	i.ReceiveTimeout(0) // want depcheck:"call to deprecated core.ReceiveTimeout outside its package"
+	i.ReceiveTimeout(0) //wwlint:allow depcheck fixture: legacy shim pending migration
+}

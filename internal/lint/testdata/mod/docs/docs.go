@@ -1,0 +1,14 @@
+// Package docs is a fixture for the doccheck analyzer.
+package docs
+
+// Documented carries its doc comment and draws no finding.
+func Documented() {}
+
+func Exported() {} // want doccheck:"missing doc comment on func Exported"
+
+func Bare() {} //wwlint:allow doccheck fixture: deliberately undocumented surface
+
+// Widget is documented; its undocumented method is the finding.
+type Widget struct{}
+
+func (Widget) Do() {} // want doccheck:"missing doc comment on func Do"

@@ -1,0 +1,16 @@
+// Package core mimics the repo's owner package for the deprecated
+// timeout-era methods; the import-path suffix internal/core is what
+// the depcheck analyzer keys on.
+package core
+
+import "time"
+
+// Inbox is the owner type of the deprecated receive.
+type Inbox struct{}
+
+// ReceiveTimeout is the deprecated timeout-era receive.
+func (i *Inbox) ReceiveTimeout(d time.Duration) {}
+
+// LocalUse calls the deprecated method inside its owning package,
+// which stays legal.
+func LocalUse(i *Inbox) { i.ReceiveTimeout(0) }

@@ -1,0 +1,9 @@
+// Package wire mimics the repo's codec registry; the import-path
+// suffix internal/wire is what the wirecheck analyzer keys on.
+package wire
+
+// Msg is the registered message interface.
+type Msg any
+
+// Register records a message kind in the registry.
+func Register(m Msg) {}

@@ -1,0 +1,10 @@
+// Package linkedmsg registers a kind whose coverage comes from being
+// linked into the all-kinds conformance test binary.
+package linkedmsg
+
+import "fixmod/internal/wire"
+
+// Blob rides the conformance test's dependency closure.
+type Blob struct{ B []byte }
+
+func init() { wire.Register(&Blob{}) }

@@ -1,0 +1,57 @@
+// Package locked is a fixture for the lockcheck analyzer.
+package locked
+
+import "sync"
+
+// Box has the shape of core.Outbox: a binding list and counters
+// behind one mutex.
+type Box struct {
+	mu    sync.Mutex
+	dests []string // guarded by mu
+	sent  int      // guarded by mu
+	typo  int      // guarded by lock // want lockcheck:"guard is unenforceable"
+}
+
+// SendTo reproduces the PR 9 Outbox.SendTo bug: the bound check and
+// the act are split across two critical sections, so a concurrent
+// delete can slip between them.
+func (b *Box) SendTo(d string) bool {
+	b.mu.Lock()
+	bound := false
+	for _, x := range b.dests {
+		if x == d {
+			bound = true
+		}
+	}
+	b.mu.Unlock()
+	if !bound {
+		return false
+	}
+	b.sent++ // want lockcheck:"write of b.sent .guarded by mu. without b.mu held"
+	return true
+}
+
+// Send is the fixed shape: check and act in one critical section.
+func (b *Box) Send(d string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, x := range b.dests {
+		if x == d {
+			b.sent++
+			return true
+		}
+	}
+	return false
+}
+
+// bumpLocked relies on the *Locked naming contract: the caller holds
+// b.mu, so lockcheck skips the body.
+func (b *Box) bumpLocked() { b.sent++ }
+
+// Peek reads the counter off the hot path; the suppression records
+// why the stale read is tolerable.
+func (b *Box) Peek() int {
+	return b.sent //wwlint:allow lockcheck fixture: approximate metrics gauge, staleness acceptable
+}
+
+var _ = (*Box).bumpLocked

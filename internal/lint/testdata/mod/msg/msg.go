@@ -1,0 +1,20 @@
+// Package msg registers kinds outside the conformance test's import
+// closure, so only local round-trip/fuzz coverage counts.
+package msg
+
+import "fixmod/internal/wire"
+
+// Ping is covered by the local fuzz round-trip in msg_test.go.
+type Ping struct{ N int }
+
+// Pong has no coverage anywhere.
+type Pong struct{ N int }
+
+// Probe is registered under a suppression.
+type Probe struct{ N int }
+
+func init() {
+	wire.Register(&Ping{})
+	wire.Register(&Pong{})  // want wirecheck:"registered but untested"
+	wire.Register(&Probe{}) //wwlint:allow wirecheck fixture: exercised indirectly by the probe battery
+}

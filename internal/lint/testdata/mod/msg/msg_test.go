@@ -1,0 +1,10 @@
+package msg
+
+import "testing"
+
+// FuzzPingRoundTrip names Ping, granting it local coverage.
+func FuzzPingRoundTrip(f *testing.F) {
+	f.Fuzz(func(t *testing.T, n int) {
+		_ = Ping{N: n}
+	})
+}

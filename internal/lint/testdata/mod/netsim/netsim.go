@@ -1,0 +1,38 @@
+// Package netsim is a fixture for the determinism analyzer; the
+// package name places it in the seeded set.
+package netsim
+
+import (
+	"crypto/sha256"
+	"math/rand"
+	"time"
+)
+
+// Conn is a fixture peer exposing a sendish method.
+type Conn struct{}
+
+// Send pretends to transmit.
+func (c *Conn) Send(b []byte) {}
+
+// Step commits every nondeterminism class the analyzer knows.
+func Step(peers map[string]*Conn, seeded *rand.Rand) {
+	_ = time.Now()               // want determinism:"wall-clock reads diverge between replays"
+	time.Sleep(time.Millisecond) // want determinism:"real sleeps race with simulated time"
+	_ = rand.Intn(7)             // want determinism:"the process-wide source is unseeded and shared"
+	_ = seeded.Intn(7)           // a per-stream *rand.Rand is seeded: legal
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(7)             // constructors and stream draws are legal too
+	for _, c := range peers { // want determinism:"send order differs between replays"
+		c.Send(nil)
+	}
+	h := sha256.New()
+	for name := range peers { // want determinism:"the digest differs between replays"
+		h.Write([]byte(name))
+	}
+	_ = h.Sum(nil)
+}
+
+// Warmup keeps one deliberate wall-clock read under a suppression.
+func Warmup() int64 {
+	return time.Now().UnixNano() //wwlint:allow determinism fixture: suppression honored on a real finding
+}

@@ -1,0 +1,45 @@
+// Package transport is a fixture for the goleak analyzer; the package
+// name places it in the long-lived set.
+package transport
+
+// Pump owns the fixture's goroutines.
+type Pump struct {
+	closed chan struct{}
+}
+
+// Start launches one leaky loop, one well-behaved loop, and one
+// suppressed loop, plus a leaky named runner.
+func (p *Pump) Start() {
+	go func() {
+		for { // want goleak:"no select, channel receive, or ctx.Err check inside the loop"
+			process()
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-p.closed:
+				return
+			default:
+			}
+			process()
+		}
+	}()
+	go func() {
+		//wwlint:allow goleak fixture: process-lifetime worker, reaped at exit
+		for {
+			process()
+		}
+	}()
+	go p.run()
+}
+
+// run loops with no shutdown escape; launched via `go p.run()` it is
+// held to the same rule as a literal.
+func (p *Pump) run() {
+	for { // want goleak:"no select, channel receive, or ctx.Err check inside the loop"
+		process()
+	}
+}
+
+func process() {}

@@ -1,0 +1,2 @@
+// Package wiretest hosts the fixture's all-kinds conformance test.
+package wiretest

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerWirecheck cross-references wire.Register call sites with
+// round-trip test coverage: every registered message kind must either
+// be linked into the test binary that runs the all-kinds envelope
+// round-trip conformance test (which enumerates the registry at run
+// time), or be named by a round-trip or fuzz test in its own package.
+// A new message type therefore cannot ship untested.
+var AnalyzerWirecheck = &Analyzer{
+	Name: "wirecheck",
+	Doc: "every wire.Register(&T{}) must be covered: the registering package is " +
+		"linked into the all-kinds round-trip conformance test binary, or a local " +
+		"Test...RoundTrip.../Fuzz... references T",
+	Run: runWirecheck,
+}
+
+func runWirecheck(p *Pass) error {
+	if p.Facts == nil || !p.Facts.HasConformanceTest {
+		// Narrow run (single package patterns): the conformance test
+		// was not loaded, so linkage cannot be judged.
+		return nil
+	}
+	linked := p.Facts.ConformanceImports[p.Path]
+
+	// Type objects referenced from this package's round-trip/fuzz
+	// tests; a kind named there has local coverage.
+	covered := make(map[types.Object]bool)
+	for _, f := range p.Files {
+		if !p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil {
+				continue
+			}
+			name := fd.Name.Name
+			isRoundTrip := strings.HasPrefix(name, "Test") && strings.Contains(name, "RoundTrip")
+			isFuzz := strings.HasPrefix(name, "Fuzz")
+			isQuick := strings.HasPrefix(name, "Test") && strings.Contains(name, "Quick")
+			if !isRoundTrip && !isFuzz && !isQuick {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := p.Info.Uses[id]; obj != nil {
+					if _, isType := obj.(*types.TypeName); isType {
+						covered[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if !isWireRegister(p, call) {
+				return true
+			}
+			tn := registeredTypeName(p, call.Args[0])
+			if tn == nil {
+				return true // forwarding a parameter (e.g. a Register wrapper)
+			}
+			if linked || covered[tn] {
+				return true
+			}
+			p.Reportf(call.Pos(), "message type %s is registered but untested: package %s is not linked into the all-kinds round-trip conformance test, and no local Test...RoundTrip.../Fuzz... references it", tn.Name(), p.Path)
+			return true
+		})
+	}
+	return nil
+}
+
+// isWireRegister matches a call to the wire registry: wire.Register or
+// the wwds RegisterMessage facade.
+func isWireRegister(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Register" && sel.Sel.Name != "RegisterMessage") {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return strings.HasSuffix(path, "internal/wire") || strings.HasSuffix(path, "/wwds") || path == "wwds"
+}
+
+// registeredTypeName resolves the concrete message type of a Register
+// argument (&T{}, T{}, or new(T)); nil when the argument is not a
+// literal construction.
+func registeredTypeName(p *Pass, arg ast.Expr) *types.TypeName {
+	switch e := arg.(type) {
+	case *ast.UnaryExpr:
+		return registeredTypeName(p, e.X)
+	case *ast.CompositeLit:
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); !ok || id.Name != "new" {
+			return nil
+		}
+	default:
+		return nil
+	}
+	tv, ok := p.Info.Types[arg]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return named.Obj()
+	}
+	return nil
+}

@@ -146,6 +146,8 @@ func (e *Endpoint) Send(to Addr, payload []byte) error {
 // copy — the network neither retains nor writes to it after delivery
 // (duplicated datagrams are delivered with independent copies), so the
 // receiver may retain or mutate it without copying.
+//
+//wwlint:allow ctxcheck datagram-layer pump with close semantics; the context-first surface is core.Inbox.ReceiveContext
 func (e *Endpoint) Recv() (Datagram, error) {
 	select {
 	case dg := <-e.queue:
@@ -164,6 +166,8 @@ func (e *Endpoint) Recv() (Datagram, error) {
 }
 
 // RecvTimeout is Recv with a real-time deadline.
+//
+//wwlint:allow ctxcheck real-time deadline variant of the datagram pump; the context-first surface is core.Inbox.ReceiveContext
 func (e *Endpoint) RecvTimeout(d time.Duration) (Datagram, error) {
 	t := time.NewTimer(d)
 	defer t.Stop()

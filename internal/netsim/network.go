@@ -551,7 +551,7 @@ func (n *Network) route(from *Endpoint, to Addr, payload []byte) error {
 	realDelay := time.Duration(float64(vdelay) * n.cfg.timeScale)
 
 	if realDelay > 0 {
-		due := time.Now().Add(realDelay)
+		due := time.Now().Add(realDelay) //wwlint:allow determinism real-time pacing path: seeded replays run timeScale=0 and never schedule timed deliveries
 		s.scheduleLocked(n, due, dst, dg)
 		if dup != nil {
 			s.scheduleLocked(n, due, dst, *dup)

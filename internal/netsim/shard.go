@@ -161,7 +161,7 @@ func (s *shard) wakeTimer() {
 func (s *shard) drainTimers(n *Network) {
 	for {
 		s.mu.Lock()
-		now := time.Now()
+		now := time.Now() //wwlint:allow determinism drains real-time-paced deliveries only; seeded replays (timeScale=0) never queue them
 		var due []timedDelivery
 		wait := time.Duration(-1)
 		for len(s.timerQ) > 0 {

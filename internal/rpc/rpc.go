@@ -213,7 +213,7 @@ func (c *Client) Call(ctx context.Context, ref Ref, method string, args any, out
 // Deprecated: use Call with a deadline context, which returns
 // context.DeadlineExceeded and composes with cancellation.
 func (c *Client) CallTimeout(ref Ref, method string, args any, out any, d time.Duration) error {
-	ctx := context.Background()
+	ctx := context.Background() //wwlint:allow ctxcheck deprecated shim with no caller context; bounded by d when positive
 	if d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)

@@ -23,7 +23,7 @@ import (
 // directory still resolves the dead address, flip the roster to the new
 // incarnation, and leave the session schedulable.
 func TestAutoRepairRelinksCrashedSecretary(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 3, MembersPerSite: 2, Hierarchical: true,
 		Slots: 64, BusyProb: 0.9, CommonSlot: 40, Seed: 9, Shards: 1,
 	})
@@ -126,10 +126,10 @@ func TestAutoRepairRelinksCrashedSecretary(t *testing.T) {
 
 	// The repaired session must be schedulable end to end; tolerate
 	// rounds racing the Up verdict right after the relink.
-	w.Scheduler.SetTimeout(500 * time.Millisecond) //depcheck:allow calendar scheduler gather knob, not a deprecated session/directory timeout
+	w.Scheduler.SetTimeout(500 * time.Millisecond)
 	schedDeadline := time.Now().Add(15 * time.Second)
 	for {
-		res, err := w.Scheduler.Schedule(0, 64, 64)
+		res, err := w.Scheduler.Schedule(context.Background(), 0, 64, 64)
 		if err == nil {
 			if res.Slot != 40 {
 				t.Fatalf("scheduled slot %d, want the forced common slot 40", res.Slot)

@@ -170,11 +170,11 @@ type bcastListener struct {
 // outbox holds a binding per listener. With CrashAfter set the run also
 // kills an interior relay mid-broadcast and repairs the tree, proving
 // redrive closes the delivery gap.
-func RunBroadcast(opts BroadcastOptions) (*BroadcastResult, error) {
+func RunBroadcast(ctx context.Context, opts BroadcastOptions) (*BroadcastResult, error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), opts.Deadline)
+	ctx, cancel := context.WithTimeout(ctx, opts.Deadline)
 	defer cancel()
 
 	netOpts := []netsim.Option{netsim.WithSeed(opts.Seed)}
@@ -228,7 +228,7 @@ func RunBroadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 		}
 	}
 
-	setupStart := time.Now()
+	setupStart := time.Now() //wwlint:allow determinism wall-clock setup measurement; the replay digest folds delivery order only
 	h, err := ini.Initiate(ctx, spec)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: broadcast session setup: %w", err)
@@ -272,7 +272,7 @@ func RunBroadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 					l.err = err
 					return
 				}
-				now := time.Now()
+				now := time.Now() //wwlint:allow determinism wall-clock latency sample; the replay digest folds delivery order only
 				body, ok := env.Body.(*wire.Text)
 				if !ok {
 					l.err = fmt.Errorf("unexpected body %T", env.Body)
@@ -334,9 +334,9 @@ func RunBroadcast(opts BroadcastOptions) (*BroadcastResult, error) {
 	for seq := 1; seq <= opts.Messages; seq++ {
 		body := &wire.Text{S: fmt.Sprintf("%06d|%s", seq, pad)[:6+1+opts.PayloadBytes]}
 		sendAtMu.Lock()
-		sendAt[seq] = time.Now()
+		sendAt[seq] = time.Now() //wwlint:allow determinism wall-clock send stamp for latency samples; the replay digest folds delivery order only
 		sendAtMu.Unlock()
-		start := time.Now()
+		start := time.Now() //wwlint:allow determinism wall-clock send-cost sample; the replay digest folds delivery order only
 		if err := out.Send(body); err != nil {
 			return nil, fmt.Errorf("scenario: broadcast %d: %w", seq, err)
 		}

@@ -1,6 +1,7 @@
 package scenario_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/scenario"
@@ -12,13 +13,13 @@ import (
 // the flat sender must write more bytes at the root than the tree
 // sender.
 func TestBroadcastFlatAndTree(t *testing.T) {
-	flat, err := scenario.RunBroadcast(scenario.BroadcastOptions{
+	flat, err := scenario.RunBroadcast(context.Background(), scenario.BroadcastOptions{
 		Participants: 24, Messages: 8, Seed: 7,
 	})
 	if err != nil {
 		t.Fatalf("flat: %v", err)
 	}
-	tree, err := scenario.RunBroadcast(scenario.BroadcastOptions{
+	tree, err := scenario.RunBroadcast(context.Background(), scenario.BroadcastOptions{
 		Participants: 24, Messages: 8, Seed: 7, Tree: true, Fanout: 3,
 	})
 	if err != nil {
@@ -51,7 +52,7 @@ func TestBroadcastFlatAndTree(t *testing.T) {
 func TestBroadcastLockstepDeterminism(t *testing.T) {
 	run := func() *scenario.BroadcastResult {
 		t.Helper()
-		r, err := scenario.RunBroadcast(scenario.BroadcastOptions{
+		r, err := scenario.RunBroadcast(context.Background(), scenario.BroadcastOptions{
 			Participants: 17, Messages: 6, Seed: 23, Shards: 1, Tree: true, Fanout: 2,
 		})
 		if err != nil {
@@ -72,7 +73,7 @@ func TestBroadcastLockstepDeterminism(t *testing.T) {
 // and repairs the tree: every surviving listener must still deliver the
 // full sequence exactly once, in order (RunBroadcast fails otherwise).
 func TestBroadcastRelayCrashRepair(t *testing.T) {
-	res, err := scenario.RunBroadcast(scenario.BroadcastOptions{
+	res, err := scenario.RunBroadcast(context.Background(), scenario.BroadcastOptions{
 		Participants: 12, Messages: 9, Seed: 41, Tree: true, Fanout: 2,
 		CrashAfter: 4, CrashIndex: 1,
 	})

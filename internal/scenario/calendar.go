@@ -138,8 +138,9 @@ func DirReplicaHost(shard, replica int) string {
 func siteName(i int) string { return fmt.Sprintf("site%d", i) }
 
 // BuildCalendar constructs the world: network, installed dapplets,
-// directory, and (for the session scheduler) a committed session.
-func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
+// directory, and (for the session scheduler) a committed session. ctx
+// bounds the directory registrations and the session setup.
+func BuildCalendar(ctx context.Context, opts CalendarOptions) (*CalendarWorld, error) {
 	opts.defaults()
 	netOpts := []netsim.Option{netsim.WithSeed(opts.Seed), netsim.WithDefaultDelay(opts.IntraSite)}
 	if opts.Shards > 0 {
@@ -243,7 +244,7 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := w.Dir.Register(context.Background(), directory.Entry{Name: name, Type: typ, Addr: d.Addr()}); err != nil {
+		if err := w.Dir.Register(ctx, directory.Entry{Name: name, Type: typ, Addr: d.Addr()}); err != nil {
 			return nil, fmt.Errorf("scenario: register %s: %w", name, err)
 		}
 		return d, nil
@@ -300,7 +301,7 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 	} else {
 		spec = calendar.FlatSpec("calendar-session", "coordinator", w.MemberNames)
 	}
-	h, err := ini.Initiate(context.Background(), spec)
+	h, err := ini.Initiate(ctx, spec)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: session setup: %w", err)
 	}
@@ -309,7 +310,7 @@ func BuildCalendar(opts CalendarOptions) (*CalendarWorld, error) {
 	// The traditional director drives the same member dapplets directly.
 	refs := make([]wire.InboxRef, 0, len(w.MemberNames))
 	for _, name := range w.MemberNames {
-		e, err := w.Dir.MustLookup(context.Background(), name)
+		e, err := w.Dir.MustLookup(ctx, name)
 		if err != nil {
 			return nil, err
 		}

@@ -47,7 +47,8 @@ func (w *CardWorld) Close() {
 }
 
 // BuildCardGame constructs the ring session of §3.1 with dealt hands.
-func BuildCardGame(opts CardOptions) (*CardWorld, error) {
+// ctx bounds the directory registrations and the session setup.
+func BuildCardGame(ctx context.Context, opts CardOptions) (*CardWorld, error) {
 	if opts.Players < 2 {
 		opts.Players = 4
 	}
@@ -95,7 +96,7 @@ func BuildCardGame(opts CardOptions) (*CardWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.Dir.Register(context.Background(), directory.Entry{Name: names[i], Type: "player", Addr: d.Addr()})
+		w.Dir.Register(ctx, directory.Entry{Name: names[i], Type: "player", Addr: d.Addr()})
 		w.Players = append(w.Players, p)
 		w.Refs = append(w.Refs, wire.InboxRef{Dapplet: d.Addr(), Inbox: cardgame.PredInbox})
 		session.Attach(d, session.Policy{})
@@ -107,7 +108,7 @@ func BuildCardGame(opts CardOptions) (*CardWorld, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.Dir.Register(context.Background(), directory.Entry{Name: "dealer", Type: "dealer", Addr: dealerD.Addr()})
+	w.Dir.Register(ctx, directory.Entry{Name: "dealer", Type: "dealer", Addr: dealerD.Addr()})
 	session.Attach(dealerD, session.Policy{})
 	w.Dealer = cardgame.NewDealer(dealerD)
 
@@ -122,7 +123,7 @@ func BuildCardGame(opts CardOptions) (*CardWorld, error) {
 		)
 	}
 	ini := session.NewInitiator(dealerD, w.Dir)
-	h, err := ini.Initiate(context.Background(), spec)
+	h, err := ini.Initiate(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

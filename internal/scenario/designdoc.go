@@ -50,8 +50,8 @@ func (w *DesignWorld) Close() {
 
 // BuildDesign constructs the design-team session: a full mesh of update
 // channels plus (optionally) a token allocator with one write token per
-// part.
-func BuildDesign(opts DesignOptions) (*DesignWorld, error) {
+// part. ctx bounds the directory registrations and the session setup.
+func BuildDesign(ctx context.Context, opts DesignOptions) (*DesignWorld, error) {
 	if opts.Designers <= 0 {
 		opts.Designers = 3
 	}
@@ -93,7 +93,7 @@ func BuildDesign(opts DesignOptions) (*DesignWorld, error) {
 		if err != nil {
 			return nil, err
 		}
-		w.Dir.Register(context.Background(), directory.Entry{Name: name, Type: "designer", Addr: d.Addr()})
+		w.Dir.Register(ctx, directory.Entry{Name: name, Type: "designer", Addr: d.Addr()})
 		w.Designers = append(w.Designers, ds)
 		w.Dapplets = append(w.Dapplets, d)
 		session.Attach(d, session.Policy{})
@@ -138,7 +138,7 @@ func BuildDesign(opts DesignOptions) (*DesignWorld, error) {
 		}
 	}
 	ini := session.NewInitiator(w.Dapplets[0], w.Dir)
-	h, err := ini.Initiate(context.Background(), spec)
+	h, err := ini.Initiate(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

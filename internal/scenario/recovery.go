@@ -83,9 +83,11 @@ type RecoveryResult struct {
 //
 // The returned result carries the scheduling outcome plus measured
 // detection and recovery latencies.
-func RunSecretaryCrashRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
+//
+//wwlint:allowfile determinism this scenario measures real detector and recovery latencies with the wall clock; its result carries no replay digest
+func RunSecretaryCrashRecovery(ctx context.Context, opts RecoveryOptions) (*RecoveryResult, error) {
 	opts.defaults()
-	w, err := BuildCalendar(opts.Calendar)
+	w, err := BuildCalendar(ctx, opts.Calendar)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +155,7 @@ func RunSecretaryCrashRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
 			downAt = time.Now()
 			mu.Unlock()
 			go func() {
-				err := recoverSecretary(w, coordDet, detCfg, victim)
+				err := recoverSecretary(ctx, w, coordDet, detCfg, victim)
 				mu.Lock()
 				recoveredAt = time.Now()
 				mu.Unlock()
@@ -164,7 +166,7 @@ func RunSecretaryCrashRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
 
 	// Drive scheduling; rounds stalled on the dead secretary are
 	// abandoned after SchedTimeout and retried once recovery completes.
-	w.Scheduler.SetTimeout(opts.SchedTimeout) //depcheck:allow calendar scheduler gather knob, not a deprecated session/directory timeout
+	w.Scheduler.SetTimeout(opts.SchedTimeout)
 	deadline := time.Now().Add(opts.Deadline)
 	res := &RecoveryResult{}
 	slots := opts.Calendar.Slots
@@ -173,7 +175,7 @@ func RunSecretaryCrashRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
 	}
 	repaired := false
 	for {
-		r, err := w.Scheduler.Schedule(0, slots, slots)
+		r, err := w.Scheduler.Schedule(ctx, 0, slots, slots)
 		if err == nil {
 			res.Result = r
 			break
@@ -231,8 +233,7 @@ func RunSecretaryCrashRecovery(opts RecoveryOptions) (*RecoveryResult, error) {
 // new incarnation in the directory, relink the survivors (the repair
 // resolves the new address through the directory — Handle.Reincarnate
 // needs only the name), and resume watching the new incarnation.
-func recoverSecretary(w *CalendarWorld, coordDet *failure.Detector, detCfg failure.Config, name string) error {
-	ctx := context.Background()
+func recoverSecretary(ctx context.Context, w *CalendarWorld, coordDet *failure.Detector, detCfg failure.Config, name string) error {
 	d2, err := w.RT.Restart(name)
 	if err != nil {
 		return err

@@ -9,7 +9,7 @@ import (
 )
 
 func TestBuildCalendarDefaults(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{Seed: 1, CommonSlot: 10})
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{Seed: 1, CommonSlot: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestBuildCalendarDefaults(t *testing.T) {
 
 func TestBuildCalendarDeterministicPerSeed(t *testing.T) {
 	build := func() []bool {
-		w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+		w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 			Sites: 1, MembersPerSite: 1, Hierarchical: false,
 			Slots: 32, BusyProb: 0.5, CommonSlot: -1, Seed: 42,
 		})
@@ -58,7 +58,7 @@ func TestBuildCalendarDeterministicPerSeed(t *testing.T) {
 }
 
 func TestBuildDesignWorld(t *testing.T) {
-	w, err := scenario.BuildDesign(scenario.DesignOptions{Designers: 2, Seed: 1})
+	w, err := scenario.BuildDesign(context.Background(), scenario.DesignOptions{Designers: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestBuildDesignWorld(t *testing.T) {
 }
 
 func TestBuildCardGameWorld(t *testing.T) {
-	w, err := scenario.BuildCardGame(scenario.CardOptions{Players: 3, HandSize: 2, Seed: 1})
+	w, err := scenario.BuildCardGame(context.Background(), scenario.CardOptions{Players: 3, HandSize: 2, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestBuildCardGameWorld(t *testing.T) {
 }
 
 func TestSecretaryCrashRecovery(t *testing.T) {
-	res, err := scenario.RunSecretaryCrashRecovery(scenario.RecoveryOptions{
+	res, err := scenario.RunSecretaryCrashRecovery(context.Background(), scenario.RecoveryOptions{
 		Calendar: scenario.CalendarOptions{
 			Sites: 3, MembersPerSite: 2, Slots: 64,
 			BusyProb: 0.5, CommonSlot: 40, Seed: 7, Shards: 1,
@@ -120,7 +120,7 @@ func TestSecretaryCrashRecovery(t *testing.T) {
 // every shard is crashed all lookups still succeed through the
 // survivors.
 func TestCalendarWithDirectoryService(t *testing.T) {
-	w, err := scenario.BuildCalendar(scenario.CalendarOptions{
+	w, err := scenario.BuildCalendar(context.Background(), scenario.CalendarOptions{
 		Sites: 2, MembersPerSite: 2, Hierarchical: false,
 		Slots: 64, BusyProb: 0.5, CommonSlot: 40, Seed: 9,
 		DirShards: 2, DirReplicas: 2, DirTimeout: 200 * time.Millisecond,
@@ -132,7 +132,7 @@ func TestCalendarWithDirectoryService(t *testing.T) {
 	if w.DirClient == nil {
 		t.Fatal("service-backed world has no directory client")
 	}
-	res, err := w.Scheduler.Schedule(0, 64, 16)
+	res, err := w.Scheduler.Schedule(context.Background(), 0, 64, 16)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,8 +48,9 @@ func (c *Coordinator) controlRef(m Member) wire.InboxRef {
 	return wire.InboxRef{Dapplet: m.Addr, Inbox: ControlInbox}
 }
 
-// gatherReports collects one report per member from in.
-func (c *Coordinator) gatherReports(in *core.Inbox, snapID string) (*Global, error) {
+// gatherReports collects one report per member from in, bounded by the
+// coordinator timeout or the caller's ctx, whichever ends first.
+func (c *Coordinator) gatherReports(ctx context.Context, in *core.Inbox, snapID string) (*Global, error) {
 	g := &Global{
 		ID:       snapID,
 		States:   make(map[string]json.RawMessage),
@@ -57,7 +58,7 @@ func (c *Coordinator) gatherReports(in *core.Inbox, snapID string) (*Global, err
 		Sent:     make(map[ChannelKey]uint64),
 		Recv:     make(map[ChannelKey]uint64),
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	seen := make(map[string]bool)
 	for len(seen) < len(c.members) {
@@ -88,8 +89,8 @@ func (c *Coordinator) gatherReports(in *core.Inbox, snapID string) (*Global, err
 }
 
 // SnapshotMarker runs a Chandy–Lamport marker snapshot, initiating it at
-// the first member, and assembles the reports.
-func (c *Coordinator) SnapshotMarker() (*Global, error) {
+// the first member, and assembles the reports. ctx bounds the run.
+func (c *Coordinator) SnapshotMarker(ctx context.Context) (*Global, error) {
 	if len(c.members) == 0 {
 		return nil, errors.New("snapshot: no members")
 	}
@@ -100,15 +101,15 @@ func (c *Coordinator) SnapshotMarker() (*Global, error) {
 	if err := c.d.SendDirect(c.controlRef(c.members[0]), snapID, start); err != nil {
 		return nil, err
 	}
-	return c.gatherReports(in, snapID)
+	return c.gatherReports(ctx, in, snapID)
 }
 
 // SnapshotClock runs a clock-based checkpoint at logical time
 // T = coordinator clock + margin. The margin must exceed any plausible
 // clock skew among members for the sent/recv counters to be exact (see the
 // package comment); message stamps make the cut itself consistent
-// regardless.
-func (c *Coordinator) SnapshotClock(margin uint64) (*Global, error) {
+// regardless. ctx bounds the run.
+func (c *Coordinator) SnapshotClock(ctx context.Context, margin uint64) (*Global, error) {
 	if len(c.members) == 0 {
 		return nil, errors.New("snapshot: no members")
 	}
@@ -133,5 +134,5 @@ func (c *Coordinator) SnapshotClock(margin uint64) (*Global, error) {
 			return nil, err
 		}
 	}
-	return c.gatherReports(in, snapID)
+	return c.gatherReports(ctx, in, snapID)
 }

@@ -59,7 +59,7 @@ func TestChannelCaptureAndReplayAfterCrash(t *testing.T) {
 	}
 
 	coord := coordinatorOn(t, net, []snapshot.Member{memB, memA})
-	g, err := coord.SnapshotMarker()
+	g, err := coord.SnapshotMarker(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package snapshot_test
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -144,7 +145,7 @@ func TestMarkerSnapshotConservesTokens(t *testing.T) {
 	w.inject(t, tokens)
 	time.Sleep(50 * time.Millisecond) // let circulation reach steady state
 
-	g, err := coord.SnapshotMarker()
+	g, err := coord.SnapshotMarker(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestClockSnapshotConservesTokens(t *testing.T) {
 	w.inject(t, tokens)
 	time.Sleep(50 * time.Millisecond)
 
-	g, err := coord.SnapshotClock(1_000_000)
+	g, err := coord.SnapshotClock(context.Background(), 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestRepeatedSnapshotsOnLiveSystem(t *testing.T) {
 	coord := coordinatorOn(t, net, w.members)
 	w.inject(t, tokens)
 	for i := 0; i < 3; i++ {
-		g, err := coord.SnapshotMarker()
+		g, err := coord.SnapshotMarker(context.Background())
 		if err != nil {
 			t.Fatalf("snapshot %d: %v", i, err)
 		}
@@ -209,7 +210,7 @@ func TestSnapshotQuiescentSystem(t *testing.T) {
 	defer net.Close()
 	w := buildRing(t, net, 3, 0)
 	coord := coordinatorOn(t, net, w.members)
-	g, err := coord.SnapshotMarker()
+	g, err := coord.SnapshotMarker(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestClockSnapshotQuiescent(t *testing.T) {
 	coord := coordinatorOn(t, net, w.members)
 	coordFast := coord
 	coordFast.SetSettle(20 * time.Millisecond)
-	g, err := coordFast.SnapshotClock(1000)
+	g, err := coordFast.SnapshotClock(context.Background(), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,10 +270,10 @@ func TestEmptyMembership(t *testing.T) {
 	net := netsim.New()
 	defer net.Close()
 	coord := coordinatorOn(t, net, nil)
-	if _, err := coord.SnapshotMarker(); err == nil {
+	if _, err := coord.SnapshotMarker(context.Background()); err == nil {
 		t.Fatal("empty member set accepted")
 	}
-	if _, err := coord.SnapshotClock(10); err == nil {
+	if _, err := coord.SnapshotClock(context.Background(), 10); err == nil {
 		t.Fatal("empty member set accepted")
 	}
 }
@@ -315,7 +316,7 @@ func TestCoordinatorCrashMidSnapshot(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := coord.SnapshotMarker()
+		_, err := coord.SnapshotMarker(context.Background())
 		done <- err
 	}()
 	select {

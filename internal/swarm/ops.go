@@ -47,7 +47,7 @@ func pairNames(pairs []watchPair) string {
 
 // awaitState polls until every pair's verdict for its peer is want.
 func awaitState(pairs []watchPair, want failure.State) error {
-	deadline := time.Now().Add(awaitBound)
+	deadline := time.Now().Add(awaitBound) //wwlint:allow determinism real-time bound on verdict convergence; the lockstep digest folds the event log, not these stamps
 	for {
 		settled := true
 		for _, p := range pairs {
@@ -60,7 +60,7 @@ func awaitState(pairs []watchPair, want failure.State) error {
 		if settled {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //wwlint:allow determinism real-time deadline check for the await bound
 			for _, p := range pairs {
 				st, ok := p.det.Status(p.peer)
 				if !ok || st != want {
@@ -69,7 +69,7 @@ func awaitState(pairs []watchPair, want failure.State) error {
 				}
 			}
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(2 * time.Millisecond) //wwlint:allow determinism real-time poll of detector verdicts; bounded by awaitBound
 	}
 }
 
@@ -171,7 +171,7 @@ func (s *Swarm) opJoin(rng *rand.Rand) (string, error) {
 	s.ops++
 	s.mu.Unlock()
 
-	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout) //wwlint:allow ctxcheck churn driver op with no caller context; bounded by opTimeout
 	err := ini.client.Register(ctx, directory.Entry{Name: name, Type: typeMember, Addr: addr})
 	cancel()
 	if err != nil {
@@ -206,7 +206,7 @@ func (s *Swarm) opLeave(rng *rand.Rand) (bool, error) {
 	ini := s.inits[int(s.leaves)%len(s.inits)]
 	s.mu.Unlock()
 
-	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout) //wwlint:allow ctxcheck churn driver op with no caller context; bounded by opTimeout
 	err := ini.client.Remove(ctx, m.name)
 	cancel()
 	if cerr := s.rt.Crash(m.name); cerr != nil {
@@ -260,7 +260,7 @@ func (s *Swarm) opCrash(rng *rand.Rand) (bool, error) {
 	s.retire(st, rs, gs)
 	// Stamped after the crash completed: a verdict cannot land before
 	// the process is actually dead, so the latency sample starts here.
-	s.crashedAt[m.name] = time.Now()
+	s.crashedAt[m.name] = time.Now() //wwlint:allow determinism wall-clock crash stamp feeds detection-latency metrics, not the event log
 	s.crashedList = append(s.crashedList, m.name)
 	s.crashes++
 	s.ops++
@@ -334,13 +334,13 @@ func (s *Swarm) opRevive(rng *rand.Rand) (bool, error) {
 	}
 	s.appendLive(m)
 	delete(s.crashedAt, name)
-	s.revivedAt[name] = time.Now()
+	s.revivedAt[name] = time.Now() //wwlint:allow determinism wall-clock revive stamp feeds recovery-latency metrics, not the event log
 	s.revives++
 	s.ops++
 	ini := s.inits[int(s.revives)%len(s.inits)]
 	s.mu.Unlock()
 
-	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout) //wwlint:allow ctxcheck churn driver op with no caller context; bounded by opTimeout
 	rerr := ini.client.Register(ctx, directory.Entry{Name: name, Type: typeMember, Addr: addr})
 	cancel()
 	if rerr != nil {
@@ -375,8 +375,8 @@ func (s *Swarm) opSession(idx int, rng *rand.Rand) {
 	ini := s.inits[idx%len(s.inits)]
 	s.mu.Unlock()
 
-	start := time.Now()
-	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	start := time.Now()                                                 //wwlint:allow determinism wall-clock session-latency sample; not part of the event log
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout) //wwlint:allow ctxcheck churn driver op with no caller context; bounded by opTimeout
 	e, err := ini.client.MustLookup(ctx, target)
 	if err == nil {
 		var rep echoMsg

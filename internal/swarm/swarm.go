@@ -796,7 +796,7 @@ type counters struct {
 
 // cumulative samples every counter the report is built from.
 func (s *Swarm) cumulative() counters {
-	c := counters{at: time.Now()}
+	c := counters{at: time.Now()} //wwlint:allow determinism report timestamps are wall-clock measurement, not replayed state
 	ns := s.net.Counters()
 	c.delivered, c.bytes, c.lostQueue = ns.Delivered, ns.BytesSent, ns.LostQueue
 
@@ -884,11 +884,11 @@ func (s *Swarm) phaseStats(name string, a, b counters, watched int) PhaseStats {
 		wall = 1e-9
 	}
 	p := PhaseStats{
-		Name:         name,
-		WallSeconds:  wall,
-		Delivered:    b.delivered - a.delivered,
-		BytesSent:    b.bytes - a.bytes,
-		LostQueue:    b.lostQueue - a.lostQueue,
+		Name:            name,
+		WallSeconds:     wall,
+		Delivered:       b.delivered - a.delivered,
+		BytesSent:       b.bytes - a.bytes,
+		LostQueue:       b.lostQueue - a.lostQueue,
 		Frames:          b.frames - a.frames,
 		Datagrams:       b.datagrams - a.datagrams,
 		AcksStandalone:  b.acksSA - a.acksSA,
@@ -896,28 +896,28 @@ func (s *Swarm) phaseStats(name string, a, b counters, watched int) PhaseStats {
 		Heartbeats:      b.hb - a.hb,
 		Implicit:        b.implicit - a.implicit,
 		Probes:          b.probe - a.probe,
-		DirLookups:   b.dir.Lookups() - a.dir.Lookups(),
-		DirHits:      b.dir.Hits - a.dir.Hits,
-		DirFailovers: b.dir.Failovers - a.dir.Failovers,
-		DirEvictions: b.dir.Evictions - a.dir.Evictions,
-		Downs:        b.downs - a.downs,
-		Ups:          b.ups - a.ups,
-		FalseDowns:   b.falseDowns - a.falseDowns,
-		Partitions:   b.partitions - a.partitions,
-		GossipRounds: b.gsp.Rounds - a.gsp.Rounds,
-		GossipPulls:  b.gsp.Pulls - a.gsp.Pulls,
-		GossipDeltas: b.gsp.DeltasApplied - a.gsp.DeltasApplied,
-		RumorsSent:   b.gsp.RumorsSent - a.gsp.RumorsSent,
-		RumorsRecv:   b.gsp.RumorsReceived - a.gsp.RumorsReceived,
-		Ops:          b.ops - a.ops,
-		Joins:        b.joins - a.joins,
-		Leaves:       b.leaves - a.leaves,
-		Crashes:      b.crashes - a.crashes,
-		Revives:      b.revives - a.revives,
-		Sessions:     b.sessions - a.sessions,
-		SessionErrs:  b.sessErrs - a.sessErrs,
-		WheelTicks:   b.wheelTicks - a.wheelTicks,
-		WheelFired:   b.wheelFired - a.wheelFired,
+		DirLookups:      b.dir.Lookups() - a.dir.Lookups(),
+		DirHits:         b.dir.Hits - a.dir.Hits,
+		DirFailovers:    b.dir.Failovers - a.dir.Failovers,
+		DirEvictions:    b.dir.Evictions - a.dir.Evictions,
+		Downs:           b.downs - a.downs,
+		Ups:             b.ups - a.ups,
+		FalseDowns:      b.falseDowns - a.falseDowns,
+		Partitions:      b.partitions - a.partitions,
+		GossipRounds:    b.gsp.Rounds - a.gsp.Rounds,
+		GossipPulls:     b.gsp.Pulls - a.gsp.Pulls,
+		GossipDeltas:    b.gsp.DeltasApplied - a.gsp.DeltasApplied,
+		RumorsSent:      b.gsp.RumorsSent - a.gsp.RumorsSent,
+		RumorsRecv:      b.gsp.RumorsReceived - a.gsp.RumorsReceived,
+		Ops:             b.ops - a.ops,
+		Joins:           b.joins - a.joins,
+		Leaves:          b.leaves - a.leaves,
+		Crashes:         b.crashes - a.crashes,
+		Revives:         b.revives - a.revives,
+		Sessions:        b.sessions - a.sessions,
+		SessionErrs:     b.sessErrs - a.sessErrs,
+		WheelTicks:      b.wheelTicks - a.wheelTicks,
+		WheelFired:      b.wheelFired - a.wheelFired,
 	}
 	p.MsgsPerSec = float64(p.Delivered) / wall
 	p.BytesPerSec = float64(p.BytesSent) / wall
@@ -994,7 +994,7 @@ func (s *Swarm) measureConvergence() int {
 		if s.dirsConverged() {
 			return r
 		}
-		time.Sleep(s.cfg.GossipInterval)
+		time.Sleep(s.cfg.GossipInterval) //wwlint:allow determinism real-time wait for gossip convergence measurement; not a lockstep path
 	}
 	return -1
 }

@@ -242,37 +242,38 @@ type peerState struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond // broadcast when window space frees or the layer closes
-	closed bool
+	closed bool       // guarded by mu
 
 	// Sender side.
-	nextSeq uint64
-	ackedTo uint64 // highest cumulative ack received
-	unacked map[uint64]*outPkt
+	nextSeq uint64             // guarded by mu
+	ackedTo uint64             // guarded by mu; highest cumulative ack received
+	unacked map[uint64]*outPkt // guarded by mu
 
 	// Receiver side.
-	expected uint64
-	ooo      map[uint64][]byte
+	expected uint64            // guarded by mu
+	ooo      map[uint64][]byte // guarded by mu
 
 	// Delayed-ack coalescing: ackPending counts in-order messages
 	// received since the last ack; ackTimerSet records that an ack
 	// deadline is already in the timer queue. retxArmed records that a
 	// retransmit event for this peer is in the queue.
-	ackPending  int
-	ackTimerSet bool
-	retxArmed   bool
+	ackPending  int  // guarded by mu
+	ackTimerSet bool // guarded by mu
+	retxArmed   bool // guarded by mu
 
 	// Frame coalescing (Config.Coalesce): stage holds encoded batch
 	// sub-frames awaiting a flush (the backing array is reused across
 	// batches), stageN counts them, and flushArmed records that a
 	// flush-deadline event is in the timer queue.
-	stage      []byte
-	stageN     int
-	flushArmed bool
+	stage      []byte // guarded by mu
+	stageN     int    // guarded by mu
+	flushArmed bool   // guarded by mu
 }
 
-func newPeerState(addr netsim.Addr) *peerState {
+func newPeerState(addr netsim.Addr, closed bool) *peerState {
 	p := &peerState{
 		addr:     addr,
+		closed:   closed,
 		nextSeq:  1,
 		unacked:  make(map[uint64]*outPkt),
 		expected: 1,
@@ -418,8 +419,7 @@ func (r *Reliable) peer(a netsim.Addr) *peerState {
 	if v, ok := r.peers.Load(a); ok {
 		return v.(*peerState)
 	}
-	p := newPeerState(a)
-	p.closed = r.closedB
+	p := newPeerState(a, r.closedB)
 	r.peers.Store(a, p)
 	return p
 }
@@ -614,6 +614,8 @@ func (r *Reliable) flushPeer(p *peerState) error {
 }
 
 // Recv blocks until the next in-order message from any peer arrives.
+//
+//wwlint:allow ctxcheck transport pump consumed by the dapplet's own receive loop; lifecycle-managed by Close
 func (r *Reliable) Recv() ([]byte, netsim.Addr, error) {
 	select {
 	case m := <-r.incoming:
@@ -630,6 +632,8 @@ func (r *Reliable) Recv() ([]byte, netsim.Addr, error) {
 
 // RecvTimeout is Recv with a real-time deadline; it returns netsim.ErrTimeout
 // on expiry.
+//
+//wwlint:allow ctxcheck real-time deadline variant of the transport pump; lifecycle-managed by Close
 func (r *Reliable) RecvTimeout(d time.Duration) ([]byte, netsim.Addr, error) {
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -667,6 +671,7 @@ func (r *Reliable) Close() error {
 
 func (r *Reliable) recvLoop() {
 	defer r.wg.Done()
+	//wwlint:allow goleak ReadFrom fails once Close closes the packet socket, ending the loop
 	for {
 		frame, from, err := r.pc.ReadFrom()
 		if err != nil {

@@ -193,7 +193,7 @@ func TestFacadeSnapshot(t *testing.T) {
 	t.Cleanup(coordD.Stop)
 	coord := wwds.NewSnapshotCoordinator(coordD, members)
 	coord.SetSettle(10 * time.Millisecond)
-	g, err := coord.SnapshotMarker()
+	g, err := coord.SnapshotMarker(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
